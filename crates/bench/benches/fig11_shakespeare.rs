@@ -1,0 +1,52 @@
+//! Criterion bench for Figure 11: QS1–QS6 over the Shakespeare corpus in
+//! both schema dialects (reduced corpus; the `experiments` binary runs
+//! the paper-scale version with DSx replication and cold caches).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::ShakespeareConfig;
+use xmlkit::dtd::parse_dtd;
+use xorator::prelude::*;
+use xorator_bench::{scratch_dir, setup, workload_sql};
+
+fn bench_qs(c: &mut Criterion) {
+    let docs = datagen::generate_shakespeare(&ShakespeareConfig {
+        plays: 4,
+        ..Default::default()
+    });
+    let queries = shakespeare_queries();
+    let wl = workload_sql(&queries);
+    let simple = simplify(&parse_dtd(xorator::dtds::SHAKESPEARE_DTD).unwrap());
+    let h = setup(
+        &scratch_dir("bench-fig11-h"),
+        map_hybrid(&simple),
+        &docs,
+        FormatPolicy::Auto,
+        &wl,
+    )
+    .expect("hybrid");
+    let x = setup(
+        &scratch_dir("bench-fig11-x"),
+        map_xorator(&simple),
+        &docs,
+        FormatPolicy::Auto,
+        &wl,
+    )
+    .expect("xorator");
+
+    let mut group = c.benchmark_group("fig11");
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.sample_size(20);
+    for q in &queries {
+        group.bench_with_input(BenchmarkId::new(q.id, "hybrid"), &q.hybrid, |b, sql| {
+            b.iter(|| h.db.query(sql).expect("query"));
+        });
+        group.bench_with_input(BenchmarkId::new(q.id, "xorator"), &q.xorator, |b, sql| {
+            b.iter(|| x.db.query(sql).expect("query"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_qs);
+criterion_main!(benches);

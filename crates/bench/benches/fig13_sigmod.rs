@@ -1,0 +1,49 @@
+//! Criterion bench for Figure 13: QG1–QG6 over the SIGMOD Proceedings
+//! corpus in both schema dialects (reduced corpus).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::SigmodConfig;
+use xmlkit::dtd::parse_dtd;
+use xorator::prelude::*;
+use xorator_bench::{scratch_dir, setup, workload_sql};
+
+fn bench_qg(c: &mut Criterion) {
+    let docs =
+        datagen::generate_sigmod(&SigmodConfig { documents: 120, ..Default::default() });
+    let queries = sigmod_queries();
+    let wl = workload_sql(&queries);
+    let simple = simplify(&parse_dtd(xorator::dtds::SIGMOD_DTD).unwrap());
+    let h = setup(
+        &scratch_dir("bench-fig13-h"),
+        map_hybrid(&simple),
+        &docs,
+        FormatPolicy::Auto,
+        &wl,
+    )
+    .expect("hybrid");
+    let x = setup(
+        &scratch_dir("bench-fig13-x"),
+        map_xorator(&simple),
+        &docs,
+        FormatPolicy::Auto,
+        &wl,
+    )
+    .expect("xorator");
+
+    let mut group = c.benchmark_group("fig13");
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.sample_size(15);
+    for q in &queries {
+        group.bench_with_input(BenchmarkId::new(q.id, "hybrid"), &q.hybrid, |b, sql| {
+            b.iter(|| h.db.query(sql).expect("query"));
+        });
+        group.bench_with_input(BenchmarkId::new(q.id, "xorator"), &q.xorator, |b, sql| {
+            b.iter(|| x.db.query(sql).expect("query"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_qg);
+criterion_main!(benches);

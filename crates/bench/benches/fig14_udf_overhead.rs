@@ -1,0 +1,48 @@
+//! Criterion bench for Figure 14: the cost of calling a scalar function
+//! through the UDF convention (NOT FENCED and FENCED) versus the built-in
+//! path, over the Hybrid `speaker` table as in the paper (QT1/QT2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::ShakespeareConfig;
+use xmlkit::dtd::parse_dtd;
+use xorator::prelude::*;
+use xorator_bench::{scratch_dir, setup, workload_sql};
+
+fn bench_udf(c: &mut Criterion) {
+    let docs = datagen::generate_shakespeare(&ShakespeareConfig {
+        plays: 3,
+        ..Default::default()
+    });
+    let simple = simplify(&parse_dtd(xorator::dtds::SHAKESPEARE_DTD).unwrap());
+    let wl = workload_sql(&shakespeare_queries());
+    let h = setup(
+        &scratch_dir("bench-fig14"),
+        map_hybrid(&simple),
+        &docs,
+        FormatPolicy::Auto,
+        &wl,
+    )
+    .expect("load");
+
+    let mut group = c.benchmark_group("fig14");
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.sample_size(20);
+    let variants = [
+        ("QT1", "builtin", "SELECT length(speaker_value) FROM speaker"),
+        ("QT1", "udf", "SELECT udf_length(speaker_value) FROM speaker"),
+        ("QT1", "fenced", "SELECT fenced_length(speaker_value) FROM speaker"),
+        ("QT2", "builtin", "SELECT substr(speaker_value, 5) FROM speaker"),
+        ("QT2", "udf", "SELECT udf_substr(speaker_value, 5) FROM speaker"),
+        ("QT2", "fenced", "SELECT fenced_substr(speaker_value, 5) FROM speaker"),
+    ];
+    for (q, variant, sql) in variants {
+        group.bench_with_input(BenchmarkId::new(q, variant), &sql, |b, sql| {
+            b.iter(|| h.db.query(sql).expect("query"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_udf);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion bench for Tables 1 & 2: end-to-end load (parse → shred →
+//! insert → index → runstats) of each corpus under each mapping. The
+//! paper's loading-time rows come from this pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{ShakespeareConfig, SigmodConfig};
+use xmlkit::dtd::parse_dtd;
+use xorator::prelude::*;
+use xorator_bench::{scratch_dir, setup, workload_sql};
+
+fn bench_loads(c: &mut Criterion) {
+    let shakespeare = datagen::generate_shakespeare(&ShakespeareConfig {
+        plays: 3,
+        ..Default::default()
+    });
+    let sigmod = datagen::generate_sigmod(&SigmodConfig { documents: 60, ..Default::default() });
+
+    let mut group = c.benchmark_group("load");
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.sample_size(10);
+    for (corpus, dtd_src, docs, queries) in [
+        (
+            "shakespeare",
+            xorator::dtds::SHAKESPEARE_DTD,
+            &shakespeare,
+            workload_sql(&shakespeare_queries()),
+        ),
+        (
+            "sigmod",
+            xorator::dtds::SIGMOD_DTD,
+            &sigmod,
+            workload_sql(&sigmod_queries()),
+        ),
+    ] {
+        let simple = simplify(&parse_dtd(dtd_src).unwrap());
+        for (alg, mapping) in
+            [("hybrid", map_hybrid(&simple)), ("xorator", map_xorator(&simple))]
+        {
+            group.bench_with_input(
+                BenchmarkId::new(corpus, alg),
+                &(docs, &mapping),
+                |b, (docs, mapping)| {
+                    b.iter(|| {
+                        setup(
+                            &scratch_dir(&format!("bench-load-{corpus}-{alg}")),
+                            (*mapping).clone(),
+                            docs,
+                            FormatPolicy::Auto,
+                            &queries,
+                        )
+                        .expect("load")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_loads);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Microbenchmarks of the substrates: B+Tree operations, XADT method
+//! scans (plain vs compressed), and the XMill-style compression itself.
+//! These quantify the constants behind the paper-level figures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+
+use ordb::index::btree::BTree;
+use ordb::index::key::encode_key;
+use ordb::storage::buffer::BufferPool;
+use ordb::storage::heap::Rid;
+use ordb::types::Value;
+use xadt::{find_key_in_elm, get_elm, get_elm_index, unnest, XadtValue};
+
+fn speech_fragment(lines: usize) -> String {
+    let mut s = String::new();
+    for i in 0..lines {
+        if i == lines / 2 {
+            s.push_str("<LINE>o my noble friend of the realm</LINE>");
+        } else {
+            s.push_str(&format!("<LINE>line number {i} with common words inside</LINE>"));
+        }
+    }
+    s
+}
+
+fn bench_xadt_methods(c: &mut Criterion) {
+    let frag = speech_fragment(40);
+    let plain = XadtValue::plain(frag.clone());
+    let compressed = XadtValue::compressed(&frag).unwrap();
+
+    let mut group = c.benchmark_group("xadt");
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for (name, value) in [("plain", &plain), ("compressed", &compressed)] {
+        group.bench_with_input(
+            BenchmarkId::new("findKeyInElm", name),
+            value,
+            |b, v| b.iter(|| find_key_in_elm(v, "LINE", "friend").unwrap()),
+        );
+        group.bench_with_input(BenchmarkId::new("getElm", name), value, |b, v| {
+            b.iter(|| get_elm(v, "LINE", "LINE", "friend", None).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("getElmIndex", name), value, |b, v| {
+            b.iter(|| get_elm_index(v, "", "LINE", 2, 2).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("unnest", name), value, |b, v| {
+            b.iter(|| unnest(v, "LINE").unwrap())
+        });
+    }
+    group.bench_function("compress", |b| b.iter(|| xadt::compress(&frag).unwrap()));
+    let bytes = xadt::compress(&frag).unwrap();
+    group.bench_function("decompress", |b| b.iter(|| xadt::decompress(&bytes).unwrap()));
+    group.finish();
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let dir = xorator_bench::scratch_dir("bench-btree");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let pool = Arc::new(BufferPool::new(1024));
+    pool.register_file(1, dir.join("t.db")).unwrap();
+    let tree = BTree::create(pool, 1).unwrap();
+    for i in 0..50_000i64 {
+        tree.insert(&encode_key(&[Value::Int(i)]), Rid::from_u64(i as u64)).unwrap();
+    }
+
+    let mut group = c.benchmark_group("btree");
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("point_lookup", |b| {
+        let mut i = 0i64;
+        b.iter(|| {
+            i = (i + 7919) % 50_000;
+            tree.scan_prefix(&encode_key(&[Value::Int(i)])).unwrap()
+        });
+    });
+    group.bench_function("range_100", |b| {
+        let mut i = 0i64;
+        b.iter(|| {
+            i = (i + 7919) % 49_000;
+            tree.scan_range(
+                Some(&encode_key(&[Value::Int(i)])),
+                Some(&encode_key(&[Value::Int(i + 100)])),
+                true,
+            )
+            .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_xadt_methods, bench_btree);
+criterion_main!(benches);

@@ -1,0 +1,360 @@
+//! Experiment driver: regenerates every table and figure of the paper's
+//! evaluation section (§4).
+//!
+//! ```text
+//! experiments [table1|table2|fig11|fig13|fig14|examples|all]
+//!             [--full] [--scales 1,2,4,8] [--reps 5]
+//! ```
+//!
+//! * `--full`  — use the paper-sized corpora (37 plays ≈ 7.5 MB,
+//!   3000 proceedings ≈ 12 MB); default is a reduced corpus that keeps
+//!   the whole suite in the minutes range.
+//! * `--scales` — the DSx replication factors for Figures 11/13.
+//! * `--reps` — cold runs per query (paper: 5, mean of middle three).
+//! * `--io-sim` — simulate year-2000 disk latency on buffer-pool misses
+//!   (0.2 ms sequential / 2 ms random), re-creating the paper's I/O-bound
+//!   regime; see `ordb::storage::buffer::IoSimulation`.
+
+use std::time::Duration;
+
+use datagen::{ShakespeareConfig, SigmodConfig};
+use xmlkit::dtd::parse_dtd;
+use xorator::prelude::*;
+use xorator_bench::{
+    mb, replicate, scratch_dir, setup, sizes, time_query, workload_sql, LoadedDb,
+};
+
+struct Args {
+    command: String,
+    full: bool,
+    scales: Vec<usize>,
+    reps: usize,
+    io_sim: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        command: "all".to_string(),
+        full: false,
+        scales: vec![1, 2, 4, 8],
+        reps: 5,
+        io_sim: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--full" => args.full = true,
+            "--io-sim" => args.io_sim = true,
+            "--scales" => {
+                let v = it.next().expect("--scales needs a value");
+                args.scales = v
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("scale must be an integer"))
+                    .collect();
+            }
+            "--reps" => {
+                args.reps = it.next().expect("--reps needs a value").parse().expect("int");
+            }
+            cmd if !cmd.starts_with('-') => args.command = cmd.to_string(),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let run = |name: &str| args.command == name || args.command == "all";
+    if run("table1") {
+        table1(&args);
+    }
+    if run("fig11") {
+        fig11(&args);
+    }
+    if run("table2") {
+        table2(&args);
+    }
+    if run("fig13") {
+        fig13(&args);
+    }
+    if run("fig14") {
+        fig14(&args);
+    }
+    if run("examples") {
+        examples(&args);
+    }
+}
+
+fn shakespeare_docs(args: &Args) -> Vec<String> {
+    let cfg = if args.full {
+        ShakespeareConfig::paper_size()
+    } else {
+        ShakespeareConfig::default()
+    };
+    let docs = datagen::generate_shakespeare(&cfg);
+    let bytes: usize = docs.iter().map(String::len).sum();
+    println!(
+        "# Shakespeare corpus: {} plays, {} of XML",
+        docs.len(),
+        human(bytes as u64)
+    );
+    docs
+}
+
+fn sigmod_docs(args: &Args) -> Vec<String> {
+    let cfg = if args.full { SigmodConfig::paper_size() } else { SigmodConfig::default() };
+    let docs = datagen::generate_sigmod(&cfg);
+    let bytes: usize = docs.iter().map(String::len).sum();
+    println!(
+        "# SIGMOD corpus: {} documents, {} of XML",
+        docs.len(),
+        human(bytes as u64)
+    );
+    docs
+}
+
+fn human(bytes: u64) -> String {
+    if bytes > 1024 * 1024 {
+        format!("{:.1} MB", bytes as f64 / (1024.0 * 1024.0))
+    } else {
+        format!("{:.1} KB", bytes as f64 / 1024.0)
+    }
+}
+
+/// Load one corpus under both mappings for a workload.
+fn load_pair(
+    tag: &str,
+    dtd_src: &str,
+    docs: &[String],
+    workload: &[&str],
+) -> (LoadedDb, LoadedDb) {
+    let simple = simplify(&parse_dtd(dtd_src).expect("paper DTD parses"));
+    let h = setup(
+        &scratch_dir(&format!("{tag}-hybrid")),
+        map_hybrid(&simple),
+        docs,
+        FormatPolicy::Auto,
+        workload,
+    )
+    .expect("hybrid load");
+    let x = setup(
+        &scratch_dir(&format!("{tag}-xorator")),
+        map_xorator(&simple),
+        docs,
+        FormatPolicy::Auto,
+        workload,
+    )
+    .expect("xorator load");
+    (h, x)
+}
+
+fn print_size_table(title: &str, h: &LoadedDb, x: &LoadedDb) {
+    let sh = sizes(h).expect("sizes");
+    let sx = sizes(x).expect("sizes");
+    println!("\n## {title}\n");
+    println!("| | Hybrid | XORator | XORator/Hybrid |");
+    println!("|---|---|---|---|");
+    println!("| Number of tables | {} | {} | |", sh.tables, sx.tables);
+    println!(
+        "| Database size (MB) | {} | {} | {:.2} |",
+        mb(sh.data_bytes),
+        mb(sx.data_bytes),
+        sx.data_bytes as f64 / sh.data_bytes as f64
+    );
+    println!(
+        "| Index size (MB) | {} | {} | {:.2} |",
+        mb(sh.index_bytes),
+        mb(sx.index_bytes),
+        sx.index_bytes as f64 / sh.index_bytes as f64
+    );
+    println!(
+        "| Tuples loaded | {} | {} | |\n| XADT format | - | {:?} | |",
+        h.load.tuples, x.load.tuples, x.load.format
+    );
+    println!(
+        "| Loading time (s) | {:.2} | {:.2} | {:.2} |",
+        h.load.elapsed.as_secs_f64(),
+        x.load.elapsed.as_secs_f64(),
+        x.load.elapsed.as_secs_f64() / h.load.elapsed.as_secs_f64()
+    );
+}
+
+fn table1(args: &Args) {
+    let docs = shakespeare_docs(args);
+    let queries = shakespeare_queries();
+    let wl = workload_sql(&queries);
+    let (h, x) = load_pair("table1", xorator::dtds::SHAKESPEARE_DTD, &docs, &wl);
+    print_size_table(
+        "Table 1 — Shakespeare data set: tables, database size, index size",
+        &h,
+        &x,
+    );
+}
+
+fn table2(args: &Args) {
+    let docs = sigmod_docs(args);
+    let queries = sigmod_queries();
+    let wl = workload_sql(&queries);
+    let (h, x) = load_pair("table2", xorator::dtds::SIGMOD_DTD, &docs, &wl);
+    print_size_table(
+        "Table 2 — SIGMOD Proceedings data set: tables, database size, index size",
+        &h,
+        &x,
+    );
+}
+
+/// Shared driver for Figures 11 and 13: Hybrid/XORator response-time
+/// ratios per query at DSx1..DSx8, plus the loading-time ratio.
+fn ratio_figure(
+    args: &Args,
+    tag: &str,
+    title: &str,
+    dtd_src: &str,
+    base: &[String],
+    queries: &[xorator::queries::QueryPair],
+) {
+    let wl = workload_sql(queries);
+    println!("\n## {title}\n");
+    let header: Vec<String> = queries.iter().map(|q| q.id.to_string()).collect();
+    println!("| scale | {} | load |", header.join(" | "));
+    println!("|---|{}---|", "---|".repeat(queries.len()));
+    for &scale in &args.scales {
+        let docs = replicate(base, scale);
+        let (h, x) = load_pair(&format!("{tag}-x{scale}"), dtd_src, &docs, &wl);
+        if args.io_sim {
+            let sim = ordb::storage::buffer::IoSimulation::year2000_disk();
+            h.db.set_io_simulation(Some(sim));
+            x.db.set_io_simulation(Some(sim));
+        }
+        let mut cells = Vec::new();
+        for q in queries {
+            let th = time_query(&h.db, q.hybrid, args.reps).expect("hybrid query");
+            let tx = time_query(&x.db, q.xorator, args.reps).expect("xorator query");
+            let ratio = th.mean.as_secs_f64() / tx.mean.as_secs_f64().max(1e-9);
+            cells.push(format!("{ratio:.2}"));
+            eprintln!(
+                "  [{} DSx{scale}] {}: hybrid {:?} ({} rows) / xorator {:?} ({} rows) = {ratio:.2}",
+                tag, q.id, th.mean, th.rows, tx.mean, tx.rows
+            );
+        }
+        let load_ratio =
+            h.load.elapsed.as_secs_f64() / x.load.elapsed.as_secs_f64().max(1e-9);
+        println!("| DSx{scale} | {} | {load_ratio:.2} |", cells.join(" | "));
+    }
+    println!("\n(Values are Hybrid/XORator response-time ratios; > 1 means XORator is faster, matching the paper's log-scale figures.)");
+}
+
+fn fig11(args: &Args) {
+    let base = shakespeare_docs(args);
+    ratio_figure(
+        args,
+        "fig11",
+        "Figure 11 — Hybrid/XORator performance ratios, Shakespeare (QS1–QS6)",
+        xorator::dtds::SHAKESPEARE_DTD,
+        &base,
+        &shakespeare_queries(),
+    );
+}
+
+fn fig13(args: &Args) {
+    let base = sigmod_docs(args);
+    ratio_figure(
+        args,
+        "fig13",
+        "Figure 13 — Hybrid/XORator performance ratios, SIGMOD Proceedings (QG1–QG6)",
+        xorator::dtds::SIGMOD_DTD,
+        &base,
+        &sigmod_queries(),
+    );
+}
+
+fn fig14(args: &Args) {
+    let docs = shakespeare_docs(args);
+    let queries = shakespeare_queries();
+    let wl = workload_sql(&queries);
+    let simple = simplify(&parse_dtd(xorator::dtds::SHAKESPEARE_DTD).unwrap());
+    let h = setup(
+        &scratch_dir("fig14"),
+        map_hybrid(&simple),
+        &docs,
+        FormatPolicy::Auto,
+        &wl,
+    )
+    .expect("load");
+    println!("\n## Figure 14 — Overhead of invoking UDFs vs. built-in functions\n");
+    println!("| query | built-in | UDF (NOT FENCED) | UDF/built-in |");
+    println!("|---|---|---|---|");
+    for (id, _desc, builtin, udf) in udf_overhead_queries() {
+        let tb = time_query(&h.db, builtin, args.reps).expect("builtin");
+        let tu = time_query(&h.db, udf, args.reps).expect("udf");
+        println!(
+            "| {id} | {:.2} ms | {:.2} ms | {:.2} |",
+            ms(tb.mean),
+            ms(tu.mean),
+            tu.mean.as_secs_f64() / tb.mean.as_secs_f64().max(1e-9)
+        );
+    }
+    println!("\n(The paper measures UDFs ≈ 40 % more expensive than built-ins.)");
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// QE1/QE2 (Figures 7/8) over a small Figure-1-Plays corpus, and the
+/// Figure 9 unnest demonstration.
+fn examples(args: &Args) {
+    println!("\n## Figures 7/8 — QE1 and QE2 over the Plays DTD\n");
+    // A small corpus conforming to the Figure 1 DTD, derived from the
+    // Shakespeare generator by wrapping speeches in acts directly.
+    let docs: Vec<String> = (0..4)
+        .map(|i| {
+            format!(
+                "<PLAY><ACT><SCENE><TITLE>one</TITLE>\
+                 <SPEECH><SPEAKER>HAMLET</SPEAKER><LINE>my friend {i}</LINE>\
+                 <LINE>second line {i}</LINE></SPEECH></SCENE>\
+                 <TITLE>ACT {i}</TITLE>\
+                 <SPEECH><SPEAKER>HAMLET</SPEAKER><LINE>dear friend of acts</LINE>\
+                 <LINE>line two</LINE></SPEECH>\
+                 <SPEECH><SPEAKER>OTHER</SPEAKER><LINE>nothing</LINE></SPEECH>\
+                 </ACT></PLAY>"
+            )
+        })
+        .collect();
+    let queries = example_queries();
+    let wl = workload_sql(&queries);
+    let (h, x) = load_pair("examples", xorator::dtds::PLAYS_DTD, &docs, &wl);
+    for q in &queries {
+        let th = time_query(&h.db, q.hybrid, args.reps.max(3)).expect("hybrid");
+        let tx = time_query(&x.db, q.xorator, args.reps.max(3)).expect("xorator");
+        println!(
+            "{}: hybrid {} rows in {:.2} ms; xorator {} rows in {:.2} ms",
+            q.id,
+            th.rows,
+            ms(th.mean),
+            tx.rows,
+            ms(tx.mean)
+        );
+    }
+
+    println!("\n## Figure 9 — unnesting the speaker attribute\n");
+    let db = &x.db;
+    db.execute("CREATE TABLE speakers (speaker XADT)").expect("create");
+    db.execute(
+        "INSERT INTO speakers VALUES \
+         ('<speaker>s1</speaker><speaker>s2</speaker>'), ('<speaker>s1</speaker>')",
+    )
+    .expect("insert");
+    let before = db.query("SELECT speaker FROM speakers").expect("q");
+    println!("before unnesting:\n{before}");
+    let after = db
+        .query(
+            "SELECT DISTINCT u.out AS SPEAKER \
+             FROM speakers, TABLE(unnest(speaker, 'speaker')) u",
+        )
+        .expect("q");
+    println!("after unnesting:\n{after}");
+}

@@ -1,0 +1,204 @@
+//! `xorshell` — a small interactive shell over an `ordb` database.
+//!
+//! ```text
+//! xorshell <db-dir> [--pool-frames N]
+//! ```
+//!
+//! Meta commands (everything else is SQL, `;`-terminated or single-line):
+//!
+//! ```text
+//! .help                     this text
+//! .tables                   list tables with row counts
+//! .schema [table]           show column definitions
+//! .load shakespeare N       generate + load N plays (XORator mapping)
+//! .load sigmod N            generate + load N proceedings docs
+//! .xpath /PLAY/ACT/...      compile an XPath and run it
+//! .explain SELECT ...       show the planner's decisions
+//! .stats                    run runstats on every table
+//! .quit
+//! ```
+
+use std::io::{BufRead, Write};
+
+use ordb::{Database, DbOptions};
+use xmlkit::dtd::parse_dtd;
+use xorator::prelude::*;
+use xorator::schema::Mapping;
+
+struct Shell {
+    db: Database,
+    /// Mapping of the last `.load`, for `.xpath`.
+    mapping: Option<Mapping>,
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let dir = args.next().unwrap_or_else(|| {
+        eprintln!("usage: xorshell <db-dir> [--pool-frames N]");
+        std::process::exit(2);
+    });
+    let mut opts = DbOptions::default();
+    while let Some(a) = args.next() {
+        if a == "--pool-frames" {
+            opts.pool_frames =
+                args.next().and_then(|v| v.parse().ok()).unwrap_or(opts.pool_frames);
+        }
+    }
+    let db = match Database::open_with(&dir, opts) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("cannot open {dir}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("xorshell — {} table(s) in {dir}. Type .help for commands.", db.table_count());
+    let mut shell = Shell { db, mapping: None };
+
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        print!("xorator> ");
+        std::io::stdout().flush().ok();
+        line.clear();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let input = line.trim().trim_end_matches(';').trim();
+        if input.is_empty() {
+            continue;
+        }
+        if input == ".quit" || input == ".exit" {
+            break;
+        }
+        if let Err(e) = shell.dispatch(input) {
+            eprintln!("error: {e}");
+        }
+    }
+    shell.db.flush().ok();
+}
+
+impl Shell {
+    fn dispatch(&mut self, input: &str) -> Result<(), Box<dyn std::error::Error>> {
+        if let Some(rest) = input.strip_prefix('.') {
+            let mut parts = rest.split_whitespace();
+            match parts.next().unwrap_or_default() {
+                "help" => print!("{}", HELP),
+                "tables" => {
+                    for name in self.db.table_names() {
+                        println!("{name} ({} rows)", self.db.row_count(&name)?);
+                    }
+                }
+                "schema" => {
+                    let filter = parts.next();
+                    for name in self.db.table_names() {
+                        if filter.is_some_and(|f| !name.eq_ignore_ascii_case(f)) {
+                            continue;
+                        }
+                        if let Some(def) = self.db.table_def(&name) {
+                            let cols: Vec<String> = def
+                                .columns
+                                .iter()
+                                .map(|c| format!("{} {}", c.name, c.ty))
+                                .collect();
+                            println!("CREATE TABLE {name} ({});", cols.join(", "));
+                        }
+                    }
+                }
+                "load" => {
+                    let corpus = parts.next().unwrap_or_default().to_string();
+                    let n: usize = parts.next().and_then(|v| v.parse().ok()).unwrap_or(4);
+                    self.load(&corpus, n)?;
+                }
+                "xpath" => {
+                    let path = rest.trim_start_matches("xpath").trim();
+                    let mapping = self
+                        .mapping
+                        .as_ref()
+                        .ok_or("no mapping loaded; use .load first")?;
+                    let compiled = compile_xpath(mapping, path)?;
+                    println!("-- {}", compiled.sql);
+                    print!("{}", self.db.query(&compiled.sql)?);
+                }
+                "explain" => {
+                    let sql = rest.trim_start_matches("explain").trim();
+                    print!("{}", self.db.query(&format!("EXPLAIN {sql}"))?);
+                }
+                "stats" => {
+                    self.db.runstats_all()?;
+                    println!("statistics collected for {} table(s)", self.db.table_count());
+                }
+                other => eprintln!("unknown command .{other}; try .help"),
+            }
+            return Ok(());
+        }
+        // SQL.
+        let upper = input.trim_start().to_ascii_uppercase();
+        if upper.starts_with("SELECT") || upper.starts_with("EXPLAIN") {
+            let start = std::time::Instant::now();
+            let r = self.db.query(input)?;
+            print!("{r}");
+            println!("({:.2} ms)", start.elapsed().as_secs_f64() * 1e3);
+        } else {
+            let n = self.db.execute(input)?;
+            println!("ok ({n} rows affected)");
+        }
+        Ok(())
+    }
+
+    fn load(&mut self, corpus: &str, n: usize) -> Result<(), Box<dyn std::error::Error>> {
+        let (docs, dtd_src) = match corpus {
+            "shakespeare" => (
+                datagen::generate_shakespeare(&datagen::ShakespeareConfig {
+                    plays: n,
+                    ..Default::default()
+                }),
+                xorator::dtds::SHAKESPEARE_DTD,
+            ),
+            "sigmod" => (
+                datagen::generate_sigmod(&datagen::SigmodConfig {
+                    documents: n,
+                    ..Default::default()
+                }),
+                xorator::dtds::SIGMOD_DTD,
+            ),
+            other => return Err(format!("unknown corpus {other:?}").into()),
+        };
+        let simple = simplify(&parse_dtd(dtd_src)?);
+        let mapping = map_xorator(&simple);
+        let report = load_corpus(&self.db, &mapping, &docs, LoadOptions::default())?;
+        let queries: Vec<&str> = if corpus == "shakespeare" {
+            shakespeare_queries().iter().map(|q| q.xorator).collect()
+        } else {
+            sigmod_queries().iter().map(|q| q.xorator).collect()
+        };
+        let n_idx = advise_and_apply(&self.db, &mapping, &queries)?;
+        println!(
+            "loaded {} documents → {} tuples ({:?} XADT), {} indexes, {:.2}s",
+            report.documents,
+            report.tuples,
+            report.format,
+            n_idx,
+            report.elapsed.as_secs_f64()
+        );
+        self.mapping = Some(mapping);
+        Ok(())
+    }
+}
+
+const HELP: &str = "\
+.help                     this text
+.tables                   list tables with row counts
+.schema [table]           show column definitions
+.load shakespeare N       generate + load N plays (XORator mapping)
+.load sigmod N            generate + load N proceedings docs
+.xpath /PLAY/ACT/...      compile an XPath and run it
+.explain SELECT ...       show the planner's decisions
+.stats                    run runstats on every table
+.quit                     exit
+anything else is SQL (SELECT / CREATE / INSERT / DELETE / DROP)
+";

@@ -1,0 +1,193 @@
+//! # xorator-bench — experiment harness
+//!
+//! Reusable machinery for reproducing the paper's evaluation (§4):
+//! database setup per mapping algorithm, the paper's cold-run timing
+//! methodology (5 runs, mean of the middle three, buffer pool dropped
+//! between runs), and corpus scaling (DSx1/x2/x4/x8 by loading the base
+//! corpus multiple times, §4.3/§4.4).
+//!
+//! The `experiments` binary drives these helpers to print every table and
+//! figure; the Criterion benches reuse them at a reduced scale.
+
+#![warn(missing_docs)]
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use ordb::{Database, DbOptions, QueryResult};
+use xorator::prelude::*;
+use xorator::schema::Mapping;
+
+/// Default buffer-pool size for experiments (1024 × 8 KiB = 8 MiB), small
+/// enough that the larger DSx scales spill to disk, as on the paper's
+/// 256 MB testbed.
+pub const EXPERIMENT_POOL_FRAMES: usize = 256;
+
+/// A database loaded with one corpus under one mapping.
+pub struct LoadedDb {
+    /// The database.
+    pub db: Database,
+    /// The mapping used.
+    pub mapping: Mapping,
+    /// Load outcome (time, tuples, chosen XADT format).
+    pub load: LoadReport,
+    /// Number of indexes the advisor created.
+    pub indexes: usize,
+}
+
+/// Build a fresh database at `dir` for `mapping`, load `docs`, create the
+/// advisor's indexes, and collect statistics — the paper's §4.2 setup.
+pub fn setup(
+    dir: &Path,
+    mapping: Mapping,
+    docs: &[String],
+    policy: FormatPolicy,
+    workload: &[&str],
+) -> xorator::Result<LoadedDb> {
+    let _ = std::fs::remove_dir_all(dir);
+    let db = Database::open_with(dir, DbOptions { pool_frames: EXPERIMENT_POOL_FRAMES })
+        .map_err(xorator::CoreError::Db)?;
+    let load = load_corpus(&db, &mapping, docs, LoadOptions { policy, sample_docs: 10 })?;
+    let indexes = advise_and_apply(&db, &mapping, workload)?;
+    db.runstats_all().map_err(xorator::CoreError::Db)?;
+    db.flush().map_err(xorator::CoreError::Db)?;
+    Ok(LoadedDb { db, mapping, load, indexes })
+}
+
+/// Timing of one query under the paper's methodology.
+#[derive(Debug, Clone)]
+pub struct QueryTiming {
+    /// Mean of the middle three of five cold runs.
+    pub mean: Duration,
+    /// All run durations, sorted.
+    pub runs: Vec<Duration>,
+    /// Rows returned (sanity check: must agree across algorithms).
+    pub rows: usize,
+}
+
+/// Run `sql` cold `reps` times (default methodology: 5) and report the
+/// mean of the middle `reps - 2` runs.
+pub fn time_query(db: &Database, sql: &str, reps: usize) -> ordb::Result<QueryTiming> {
+    assert!(reps >= 3, "need at least 3 runs to trim");
+    let mut runs = Vec::with_capacity(reps);
+    let mut rows = 0;
+    for _ in 0..reps {
+        db.drop_cache()?;
+        let start = Instant::now();
+        let result: QueryResult = db.query(sql)?;
+        runs.push(start.elapsed());
+        rows = result.len();
+    }
+    runs.sort();
+    let middle = &runs[1..reps - 1];
+    let mean = middle.iter().sum::<Duration>() / middle.len() as u32;
+    Ok(QueryTiming { mean, runs, rows })
+}
+
+/// Replicate `base` docs `k` times — the paper's DSx`k` configurations.
+pub fn replicate(base: &[String], k: usize) -> Vec<String> {
+    let mut out = Vec::with_capacity(base.len() * k);
+    for _ in 0..k {
+        out.extend_from_slice(base);
+    }
+    out
+}
+
+/// Paper-style size row: tables / database MB / index MB.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRow {
+    /// Number of mapped tables.
+    pub tables: usize,
+    /// Heap bytes.
+    pub data_bytes: u64,
+    /// Index bytes.
+    pub index_bytes: u64,
+}
+
+/// Measure a loaded database's sizes.
+pub fn sizes(loaded: &LoadedDb) -> ordb::Result<SizeRow> {
+    Ok(SizeRow {
+        tables: loaded.db.table_count(),
+        data_bytes: loaded.db.data_size_bytes()?,
+        index_bytes: loaded.db.index_size_bytes()?,
+    })
+}
+
+/// Format bytes as MB with two decimals.
+pub fn mb(bytes: u64) -> String {
+    format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// A scratch directory under the target dir (kept out of the source tree).
+pub fn scratch_dir(tag: &str) -> PathBuf {
+    let base = std::env::var_os("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target"));
+    base.join("experiments").join(tag)
+}
+
+/// Both workload SQL dialects for a query set, as the advisor input.
+pub fn workload_sql(queries: &[xorator::queries::QueryPair]) -> Vec<&'static str> {
+    queries.iter().flat_map(|q| [q.hybrid, q.xorator]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::ShakespeareConfig;
+
+    #[test]
+    fn setup_and_time_smallest_corpus() {
+        let docs = datagen::generate_shakespeare(&ShakespeareConfig {
+            plays: 2,
+            acts: 2,
+            scenes_per_act: 2,
+            speeches_per_scene: 6,
+            ..Default::default()
+        });
+        let queries = shakespeare_queries();
+        let sql = workload_sql(&queries);
+        let dtd = xmlkit::dtd::parse_dtd(xorator::dtds::SHAKESPEARE_DTD).unwrap();
+        let simple = simplify(&dtd);
+
+        let h = setup(
+            &scratch_dir("libtest-h"),
+            map_hybrid(&simple),
+            &docs,
+            FormatPolicy::Auto,
+            &sql,
+        )
+        .unwrap();
+        let x = setup(
+            &scratch_dir("libtest-x"),
+            map_xorator(&simple),
+            &docs,
+            FormatPolicy::Auto,
+            &sql,
+        )
+        .unwrap();
+
+        assert_eq!(h.db.table_count(), 17);
+        assert_eq!(x.db.table_count(), 7);
+        assert!(x.load.tuples < h.load.tuples);
+
+        // QS2 must select something in both dialects.
+        let q = &queries[1];
+        let th = time_query(&h.db, q.hybrid, 3).unwrap();
+        let tx = time_query(&x.db, q.xorator, 3).unwrap();
+        assert!(th.rows > 0, "QS2 must select something (hybrid)");
+        assert!(tx.rows > 0, "QS2 must select something (xorator)");
+    }
+
+    #[test]
+    fn replicate_scales() {
+        let base = vec!["a".to_string(), "b".to_string()];
+        assert_eq!(replicate(&base, 3).len(), 6);
+    }
+
+    #[test]
+    fn mb_formatting() {
+        assert_eq!(mb(1024 * 1024), "1.00");
+        assert_eq!(mb(1536 * 1024), "1.50");
+    }
+}

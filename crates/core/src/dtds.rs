@@ -1,0 +1,110 @@
+//! The paper's DTDs, verbatim from Figures 1, 10, and 12, for use by the
+//! mapping tests, the data generators, and the benchmark harness.
+
+/// Figure 1 — the running-example Plays DTD.
+pub const PLAYS_DTD: &str = r#"
+<!ELEMENT PLAY (INDUCT?, ACT+)>
+<!ELEMENT INDUCT (TITLE, SUBTITLE*, SCENE+)>
+<!ELEMENT ACT (SCENE+, TITLE, SUBTITLE*, SPEECH+, PROLOGUE?)>
+<!ELEMENT SCENE (TITLE, SUBTITLE*, (SPEECH | SUBHEAD)+)>
+<!ELEMENT SPEECH (SPEAKER, LINE)+>
+<!ELEMENT PROLOGUE (#PCDATA)>
+<!ELEMENT TITLE (#PCDATA)>
+<!ELEMENT SUBTITLE (#PCDATA)>
+<!ELEMENT SUBHEAD (#PCDATA)>
+<!ELEMENT SPEAKER (#PCDATA)>
+<!ELEMENT LINE (#PCDATA)>
+"#;
+
+/// Figure 10 — the Shakespeare plays DTD (Bosak).
+pub const SHAKESPEARE_DTD: &str = r#"
+<!ELEMENT PLAY (TITLE, FM, PERSONAE, SCNDESCR, PLAYSUBT, INDUCT?, PROLOGUE?, ACT+, EPILOGUE?)>
+<!ELEMENT TITLE (#PCDATA)>
+<!ELEMENT FM (P+)>
+<!ELEMENT P (#PCDATA)>
+<!ELEMENT PERSONAE (TITLE, (PERSONA | PGROUP)+)>
+<!ELEMENT PGROUP (PERSONA+, GRPDESCR)>
+<!ELEMENT PERSONA (#PCDATA)>
+<!ELEMENT GRPDESCR (#PCDATA)>
+<!ELEMENT SCNDESCR (#PCDATA)>
+<!ELEMENT PLAYSUBT (#PCDATA)>
+<!ELEMENT INDUCT (TITLE, SUBTITLE*, (SCENE+ | (SPEECH | STAGEDIR | SUBHEAD)+))>
+<!ELEMENT ACT (TITLE, SUBTITLE*, PROLOGUE?, SCENE+, EPILOGUE?)>
+<!ELEMENT SCENE (TITLE, SUBTITLE*, (SPEECH | STAGEDIR | SUBHEAD)+)>
+<!ELEMENT PROLOGUE (TITLE, SUBTITLE*, (STAGEDIR | SPEECH)+)>
+<!ELEMENT EPILOGUE (TITLE, SUBTITLE*, (STAGEDIR | SPEECH)+)>
+<!ELEMENT SPEECH (SPEAKER+, (LINE | STAGEDIR | SUBHEAD)+)>
+<!ELEMENT SPEAKER (#PCDATA)>
+<!ELEMENT LINE (#PCDATA | STAGEDIR)*>
+<!ELEMENT STAGEDIR (#PCDATA)>
+<!ELEMENT SUBTITLE (#PCDATA)>
+<!ELEMENT SUBHEAD (#PCDATA)>
+"#;
+
+/// Figure 12 — the SIGMOD Proceedings DTD (with its `%Xlink;` parameter
+/// entity defined, as the original DTD does externally).
+pub const SIGMOD_DTD: &str = r#"
+<!ENTITY % Xlink "xml:link CDATA #IMPLIED href CDATA #IMPLIED">
+<!ELEMENT PP (volume, number, month, year, conference, date, confyear, location, sList)>
+<!ELEMENT volume (#PCDATA)>
+<!ELEMENT number (#PCDATA)>
+<!ELEMENT month (#PCDATA)>
+<!ELEMENT year (#PCDATA)>
+<!ELEMENT conference (#PCDATA)>
+<!ELEMENT date (#PCDATA)>
+<!ELEMENT confyear (#PCDATA)>
+<!ELEMENT location (#PCDATA)>
+<!ELEMENT sList (sListTuple)*>
+<!ELEMENT sListTuple (sectionName, articles)>
+<!ELEMENT sectionName (#PCDATA)>
+<!ATTLIST sectionName SectionPosition CDATA #IMPLIED>
+<!ELEMENT articles (aTuple)*>
+<!ELEMENT aTuple (title, authors, initPage, endPage, Toindex, fullText)>
+<!ELEMENT title (#PCDATA)>
+<!ATTLIST title articleCode CDATA #IMPLIED>
+<!ELEMENT authors (author)*>
+<!ELEMENT author (#PCDATA)>
+<!ATTLIST author AuthorPosition CDATA #IMPLIED>
+<!ELEMENT initPage (#PCDATA)>
+<!ELEMENT endPage (#PCDATA)>
+<!ELEMENT Toindex (index)?>
+<!ELEMENT index (#PCDATA)>
+<!ATTLIST index %Xlink;>
+<!ELEMENT fullText (size)?>
+<!ELEMENT size (#PCDATA)>
+<!ATTLIST size %Xlink;>
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlkit::dtd::parse_dtd;
+
+    #[test]
+    fn all_dtds_parse() {
+        for (name, src, n_elements) in [
+            ("plays", PLAYS_DTD, 11),
+            ("shakespeare", SHAKESPEARE_DTD, 21),
+            ("sigmod", SIGMOD_DTD, 23),
+        ] {
+            let dtd = parse_dtd(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(dtd.elements.len(), n_elements, "{name}");
+        }
+    }
+
+    #[test]
+    fn roots_inferred() {
+        assert_eq!(parse_dtd(PLAYS_DTD).unwrap().infer_root(), Some("PLAY"));
+        assert_eq!(parse_dtd(SHAKESPEARE_DTD).unwrap().infer_root(), Some("PLAY"));
+        assert_eq!(parse_dtd(SIGMOD_DTD).unwrap().infer_root(), Some("PP"));
+    }
+
+    #[test]
+    fn sigmod_xlink_expands() {
+        let dtd = parse_dtd(SIGMOD_DTD).unwrap();
+        let atts = dtd.attributes_of("index");
+        assert_eq!(atts.len(), 2);
+        assert_eq!(atts[0].name, "xml:link");
+        assert_eq!(atts[1].name, "href");
+    }
+}

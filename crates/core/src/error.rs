@@ -1,0 +1,49 @@
+//! Error type for the mapping/loading pipeline.
+
+use std::fmt;
+
+/// Any failure in the XORator pipeline.
+#[derive(Debug)]
+pub enum CoreError {
+    /// XML or DTD parsing failed.
+    Xml(xmlkit::XmlError),
+    /// The database engine failed.
+    Db(ordb::DbError),
+    /// Shredding failed (document does not fit the mapping).
+    Shred(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Xml(e) => write!(f, "xml error: {e}"),
+            CoreError::Db(e) => write!(f, "database error: {e}"),
+            CoreError::Shred(m) => write!(f, "shredding error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Xml(e) => Some(e),
+            CoreError::Db(e) => Some(e),
+            CoreError::Shred(_) => None,
+        }
+    }
+}
+
+impl From<xmlkit::XmlError> for CoreError {
+    fn from(e: xmlkit::XmlError) -> Self {
+        CoreError::Xml(e)
+    }
+}
+
+impl From<ordb::DbError> for CoreError {
+    fn from(e: ordb::DbError) -> Self {
+        CoreError::Db(e)
+    }
+}
+
+/// Result alias for the pipeline.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,325 @@
+//! DTD graphs (paper §3.2).
+//!
+//! Nodes are element *instances*; edges carry the simplified occurrence.
+//! Two graph flavours are built from a [`SimpleDtd`]:
+//!
+//! * the **shared** graph (Figure 3): every element appears once — the
+//!   graph Shanmugasundaram et al. use, and the input to the Hybrid
+//!   mapping;
+//! * the **revised** graph (Figure 4): character-data leaf elements with
+//!   several parents are *duplicated*, one instance per parent edge, so a
+//!   shared text leaf (e.g. `SUBTITLE`) no longer forces its own relation
+//!   — the XORator revision.
+
+use std::collections::HashMap;
+
+use crate::simplify::{Occ, SimpleDtd};
+
+/// Index of a node in a [`DtdGraph`].
+pub type NodeIdx = usize;
+
+/// One node: an instance of a DTD element.
+#[derive(Debug, Clone)]
+pub struct GraphNode {
+    /// The element name this node instantiates.
+    pub element: String,
+    /// The element may contain character data.
+    pub has_pcdata: bool,
+    /// No element children (PCDATA/EMPTY leaf).
+    pub is_leaf: bool,
+}
+
+/// A DTD graph.
+#[derive(Debug, Clone)]
+pub struct DtdGraph {
+    /// Nodes; index 0 is the root.
+    pub nodes: Vec<GraphNode>,
+    /// Outgoing edges: `(child node, occurrence)` per node.
+    pub children: Vec<Vec<(NodeIdx, Occ)>>,
+    /// Incoming edges: `(parent node, occurrence)` per node.
+    pub parents: Vec<Vec<(NodeIdx, Occ)>>,
+}
+
+impl DtdGraph {
+    /// Build the shared (Figure 3) graph.
+    pub fn shared(dtd: &SimpleDtd) -> DtdGraph {
+        Self::build(dtd, false)
+    }
+
+    /// Build the revised (Figure 4) graph with PCDATA-leaf duplication.
+    pub fn revised(dtd: &SimpleDtd) -> DtdGraph {
+        Self::build(dtd, true)
+    }
+
+    fn build(dtd: &SimpleDtd, duplicate_leaves: bool) -> DtdGraph {
+        let mut g = DtdGraph { nodes: Vec::new(), children: Vec::new(), parents: Vec::new() };
+        let mut shared_idx: HashMap<String, NodeIdx> = HashMap::new();
+        let root = g.add_node(dtd, &dtd.root);
+        shared_idx.insert(dtd.root.clone(), root);
+        // Breadth-first instantiation.
+        let mut queue = vec![root];
+        let mut expanded = vec![false; 1];
+        while let Some(n) = queue.pop() {
+            if expanded[n] {
+                continue;
+            }
+            expanded[n] = true;
+            let element = g.nodes[n].element.clone();
+            let Some(decl) = dtd.element(&element) else { continue };
+            for (child_name, occ) in decl.children.clone() {
+                let child_decl = dtd.element(&child_name);
+                let child_is_leaf = child_decl.is_none_or(|d| d.is_leaf());
+                let child_has_pcdata = child_decl.is_some_and(|d| d.has_pcdata);
+                let dup = duplicate_leaves && child_is_leaf && child_has_pcdata;
+                let child_idx = if dup {
+                    // Fresh instance per parent edge.
+                    let idx = g.add_node(dtd, &child_name);
+                    expanded.push(false);
+                    idx
+                } else {
+                    match shared_idx.get(&child_name) {
+                        Some(&idx) => idx,
+                        None => {
+                            let idx = g.add_node(dtd, &child_name);
+                            expanded.push(false);
+                            shared_idx.insert(child_name.clone(), idx);
+                            queue.push(idx);
+                            idx
+                        }
+                    }
+                };
+                g.children[n].push((child_idx, occ));
+                g.parents[child_idx].push((n, occ));
+            }
+        }
+        g
+    }
+
+    fn add_node(&mut self, dtd: &SimpleDtd, element: &str) -> NodeIdx {
+        let decl = dtd.element(element);
+        self.nodes.push(GraphNode {
+            element: element.to_string(),
+            has_pcdata: decl.is_some_and(|d| d.has_pcdata),
+            is_leaf: decl.is_none_or(|d| d.is_leaf()),
+        });
+        self.children.push(Vec::new());
+        self.parents.push(Vec::new());
+        self.nodes.len() - 1
+    }
+
+    /// The root node (index 0).
+    pub fn root(&self) -> NodeIdx {
+        0
+    }
+
+    /// Number of incoming edges.
+    pub fn indegree(&self, n: NodeIdx) -> usize {
+        self.parents[n].len()
+    }
+
+    /// True if any incoming edge is starred ("directly below a `*`").
+    pub fn below_star(&self, n: NodeIdx) -> bool {
+        self.parents[n].iter().any(|(_, occ)| occ.is_star())
+    }
+
+    /// Nodes that are part of a cycle (recursive elements), including
+    /// self-loops.
+    pub fn recursive_nodes(&self) -> Vec<bool> {
+        let mut result = vec![false; self.nodes.len()];
+        for comp in self.cyclic_components() {
+            for n in comp {
+                result[n] = true;
+            }
+        }
+        result
+    }
+
+    /// Strongly connected components that contain a cycle (size > 1, or a
+    /// single node with a self-loop). Uses an iterative Tarjan SCC.
+    pub fn cyclic_components(&self) -> Vec<Vec<NodeIdx>> {
+        let n = self.nodes.len();
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<NodeIdx> = Vec::new();
+        let mut next_index = 0usize;
+        let mut result: Vec<Vec<NodeIdx>> = Vec::new();
+
+        // Iterative Tarjan with an explicit call stack.
+        enum Frame {
+            Enter(NodeIdx),
+            Resume(NodeIdx, usize),
+        }
+        for start in 0..n {
+            if index[start] != usize::MAX {
+                continue;
+            }
+            let mut call = vec![Frame::Enter(start)];
+            while let Some(frame) = call.pop() {
+                match frame {
+                    Frame::Enter(v) => {
+                        index[v] = next_index;
+                        low[v] = next_index;
+                        next_index += 1;
+                        stack.push(v);
+                        on_stack[v] = true;
+                        call.push(Frame::Resume(v, 0));
+                    }
+                    Frame::Resume(v, mut ci) => {
+                        let mut descended = false;
+                        while ci < self.children[v].len() {
+                            let (w, _) = self.children[v][ci];
+                            ci += 1;
+                            if index[w] == usize::MAX {
+                                call.push(Frame::Resume(v, ci));
+                                call.push(Frame::Enter(w));
+                                descended = true;
+                                break;
+                            } else if on_stack[w] {
+                                low[v] = low[v].min(index[w]);
+                            }
+                        }
+                        if descended {
+                            continue;
+                        }
+                        if low[v] == index[v] {
+                            // Root of an SCC; pop it.
+                            let mut comp = Vec::new();
+                            loop {
+                                let w = stack.pop().expect("scc stack");
+                                on_stack[w] = false;
+                                comp.push(w);
+                                if w == v {
+                                    break;
+                                }
+                            }
+                            let cyclic = comp.len() > 1
+                                || self.children[comp[0]].iter().any(|(c, _)| *c == comp[0]);
+                            if cyclic {
+                                result.push(comp);
+                            }
+                        } else {
+                            // Propagate lowlink to the parent frame.
+                            if let Some(Frame::Resume(p, _)) = call.last() {
+                                let p = *p;
+                                low[p] = low[p].min(low[v]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    /// Node indexes whose element name is `name`.
+    pub fn nodes_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = NodeIdx> + 'a {
+        (0..self.nodes.len()).filter(move |&i| self.nodes[i].element == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simplify::simplify;
+    use xmlkit::dtd::parse_dtd;
+
+    const PLAYS_DTD: &str = r#"
+        <!ELEMENT PLAY (INDUCT?, ACT+)>
+        <!ELEMENT INDUCT (TITLE, SUBTITLE*, SCENE+)>
+        <!ELEMENT ACT (SCENE+, TITLE, SUBTITLE*, SPEECH+, PROLOGUE?)>
+        <!ELEMENT SCENE (TITLE, SUBTITLE*, (SPEECH | SUBHEAD)+)>
+        <!ELEMENT SPEECH (SPEAKER, LINE)+>
+        <!ELEMENT PROLOGUE (#PCDATA)>
+        <!ELEMENT TITLE (#PCDATA)>
+        <!ELEMENT SUBTITLE (#PCDATA)>
+        <!ELEMENT SUBHEAD (#PCDATA)>
+        <!ELEMENT SPEAKER (#PCDATA)>
+        <!ELEMENT LINE (#PCDATA)>
+    "#;
+
+    fn graphs() -> (DtdGraph, DtdGraph) {
+        let dtd = simplify(&parse_dtd(PLAYS_DTD).unwrap());
+        (DtdGraph::shared(&dtd), DtdGraph::revised(&dtd))
+    }
+
+    #[test]
+    fn shared_graph_has_one_node_per_element() {
+        let (shared, _) = graphs();
+        assert_eq!(shared.nodes.len(), 11);
+        assert_eq!(shared.nodes_named("SUBTITLE").count(), 1);
+        // SUBTITLE has three parents: INDUCT, ACT, SCENE.
+        let subtitle = shared.nodes_named("SUBTITLE").next().unwrap();
+        assert_eq!(shared.indegree(subtitle), 3);
+        assert!(shared.below_star(subtitle));
+    }
+
+    #[test]
+    fn revised_graph_duplicates_text_leaves() {
+        let (_, revised) = graphs();
+        // Figure 4: SUBTITLE appears once per parent.
+        assert_eq!(revised.nodes_named("SUBTITLE").count(), 3);
+        for n in revised.nodes_named("SUBTITLE") {
+            assert_eq!(revised.indegree(n), 1);
+        }
+        // TITLE (leaf, three parents) also duplicates; SCENE (non-leaf,
+        // two parents) does not.
+        assert_eq!(revised.nodes_named("TITLE").count(), 3);
+        assert_eq!(revised.nodes_named("SCENE").count(), 1);
+        let scene = revised.nodes_named("SCENE").next().unwrap();
+        assert_eq!(revised.indegree(scene), 2);
+    }
+
+    #[test]
+    fn below_star_reflects_simplified_occurrences() {
+        let (shared, _) = graphs();
+        let act = shared.nodes_named("ACT").next().unwrap();
+        assert!(shared.below_star(act), "ACT+ simplifies to ACT*");
+        let induct = shared.nodes_named("INDUCT").next().unwrap();
+        assert!(!shared.below_star(induct));
+        let prologue = shared.nodes_named("PROLOGUE").next().unwrap();
+        assert!(!shared.below_star(prologue));
+    }
+
+    #[test]
+    fn non_recursive_dtd_has_no_cycles() {
+        let (shared, _) = graphs();
+        assert!(shared.recursive_nodes().iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn recursive_dtd_detected() {
+        let dtd = simplify(
+            &parse_dtd(
+                "<!ELEMENT part (name, part*)><!ELEMENT name (#PCDATA)>",
+            )
+            .unwrap(),
+        );
+        let g = DtdGraph::shared(&dtd);
+        let rec = g.recursive_nodes();
+        let part = g.nodes_named("part").next().unwrap();
+        let name = g.nodes_named("name").next().unwrap();
+        assert!(rec[part]);
+        assert!(!rec[name]);
+    }
+
+    #[test]
+    fn mutual_recursion_detected() {
+        let dtd = simplify(
+            &parse_dtd(
+                "<!ELEMENT a (b?)><!ELEMENT b (a?)>",
+            )
+            .unwrap(),
+        );
+        let g = DtdGraph::shared(&dtd);
+        let rec = g.recursive_nodes();
+        assert!(rec.iter().filter(|&&b| b).count() == 2);
+    }
+
+    #[test]
+    fn root_is_node_zero() {
+        let (shared, revised) = graphs();
+        assert_eq!(shared.nodes[shared.root()].element, "PLAY");
+        assert_eq!(revised.nodes[revised.root()].element, "PLAY");
+    }
+}

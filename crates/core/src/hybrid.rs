@@ -1,0 +1,204 @@
+//! The Hybrid inlining algorithm (Shanmugasundaram et al., summarized in
+//! paper §3.3) — the RDBMS baseline XORator is compared against.
+//!
+//! Relations are created for: nodes with in-degree zero, nodes directly
+//! below a `*`, recursive nodes with in-degree > 1, and one node per
+//! mutually-recursive cycle; plus the promotion closure (see
+//! `mapbuild::select_relations`). Every remaining node is inlined
+//! into its closest relation ancestor as scalar columns, one column per
+//! text-bearing descendant and per XML attribute, named by path
+//! (`act_title`, `atuple_toindex_index`, …).
+
+use ordb::DataType;
+
+use crate::graph::{DtdGraph, NodeIdx};
+use crate::mapbuild::{push_unique, push_value_column, select_relations, table_scaffold};
+use crate::schema::{naming, Algorithm, ColumnKind, MappedColumn, Mapping};
+use crate::simplify::SimpleDtd;
+
+/// Map a simplified DTD with the Hybrid algorithm.
+pub fn map_hybrid(dtd: &SimpleDtd) -> Mapping {
+    let g = DtdGraph::shared(dtd);
+    let is_rel = select_relations(&g, |g, v| g.below_star(v));
+
+    let mut tables = Vec::new();
+    // Tables in graph (breadth-first from root) order so the root is first.
+    for v in 0..g.nodes.len() {
+        if !is_rel[v] {
+            continue;
+        }
+        let mut table = table_scaffold(&g, dtd, v, &is_rel);
+        // Inline every non-relation child subtree.
+        for &(c, _) in &g.children[v] {
+            if !is_rel[c] {
+                inline_into(&g, dtd, c, &mut Vec::new(), v, &mut table);
+            }
+        }
+        push_value_column(&g, v, &mut table);
+        tables.push(table);
+    }
+    Mapping { algorithm: Algorithm::Hybrid, tables, root_element: dtd.root.clone() }
+}
+
+/// Recursively add columns for the inlined subtree rooted at `c`.
+fn inline_into(
+    g: &DtdGraph,
+    dtd: &SimpleDtd,
+    c: NodeIdx,
+    path: &mut Vec<String>,
+    table_node: NodeIdx,
+    table: &mut crate::schema::MappedTable,
+) {
+    let element = g.nodes[table_node].element.clone();
+    path.push(g.nodes[c].element.clone());
+    if g.nodes[c].has_pcdata {
+        push_unique(
+            table,
+            MappedColumn {
+                name: naming::path_column(&element, path),
+                ty: DataType::Varchar,
+                kind: ColumnKind::InlineText { path: path.clone() },
+            },
+        );
+    }
+    for att in dtd.attributes_of(&g.nodes[c].element) {
+        push_unique(
+            table,
+            MappedColumn {
+                name: naming::attr_column(&element, path, &att.name),
+                ty: DataType::Varchar,
+                kind: ColumnKind::InlineAttribute { path: path.clone(), attr: att.name.clone() },
+            },
+        );
+    }
+    for &(gc, _) in &g.children[c] {
+        // All descendants of an inlined node are non-relations (otherwise
+        // promotion would have made `c` a relation).
+        inline_into(g, dtd, gc, path, table_node, table);
+    }
+    path.pop();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtds::{PLAYS_DTD, SHAKESPEARE_DTD, SIGMOD_DTD};
+    use crate::simplify::simplify;
+    use xmlkit::dtd::parse_dtd;
+
+    fn map(src: &str) -> Mapping {
+        map_hybrid(&simplify(&parse_dtd(src).unwrap()))
+    }
+
+    #[test]
+    fn figure_5_plays_schema() {
+        let m = map(PLAYS_DTD);
+        let mut names: Vec<&str> = m.tables.iter().map(|t| t.name.as_str()).collect();
+        names.sort();
+        assert_eq!(
+            names,
+            ["act", "induct", "line", "play", "scene", "speaker", "speech", "subhead",
+             "subtitle"],
+            "Figure 5 has exactly these 9 tables"
+        );
+        // play (playID)
+        let play = m.table_for("PLAY").unwrap();
+        assert_eq!(play.describe(), "play (playID:integer)");
+        // act (actID, act_parentID, act_childOrder, act_title, act_prologue)
+        let act = m.table_for("ACT").unwrap();
+        assert_eq!(
+            act.describe(),
+            "act (actID:integer, act_parentID:integer, act_childOrder:integer, \
+             act_title:string, act_prologue:string)"
+        );
+        // scene (sceneID, scene_parentID, scene_childOrder, scene_title)
+        let scene = m.table_for("SCENE").unwrap();
+        assert_eq!(
+            scene.describe(),
+            "scene (sceneID:integer, scene_parentID:integer, scene_parentCODE:string, \
+             scene_childOrder:integer, scene_title:string)"
+        );
+        // speech has a parentCODE (parents ACT and SCENE).
+        let speech = m.table_for("SPEECH").unwrap();
+        assert_eq!(
+            speech.describe(),
+            "speech (speechID:integer, speech_parentID:integer, speech_parentCODE:string, \
+             speech_childOrder:integer)"
+        );
+        // subtitle carries its value and a parentCODE (3 parents).
+        let subtitle = m.table_for("SUBTITLE").unwrap();
+        assert_eq!(
+            subtitle.describe(),
+            "subtitle (subtitleID:integer, subtitle_parentID:integer, \
+             subtitle_parentCODE:string, subtitle_childOrder:integer, subtitle_value:string)"
+        );
+        // speaker and line have single parents: no parentCODE.
+        let speaker = m.table_for("SPEAKER").unwrap();
+        assert!(speaker.col_named("speaker_parentCODE").is_none());
+        assert!(speaker.col_named("speaker_value").is_some());
+    }
+
+    #[test]
+    fn shakespeare_has_17_tables_as_in_table_1() {
+        let m = map(SHAKESPEARE_DTD);
+        assert_eq!(m.table_count(), 17, "paper Table 1: Hybrid = 17 tables\n{m}");
+        // Spot-check the promoted tables exist.
+        for e in ["FM", "PERSONAE", "INDUCT", "PROLOGUE", "EPILOGUE"] {
+            assert!(m.table_for(e).is_some(), "{e} must be promoted to a relation");
+        }
+        // GRPDESCR stays inlined (into PGROUP).
+        assert!(m.table_for("GRPDESCR").is_none());
+        let pgroup = m.table_for("PGROUP").unwrap();
+        assert!(pgroup.col_named("pgroup_grpdescr").is_some());
+    }
+
+    #[test]
+    fn sigmod_has_7_tables_as_in_table_2() {
+        let m = map(SIGMOD_DTD);
+        assert_eq!(m.table_count(), 7, "paper Table 2: Hybrid = 7 tables\n{m}");
+        let mut names: Vec<&str> = m.tables.iter().map(|t| t.name.as_str()).collect();
+        names.sort();
+        assert_eq!(
+            names,
+            ["articles", "atuple", "author", "authors", "pp", "slist", "slisttuple"]
+        );
+        // PP inlines the eight header scalars.
+        let pp = m.table_for("PP").unwrap();
+        for c in ["pp_volume", "pp_number", "pp_month", "pp_year", "pp_conference",
+                  "pp_date", "pp_confyear", "pp_location"] {
+            assert!(pp.col_named(c).is_some(), "missing {c}");
+        }
+        // aTuple inlines title (+articleCode), pages, and the Toindex /
+        // fullText chains with their Xlink attributes.
+        let atuple = m.table_for("aTuple").unwrap();
+        for c in ["atuple_title", "atuple_title_articlecode", "atuple_initpage",
+                  "atuple_endpage", "atuple_toindex_index",
+                  "atuple_toindex_index_xml_link", "atuple_toindex_index_href",
+                  "atuple_fulltext_size"] {
+            assert!(atuple.col_named(c).is_some(), "missing {c} in {}", atuple.describe());
+        }
+        // author keeps its position attribute and value.
+        let author = m.table_for("author").unwrap();
+        assert!(author.col_named("author_authorposition").is_some());
+        assert!(author.col_named("author_value").is_some());
+    }
+
+    #[test]
+    fn recursive_dtd_maps_without_looping() {
+        let m = map("<!ELEMENT part (name, part*)><!ELEMENT name (#PCDATA)>");
+        // part is recursive (a relation); name is inlined into it.
+        assert_eq!(m.table_count(), 1);
+        let part = m.table_for("part").unwrap();
+        assert!(part.col_named("part_name").is_some());
+        assert!(part.col_named("part_parentID").is_some());
+    }
+
+    #[test]
+    fn child_tables_recorded() {
+        let m = map(PLAYS_DTD);
+        let play = m.table_for("PLAY").unwrap();
+        let mut kids = play.child_tables.clone();
+        kids.sort();
+        assert_eq!(kids, ["ACT", "INDUCT"]);
+    }
+}

@@ -1,0 +1,153 @@
+//! Shared machinery for the two mapping algorithms: relation selection
+//! (base rules + recursion handling + promotion) and table scaffolding.
+
+use std::collections::HashSet;
+
+use ordb::DataType;
+
+use crate::graph::{DtdGraph, NodeIdx};
+use crate::schema::{naming, ColumnKind, MappedColumn, MappedTable};
+use crate::simplify::SimpleDtd;
+
+/// Select relation nodes.
+///
+/// `base` marks the algorithm-specific seed nodes (Hybrid: below `*`;
+/// XORator: shared non-leaf nodes). On top of that, both algorithms share:
+///
+/// * the root is a relation;
+/// * recursive nodes with in-degree > 1 are relations, and every cyclic
+///   component keeps at least one relation;
+/// * **promotion**: a node any of whose children maps to a relation must
+///   itself be a relation, transitively — child tuples need a parent id
+///   to reference. This closure is what reproduces the paper's table
+///   counts (17/9/7 Hybrid, 7/5/1 XORator).
+pub(crate) fn select_relations(
+    g: &DtdGraph,
+    base: impl Fn(&DtdGraph, NodeIdx) -> bool,
+) -> Vec<bool> {
+    let n = g.nodes.len();
+    let mut is_rel: Vec<bool> =
+        (0..n).map(|v| g.indegree(v) == 0 || base(g, v)).collect();
+    // Recursion: nodes in cycles with in-degree > 1, plus one node per
+    // cycle that would otherwise have none.
+    for comp in g.cyclic_components() {
+        for &v in &comp {
+            if g.indegree(v) > 1 {
+                is_rel[v] = true;
+            }
+        }
+        if !comp.iter().any(|&v| is_rel[v]) {
+            is_rel[comp[0]] = true;
+        }
+    }
+    // Promotion fixpoint.
+    loop {
+        let mut changed = false;
+        for v in 0..n {
+            if !is_rel[v] && g.children[v].iter().any(|&(c, _)| is_rel[c]) {
+                is_rel[v] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            return is_rel;
+        }
+    }
+}
+
+/// Create the fixed leading columns of a relation node's table:
+/// `ID`, `parentID`, `parentCODE` (multi-parent only), `childOrder`, and
+/// columns for the element's own XML attributes.
+pub(crate) fn table_scaffold(
+    g: &DtdGraph,
+    dtd: &SimpleDtd,
+    v: NodeIdx,
+    is_rel: &[bool],
+) -> MappedTable {
+    let element = g.nodes[v].element.clone();
+    let mut columns = vec![MappedColumn {
+        name: naming::id(&element),
+        ty: DataType::Integer,
+        kind: ColumnKind::Id,
+    }];
+    let mut parent_tables: Vec<String> = g.parents[v]
+        .iter()
+        .map(|&(p, _)| g.nodes[p].element.clone())
+        .collect::<HashSet<_>>()
+        .into_iter()
+        .collect();
+    parent_tables.sort();
+    if !parent_tables.is_empty() {
+        columns.push(MappedColumn {
+            name: naming::parent_id(&element),
+            ty: DataType::Integer,
+            kind: ColumnKind::ParentId,
+        });
+        if parent_tables.len() > 1 {
+            columns.push(MappedColumn {
+                name: naming::parent_code(&element),
+                ty: DataType::Varchar,
+                kind: ColumnKind::ParentCode,
+            });
+        }
+        columns.push(MappedColumn {
+            name: naming::child_order(&element),
+            ty: DataType::Integer,
+            kind: ColumnKind::ChildOrder,
+        });
+    }
+    for att in dtd.attributes_of(&element) {
+        columns.push(MappedColumn {
+            name: naming::attr_column(&element, &[], &att.name),
+            ty: DataType::Varchar,
+            kind: ColumnKind::OwnAttribute(att.name.clone()),
+        });
+    }
+    let child_tables: Vec<String> = g.children[v]
+        .iter()
+        .filter(|&&(c, _)| is_rel[c])
+        .map(|&(c, _)| g.nodes[c].element.clone())
+        .collect();
+    MappedTable {
+        name: naming::table(&element),
+        element,
+        columns,
+        parent_tables,
+        child_tables,
+    }
+}
+
+/// Append the element's own PCDATA value column (both algorithms place it
+/// after the child columns, matching Figure 5's `subtitle_value`).
+pub(crate) fn push_value_column(g: &DtdGraph, v: NodeIdx, table: &mut MappedTable) {
+    if g.nodes[v].has_pcdata {
+        let element = &g.nodes[v].element;
+        push_unique(
+            table,
+            MappedColumn {
+                name: naming::value(element),
+                ty: DataType::Varchar,
+                kind: ColumnKind::Value,
+            },
+        );
+    }
+}
+
+/// Push a column, uniquifying its name if an earlier column took it.
+pub(crate) fn push_unique(table: &mut MappedTable, mut col: MappedColumn) {
+    let taken = |name: &str, cols: &[MappedColumn]| {
+        cols.iter().any(|c| c.name.eq_ignore_ascii_case(name))
+    };
+    if taken(&col.name, &table.columns) {
+        let mut i = 2;
+        loop {
+            let candidate = format!("{}_{i}", col.name);
+            if !taken(&candidate, &table.columns) {
+                col.name = candidate;
+                break;
+            }
+            i += 1;
+        }
+    }
+    table.columns.push(col);
+}

@@ -1,0 +1,260 @@
+//! The mapped (object-)relational schema model shared by the Hybrid and
+//! XORator algorithms, plus schema creation against an [`ordb::Database`].
+
+use std::fmt;
+
+use ordb::{ColumnDef, DataType, Database};
+
+/// Which mapping produced a schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Shanmugasundaram et al.'s Hybrid inlining (the RDBMS baseline).
+    Hybrid,
+    /// The paper's XORator mapping (ORDBMS with XADT columns).
+    Xorator,
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Algorithm::Hybrid => write!(f, "Hybrid"),
+            Algorithm::Xorator => write!(f, "XORator"),
+        }
+    }
+}
+
+/// What a mapped column stores, and how the shredder fills it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColumnKind {
+    /// Synthetic primary key.
+    Id,
+    /// Foreign key to the parent tuple's id.
+    ParentId,
+    /// Which parent *table* the parent id refers to (set when the element
+    /// has multiple possible parent tables).
+    ParentCode,
+    /// 1-based order of this element among same-named siblings.
+    ChildOrder,
+    /// The element's own character data.
+    Value,
+    /// An XML attribute of the table's element.
+    OwnAttribute(String),
+    /// Text content of an inlined descendant (Hybrid / XORator scalars).
+    /// The path is element names below the table's element.
+    InlineText {
+        /// Path from (excluding) the table element.
+        path: Vec<String>,
+    },
+    /// An XML attribute of an inlined descendant.
+    InlineAttribute {
+        /// Path from (excluding) the table element.
+        path: Vec<String>,
+        /// Attribute name.
+        attr: String,
+    },
+    /// XORator only: an XADT column storing the concatenated serialized
+    /// fragments of every `child` child element.
+    Xadt {
+        /// The child element whose subtrees are stored.
+        child: String,
+    },
+}
+
+/// One column of a mapped table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MappedColumn {
+    /// SQL column name.
+    pub name: String,
+    /// SQL type.
+    pub ty: DataType,
+    /// Shredding semantics.
+    pub kind: ColumnKind,
+}
+
+/// One mapped table.
+#[derive(Debug, Clone)]
+pub struct MappedTable {
+    /// SQL table name (the element name, lowercased).
+    pub name: String,
+    /// The DTD element this table stores.
+    pub element: String,
+    /// Columns in order.
+    pub columns: Vec<MappedColumn>,
+    /// Element names of possible parent tables (empty for the root).
+    pub parent_tables: Vec<String>,
+    /// Element names of child relations.
+    pub child_tables: Vec<String>,
+}
+
+impl MappedTable {
+    /// Index of the column with [`ColumnKind::Id`].
+    pub fn id_col(&self) -> usize {
+        self.columns
+            .iter()
+            .position(|c| c.kind == ColumnKind::Id)
+            .expect("every mapped table has an id column")
+    }
+
+    /// Index of a column by kind, if present.
+    pub fn col_of_kind(&self, kind: &ColumnKind) -> Option<usize> {
+        self.columns.iter().position(|c| &c.kind == kind)
+    }
+
+    /// Index of a column by name (case-insensitive).
+    pub fn col_named(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Compact one-line rendering in the paper's Figure 5/6 style.
+    pub fn describe(&self) -> String {
+        let cols: Vec<String> = self
+            .columns
+            .iter()
+            .map(|c| {
+                let ty = match c.ty {
+                    DataType::Integer => "integer",
+                    DataType::Varchar => "string",
+                    DataType::Xadt => "XADT",
+                };
+                format!("{}:{}", c.name, ty)
+            })
+            .collect();
+        format!("{} ({})", self.name, cols.join(", "))
+    }
+}
+
+/// A complete mapping of a DTD to tables.
+#[derive(Debug, Clone)]
+pub struct Mapping {
+    /// The algorithm that produced this mapping.
+    pub algorithm: Algorithm,
+    /// All tables; index 0 is the root element's table.
+    pub tables: Vec<MappedTable>,
+    /// The DTD's root element.
+    pub root_element: String,
+}
+
+impl Mapping {
+    /// Table for `element`, if that element maps to a relation.
+    pub fn table_for(&self, element: &str) -> Option<&MappedTable> {
+        self.tables.iter().find(|t| t.element == element)
+    }
+
+    /// Index of the table for `element`.
+    pub fn table_index(&self, element: &str) -> Option<usize> {
+        self.tables.iter().position(|t| t.element == element)
+    }
+
+    /// Number of mapped tables (paper Tables 1 & 2, row 1).
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Create every table in `db`.
+    pub fn create_schema(&self, db: &Database) -> ordb::Result<()> {
+        for t in &self.tables {
+            let cols: Vec<ColumnDef> =
+                t.columns.iter().map(|c| ColumnDef::new(c.name.clone(), c.ty)).collect();
+            db.create_table(&t.name, cols)?;
+        }
+        Ok(())
+    }
+
+    /// All XADT columns as `(table, column)` pairs.
+    pub fn xadt_columns(&self) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        for t in &self.tables {
+            for c in &t.columns {
+                if matches!(c.kind, ColumnKind::Xadt { .. }) {
+                    out.push((t.name.clone(), c.name.clone()));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Mapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "-- {} mapping ({} tables)", self.algorithm, self.tables.len())?;
+        for t in &self.tables {
+            writeln!(f, "{}", t.describe())?;
+        }
+        Ok(())
+    }
+}
+
+/// Shared naming conventions for generated identifiers.
+pub(crate) mod naming {
+    /// Table name for an element.
+    pub fn table(element: &str) -> String {
+        element.to_ascii_lowercase()
+    }
+
+    /// Primary key column (`playID` style).
+    pub fn id(element: &str) -> String {
+        format!("{}ID", element.to_ascii_lowercase())
+    }
+
+    /// Parent foreign key column.
+    pub fn parent_id(element: &str) -> String {
+        format!("{}_parentID", element.to_ascii_lowercase())
+    }
+
+    /// Parent table discriminator column.
+    pub fn parent_code(element: &str) -> String {
+        format!("{}_parentCODE", element.to_ascii_lowercase())
+    }
+
+    /// Sibling order column.
+    pub fn child_order(element: &str) -> String {
+        format!("{}_childOrder", element.to_ascii_lowercase())
+    }
+
+    /// PCDATA value column.
+    pub fn value(element: &str) -> String {
+        format!("{}_value", element.to_ascii_lowercase())
+    }
+
+    /// Column for an inlined descendant path or XADT child.
+    pub fn path_column(element: &str, path: &[String]) -> String {
+        let mut name = element.to_ascii_lowercase();
+        for seg in path {
+            name.push('_');
+            name.push_str(&seg.to_ascii_lowercase());
+        }
+        name
+    }
+
+    /// Column for an attribute (own or inlined); `:` in attribute names
+    /// (e.g. `xml:link`) becomes `_`.
+    pub fn attr_column(element: &str, path: &[String], attr: &str) -> String {
+        let mut name = path_column(element, path);
+        name.push('_');
+        name.push_str(&attr.to_ascii_lowercase().replace(':', "_"));
+        name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naming_conventions() {
+        assert_eq!(naming::table("PLAY"), "play");
+        assert_eq!(naming::id("SPEECH"), "speechID");
+        assert_eq!(naming::parent_id("SPEECH"), "speech_parentID");
+        assert_eq!(naming::parent_code("SPEECH"), "speech_parentCODE");
+        assert_eq!(naming::child_order("LINE"), "line_childOrder");
+        assert_eq!(naming::value("SUBTITLE"), "subtitle_value");
+        assert_eq!(
+            naming::path_column("aTuple", &["Toindex".into(), "index".into()]),
+            "atuple_toindex_index"
+        );
+        assert_eq!(
+            naming::attr_column("index", &[], "xml:link"),
+            "index_xml_link"
+        );
+    }
+}

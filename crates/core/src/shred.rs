@@ -1,0 +1,414 @@
+//! Document shredding: turn a parsed XML document into rows for every
+//! mapped table, following the mapping's column semantics.
+//!
+//! The shredder walks the document once. At any moment it is "inside" one
+//! mapped table's element; child elements either
+//!
+//! * start a tuple of a child table (relation children),
+//! * are serialized whole into an XADT column buffer (XORator subtrees),
+//! * or descend as inlined scalars (Hybrid / XORator leaf scalars),
+//!
+//! as precompiled into a per-table `TablePlan`.
+
+use std::collections::{HashMap, HashSet};
+
+use ordb::{Row, Value};
+use xadt::{StorageFormat, XadtValue};
+use xmlkit::{Document, NodeId};
+
+use crate::error::CoreError;
+use crate::schema::{ColumnKind, Mapping};
+
+/// Path key separator (cannot occur in element names).
+const SEP: char = '\x1f';
+
+struct TablePlan {
+    arity: usize,
+    id_col: usize,
+    parent_col: Option<usize>,
+    code_col: Option<usize>,
+    order_col: Option<usize>,
+    value_col: Option<usize>,
+    own_attrs: Vec<(String, usize)>,
+    child_tables: HashMap<String, usize>,
+    xadt_cols: HashMap<String, usize>,
+    inline_text: HashMap<String, usize>,
+    inline_attr: HashMap<String, usize>,
+    /// Proper prefixes of inline paths — paths worth descending into.
+    inline_prefixes: HashSet<String>,
+}
+
+/// Streaming shredder with per-table id counters that persist across
+/// documents (ids stay unique over a whole corpus load).
+pub struct Shredder<'m> {
+    mapping: &'m Mapping,
+    plans: Vec<TablePlan>,
+    counters: Vec<i64>,
+    format: StorageFormat,
+}
+
+/// Rows produced from one document: `(table index, row)` in insert order
+/// (parents always precede their children).
+pub type ShreddedRows = Vec<(usize, Row)>;
+
+impl<'m> Shredder<'m> {
+    /// Build a shredder for `mapping`, storing XADT values in `format`.
+    pub fn new(mapping: &'m Mapping, format: StorageFormat) -> Shredder<'m> {
+        let plans = mapping
+            .tables
+            .iter()
+            .map(|t| {
+                let mut plan = TablePlan {
+                    arity: t.columns.len(),
+                    id_col: t.id_col(),
+                    parent_col: None,
+                    code_col: None,
+                    order_col: None,
+                    value_col: None,
+                    own_attrs: Vec::new(),
+                    child_tables: HashMap::new(),
+                    xadt_cols: HashMap::new(),
+                    inline_text: HashMap::new(),
+                    inline_attr: HashMap::new(),
+                    inline_prefixes: HashSet::new(),
+                };
+                for (i, c) in t.columns.iter().enumerate() {
+                    match &c.kind {
+                        ColumnKind::Id => {}
+                        ColumnKind::ParentId => plan.parent_col = Some(i),
+                        ColumnKind::ParentCode => plan.code_col = Some(i),
+                        ColumnKind::ChildOrder => plan.order_col = Some(i),
+                        ColumnKind::Value => plan.value_col = Some(i),
+                        ColumnKind::OwnAttribute(a) => plan.own_attrs.push((a.clone(), i)),
+                        ColumnKind::Xadt { child } => {
+                            plan.xadt_cols.insert(child.clone(), i);
+                        }
+                        ColumnKind::InlineText { path } => {
+                            add_prefixes(&mut plan.inline_prefixes, path);
+                            plan.inline_text.insert(join(path), i);
+                        }
+                        ColumnKind::InlineAttribute { path, attr } => {
+                            add_prefixes(&mut plan.inline_prefixes, path);
+                            plan.inline_attr.insert(format!("{}{SEP}@{attr}", join(path)), i);
+                        }
+                    }
+                }
+                for child in &t.child_tables {
+                    let idx = mapping.table_index(child).expect("child table exists");
+                    plan.child_tables.insert(child.clone(), idx);
+                }
+                plan
+            })
+            .collect();
+        let counters = vec![0; mapping.tables.len()];
+        Shredder { mapping, plans, counters, format }
+    }
+
+    /// The XADT storage format in use.
+    pub fn format(&self) -> StorageFormat {
+        self.format
+    }
+
+    /// Shred one parsed document.
+    pub fn shred_document(&mut self, doc: &Document) -> Result<ShreddedRows, CoreError> {
+        let root_elem = doc.tag(doc.root()).unwrap_or_default();
+        let root_table = self.mapping.table_index(root_elem).ok_or_else(|| {
+            CoreError::Shred(format!(
+                "document root <{root_elem}> does not match the mapping root <{}>",
+                self.mapping.root_element
+            ))
+        })?;
+        let mut out = Vec::new();
+        self.shred_element(doc, doc.root(), root_table, None, &mut out)?;
+        Ok(out)
+    }
+
+    fn next_id(&mut self, table: usize) -> i64 {
+        self.counters[table] += 1;
+        self.counters[table]
+    }
+
+    fn shred_element(
+        &mut self,
+        doc: &Document,
+        node: NodeId,
+        table: usize,
+        parent: Option<(i64, &str, i64)>, // (parent id, parent table element, order)
+        out: &mut ShreddedRows,
+    ) -> Result<(), CoreError> {
+        let id = self.next_id(table);
+        let arity = self.plans[table].arity;
+        let mut row: Row = vec![Value::Null; arity];
+        row[self.plans[table].id_col] = Value::Int(id);
+        if let Some((pid, pelem, order)) = parent {
+            if let Some(c) = self.plans[table].parent_col {
+                row[c] = Value::Int(pid);
+            }
+            if let Some(c) = self.plans[table].code_col {
+                row[c] = Value::str(pelem.to_string());
+            }
+            if let Some(c) = self.plans[table].order_col {
+                row[c] = Value::Int(order);
+            }
+        }
+        // Own attributes.
+        for (attr, col) in self.plans[table].own_attrs.clone() {
+            if let Some(v) = doc.attribute(node, &attr) {
+                row[col] = Value::str(v.to_string());
+            }
+        }
+        // Own text content (direct text children only).
+        if let Some(c) = self.plans[table].value_col {
+            let text = direct_text(doc, node);
+            if !text.is_empty() {
+                row[c] = Value::str(text);
+            }
+        }
+
+        // XADT buffers per column index.
+        let mut xadt_buffers: HashMap<usize, String> = HashMap::new();
+        // Per-child-name sibling counters.
+        let mut order_counters: HashMap<String, i64> = HashMap::new();
+        let element = self.mapping.tables[table].element.clone();
+
+        // First pass: recurse into child tables and collect fragments.
+        let children: Vec<NodeId> = doc.child_elements(node).collect();
+        for child in children {
+            let name = doc.tag(child).expect("element").to_string();
+            let counter = order_counters.entry(name.clone()).or_insert(0);
+            *counter += 1;
+            let order = *counter;
+            if let Some(&child_table) = self.plans[table].child_tables.get(&name) {
+                self.shred_element(doc, child, child_table, Some((id, &element, order)), out)?;
+            } else if let Some(&col) = self.plans[table].xadt_cols.get(&name) {
+                let buf = xadt_buffers.entry(col).or_default();
+                xmlkit::serialize::write_subtree(doc, child, buf);
+            } else {
+                // Inline descent.
+                let mut path = name.clone();
+                self.inline_element(doc, child, table, &mut path, &mut row);
+            }
+        }
+        for (col, buf) in xadt_buffers {
+            let value = XadtValue::in_format(&buf, self.format)
+                .map_err(|e| CoreError::Shred(e.to_string()))?;
+            row[col] = Value::Xadt(value);
+        }
+        out.push((table, row));
+        Ok(())
+    }
+
+    /// Fill inlined scalar columns for the subtree rooted at `node`.
+    fn inline_element(
+        &self,
+        doc: &Document,
+        node: NodeId,
+        table: usize,
+        path: &mut String,
+        row: &mut Row,
+    ) {
+        let plan = &self.plans[table];
+        if let Some(&col) = plan.inline_text.get(path.as_str()) {
+            let text = doc.text_content(node);
+            if !text.is_empty() && row[col].is_null() {
+                row[col] = Value::str(text);
+            }
+        }
+        for a in doc.attributes(node) {
+            let key = format!("{path}{SEP}@{}", a.name);
+            if let Some(&col) = plan.inline_attr.get(&key) {
+                if row[col].is_null() {
+                    row[col] = Value::str(a.value.clone());
+                }
+            }
+        }
+        if !plan.inline_prefixes.contains(path.as_str()) {
+            return;
+        }
+        let base_len = path.len();
+        for child in doc.child_elements(node) {
+            let name = doc.tag(child).expect("element");
+            path.push(SEP);
+            path.push_str(name);
+            self.inline_element(doc, child, table, path, row);
+            path.truncate(base_len);
+        }
+    }
+}
+
+fn join(path: &[String]) -> String {
+    path.join(&SEP.to_string())
+}
+
+fn add_prefixes(set: &mut HashSet<String>, path: &[String]) {
+    // Every proper prefix of the path (including intermediate nodes) is
+    // descend-worthy; the full path itself also needs descending when
+    // attributes of deeper nodes exist, handled by longer paths' prefixes.
+    for end in 1..path.len() {
+        set.insert(join(&path[..end]));
+    }
+}
+
+/// Direct (non-recursive) text content of `node`.
+fn direct_text(doc: &Document, node: NodeId) -> String {
+    let mut out = String::new();
+    for &c in doc.children(node) {
+        if let xmlkit::NodeKind::Text(t) = &doc.node(c).kind {
+            out.push_str(t);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtds::PLAYS_DTD;
+    use crate::hybrid::map_hybrid;
+    use crate::simplify::simplify;
+    use crate::xorator::map_xorator;
+    use xmlkit::dtd::parse_dtd;
+    use xmlkit::parse_document;
+
+    const DOC: &str = "<PLAY>\
+        <INDUCT><TITLE>Induction</TITLE><SUBTITLE>sub1</SUBTITLE>\
+            <SCENE><TITLE>s1</TITLE>\
+                <SPEECH><SPEAKER>A</SPEAKER><LINE>first line</LINE></SPEECH>\
+            </SCENE></INDUCT>\
+        <ACT><SCENE><TITLE>s2</TITLE>\
+                <SPEECH><SPEAKER>B</SPEAKER><SPEAKER>C</SPEAKER>\
+                        <LINE>l1</LINE><LINE>l2 friend</LINE></SPEECH>\
+                <SUBHEAD>sh</SUBHEAD></SCENE>\
+             <TITLE>Act One</TITLE><SPEECH><SPEAKER>D</SPEAKER><LINE>x</LINE></SPEECH>\
+             <PROLOGUE>pro</PROLOGUE></ACT>\
+        </PLAY>";
+
+    fn doc() -> Document {
+        parse_document(DOC).unwrap()
+    }
+
+    #[test]
+    fn xorator_shredding_plays() {
+        let mapping = map_xorator(&simplify(&parse_dtd(PLAYS_DTD).unwrap()));
+        let mut sh = Shredder::new(&mapping, StorageFormat::Plain);
+        let rows = sh.shred_document(&doc()).unwrap();
+        // Tables: play ×1, induct ×1, act ×1, scene ×2, speech ×3.
+        let count_for = |elem: &str| {
+            let t = mapping.table_index(elem).unwrap();
+            rows.iter().filter(|(ti, _)| *ti == t).count()
+        };
+        assert_eq!(count_for("PLAY"), 1);
+        assert_eq!(count_for("INDUCT"), 1);
+        assert_eq!(count_for("ACT"), 1);
+        assert_eq!(count_for("SCENE"), 2);
+        assert_eq!(count_for("SPEECH"), 3);
+        assert_eq!(rows.len(), 8);
+
+        // The two-speaker speech stores both fragments in one XADT value.
+        let speech_t = mapping.table_for("SPEECH").unwrap();
+        let ti = mapping.table_index("SPEECH").unwrap();
+        let speaker_col = speech_t.col_named("speech_speaker").unwrap();
+        let speakers: Vec<String> = rows
+            .iter()
+            .filter(|(t, _)| *t == ti)
+            .map(|(_, r)| match &r[speaker_col] {
+                Value::Xadt(x) => x.to_plain().into_owned(),
+                other => panic!("expected xadt, got {other:?}"),
+            })
+            .collect();
+        assert!(speakers.contains(&"<SPEAKER>B</SPEAKER><SPEAKER>C</SPEAKER>".to_string()));
+
+        // act_title is an inlined scalar; act_prologue too.
+        let act = mapping.table_for("ACT").unwrap();
+        let ti = mapping.table_index("ACT").unwrap();
+        let (_, act_row) = rows.iter().find(|(t, _)| *t == ti).unwrap();
+        assert_eq!(act_row[act.col_named("act_title").unwrap()], Value::str("Act One"));
+        assert_eq!(act_row[act.col_named("act_prologue").unwrap()], Value::str("pro"));
+
+        // parentCODE distinguishes the speech parents (SCENE vs ACT).
+        let code_col = speech_t.col_named("speech_parentCODE").unwrap();
+        let ti = mapping.table_index("SPEECH").unwrap();
+        let codes: HashSet<String> = rows
+            .iter()
+            .filter(|(t, _)| *t == ti)
+            .map(|(_, r)| r[code_col].as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(codes, HashSet::from(["SCENE".to_string(), "ACT".to_string()]));
+    }
+
+    #[test]
+    fn hybrid_shredding_plays() {
+        let mapping = map_hybrid(&simplify(&parse_dtd(PLAYS_DTD).unwrap()));
+        let mut sh = Shredder::new(&mapping, StorageFormat::Plain);
+        let rows = sh.shred_document(&doc()).unwrap();
+        let count_for = |elem: &str| {
+            let t = mapping.table_index(elem).unwrap();
+            rows.iter().filter(|(ti, _)| *ti == t).count()
+        };
+        assert_eq!(count_for("SPEAKER"), 4);
+        assert_eq!(count_for("LINE"), 4);
+        assert_eq!(count_for("SUBTITLE"), 1);
+        assert_eq!(count_for("SUBHEAD"), 1);
+        // line_childOrder is per-type: the speech with two lines has
+        // orders 1 and 2.
+        let line = mapping.table_for("LINE").unwrap();
+        let ti = mapping.table_index("LINE").unwrap();
+        let order_col = line.col_named("line_childOrder").unwrap();
+        let value_col = line.col_named("line_value").unwrap();
+        let l2 = rows
+            .iter()
+            .filter(|(t, _)| *t == ti)
+            .find(|(_, r)| r[value_col] == Value::str("l2 friend"))
+            .map(|(_, r)| r[order_col].clone())
+            .unwrap();
+        assert_eq!(l2, Value::Int(2));
+    }
+
+    #[test]
+    fn ids_unique_across_documents() {
+        let mapping = map_xorator(&simplify(&parse_dtd(PLAYS_DTD).unwrap()));
+        let mut sh = Shredder::new(&mapping, StorageFormat::Plain);
+        let r1 = sh.shred_document(&doc()).unwrap();
+        let r2 = sh.shred_document(&doc()).unwrap();
+        let ti = mapping.table_index("SPEECH").unwrap();
+        let idc = mapping.table_for("SPEECH").unwrap().id_col();
+        let mut ids: Vec<i64> = r1
+            .iter()
+            .chain(r2.iter())
+            .filter(|(t, _)| *t == ti)
+            .map(|(_, r)| r[idc].as_int().unwrap())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 6);
+    }
+
+    #[test]
+    fn wrong_root_is_an_error() {
+        let mapping = map_xorator(&simplify(&parse_dtd(PLAYS_DTD).unwrap()));
+        let mut sh = Shredder::new(&mapping, StorageFormat::Plain);
+        let other = parse_document("<OTHER/>").unwrap();
+        assert!(sh.shred_document(&other).is_err());
+    }
+
+    #[test]
+    fn compressed_format_round_trips_through_shredding() {
+        let mapping = map_xorator(&simplify(&parse_dtd(PLAYS_DTD).unwrap()));
+        let mut plain = Shredder::new(&mapping, StorageFormat::Plain);
+        let mut comp = Shredder::new(&mapping, StorageFormat::Compressed);
+        let rp = plain.shred_document(&doc()).unwrap();
+        let rc = comp.shred_document(&doc()).unwrap();
+        for ((t1, r1), (t2, r2)) in rp.iter().zip(&rc) {
+            assert_eq!(t1, t2);
+            for (a, b) in r1.iter().zip(r2) {
+                match (a, b) {
+                    (Value::Xadt(x), Value::Xadt(y)) => {
+                        assert_eq!(x.to_plain(), y.to_plain());
+                        assert_eq!(y.format(), StorageFormat::Compressed);
+                    }
+                    _ => assert_eq!(a, b),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! DTD simplification (paper §3.1).
+//!
+//! The transformations reduce every content model to a *flat* list of
+//! `(child, occurrence)` pairs with occurrence ∈ {exactly-one, optional,
+//! zero-or-more}:
+//!
+//! * **flattening** — `(e1, e2)*` → `e1*, e2*`;
+//! * **simplification** — `e**` → `e*`, and `e+` → `e*`;
+//! * **choice weakening** — `(a | b)` → `a?, b?` (under `*`/`+`: `a*, b*`);
+//! * **grouping** — repeated occurrences of the same child merge into a
+//!   single starred child.
+//!
+//! Applying these to the Figure 1 Plays DTD yields exactly Figure 2.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use xmlkit::dtd::{AttDef, ContentModel, Dtd, Occurrence, Particle, ParticleKind};
+
+/// Simplified occurrence: `+` is gone (rewritten to `*`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Occ {
+    /// Exactly once.
+    One,
+    /// Zero or one (`?`).
+    Opt,
+    /// Zero or more (`*`).
+    Star,
+}
+
+impl Occ {
+    /// Combine a parent context occurrence with a child occurrence
+    /// (flattening rule): e.g. a child `?` inside a `*` group is `*`.
+    pub fn combine(self, inner: Occ) -> Occ {
+        use Occ::*;
+        match (self, inner) {
+            (Star, _) | (_, Star) => Star,
+            (Opt, _) | (_, Opt) => Opt,
+            (One, One) => One,
+        }
+    }
+
+    /// Weakening for choice members: a required branch becomes optional.
+    pub fn weaken(self) -> Occ {
+        match self {
+            Occ::One => Occ::Opt,
+            other => other,
+        }
+    }
+
+    /// True for `*`.
+    pub fn is_star(self) -> bool {
+        self == Occ::Star
+    }
+
+    fn from(o: Occurrence) -> Occ {
+        match o {
+            Occurrence::One => Occ::One,
+            Occurrence::Opt => Occ::Opt,
+            // e+ → e* (paper §3.1)
+            Occurrence::Star | Occurrence::Plus => Occ::Star,
+        }
+    }
+}
+
+impl fmt::Display for Occ {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Occ::One => Ok(()),
+            Occ::Opt => write!(f, "?"),
+            Occ::Star => write!(f, "*"),
+        }
+    }
+}
+
+/// A simplified element declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimpleElement {
+    /// Element name.
+    pub name: String,
+    /// Flat child list in first-appearance order.
+    pub children: Vec<(String, Occ)>,
+    /// The element may directly contain character data.
+    pub has_pcdata: bool,
+}
+
+impl SimpleElement {
+    /// True if the element has no element children (PCDATA / EMPTY leaf).
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+/// A fully simplified DTD.
+#[derive(Debug, Clone, Default)]
+pub struct SimpleDtd {
+    /// Elements in declaration order.
+    pub elements: Vec<SimpleElement>,
+    /// XML attribute declarations per element name.
+    pub attributes: HashMap<String, Vec<AttDef>>,
+    /// The root element name.
+    pub root: String,
+}
+
+impl SimpleDtd {
+    /// Look up an element.
+    pub fn element(&self, name: &str) -> Option<&SimpleElement> {
+        self.elements.iter().find(|e| e.name == name)
+    }
+
+    /// XML attributes of `name` (empty if none).
+    pub fn attributes_of(&self, name: &str) -> &[AttDef] {
+        self.attributes.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+impl fmt::Display for SimpleDtd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.elements {
+            if e.children.is_empty() {
+                let body = if e.has_pcdata { "(#PCDATA)" } else { "EMPTY" };
+                writeln!(f, "<!ELEMENT {} {body}>", e.name)?;
+            } else {
+                let kids: Vec<String> =
+                    e.children.iter().map(|(n, o)| format!("{n}{o}")).collect();
+                writeln!(f, "<!ELEMENT {} ({})>", e.name, kids.join(", "))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Simplify a parsed DTD (paper §3.1).
+pub fn simplify(dtd: &Dtd) -> SimpleDtd {
+    let root = dtd.infer_root().unwrap_or_default().to_string();
+    let mut out = SimpleDtd { root, ..Default::default() };
+    for decl in &dtd.elements {
+        let mut children: Vec<(String, Occ)> = Vec::new();
+        let mut has_pcdata = false;
+        match &decl.content {
+            ContentModel::Empty => {}
+            ContentModel::Any => {
+                // ANY: every declared element may occur any number of
+                // times; kept abstract — treated as PCDATA for mapping.
+                has_pcdata = true;
+            }
+            ContentModel::PcData => has_pcdata = true,
+            ContentModel::Mixed(names) => {
+                has_pcdata = true;
+                for n in names {
+                    merge(&mut children, n, Occ::Star);
+                }
+            }
+            ContentModel::Children(p) => flatten(p, Occ::One, &mut children),
+        }
+        out.elements.push(SimpleElement { name: decl.name.clone(), children, has_pcdata });
+    }
+    out.attributes = dtd.attlists.clone();
+    out
+}
+
+/// Flatten a particle under context occurrence `ctx` into `out`.
+fn flatten(p: &Particle, ctx: Occ, out: &mut Vec<(String, Occ)>) {
+    let occ = ctx.combine(Occ::from(p.occurrence));
+    match &p.kind {
+        ParticleKind::Name(n) => merge(out, n, occ),
+        ParticleKind::Seq(items) => {
+            for item in items {
+                flatten(item, occ, out);
+            }
+        }
+        ParticleKind::Choice(items) => {
+            // Choice members are individually optional.
+            for item in items {
+                flatten(item, occ.weaken(), out);
+            }
+        }
+    }
+}
+
+/// Grouping rule: a repeated child collapses to a single starred entry.
+fn merge(out: &mut Vec<(String, Occ)>, name: &str, occ: Occ) {
+    if let Some(entry) = out.iter_mut().find(|(n, _)| n == name) {
+        entry.1 = Occ::Star;
+    } else {
+        out.push((name.to_string(), occ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlkit::dtd::parse_dtd;
+
+    /// The Figure 1 Plays DTD.
+    pub(crate) const PLAYS_DTD: &str = r#"
+        <!ELEMENT PLAY (INDUCT?, ACT+)>
+        <!ELEMENT INDUCT (TITLE, SUBTITLE*, SCENE+)>
+        <!ELEMENT ACT (SCENE+, TITLE, SUBTITLE*, SPEECH+, PROLOGUE?)>
+        <!ELEMENT SCENE (TITLE, SUBTITLE*, (SPEECH | SUBHEAD)+)>
+        <!ELEMENT SPEECH (SPEAKER, LINE)+>
+        <!ELEMENT PROLOGUE (#PCDATA)>
+        <!ELEMENT TITLE (#PCDATA)>
+        <!ELEMENT SUBTITLE (#PCDATA)>
+        <!ELEMENT SUBHEAD (#PCDATA)>
+        <!ELEMENT SPEAKER (#PCDATA)>
+        <!ELEMENT LINE (#PCDATA)>
+    "#;
+
+    fn plays() -> SimpleDtd {
+        simplify(&parse_dtd(PLAYS_DTD).unwrap())
+    }
+
+    #[test]
+    fn figure_2_play() {
+        // PLAY → (INDUCT?, ACT*)
+        let s = plays();
+        assert_eq!(s.root, "PLAY");
+        let play = s.element("PLAY").unwrap();
+        assert_eq!(
+            play.children,
+            vec![("INDUCT".to_string(), Occ::Opt), ("ACT".to_string(), Occ::Star)]
+        );
+    }
+
+    #[test]
+    fn figure_2_scene_choice_weakening() {
+        // SCENE → (TITLE, SUBTITLE*, SPEECH*, SUBHEAD*)
+        let s = plays();
+        let scene = s.element("SCENE").unwrap();
+        assert_eq!(
+            scene.children,
+            vec![
+                ("TITLE".to_string(), Occ::One),
+                ("SUBTITLE".to_string(), Occ::Star),
+                ("SPEECH".to_string(), Occ::Star),
+                ("SUBHEAD".to_string(), Occ::Star),
+            ]
+        );
+    }
+
+    #[test]
+    fn figure_2_speech_group_star() {
+        // SPEECH → (SPEAKER*, LINE*): the + on the group distributes.
+        let s = plays();
+        let speech = s.element("SPEECH").unwrap();
+        assert_eq!(
+            speech.children,
+            vec![("SPEAKER".to_string(), Occ::Star), ("LINE".to_string(), Occ::Star)]
+        );
+    }
+
+    #[test]
+    fn figure_2_act_keeps_one_and_opt() {
+        // ACT → (SCENE*, TITLE, SUBTITLE*, SPEECH*, PROLOGUE?)
+        let s = plays();
+        let act = s.element("ACT").unwrap();
+        assert_eq!(
+            act.children,
+            vec![
+                ("SCENE".to_string(), Occ::Star),
+                ("TITLE".to_string(), Occ::One),
+                ("SUBTITLE".to_string(), Occ::Star),
+                ("SPEECH".to_string(), Occ::Star),
+                ("PROLOGUE".to_string(), Occ::Opt),
+            ]
+        );
+    }
+
+    #[test]
+    fn mixed_content_children_are_starred() {
+        let dtd = parse_dtd("<!ELEMENT LINE (#PCDATA | STAGEDIR)*><!ELEMENT STAGEDIR (#PCDATA)>")
+            .unwrap();
+        let s = simplify(&dtd);
+        let line = s.element("LINE").unwrap();
+        assert!(line.has_pcdata);
+        assert_eq!(line.children, vec![("STAGEDIR".to_string(), Occ::Star)]);
+    }
+
+    #[test]
+    fn grouping_duplicate_names() {
+        let dtd = parse_dtd(
+            "<!ELEMENT R (A, B?, A)><!ELEMENT A (#PCDATA)><!ELEMENT B (#PCDATA)>",
+        )
+        .unwrap();
+        let s = simplify(&dtd);
+        let r = s.element("R").unwrap();
+        assert_eq!(
+            r.children,
+            vec![("A".to_string(), Occ::Star), ("B".to_string(), Occ::Opt)]
+        );
+    }
+
+    #[test]
+    fn nested_optional_groups() {
+        // (A, (B, C)?)* → A*, B*, C*
+        let dtd = parse_dtd(
+            "<!ELEMENT R (A, (B, C)?)*><!ELEMENT A EMPTY><!ELEMENT B EMPTY><!ELEMENT C EMPTY>",
+        )
+        .unwrap();
+        let s = simplify(&dtd);
+        assert_eq!(
+            s.element("R").unwrap().children,
+            vec![
+                ("A".to_string(), Occ::Star),
+                ("B".to_string(), Occ::Star),
+                ("C".to_string(), Occ::Star)
+            ]
+        );
+    }
+
+    #[test]
+    fn display_shows_figure_2_style() {
+        let text = plays().to_string();
+        assert!(text.contains("<!ELEMENT PLAY (INDUCT?, ACT*)>"));
+        assert!(text.contains("<!ELEMENT SPEECH (SPEAKER*, LINE*)>"));
+        assert!(text.contains("<!ELEMENT TITLE (#PCDATA)>"));
+    }
+
+    #[test]
+    fn occ_combine_table() {
+        use Occ::*;
+        assert_eq!(One.combine(One), One);
+        assert_eq!(One.combine(Opt), Opt);
+        assert_eq!(Opt.combine(One), Opt);
+        assert_eq!(Star.combine(One), Star);
+        assert_eq!(Opt.combine(Star), Star);
+    }
+}

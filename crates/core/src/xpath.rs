@@ -1,0 +1,509 @@
+//! An XPath-subset-to-SQL compiler — the query-rewriting layer the paper
+//! defers to future work ("we do not focus on automatically rewriting XML
+//! queries into equivalent SQL queries", §4.3).
+//!
+//! Supported grammar (absolute paths over a mapped DTD):
+//!
+//! ```text
+//! path  := '/' step ( '/' step )*
+//! step  := name pred*
+//! pred  := '[' name '=' quoted ']'            child keyword equality
+//!        | '[' contains(name , quoted) ']'    child keyword containment
+//!        | '[' contains(. , quoted) ']'       self containment
+//!        | '[' integer ']'                    position among same-named
+//!                                             siblings (1-based)
+//! ```
+//!
+//! The compiler walks the path against a [`Mapping`]: steps over relation
+//! elements become FROM entries joined on `parentID`/`parentCODE`;
+//! predicates on scalar children become `=`/`LIKE` conditions; steps and
+//! predicates inside an XADT column compile to `getElm`/`findKeyInElm`/
+//! `getElmIndex` calls — the same translations the paper's hand-written
+//! queries use. Keyword predicates follow the XADT methods' *containment*
+//! semantics on both schemas, so the two dialects stay comparable.
+
+use crate::error::CoreError;
+use crate::schema::{ColumnKind, MappedTable, Mapping};
+
+/// One parsed location step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// Element name.
+    pub name: String,
+    /// Predicates in order.
+    pub preds: Vec<Pred>,
+}
+
+/// A step predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pred {
+    /// `[child='kw']` — keyword match on a child's content.
+    ChildEquals(String, String),
+    /// `[contains(child,'kw')]`; child `"."` means the step itself.
+    Contains(String, String),
+    /// `[n]` — 1-based position among same-named siblings.
+    Position(u32),
+}
+
+/// A compiled XPath query.
+#[derive(Debug, Clone)]
+pub struct CompiledXPath {
+    /// The generated SQL.
+    pub sql: String,
+    /// Which mapping dialect it targets.
+    pub algorithm: crate::schema::Algorithm,
+}
+
+/// Parse the XPath subset.
+pub fn parse_xpath(input: &str) -> Result<Vec<Step>, CoreError> {
+    let err = |m: &str| CoreError::Shred(format!("xpath: {m} in {input:?}"));
+    let input = input.trim();
+    let rest = input
+        .strip_prefix('/')
+        .ok_or_else(|| err("path must be absolute (start with /)"))?;
+    let mut steps = Vec::new();
+    // Split on '/' at bracket depth zero.
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    let bytes = rest.as_bytes();
+    let mut parts = Vec::new();
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'[' => depth += 1,
+            b']' => depth = depth.saturating_sub(1),
+            b'/' if depth == 0 => {
+                parts.push(&rest[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&rest[start..]);
+    for part in parts {
+        if part.is_empty() {
+            return Err(err("empty step"));
+        }
+        let bracket = part.find('[').unwrap_or(part.len());
+        let name = part[..bracket].trim();
+        if name.is_empty() {
+            return Err(err("step without a name"));
+        }
+        let mut preds = Vec::new();
+        let mut rest_preds = &part[bracket..];
+        while let Some(stripped) = rest_preds.strip_prefix('[') {
+            let close = stripped.find(']').ok_or_else(|| err("unclosed ["))?;
+            preds.push(parse_pred(stripped[..close].trim()).map_err(|m| err(&m))?);
+            rest_preds = &stripped[close + 1..];
+        }
+        if !rest_preds.is_empty() {
+            return Err(err("trailing characters after predicate"));
+        }
+        steps.push(Step { name: name.to_string(), preds });
+    }
+    Ok(steps)
+}
+
+fn parse_pred(s: &str) -> Result<Pred, String> {
+    if let Ok(n) = s.parse::<u32>() {
+        if n == 0 {
+            return Err("positions are 1-based".into());
+        }
+        return Ok(Pred::Position(n));
+    }
+    if let Some(inner) = s.strip_prefix("contains(").and_then(|x| x.strip_suffix(')')) {
+        let (child, lit) =
+            inner.split_once(',').ok_or_else(|| "contains needs two arguments".to_string())?;
+        return Ok(Pred::Contains(child.trim().to_string(), unquote(lit.trim())?));
+    }
+    if let Some((child, lit)) = s.split_once('=') {
+        return Ok(Pred::ChildEquals(child.trim().to_string(), unquote(lit.trim())?));
+    }
+    Err(format!("unsupported predicate {s:?}"))
+}
+
+fn unquote(s: &str) -> Result<String, String> {
+    let inner = s
+        .strip_prefix('\'')
+        .and_then(|x| x.strip_suffix('\''))
+        .or_else(|| s.strip_prefix('"').and_then(|x| x.strip_suffix('"')))
+        .ok_or_else(|| format!("expected quoted literal, got {s:?}"))?;
+    Ok(inner.to_string())
+}
+
+fn sql_quote(s: &str) -> String {
+    format!("'{}'", s.replace('\'', "''"))
+}
+
+/// Compile `path` against `mapping` into SQL.
+pub fn compile_xpath(mapping: &Mapping, path: &str) -> Result<CompiledXPath, CoreError> {
+    let steps = parse_xpath(path)?;
+    let err = |m: String| CoreError::Shred(format!("xpath: {m} in {path:?}"));
+    if steps[0].name != mapping.root_element {
+        return Err(err(format!(
+            "path must start at the mapping root <{}>",
+            mapping.root_element
+        )));
+    }
+
+    let mut from: Vec<String> = Vec::new();
+    let mut wheres: Vec<String> = Vec::new();
+    let mut table: &MappedTable = mapping
+        .table_for(&steps[0].name)
+        .ok_or_else(|| err("root element has no table".into()))?;
+    from.push(table.name.clone());
+    apply_table_preds(mapping, table, &steps[0], &mut from, &mut wheres)
+        .map_err(err)?;
+
+    let mut i = 1;
+    let mut select: Option<String> = None;
+    while i < steps.len() {
+        let step = &steps[i];
+        // Case 1: the step is a child relation.
+        if let Some(child) = mapping.table_for(&step.name) {
+            if !table.child_tables.iter().any(|c| c == &step.name) {
+                return Err(err(format!(
+                    "<{}> is not a child of <{}> in the DTD",
+                    step.name, table.element
+                )));
+            }
+            from.push(child.name.clone());
+            let pid = &child.columns[child
+                .col_of_kind(&ColumnKind::ParentId)
+                .ok_or_else(|| err("child table lacks parentID".into()))?]
+            .name;
+            let id = &table.columns[table.id_col()].name;
+            wheres.push(format!("{pid} = {id}"));
+            if let Some(code) = child.col_of_kind(&ColumnKind::ParentCode) {
+                wheres.push(format!(
+                    "{} = {}",
+                    child.columns[code].name,
+                    sql_quote(&table.element)
+                ));
+            }
+            for p in &step.preds {
+                if let Pred::Position(n) = p {
+                    let order = child
+                        .col_of_kind(&ColumnKind::ChildOrder)
+                        .ok_or_else(|| err("child table lacks childOrder".into()))?;
+                    wheres.push(format!("{} = {n}", child.columns[order].name));
+                }
+            }
+            table = child;
+            apply_table_preds(mapping, table, step, &mut from, &mut wheres).map_err(err)?;
+            // A final relation step selects its value column or id.
+            if i == steps.len() - 1 {
+                let expr = table
+                    .col_of_kind(&ColumnKind::Value)
+                    .map(|v| table.columns[v].name.clone())
+                    .unwrap_or_else(|| table.columns[table.id_col()].name.clone());
+                select = Some(expr);
+            }
+            i += 1;
+            continue;
+        }
+        // Case 2: the step enters an XADT column of the current table.
+        if let Some(cidx) = table.columns.iter().position(
+            |c| matches!(&c.kind, ColumnKind::Xadt { child } if child == &step.name),
+        ) {
+            select = Some(compile_xadt_tail(
+                &table.columns[cidx].name,
+                &steps[i..],
+                &mut wheres,
+            ).map_err(err)?);
+            i = steps.len();
+            continue;
+        }
+        // Case 3: the step is an inlined scalar of the current table.
+        if let Some(cidx) = table.columns.iter().position(|c| {
+            matches!(&c.kind, ColumnKind::InlineText { path } if path.last() == Some(&step.name))
+        }) {
+            let col = table.columns[cidx].name.clone();
+            for p in &step.preds {
+                match p {
+                    Pred::Contains(c, kw) if c == "." => {
+                        wheres.push(format!("{col} LIKE {}", sql_quote(&format!("%{kw}%"))));
+                    }
+                    other => {
+                        return Err(err(format!(
+                            "unsupported predicate {other:?} on scalar step"
+                        )))
+                    }
+                }
+            }
+            if i != steps.len() - 1 {
+                return Err(err(format!(
+                    "scalar element <{}> cannot have child steps",
+                    step.name
+                )));
+            }
+            select = Some(col);
+            i += 1;
+            continue;
+        }
+        return Err(err(format!(
+            "<{}> is neither a child table, an XADT column, nor a scalar of <{}>",
+            step.name, table.element
+        )));
+    }
+
+    let select = select.unwrap_or_else(|| table.columns[table.id_col()].name.clone());
+    let mut sql = format!("SELECT {select} FROM {}", from.join(", "));
+    if !wheres.is_empty() {
+        sql.push_str(" WHERE ");
+        sql.push_str(&wheres.join(" AND "));
+    }
+    Ok(CompiledXPath { sql, algorithm: mapping.algorithm })
+}
+
+/// Predicates of a relation step: scalar children → column conditions;
+/// XADT children → `findKeyInElm`; relation children → EXISTS-style join
+/// (compiled as an extra FROM entry + conditions).
+fn apply_table_preds(
+    mapping: &Mapping,
+    table: &MappedTable,
+    step: &Step,
+    from: &mut Vec<String>,
+    wheres: &mut Vec<String>,
+) -> Result<(), String> {
+    for p in &step.preds {
+        match p {
+            Pred::Position(_) => {} // handled at the join site
+            Pred::ChildEquals(child, kw) | Pred::Contains(child, kw) => {
+                let exact = matches!(p, Pred::ChildEquals(..));
+                if child == "." {
+                    if let Some(v) = table.col_of_kind(&ColumnKind::Value) {
+                        wheres.push(like_or_eq(&table.columns[v].name, kw, exact));
+                        continue;
+                    }
+                    return Err(format!("<{}> has no text content", table.element));
+                }
+                // Scalar child column?
+                if let Some(cidx) = table.columns.iter().position(|c| {
+                    matches!(&c.kind, ColumnKind::InlineText { path } if path.last() == Some(child))
+                }) {
+                    wheres.push(like_or_eq(&table.columns[cidx].name, kw, exact));
+                    continue;
+                }
+                // XADT child column?
+                if let Some(cidx) = table.columns.iter().position(
+                    |c| matches!(&c.kind, ColumnKind::Xadt { child: ch } if ch == child),
+                ) {
+                    wheres.push(format!(
+                        "findKeyInElm({}, {}, {}) = 1",
+                        table.columns[cidx].name,
+                        sql_quote(child),
+                        sql_quote(kw)
+                    ));
+                    continue;
+                }
+                // Relation child (Hybrid): join its table and filter value.
+                if let Some(ct) = mapping.table_for(child) {
+                    if table.child_tables.iter().any(|c| c == child) {
+                        from.push(ct.name.clone());
+                        let pid = &ct.columns[ct
+                            .col_of_kind(&ColumnKind::ParentId)
+                            .ok_or("predicate child lacks parentID")?]
+                        .name;
+                        wheres.push(format!(
+                            "{pid} = {}",
+                            table.columns[table.id_col()].name
+                        ));
+                        if let Some(code) = ct.col_of_kind(&ColumnKind::ParentCode) {
+                            wheres.push(format!(
+                                "{} = {}",
+                                ct.columns[code].name,
+                                sql_quote(&table.element)
+                            ));
+                        }
+                        let v = ct
+                            .col_of_kind(&ColumnKind::Value)
+                            .ok_or("predicate child has no value column")?;
+                        wheres.push(like_or_eq(&ct.columns[v].name, kw, exact));
+                        continue;
+                    }
+                }
+                return Err(format!(
+                    "predicate child <{child}> not found under <{}>",
+                    table.element
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `=` keeps keyword-containment semantics consistent with the XADT
+/// methods when compiled to LIKE on the Hybrid side: `[c='kw']` compiles
+/// to equality, `[contains(c,'kw')]` to LIKE.
+fn like_or_eq(col: &str, kw: &str, exact: bool) -> String {
+    if exact {
+        format!("{col} = {}", sql_quote(kw))
+    } else {
+        format!("{col} LIKE {}", sql_quote(&format!("%{kw}%")))
+    }
+}
+
+/// The path's tail lives inside an XADT column: compile to composed
+/// method calls. Supports `A/B/...` descent by extraction plus one
+/// optional predicate or position on the final step.
+fn compile_xadt_tail(
+    column: &str,
+    steps: &[Step],
+    wheres: &mut Vec<String>,
+) -> Result<String, String> {
+    // Descend by successive getElm extractions.
+    let mut expr = column.to_string();
+    for (i, step) in steps.iter().enumerate() {
+        let last = i == steps.len() - 1;
+        let mut keyword = String::new();
+        let mut position = None;
+        for p in &step.preds {
+            match p {
+                Pred::Contains(c, kw) | Pred::ChildEquals(c, kw) => {
+                    if c == "." {
+                        keyword = kw.clone();
+                    } else if last {
+                        // Keep only elements whose child matches.
+                        expr = format!(
+                            "getElm({expr}, {}, {}, {})",
+                            sql_quote(&step.name),
+                            sql_quote(c),
+                            sql_quote(kw)
+                        );
+                    } else {
+                        return Err("child predicates only on the final step".into());
+                    }
+                }
+                Pred::Position(n) => position = Some(*n),
+            }
+        }
+        if let Some(n) = position {
+            expr = format!(
+                "getElmIndex({expr}, '', {}, {n}, {n})",
+                sql_quote(&step.name)
+            );
+        } else {
+            expr = format!(
+                "getElm({expr}, {}, {}, {})",
+                sql_quote(&step.name),
+                sql_quote(&step.name),
+                sql_quote(&keyword)
+            );
+        }
+        if !keyword.is_empty() {
+            wheres.push(format!(
+                "findKeyInElm({column}, {}, {}) = 1",
+                sql_quote(&step.name),
+                sql_quote(&keyword)
+            ));
+        }
+    }
+    Ok(expr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtds::PLAYS_DTD;
+    use crate::hybrid::map_hybrid;
+    use crate::simplify::simplify;
+    use crate::xorator::map_xorator;
+    use xmlkit::dtd::parse_dtd;
+
+    fn mappings() -> (Mapping, Mapping) {
+        let s = simplify(&parse_dtd(PLAYS_DTD).unwrap());
+        (map_hybrid(&s), map_xorator(&s))
+    }
+
+    #[test]
+    fn parses_steps_and_predicates() {
+        let steps = parse_xpath(
+            "/PLAY/ACT/SCENE/SPEECH[SPEAKER='HAMLET']/LINE[contains(.,'friend')][2]",
+        )
+        .unwrap();
+        assert_eq!(steps.len(), 5);
+        assert_eq!(
+            steps[3].preds,
+            vec![Pred::ChildEquals("SPEAKER".into(), "HAMLET".into())]
+        );
+        assert_eq!(
+            steps[4].preds,
+            vec![
+                Pred::Contains(".".into(), "friend".into()),
+                Pred::Position(2)
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_bad_paths() {
+        assert!(parse_xpath("PLAY/ACT").is_err());
+        assert!(parse_xpath("/PLAY//").is_err());
+        assert!(parse_xpath("/PLAY/ACT[0]").is_err());
+        assert!(parse_xpath("/PLAY/ACT[foo(]").is_err());
+    }
+
+    #[test]
+    fn compiles_relation_chain_on_both_schemas() {
+        let (h, x) = mappings();
+        let path = "/PLAY/ACT/SCENE/SPEECH[SPEAKER='ROMEO']";
+        let ch = compile_xpath(&h, path).unwrap();
+        let cx = compile_xpath(&x, path).unwrap();
+        // Hybrid joins the speaker table; XORator uses findKeyInElm.
+        assert!(ch.sql.contains("speaker_value = 'ROMEO'"), "{}", ch.sql);
+        assert!(ch.sql.contains("speech_parentID = sceneID"), "{}", ch.sql);
+        assert!(
+            cx.sql.contains("findKeyInElm(speech_speaker, 'SPEAKER', 'ROMEO') = 1"),
+            "{}",
+            cx.sql
+        );
+        let from_clause = cx.sql.split(" WHERE ").next().unwrap();
+        assert!(
+            !from_clause.contains("speaker"),
+            "XORator must not join speaker: {from_clause}"
+        );
+    }
+
+    #[test]
+    fn compiles_xadt_tail_with_keyword() {
+        let (_, x) = mappings();
+        let c = compile_xpath(&x, "/PLAY/ACT/SCENE/SPEECH/LINE[contains(.,'love')]")
+            .unwrap();
+        assert!(
+            c.sql.contains("getElm(speech_line, 'LINE', 'LINE', 'love')"),
+            "{}",
+            c.sql
+        );
+        assert!(
+            c.sql.contains("findKeyInElm(speech_line, 'LINE', 'love') = 1"),
+            "{}",
+            c.sql
+        );
+    }
+
+    #[test]
+    fn compiles_positional_access() {
+        let (h, x) = mappings();
+        let path = "/PLAY/ACT/SCENE/SPEECH/LINE[2]";
+        let ch = compile_xpath(&h, path).unwrap();
+        assert!(ch.sql.contains("line_childOrder = 2"), "{}", ch.sql);
+        let cx = compile_xpath(&x, path).unwrap();
+        assert!(cx.sql.contains("getElmIndex(speech_line, '', 'LINE', 2, 2)"), "{}", cx.sql);
+    }
+
+    #[test]
+    fn compiles_scalar_leaf() {
+        let (h, x) = mappings();
+        for m in [&h, &x] {
+            let c = compile_xpath(m, "/PLAY/ACT/TITLE").unwrap();
+            assert!(c.sql.contains("SELECT act_title"), "{}", c.sql);
+        }
+    }
+
+    #[test]
+    fn unknown_step_is_an_error() {
+        let (h, _) = mappings();
+        assert!(compile_xpath(&h, "/PLAY/NOPE").is_err());
+        assert!(compile_xpath(&h, "/WRONGROOT").is_err());
+    }
+}

@@ -1,0 +1,23 @@
+//! # datagen — seeded XML corpus generators
+//!
+//! Substitutes for the paper's two data sets (see DESIGN.md §1):
+//!
+//! * [`shakespeare`] — plays conforming to the Figure 10 DTD, replacing
+//!   the Bosak Shakespeare corpus (37 plays, 7.5 MB), with the QS/QE
+//!   workload keywords planted at controlled selectivities;
+//! * [`sigmod`] — proceedings conforming to the deep Figure 12 DTD,
+//!   replacing the IBM-XML-Generator corpus (3000 documents, 12 MB),
+//!   with the QG workload keywords planted.
+//!
+//! Both generators are deterministic functions of their seed, so every
+//! experiment is reproducible.
+
+#![warn(missing_docs)]
+
+pub mod shakespeare;
+pub mod sigmod;
+pub mod words;
+pub mod xml;
+
+pub use shakespeare::{generate as generate_shakespeare, ShakespeareConfig};
+pub use sigmod::{generate as generate_sigmod, SigmodConfig};

@@ -1,0 +1,340 @@
+//! Generator for a Shakespeare-plays corpus conforming to the paper's
+//! Figure 10 DTD — the substitute for the Bosak XML corpus (37 plays,
+//! 7.5 MB) the paper loads.
+//!
+//! The generator is seeded and deterministic. It plants every keyword the
+//! QS/QE workloads select on, at controlled selectivities:
+//!
+//! * one play titled **"Romeo and Juliet"** in which **ROMEO** speaks and
+//!   some of his lines contain **"love"** (QS4, QS5);
+//! * **HAMLET** speaks in several plays with lines containing
+//!   **"friend"** (QE1);
+//! * a fraction of stage directions read **"Rising"** (QS3);
+//! * prologues contain speeches with ≥ 2 lines (QS6).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::words::{pick, verse, words, SPEAKERS};
+use crate::xml::XmlBuilder;
+
+/// Corpus shape knobs.
+#[derive(Debug, Clone)]
+pub struct ShakespeareConfig {
+    /// Number of plays (the paper's corpus has 37).
+    pub plays: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Acts per play.
+    pub acts: usize,
+    /// Scenes per act.
+    pub scenes_per_act: usize,
+    /// Speeches per scene.
+    pub speeches_per_scene: usize,
+    /// Maximum lines per speech (minimum is 2).
+    pub max_lines_per_speech: usize,
+}
+
+impl Default for ShakespeareConfig {
+    fn default() -> Self {
+        ShakespeareConfig {
+            plays: 12,
+            seed: 42,
+            acts: 4,
+            scenes_per_act: 4,
+            speeches_per_scene: 10,
+            max_lines_per_speech: 12,
+        }
+    }
+}
+
+impl ShakespeareConfig {
+    /// The paper's full-size corpus (≈ 7.5 MB of XML).
+    pub fn paper_size() -> Self {
+        ShakespeareConfig {
+            plays: 37,
+            acts: 5,
+            scenes_per_act: 5,
+            speeches_per_scene: 14,
+            ..Default::default()
+        }
+    }
+}
+
+/// Generate the corpus; element `i` of the result is one play document.
+pub fn generate(cfg: &ShakespeareConfig) -> Vec<String> {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    (0..cfg.plays).map(|i| generate_play(cfg, i, &mut rng)).collect()
+}
+
+fn generate_play(cfg: &ShakespeareConfig, index: usize, rng: &mut SmallRng) -> String {
+    // Play 0 is always Romeo and Juliet so QS4/QS5 have their target.
+    let is_romeo = index == 0;
+    let title = if is_romeo {
+        "Romeo and Juliet".to_string()
+    } else {
+        format!("The Chronicle of {} (Part {})", titlecase(pick(rng, SPEAKERS)), index)
+    };
+    // A small cast, always including HAMLET somewhere and ROMEO in play 0.
+    let mut cast: Vec<&str> = Vec::new();
+    if is_romeo {
+        cast.push("ROMEO");
+        cast.push("JULIET");
+        cast.push("MERCUTIO");
+    }
+    if index.is_multiple_of(3) {
+        cast.push("HAMLET");
+    }
+    while cast.len() < 8 {
+        let s = pick(rng, SPEAKERS);
+        if !cast.contains(&s) {
+            cast.push(s);
+        }
+    }
+
+    let mut xml = XmlBuilder::new();
+    xml.open("PLAY");
+    xml.leaf("TITLE", &title);
+    // FM: a few paragraphs of front matter.
+    xml.open("FM");
+    for _ in 0..rng.gen_range(2..5) {
+        let n = rng.gen_range(8..20);
+        xml.leaf("P", &words(rng, n));
+    }
+    xml.close("FM");
+    // PERSONAE: cast list with an occasional PGROUP.
+    xml.open("PERSONAE");
+    xml.leaf("TITLE", "Dramatis Personae");
+    for (i, name) in cast.iter().enumerate() {
+        if i == cast.len() - 2 && cast.len() >= 4 {
+            xml.open("PGROUP");
+            xml.leaf("PERSONA", name);
+            xml.leaf("PERSONA", cast[i + 1]);
+            xml.leaf("GRPDESCR", &words(rng, 4));
+            xml.close("PGROUP");
+            break;
+        }
+        xml.leaf("PERSONA", &format!("{name}, {}", words(rng, 3)));
+    }
+    xml.close("PERSONAE");
+    xml.leaf("SCNDESCR", &format!("SCENE {}", words(rng, 6)));
+    xml.leaf("PLAYSUBT", &title.to_uppercase());
+
+    // Optional INDUCT (scene-bearing variant).
+    if index % 4 == 1 {
+        xml.open("INDUCT");
+        xml.leaf("TITLE", "Induction");
+        scene(cfg, rng, &mut xml, &cast, is_romeo, 1);
+        xml.close("INDUCT");
+    }
+    // Optional play-level PROLOGUE: always ≥2-line speeches (QS6 target).
+    if index.is_multiple_of(2) {
+        prologue(rng, &mut xml, &cast);
+    }
+    for act_no in 1..=cfg.acts {
+        xml.open("ACT");
+        xml.leaf("TITLE", &format!("ACT {act_no}"));
+        if rng.gen_bool(0.2) {
+            xml.leaf("SUBTITLE", &words(rng, 4));
+        }
+        if act_no == 1 && rng.gen_bool(0.5) {
+            prologue(rng, &mut xml, &cast);
+        }
+        for scene_no in 1..=cfg.scenes_per_act {
+            scene(cfg, rng, &mut xml, &cast, is_romeo, scene_no);
+        }
+        xml.close("ACT");
+    }
+    if index % 5 == 2 {
+        xml.open("EPILOGUE");
+        xml.leaf("TITLE", "Epilogue");
+        let sp = pick(rng, &cast);
+        speech(rng, &mut xml, sp, 3, None);
+        xml.close("EPILOGUE");
+    }
+    xml.close("PLAY");
+    xml.finish()
+}
+
+fn prologue(rng: &mut SmallRng, xml: &mut XmlBuilder, cast: &[&str]) {
+    xml.open("PROLOGUE");
+    xml.leaf("TITLE", "Prologue");
+    xml.leaf("STAGEDIR", "Enter Chorus");
+    // Two speeches with at least two lines each: QS6's answer set.
+    for _ in 0..2 {
+        let sp = pick(rng, cast);
+        speech(rng, xml, sp, 3, None);
+    }
+    xml.close("PROLOGUE");
+}
+
+fn scene(
+    cfg: &ShakespeareConfig,
+    rng: &mut SmallRng,
+    xml: &mut XmlBuilder,
+    cast: &[&str],
+    is_romeo: bool,
+    scene_no: usize,
+) {
+    xml.open("SCENE");
+    xml.leaf("TITLE", &format!("SCENE {scene_no}. {}", words(rng, 5)));
+    if rng.gen_bool(0.15) {
+        xml.leaf("SUBTITLE", &words(rng, 3));
+    }
+    xml.leaf("STAGEDIR", &stagedir_text(rng));
+    for s in 0..cfg.speeches_per_scene {
+        let speaker = cast[rng.gen_range(0..cast.len())];
+        // Keyword planting:
+        let keyword = if is_romeo && speaker == "ROMEO" && rng.gen_bool(0.4) {
+            Some("love")
+        } else if speaker == "HAMLET" && rng.gen_bool(0.35) {
+            Some("friend")
+        } else if rng.gen_bool(0.02) {
+            Some(["love", "friend"][rng.gen_range(0..2)])
+        } else {
+            None
+        };
+        let lines = rng.gen_range(2..=cfg.max_lines_per_speech);
+        speech(rng, xml, speaker, lines, keyword);
+        if s % 7 == 3 {
+            xml.leaf("STAGEDIR", &stagedir_text(rng));
+        }
+        if s % 11 == 5 {
+            xml.leaf("SUBHEAD", &words(rng, 3));
+        }
+    }
+    xml.close("SCENE");
+}
+
+fn speech(
+    rng: &mut SmallRng,
+    xml: &mut XmlBuilder,
+    speaker: &str,
+    lines: usize,
+    keyword: Option<&str>,
+) {
+    xml.open("SPEECH");
+    xml.leaf("SPEAKER", speaker);
+    // Occasionally a second speaker ("All", shared lines).
+    if rng.gen_bool(0.05) {
+        xml.leaf("SPEAKER", "ALL");
+    }
+    let keyword_line = rng.gen_range(0..lines);
+    for l in 0..lines {
+        let kw = if l == keyword_line { keyword } else { None };
+        if rng.gen_bool(0.06) {
+            // Mixed content: a stage direction inside the line (QS2/QS3).
+            xml.open("LINE");
+            xml.text(&verse(rng, 4, kw));
+            xml.leaf("STAGEDIR", &stagedir_text(rng));
+            xml.text(&verse(rng, 3, None));
+            xml.close("LINE");
+        } else {
+            let w = rng.gen_range(6..10);
+            xml.leaf("LINE", &verse(rng, w, kw));
+        }
+    }
+    if rng.gen_bool(0.04) {
+        xml.leaf("STAGEDIR", &stagedir_text(rng));
+    }
+    xml.close("SPEECH");
+}
+
+fn stagedir_text(rng: &mut SmallRng) -> String {
+    // ~8 % of stage directions say "Rising" (QS3's keyword).
+    if rng.gen_bool(0.08) {
+        "Rising".to_string()
+    } else {
+        let verbs = ["Exit", "Enter", "Aside", "Dies", "They fight", "Exeunt", "Kneels"];
+        format!("{} {}", verbs[rng.gen_range(0..verbs.len())], words(rng, 2))
+    }
+}
+
+fn titlecase(s: &str) -> String {
+    let lower = s.to_lowercase();
+    let mut c = lower.chars();
+    match c.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlkit::dtd::{parse_dtd, validate};
+    use xmlkit::parse_document;
+
+    fn small() -> ShakespeareConfig {
+        ShakespeareConfig { plays: 4, ..Default::default() }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&small());
+        let b = generate(&small());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn documents_are_well_formed_and_valid() {
+        let dtd = parse_dtd(xorator_dtd()).unwrap();
+        for (i, text) in generate(&small()).iter().enumerate() {
+            let doc = parse_document(text).unwrap_or_else(|e| panic!("play {i}: {e}"));
+            let errors = validate(&doc, &dtd);
+            assert!(errors.is_empty(), "play {i}: {errors:?}");
+        }
+    }
+
+    // The Figure 10 DTD, inlined to avoid a dependency on the core crate.
+    fn xorator_dtd() -> &'static str {
+        r#"
+        <!ELEMENT PLAY (TITLE, FM, PERSONAE, SCNDESCR, PLAYSUBT, INDUCT?, PROLOGUE?, ACT+, EPILOGUE?)>
+        <!ELEMENT TITLE (#PCDATA)>
+        <!ELEMENT FM (P+)>
+        <!ELEMENT P (#PCDATA)>
+        <!ELEMENT PERSONAE (TITLE, (PERSONA | PGROUP)+)>
+        <!ELEMENT PGROUP (PERSONA+, GRPDESCR)>
+        <!ELEMENT PERSONA (#PCDATA)>
+        <!ELEMENT GRPDESCR (#PCDATA)>
+        <!ELEMENT SCNDESCR (#PCDATA)>
+        <!ELEMENT PLAYSUBT (#PCDATA)>
+        <!ELEMENT INDUCT (TITLE, SUBTITLE*, (SCENE+ | (SPEECH | STAGEDIR | SUBHEAD)+))>
+        <!ELEMENT ACT (TITLE, SUBTITLE*, PROLOGUE?, SCENE+, EPILOGUE?)>
+        <!ELEMENT SCENE (TITLE, SUBTITLE*, (SPEECH | STAGEDIR | SUBHEAD)+)>
+        <!ELEMENT PROLOGUE (TITLE, SUBTITLE*, (STAGEDIR | SPEECH)+)>
+        <!ELEMENT EPILOGUE (TITLE, SUBTITLE*, (STAGEDIR | SPEECH)+)>
+        <!ELEMENT SPEECH (SPEAKER+, (LINE | STAGEDIR | SUBHEAD)+)>
+        <!ELEMENT SPEAKER (#PCDATA)>
+        <!ELEMENT LINE (#PCDATA | STAGEDIR)*>
+        <!ELEMENT STAGEDIR (#PCDATA)>
+        <!ELEMENT SUBTITLE (#PCDATA)>
+        <!ELEMENT SUBHEAD (#PCDATA)>
+        "#
+    }
+
+    #[test]
+    fn keywords_are_planted() {
+        let docs = generate(&small());
+        let all = docs.join("");
+        assert!(docs[0].contains("<TITLE>Romeo and Juliet</TITLE>"));
+        assert!(docs[0].contains("ROMEO"));
+        assert!(docs[0].contains("love"));
+        assert!(all.contains("HAMLET"));
+        assert!(all.contains("friend"));
+        assert!(all.contains("Rising"));
+        assert!(all.contains("<PROLOGUE>"));
+    }
+
+    #[test]
+    fn paper_size_is_in_the_right_ballpark() {
+        // One paper-size play should be roughly 7.5 MB / 37 ≈ 200 KB.
+        let cfg = ShakespeareConfig { plays: 1, ..ShakespeareConfig::paper_size() };
+        let docs = generate(&cfg);
+        let bytes = docs[0].len();
+        assert!(
+            (60_000..500_000).contains(&bytes),
+            "one play is {bytes} bytes"
+        );
+    }
+}

@@ -1,0 +1,230 @@
+//! Generator for the SIGMOD Proceedings data set conforming to the
+//! paper's Figure 12 DTD — the substitute for the corpus the paper
+//! produced with the IBM XML Generator (3000 documents, 12 MB).
+//!
+//! Keyword selectivities are planted for the QG workload: "Join" in a few
+//! percent of paper titles (QG1/QG6), the author surnames "Worthy" (QG3)
+//! and "Bird" (QG5) at sub-percent rates.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::words::{pick, INITIALS, SURNAMES, TITLE_TOPICS};
+use crate::xml::XmlBuilder;
+
+/// Corpus shape knobs.
+#[derive(Debug, Clone)]
+pub struct SigmodConfig {
+    /// Number of proceedings documents (the paper uses 3000).
+    pub documents: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Sections per proceedings (`sListTuple`s).
+    pub max_sections: usize,
+    /// Articles per section (`aTuple`s).
+    pub max_articles: usize,
+    /// Authors per article.
+    pub max_authors: usize,
+}
+
+impl Default for SigmodConfig {
+    fn default() -> Self {
+        SigmodConfig { documents: 400, seed: 4242, max_sections: 4, max_articles: 5, max_authors: 4 }
+    }
+}
+
+impl SigmodConfig {
+    /// The paper's full-size corpus (≈ 12 MB over 3000 documents).
+    pub fn paper_size() -> Self {
+        SigmodConfig { documents: 3000, ..Default::default() }
+    }
+}
+
+const MONTHS: &[&str] = &[
+    "January", "February", "March", "April", "May", "June", "July", "August", "September",
+    "October", "November", "December",
+];
+
+const CITIES: &[&str] = &[
+    "San Jose", "Seattle", "Tucson", "Washington", "Minneapolis", "Montreal", "Athens",
+    "Philadelphia", "Dallas", "Santa Barbara",
+];
+
+/// Generate the corpus; element `i` is one `<PP>` proceedings document.
+pub fn generate(cfg: &SigmodConfig) -> Vec<String> {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    (0..cfg.documents).map(|i| generate_pp(cfg, i, &mut rng)).collect()
+}
+
+fn generate_pp(cfg: &SigmodConfig, index: usize, rng: &mut SmallRng) -> String {
+    let mut xml = XmlBuilder::new();
+    let year = 1975 + (index % 27);
+    xml.open("PP");
+    xml.leaf("volume", &format!("{}", 10 + index % 30));
+    xml.leaf("number", &format!("{}", 1 + index % 4));
+    xml.leaf("month", pick(rng, MONTHS));
+    xml.leaf("year", &year.to_string());
+    xml.leaf("conference", "SIGMOD Conference");
+    xml.leaf("date", &format!("{}-{:02}-{:02}", year, 1 + index % 12, 1 + index % 28));
+    xml.leaf("confyear", &year.to_string());
+    xml.leaf("location", pick(rng, CITIES));
+    xml.open("sList");
+    let sections = rng.gen_range(2..=cfg.max_sections);
+    for s in 0..sections {
+        xml.open("sListTuple");
+        let pos = format!("{}", s + 1);
+        xml.leaf_with(
+            "sectionName",
+            &[("SectionPosition", pos.as_str())],
+            &format!("{} Session {}", pick(rng, TITLE_TOPICS), s + 1),
+        );
+        xml.open("articles");
+        let articles = rng.gen_range(2..=cfg.max_articles);
+        for a in 0..articles {
+            generate_atuple(cfg, rng, &mut xml, index, s, a);
+        }
+        xml.close("articles");
+        xml.close("sListTuple");
+    }
+    xml.close("sList");
+    xml.close("PP");
+    xml.finish()
+}
+
+fn generate_atuple(
+    cfg: &SigmodConfig,
+    rng: &mut SmallRng,
+    xml: &mut XmlBuilder,
+    doc: usize,
+    section: usize,
+    article: usize,
+) {
+    // ~5 % of titles mention "Join" (QG1/QG6's keyword).
+    let title = if rng.gen_bool(0.05) {
+        format!("Evaluating Join Methods over {}", pick(rng, TITLE_TOPICS))
+    } else {
+        format!("On {} for {}", pick(rng, TITLE_TOPICS), pick(rng, TITLE_TOPICS))
+    };
+    xml.open("aTuple");
+    let code = format!("P{doc:04}-{section}{article}");
+    xml.leaf_with("title", &[("articleCode", code.as_str())], &title);
+    xml.open("authors");
+    let n_authors = rng.gen_range(1..=cfg.max_authors);
+    for i in 0..n_authors {
+        // Rare keyword surnames for QG3/QG5.
+        let surname = if rng.gen_bool(0.004) {
+            "Worthy"
+        } else if rng.gen_bool(0.004) {
+            "Bird"
+        } else {
+            pick(rng, SURNAMES)
+        };
+        let pos = format!("{}", i + 1);
+        xml.leaf_with(
+            "author",
+            &[("AuthorPosition", pos.as_str())],
+            &format!("{} {surname}", pick(rng, INITIALS)),
+        );
+    }
+    xml.close("authors");
+    let init = rng.gen_range(1..400);
+    xml.leaf("initPage", &init.to_string());
+    xml.leaf("endPage", &(init + rng.gen_range(8..25)).to_string());
+    xml.open("Toindex");
+    if rng.gen_bool(0.8) {
+        xml.leaf_with(
+            "index",
+            &[("xml:link", "simple"), ("href", &format!("index/{code}.html"))],
+            &format!("idx-{code}"),
+        );
+    }
+    xml.close("Toindex");
+    xml.open("fullText");
+    if rng.gen_bool(0.8) {
+        xml.leaf_with(
+            "size",
+            &[("xml:link", "simple"), ("href", &format!("ft/{code}.pdf"))],
+            &format!("{}K", rng.gen_range(80..900)),
+        );
+    }
+    xml.close("fullText");
+    xml.close("aTuple");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlkit::dtd::{parse_dtd, validate};
+    use xmlkit::parse_document;
+
+    const SIGMOD_DTD: &str = r#"
+        <!ENTITY % Xlink "xml:link CDATA #IMPLIED href CDATA #IMPLIED">
+        <!ELEMENT PP (volume, number, month, year, conference, date, confyear, location, sList)>
+        <!ELEMENT volume (#PCDATA)>
+        <!ELEMENT number (#PCDATA)>
+        <!ELEMENT month (#PCDATA)>
+        <!ELEMENT year (#PCDATA)>
+        <!ELEMENT conference (#PCDATA)>
+        <!ELEMENT date (#PCDATA)>
+        <!ELEMENT confyear (#PCDATA)>
+        <!ELEMENT location (#PCDATA)>
+        <!ELEMENT sList (sListTuple)*>
+        <!ELEMENT sListTuple (sectionName, articles)>
+        <!ELEMENT sectionName (#PCDATA)>
+        <!ATTLIST sectionName SectionPosition CDATA #IMPLIED>
+        <!ELEMENT articles (aTuple)*>
+        <!ELEMENT aTuple (title, authors, initPage, endPage, Toindex, fullText)>
+        <!ELEMENT title (#PCDATA)>
+        <!ATTLIST title articleCode CDATA #IMPLIED>
+        <!ELEMENT authors (author)*>
+        <!ELEMENT author (#PCDATA)>
+        <!ATTLIST author AuthorPosition CDATA #IMPLIED>
+        <!ELEMENT initPage (#PCDATA)>
+        <!ELEMENT endPage (#PCDATA)>
+        <!ELEMENT Toindex (index)?>
+        <!ELEMENT index (#PCDATA)>
+        <!ATTLIST index %Xlink;>
+        <!ELEMENT fullText (size)?>
+        <!ELEMENT size (#PCDATA)>
+        <!ATTLIST size %Xlink;>
+    "#;
+
+    fn small() -> SigmodConfig {
+        SigmodConfig { documents: 30, ..Default::default() }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate(&small()), generate(&small()));
+    }
+
+    #[test]
+    fn documents_are_valid() {
+        let dtd = parse_dtd(SIGMOD_DTD).unwrap();
+        for (i, text) in generate(&small()).iter().enumerate() {
+            let doc = parse_document(text).unwrap_or_else(|e| panic!("doc {i}: {e}"));
+            let errors = validate(&doc, &dtd);
+            assert!(errors.is_empty(), "doc {i}: {errors:?}");
+        }
+    }
+
+    #[test]
+    fn keywords_planted_at_low_selectivity() {
+        let cfg = SigmodConfig { documents: 300, ..Default::default() };
+        let docs = generate(&cfg);
+        let all = docs.join("");
+        let joins = all.matches("Join").count();
+        assert!(joins > 0, "need some Join titles");
+        assert!(all.contains("Worthy") || all.contains("Bird"));
+        // Every document has the deep structure.
+        assert!(docs.iter().all(|d| d.contains("<sListTuple>")));
+    }
+
+    #[test]
+    fn document_size_matches_paper_scale() {
+        // Paper: 12 MB / 3000 docs = ~4 KB per document.
+        let docs = generate(&SigmodConfig { documents: 20, ..Default::default() });
+        let avg = docs.iter().map(String::len).sum::<usize>() / docs.len();
+        assert!((1_500..12_000).contains(&avg), "avg doc size {avg}");
+    }
+}

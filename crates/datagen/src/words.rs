@@ -1,0 +1,101 @@
+//! Deterministic text synthesis for the corpus generators.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Common words used to fill prose and verse.
+pub const WORDS: &[&str] = &[
+    "the", "and", "to", "of", "my", "thou", "that", "with", "not", "his", "your", "for",
+    "be", "but", "he", "me", "this", "thy", "so", "have", "will", "what", "her", "thee",
+    "no", "him", "good", "we", "shall", "all", "do", "are", "our", "if", "more", "come",
+    "night", "day", "sweet", "heart", "eyes", "death", "life", "fair", "sword", "crown",
+    "king", "queen", "lord", "lady", "noble", "gentle", "heaven", "earth", "soul", "blood",
+    "honour", "grief", "joy", "sorrow", "fortune", "stars", "moon", "sun", "storm", "sea",
+    "word", "tongue", "hand", "face", "name", "house", "gate", "wall", "garden", "rose",
+];
+
+/// Speaker names used across generated plays.
+pub const SPEAKERS: &[&str] = &[
+    "HAMLET", "ROMEO", "JULIET", "MACBETH", "OTHELLO", "IAGO", "PORTIA", "BRUTUS",
+    "CASSIUS", "OPHELIA", "HORATIO", "MERCUTIO", "TYBALT", "BENVOLIO", "FALSTAFF",
+    "PROSPERO", "MIRANDA", "ARIEL", "PUCK", "OBERON", "TITANIA", "LEAR", "CORDELIA",
+    "EDMUND", "KENT", "GLOUCESTER", "DUKE", "FIRST CITIZEN", "SECOND CITIZEN", "MESSENGER",
+];
+
+/// Surnames for the SIGMOD author pool.
+pub const SURNAMES: &[&str] = &[
+    "Smith", "Chen", "Garcia", "Patel", "Kumar", "Mueller", "Tanaka", "Ivanov", "Rossi",
+    "Silva", "Kim", "Nguyen", "Brown", "Wilson", "Davis", "Lopez", "Olsen", "Novak",
+    "Fischer", "Weber", "Moreau", "Costa", "Haas", "Stone", "Rivers", "Field", "Marsh",
+];
+
+/// First-name initials pool.
+pub const INITIALS: &[&str] = &[
+    "A.", "B.", "C.", "D.", "E.", "F.", "G.", "H.", "J.", "K.", "L.", "M.", "N.", "P.",
+    "R.", "S.", "T.", "V.", "W.", "Y.",
+];
+
+/// Database-paper title fragments for the SIGMOD generator.
+pub const TITLE_TOPICS: &[&str] = &[
+    "Query Optimization", "Index Structures", "Parallel Scans", "Transaction Recovery",
+    "View Maintenance", "Data Warehousing", "Spatial Access Methods", "Buffer Management",
+    "Schema Evolution", "Semistructured Data", "Object Stores", "Active Rules",
+    "Deductive Databases", "Data Mining", "Workflow Systems", "Replication Protocols",
+];
+
+/// Stitch `n` pseudo-random words into a sentence-ish string.
+pub fn words(rng: &mut SmallRng, n: usize) -> String {
+    let mut out = String::with_capacity(n * 6);
+    for i in 0..n {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(WORDS[rng.gen_range(0..WORDS.len())]);
+    }
+    out
+}
+
+/// A line of verse of roughly `target_words` words, optionally seeded with
+/// an extra keyword somewhere in the middle.
+pub fn verse(rng: &mut SmallRng, target_words: usize, keyword: Option<&str>) -> String {
+    let mut line = words(rng, target_words);
+    if let Some(kw) = keyword {
+        let insert_at = line.len() / 2;
+        // Insert at a word boundary near the middle.
+        let at = line[insert_at..].find(' ').map(|i| insert_at + i).unwrap_or(line.len());
+        line.insert_str(at, &format!(" {kw}"));
+    }
+    line
+}
+
+/// Pick one entry of a slice.
+pub fn pick<'a>(rng: &mut SmallRng, items: &[&'a str]) -> &'a str {
+    items[rng.gen_range(0..items.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        assert_eq!(words(&mut a, 12), words(&mut b, 12));
+    }
+
+    #[test]
+    fn verse_embeds_keyword() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let v = verse(&mut rng, 8, Some("love"));
+        assert!(v.contains("love"));
+    }
+
+    #[test]
+    fn words_have_no_markup() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let w = words(&mut rng, 100);
+        assert!(!w.contains('<') && !w.contains('&'));
+    }
+}

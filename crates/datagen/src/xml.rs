@@ -1,0 +1,101 @@
+//! A tiny tag-balanced XML string builder used by both generators.
+
+use xmlkit::serialize::{escape_attr, escape_text_into};
+
+/// Builds an XML document string, checking tag balance as it goes.
+pub struct XmlBuilder {
+    buf: String,
+    stack: Vec<&'static str>,
+}
+
+impl Default for XmlBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl XmlBuilder {
+    /// Fresh builder.
+    pub fn new() -> XmlBuilder {
+        XmlBuilder { buf: String::with_capacity(64 * 1024), stack: Vec::new() }
+    }
+
+    /// `<tag>`.
+    pub fn open(&mut self, tag: &'static str) {
+        self.buf.push('<');
+        self.buf.push_str(tag);
+        self.buf.push('>');
+        self.stack.push(tag);
+    }
+
+    /// `<tag attr1="v1" ...>`.
+    pub fn open_with(&mut self, tag: &'static str, attrs: &[(&str, &str)]) {
+        self.buf.push('<');
+        self.buf.push_str(tag);
+        for (k, v) in attrs {
+            self.buf.push(' ');
+            self.buf.push_str(k);
+            self.buf.push_str("=\"");
+            self.buf.push_str(&escape_attr(v));
+            self.buf.push('"');
+        }
+        self.buf.push('>');
+        self.stack.push(tag);
+    }
+
+    /// `</tag>`; panics on imbalance (generator bug).
+    pub fn close(&mut self, tag: &'static str) {
+        let open = self.stack.pop().expect("close without open");
+        assert_eq!(open, tag, "mismatched close tag");
+        self.buf.push_str("</");
+        self.buf.push_str(tag);
+        self.buf.push('>');
+    }
+
+    /// Escaped character data.
+    pub fn text(&mut self, text: &str) {
+        escape_text_into(text, &mut self.buf);
+    }
+
+    /// `<tag>text</tag>`.
+    pub fn leaf(&mut self, tag: &'static str, text: &str) {
+        self.open(tag);
+        self.text(text);
+        self.close(tag);
+    }
+
+    /// `<tag attrs...>text</tag>`.
+    pub fn leaf_with(&mut self, tag: &'static str, attrs: &[(&str, &str)], text: &str) {
+        self.open_with(tag, attrs);
+        self.text(text);
+        self.close(tag);
+    }
+
+    /// Finish; panics if any element is still open.
+    pub fn finish(self) -> String {
+        assert!(self.stack.is_empty(), "unclosed elements: {:?}", self.stack);
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_escaped_xml() {
+        let mut b = XmlBuilder::new();
+        b.open("A");
+        b.leaf_with("B", &[("x", "1 & 2")], "a < b");
+        b.close("A");
+        assert_eq!(b.finish(), "<A><B x=\"1 &amp; 2\">a &lt; b</B></A>");
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched close tag")]
+    fn detects_mismatch() {
+        let mut b = XmlBuilder::new();
+        b.open("A");
+        b.close("B");
+    }
+}

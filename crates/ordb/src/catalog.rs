@@ -1,0 +1,377 @@
+//! The catalog: table, column, and index metadata, persisted to a small
+//! text file (`catalog.txt`) in the database directory.
+//!
+//! Identifiers are case-insensitive (stored as written, matched lowered),
+//! following SQL convention.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+use crate::error::{DbError, Result};
+use crate::storage::buffer::FileId;
+use crate::types::DataType;
+
+/// A column: name and declared type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name as declared.
+    pub name: String,
+    /// Declared type.
+    pub ty: DataType,
+}
+
+impl ColumnDef {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, ty: DataType) -> ColumnDef {
+        ColumnDef { name: name.into(), ty }
+    }
+}
+
+/// A table: columns plus the heap file holding its rows.
+#[derive(Debug, Clone)]
+pub struct TableDef {
+    /// Table name as declared.
+    pub name: String,
+    /// Columns in declaration order.
+    pub columns: Vec<ColumnDef>,
+    /// Heap file id.
+    pub file: FileId,
+}
+
+impl TableDef {
+    /// Index of column `name` (case-insensitive).
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+}
+
+/// A secondary index over one or more columns of a table.
+#[derive(Debug, Clone)]
+pub struct IndexDef {
+    /// Index name as declared.
+    pub name: String,
+    /// Owning table name.
+    pub table: String,
+    /// Indexed column names in key order.
+    pub columns: Vec<String>,
+    /// B+Tree file id.
+    pub file: FileId,
+}
+
+/// The catalog of one database.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: HashMap<String, TableDef>,
+    indexes: HashMap<String, IndexDef>,
+    /// Indexes per table (lowered table name).
+    by_table: HashMap<String, Vec<String>>,
+    next_file: FileId,
+}
+
+impl Catalog {
+    /// An empty catalog whose first allocated file id is 1.
+    pub fn new() -> Catalog {
+        Catalog { next_file: 1, ..Default::default() }
+    }
+
+    /// Allocate a fresh file id.
+    pub fn allocate_file_id(&mut self) -> FileId {
+        let id = self.next_file;
+        self.next_file += 1;
+        id
+    }
+
+    /// Register a table.
+    pub fn add_table(&mut self, def: TableDef) -> Result<()> {
+        let key = def.name.to_ascii_lowercase();
+        if self.tables.contains_key(&key) {
+            return Err(DbError::Catalog(format!("table {:?} already exists", def.name)));
+        }
+        self.tables.insert(key, def);
+        Ok(())
+    }
+
+    /// Register an index.
+    pub fn add_index(&mut self, def: IndexDef) -> Result<()> {
+        let key = def.name.to_ascii_lowercase();
+        if self.indexes.contains_key(&key) {
+            return Err(DbError::Catalog(format!("index {:?} already exists", def.name)));
+        }
+        let table_key = def.table.to_ascii_lowercase();
+        if !self.tables.contains_key(&table_key) {
+            return Err(DbError::Catalog(format!("unknown table {:?}", def.table)));
+        }
+        self.by_table.entry(table_key).or_default().push(key.clone());
+        self.indexes.insert(key, def);
+        Ok(())
+    }
+
+    /// Look up a table (case-insensitive).
+    pub fn table(&self, name: &str) -> Option<&TableDef> {
+        self.tables.get(&name.to_ascii_lowercase())
+    }
+
+    /// Look up an index by name.
+    pub fn index(&self, name: &str) -> Option<&IndexDef> {
+        self.indexes.get(&name.to_ascii_lowercase())
+    }
+
+    /// Indexes defined on `table`.
+    pub fn indexes_of(&self, table: &str) -> Vec<&IndexDef> {
+        self.by_table
+            .get(&table.to_ascii_lowercase())
+            .map(|names| names.iter().filter_map(|n| self.indexes.get(n)).collect())
+            .unwrap_or_default()
+    }
+
+    /// All tables, unordered.
+    pub fn tables(&self) -> impl Iterator<Item = &TableDef> {
+        self.tables.values()
+    }
+
+    /// All indexes, unordered.
+    pub fn indexes(&self) -> impl Iterator<Item = &IndexDef> {
+        self.indexes.values()
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Remove an index. Returns its definition.
+    pub fn remove_index(&mut self, name: &str) -> Result<IndexDef> {
+        let key = name.to_ascii_lowercase();
+        let def = self
+            .indexes
+            .remove(&key)
+            .ok_or_else(|| DbError::Catalog(format!("unknown index {name:?}")))?;
+        if let Some(list) = self.by_table.get_mut(&def.table.to_ascii_lowercase()) {
+            list.retain(|n| n != &key);
+        }
+        Ok(def)
+    }
+
+    /// Remove a table and all its indexes. Returns their definitions.
+    pub fn remove_table(&mut self, name: &str) -> Result<(TableDef, Vec<IndexDef>)> {
+        let key = name.to_ascii_lowercase();
+        let def = self
+            .tables
+            .remove(&key)
+            .ok_or_else(|| DbError::Catalog(format!("unknown table {name:?}")))?;
+        let index_names: Vec<String> =
+            self.by_table.remove(&key).unwrap_or_default();
+        let mut dropped = Vec::new();
+        for n in index_names {
+            if let Some(ix) = self.indexes.remove(&n) {
+                dropped.push(ix);
+            }
+        }
+        Ok((def, dropped))
+    }
+
+    // ---- persistence ---------------------------------------------------
+
+    /// Serialize to the `catalog.txt` format.
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("next_file {}\n", self.next_file));
+        let mut tables: Vec<&TableDef> = self.tables.values().collect();
+        tables.sort_by(|a, b| a.name.cmp(&b.name));
+        for t in tables {
+            out.push_str(&format!("table {} {} {}\n", escape(&t.name), t.file, t.columns.len()));
+            for c in &t.columns {
+                out.push_str(&format!("  col {} {}\n", escape(&c.name), c.ty));
+            }
+        }
+        let mut indexes: Vec<&IndexDef> = self.indexes.values().collect();
+        indexes.sort_by(|a, b| a.name.cmp(&b.name));
+        for i in indexes {
+            out.push_str(&format!(
+                "index {} {} {} {}\n",
+                escape(&i.name),
+                escape(&i.table),
+                i.file,
+                i.columns.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            ));
+        }
+        out
+    }
+
+    /// Parse the `catalog.txt` format.
+    pub fn deserialize(text: &str) -> Result<Catalog> {
+        let mut cat = Catalog::new();
+        let mut current_table: Option<TableDef> = None;
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let tag = parts.next().unwrap_or_default();
+            let bad =
+                |m: &str| DbError::Catalog(format!("catalog line {}: {m}", lineno + 1));
+            match tag {
+                "next_file" => {
+                    cat.next_file = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| bad("bad next_file"))?;
+                }
+                "table" => {
+                    if let Some(t) = current_table.take() {
+                        cat.add_table(t)?;
+                    }
+                    let name = unescape(parts.next().ok_or_else(|| bad("missing name"))?);
+                    let file =
+                        parts.next().and_then(|s| s.parse().ok()).ok_or_else(|| bad("bad file"))?;
+                    current_table = Some(TableDef { name, columns: Vec::new(), file });
+                }
+                "col" => {
+                    let t = current_table.as_mut().ok_or_else(|| bad("col outside table"))?;
+                    let name = unescape(parts.next().ok_or_else(|| bad("missing col name"))?);
+                    let ty = parts
+                        .next()
+                        .and_then(DataType::parse)
+                        .ok_or_else(|| bad("bad col type"))?;
+                    t.columns.push(ColumnDef { name, ty });
+                }
+                "index" => {
+                    if let Some(t) = current_table.take() {
+                        cat.add_table(t)?;
+                    }
+                    let name = unescape(parts.next().ok_or_else(|| bad("missing name"))?);
+                    let table = unescape(parts.next().ok_or_else(|| bad("missing table"))?);
+                    let file =
+                        parts.next().and_then(|s| s.parse().ok()).ok_or_else(|| bad("bad file"))?;
+                    let columns: Vec<String> = parts
+                        .next()
+                        .ok_or_else(|| bad("missing columns"))?
+                        .split(',')
+                        .map(unescape)
+                        .collect();
+                    cat.add_index(IndexDef { name, table, columns, file })?;
+                }
+                other => return Err(bad(&format!("unknown tag {other:?}"))),
+            }
+        }
+        if let Some(t) = current_table.take() {
+            cat.add_table(t)?;
+        }
+        Ok(cat)
+    }
+
+    /// Path of the catalog file inside a database directory.
+    pub fn file_path(dir: &Path) -> PathBuf {
+        dir.join("catalog.txt")
+    }
+
+    /// Write the catalog to its file in `dir`.
+    pub fn save(&self, dir: &Path) -> Result<()> {
+        std::fs::write(Self::file_path(dir), self.serialize())?;
+        Ok(())
+    }
+
+    /// Load the catalog from `dir` (empty catalog if the file is absent).
+    pub fn load(dir: &Path) -> Result<Catalog> {
+        let path = Self::file_path(dir);
+        if !path.exists() {
+            return Ok(Catalog::new());
+        }
+        let text = std::fs::read_to_string(path)?;
+        Catalog::deserialize(&text)
+    }
+}
+
+/// Identifiers with whitespace are uncommon; escape them minimally.
+fn escape(s: &str) -> String {
+    s.replace(' ', "\\x20")
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("\\x20", " ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Catalog {
+        let mut c = Catalog::new();
+        let f1 = c.allocate_file_id();
+        c.add_table(TableDef {
+            name: "speech".into(),
+            columns: vec![
+                ColumnDef::new("speechID", DataType::Integer),
+                ColumnDef::new("speech_speaker", DataType::Xadt),
+                ColumnDef::new("speech_parentCODE", DataType::Varchar),
+            ],
+            file: f1,
+        })
+        .unwrap();
+        let f2 = c.allocate_file_id();
+        c.add_index(IndexDef {
+            name: "speech_pk".into(),
+            table: "speech".into(),
+            columns: vec!["speechID".into()],
+            file: f2,
+        })
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let c = sample();
+        assert!(c.table("SPEECH").is_some());
+        assert!(c.index("Speech_PK").is_some());
+        let t = c.table("speech").unwrap();
+        assert_eq!(t.column_index("SPEECH_SPEAKER"), Some(1));
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut c = sample();
+        let f = c.allocate_file_id();
+        assert!(c
+            .add_table(TableDef { name: "SPEECH".into(), columns: vec![], file: f })
+            .is_err());
+    }
+
+    #[test]
+    fn index_requires_table() {
+        let mut c = Catalog::new();
+        let f = c.allocate_file_id();
+        assert!(c
+            .add_index(IndexDef {
+                name: "i".into(),
+                table: "nope".into(),
+                columns: vec!["x".into()],
+                file: f,
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let c = sample();
+        let text = c.serialize();
+        let back = Catalog::deserialize(&text).unwrap();
+        assert_eq!(back.table_count(), 1);
+        let t = back.table("speech").unwrap();
+        assert_eq!(t.columns.len(), 3);
+        assert_eq!(t.columns[1].ty, DataType::Xadt);
+        let i = back.index("speech_pk").unwrap();
+        assert_eq!(i.columns, vec!["speechID".to_string()]);
+        assert_eq!(back.indexes_of("SPEECH").len(), 1);
+        // file counter preserved
+        let mut back = back;
+        assert_eq!(back.allocate_file_id(), 3);
+    }
+
+    #[test]
+    fn indexes_of_unknown_table_is_empty() {
+        let c = sample();
+        assert!(c.indexes_of("other").is_empty());
+    }
+}

@@ -1,0 +1,61 @@
+//! Error handling for the engine.
+
+use std::fmt;
+
+/// Any failure inside the database engine.
+#[derive(Debug)]
+pub enum DbError {
+    /// Underlying file I/O failed.
+    Io(std::io::Error),
+    /// A SQL string failed to parse.
+    Parse(String),
+    /// Name resolution / planning failed (unknown table, column, function…).
+    Plan(String),
+    /// Runtime evaluation failed (type mismatch, bad function arguments…).
+    Exec(String),
+    /// Catalog inconsistency (duplicate table, missing index file…).
+    Catalog(String),
+    /// A stored page or tuple failed to decode.
+    Corrupt(String),
+    /// An XADT fragment was malformed.
+    Fragment(xadt::FragmentError),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Io(e) => write!(f, "i/o error: {e}"),
+            DbError::Parse(m) => write!(f, "parse error: {m}"),
+            DbError::Plan(m) => write!(f, "planning error: {m}"),
+            DbError::Exec(m) => write!(f, "execution error: {m}"),
+            DbError::Catalog(m) => write!(f, "catalog error: {m}"),
+            DbError::Corrupt(m) => write!(f, "corrupt data: {m}"),
+            DbError::Fragment(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DbError::Io(e) => Some(e),
+            DbError::Fragment(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DbError {
+    fn from(e: std::io::Error) -> Self {
+        DbError::Io(e)
+    }
+}
+
+impl From<xadt::FragmentError> for DbError {
+    fn from(e: xadt::FragmentError) -> Self {
+        DbError::Fragment(e)
+    }
+}
+
+/// Result alias used throughout the engine.
+pub type Result<T> = std::result::Result<T, DbError>;

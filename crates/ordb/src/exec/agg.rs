@@ -1,0 +1,295 @@
+//! Grouping, aggregation, and duplicate elimination.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::error::{DbError, Result};
+use crate::exec::{BoxOp, Operator};
+use crate::expr::Expr;
+use crate::types::{Row, Value};
+
+/// Supported aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(*)` (argument ignored) or `COUNT(expr)` (non-NULLs).
+    Count,
+    /// `COUNT(DISTINCT expr)`.
+    CountDistinct,
+    /// `SUM(expr)` over integers.
+    Sum,
+    /// `MIN(expr)`.
+    Min,
+    /// `MAX(expr)`.
+    Max,
+}
+
+/// One aggregate call in the select list.
+pub struct AggCall {
+    /// Which function.
+    pub func: AggFunc,
+    /// Argument (`None` only for `COUNT(*)`).
+    pub arg: Option<Expr>,
+}
+
+enum AggState {
+    Count(i64),
+    CountDistinct(HashSet<Value>),
+    Sum(Option<i64>),
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl AggState {
+    fn new(f: AggFunc) -> AggState {
+        match f {
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::CountDistinct => AggState::CountDistinct(HashSet::new()),
+            AggFunc::Sum => AggState::Sum(None),
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+        }
+    }
+
+    fn update(&mut self, v: Option<Value>) -> Result<()> {
+        match self {
+            AggState::Count(n) => {
+                // COUNT(*) passes None; COUNT(expr) passes Some(v) and
+                // counts only non-NULL values.
+                match v {
+                    None => *n += 1,
+                    Some(val) if !val.is_null() => *n += 1,
+                    Some(_) => {}
+                }
+            }
+            AggState::CountDistinct(set) => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        set.insert(val);
+                    }
+                }
+            }
+            AggState::Sum(acc) => {
+                if let Some(Value::Int(i)) = v {
+                    *acc = Some(acc.unwrap_or(0) + i);
+                } else if let Some(Value::Null) = v {
+                    // NULLs ignored
+                } else if let Some(other) = v {
+                    return Err(DbError::Exec(format!("SUM over non-integer {other:?}")));
+                }
+            }
+            AggState::Min(acc) => {
+                if let Some(val) = v {
+                    if !val.is_null() && acc.as_ref().is_none_or(|a| val < *a) {
+                        *acc = Some(val);
+                    }
+                }
+            }
+            AggState::Max(acc) => {
+                if let Some(val) = v {
+                    if !val.is_null() && acc.as_ref().is_none_or(|a| val > *a) {
+                        *acc = Some(val);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            AggState::Count(n) => Value::Int(n),
+            AggState::CountDistinct(set) => Value::Int(set.len() as i64),
+            AggState::Sum(acc) => acc.map_or(Value::Null, Value::Int),
+            AggState::Min(acc) | AggState::Max(acc) => acc.unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Hash aggregation: output rows are `group values ++ aggregate values`.
+/// With no group keys a single global group is produced (even on empty
+/// input, per SQL).
+pub struct HashAggregate {
+    child: Option<BoxOp>,
+    group_exprs: Vec<Expr>,
+    aggs: Vec<AggCall>,
+    output: std::vec::IntoIter<Row>,
+    built: bool,
+}
+
+impl HashAggregate {
+    /// Group `child` by `group_exprs` and compute `aggs` per group.
+    pub fn new(child: BoxOp, group_exprs: Vec<Expr>, aggs: Vec<AggCall>) -> HashAggregate {
+        HashAggregate {
+            child: Some(child),
+            group_exprs,
+            aggs,
+            output: Vec::new().into_iter(),
+            built: false,
+        }
+    }
+
+    fn build(&mut self) -> Result<()> {
+        let mut child = self.child.take().expect("build once");
+        let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+        // Preserve first-seen group order for deterministic output.
+        let mut order: Vec<Vec<Value>> = Vec::new();
+        while let Some(row) = child.next()? {
+            let mut key = Vec::with_capacity(self.group_exprs.len());
+            for e in &self.group_exprs {
+                key.push(e.eval(&row)?);
+            }
+            let states = match groups.get_mut(&key) {
+                Some(s) => s,
+                None => {
+                    order.push(key.clone());
+                    groups
+                        .entry(key)
+                        .or_insert_with(|| self.aggs.iter().map(|a| AggState::new(a.func)).collect())
+                }
+            };
+            for (state, call) in states.iter_mut().zip(&self.aggs) {
+                let v = match &call.arg {
+                    Some(e) => Some(e.eval(&row)?),
+                    None => None,
+                };
+                state.update(v)?;
+            }
+        }
+        if groups.is_empty() && self.group_exprs.is_empty() {
+            // Global aggregate over empty input still yields one row.
+            order.push(Vec::new());
+            groups.insert(
+                Vec::new(),
+                self.aggs.iter().map(|a| AggState::new(a.func)).collect(),
+            );
+        }
+        let mut out = Vec::with_capacity(order.len());
+        for key in order {
+            let states = groups.remove(&key).expect("tracked group");
+            let mut row = key;
+            row.extend(states.into_iter().map(AggState::finish));
+            out.push(row);
+        }
+        self.output = out.into_iter();
+        self.built = true;
+        Ok(())
+    }
+}
+
+impl Operator for HashAggregate {
+    fn next(&mut self) -> Result<Option<Row>> {
+        if !self.built {
+            self.build()?;
+        }
+        Ok(self.output.next())
+    }
+
+    fn name(&self) -> &'static str {
+        "HashAggregate"
+    }
+}
+
+/// Hash-based duplicate elimination over whole rows.
+pub struct Distinct {
+    child: BoxOp,
+    seen: HashSet<Row>,
+}
+
+impl Distinct {
+    /// Deduplicate `child`.
+    pub fn new(child: BoxOp) -> Distinct {
+        Distinct { child, seen: HashSet::new() }
+    }
+}
+
+impl Operator for Distinct {
+    fn next(&mut self) -> Result<Option<Row>> {
+        while let Some(row) = self.child.next()? {
+            if self.seen.insert(row.clone()) {
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+
+    fn name(&self) -> &'static str {
+        "Distinct"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{collect, Values};
+
+    fn rows() -> BoxOp {
+        Box::new(Values::new(vec![
+            vec![Value::str("a"), Value::Int(1)],
+            vec![Value::str("b"), Value::Int(2)],
+            vec![Value::str("a"), Value::Int(3)],
+            vec![Value::str("a"), Value::Null],
+            vec![Value::str("b"), Value::Int(2)],
+        ]))
+    }
+
+    #[test]
+    fn count_star_and_count_expr() {
+        let op = HashAggregate::new(
+            rows(),
+            vec![Expr::col(0)],
+            vec![
+                AggCall { func: AggFunc::Count, arg: None },
+                AggCall { func: AggFunc::Count, arg: Some(Expr::col(1)) },
+            ],
+        );
+        let mut out = collect(Box::new(op)).unwrap();
+        out.sort_by(|a, b| a[0].cmp(&b[0]));
+        assert_eq!(out[0], vec![Value::str("a"), Value::Int(3), Value::Int(2)]);
+        assert_eq!(out[1], vec![Value::str("b"), Value::Int(2), Value::Int(2)]);
+    }
+
+    #[test]
+    fn count_distinct_sum_min_max() {
+        let op = HashAggregate::new(
+            rows(),
+            vec![],
+            vec![
+                AggCall { func: AggFunc::CountDistinct, arg: Some(Expr::col(0)) },
+                AggCall { func: AggFunc::Sum, arg: Some(Expr::col(1)) },
+                AggCall { func: AggFunc::Min, arg: Some(Expr::col(1)) },
+                AggCall { func: AggFunc::Max, arg: Some(Expr::col(1)) },
+            ],
+        );
+        let out = collect(Box::new(op)).unwrap();
+        assert_eq!(
+            out,
+            vec![vec![Value::Int(2), Value::Int(8), Value::Int(1), Value::Int(3)]]
+        );
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input() {
+        let op = HashAggregate::new(
+            Box::new(Values::new(vec![])),
+            vec![],
+            vec![AggCall { func: AggFunc::Count, arg: None }],
+        );
+        let out = collect(Box::new(op)).unwrap();
+        assert_eq!(out, vec![vec![Value::Int(0)]]);
+    }
+
+    #[test]
+    fn grouped_aggregate_on_empty_input_is_empty() {
+        let op = HashAggregate::new(
+            Box::new(Values::new(vec![])),
+            vec![Expr::col(0)],
+            vec![AggCall { func: AggFunc::Count, arg: None }],
+        );
+        assert!(collect(Box::new(op)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn distinct_dedups() {
+        let out = collect(Box::new(Distinct::new(rows()))).unwrap();
+        assert_eq!(out.len(), 4);
+    }
+}

@@ -1,0 +1,423 @@
+//! Join operators: block nested-loop, index nested-loop, hash, and
+//! sort-merge — the three cost regimes the paper discusses in §4.4
+//! (O(n²) nested loop, O(n log n) merge, O(n) hash probe).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::error::Result;
+use crate::exec::{BoxOp, Operator};
+use crate::expr::Expr;
+use crate::index::btree::BTree;
+use crate::index::key::encode_key;
+use crate::storage::heap::HeapFile;
+use crate::tuple::decode_row;
+use crate::types::{Row, Value};
+
+/// Inner join with the inner side materialized; optional predicate applied
+/// to the concatenated row. With no predicate this is a cross product.
+pub struct NestedLoopJoin {
+    outer: BoxOp,
+    inner_rows: Vec<Row>,
+    predicate: Option<Expr>,
+    current_outer: Option<Row>,
+    inner_pos: usize,
+}
+
+impl NestedLoopJoin {
+    /// Join `outer` with the fully-materialized `inner` child.
+    pub fn new(outer: BoxOp, inner: BoxOp, predicate: Option<Expr>) -> Result<NestedLoopJoin> {
+        let inner_rows = crate::exec::collect(inner)?;
+        Ok(NestedLoopJoin { outer, inner_rows, predicate, current_outer: None, inner_pos: 0 })
+    }
+}
+
+impl Operator for NestedLoopJoin {
+    fn next(&mut self) -> Result<Option<Row>> {
+        loop {
+            if self.current_outer.is_none() {
+                self.current_outer = self.outer.next()?;
+                self.inner_pos = 0;
+                if self.current_outer.is_none() {
+                    return Ok(None);
+                }
+            }
+            let outer = self.current_outer.as_ref().expect("set above");
+            while self.inner_pos < self.inner_rows.len() {
+                let inner = &self.inner_rows[self.inner_pos];
+                self.inner_pos += 1;
+                let mut joined = Vec::with_capacity(outer.len() + inner.len());
+                joined.extend_from_slice(outer);
+                joined.extend_from_slice(inner);
+                match &self.predicate {
+                    Some(p) if !p.eval(&joined)?.is_true() => continue,
+                    _ => return Ok(Some(joined)),
+                }
+            }
+            self.current_outer = None;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "NestedLoopJoin"
+    }
+}
+
+/// Index nested-loop join: for each outer row, probe the inner table's
+/// B+Tree with the outer join-key values and fetch matching inner rows.
+pub struct IndexNestedLoopJoin {
+    outer: BoxOp,
+    inner_heap: Arc<HeapFile>,
+    inner_index: Arc<BTree>,
+    inner_arity: usize,
+    /// Expressions over the *outer* row producing the probe key values.
+    outer_keys: Vec<Expr>,
+    /// Residual predicate over the concatenated row.
+    residual: Option<Expr>,
+    current_outer: Option<Row>,
+    pending: std::vec::IntoIter<Row>,
+}
+
+impl IndexNestedLoopJoin {
+    /// Build the operator.
+    pub fn new(
+        outer: BoxOp,
+        inner_heap: Arc<HeapFile>,
+        inner_index: Arc<BTree>,
+        inner_arity: usize,
+        outer_keys: Vec<Expr>,
+        residual: Option<Expr>,
+    ) -> IndexNestedLoopJoin {
+        IndexNestedLoopJoin {
+            outer,
+            inner_heap,
+            inner_index,
+            inner_arity,
+            outer_keys,
+            residual,
+            current_outer: None,
+            pending: Vec::new().into_iter(),
+        }
+    }
+}
+
+impl Operator for IndexNestedLoopJoin {
+    fn next(&mut self) -> Result<Option<Row>> {
+        loop {
+            if let Some(inner) = self.pending.next() {
+                let outer = self.current_outer.as_ref().expect("outer set");
+                let mut joined = Vec::with_capacity(outer.len() + inner.len());
+                joined.extend_from_slice(outer);
+                joined.extend(inner);
+                match &self.residual {
+                    Some(p) if !p.eval(&joined)?.is_true() => continue,
+                    _ => return Ok(Some(joined)),
+                }
+            }
+            let Some(outer) = self.outer.next()? else {
+                return Ok(None);
+            };
+            let mut key_vals = Vec::with_capacity(self.outer_keys.len());
+            let mut has_null = false;
+            for e in &self.outer_keys {
+                let v = e.eval(&outer)?;
+                has_null |= v.is_null();
+                key_vals.push(v);
+            }
+            if has_null {
+                // NULL never equi-joins.
+                self.pending = Vec::new().into_iter();
+                self.current_outer = Some(outer);
+                continue;
+            }
+            let prefix = encode_key(&key_vals);
+            let rids = self.inner_index.scan_prefix(&prefix)?;
+            let mut rows = Vec::with_capacity(rids.len());
+            for rid in rids {
+                let bytes = self.inner_heap.get(rid)?;
+                rows.push(decode_row(&bytes, self.inner_arity)?);
+            }
+            self.current_outer = Some(outer);
+            self.pending = rows.into_iter();
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "IndexNestedLoopJoin"
+    }
+}
+
+/// Hash join: build a hash table on the build side's keys, stream the
+/// probe side. Output rows are `probe ++ build` or `build ++ probe`
+/// depending on `probe_is_left`.
+pub struct HashJoin {
+    probe: BoxOp,
+    table: HashMap<Vec<Value>, Vec<Row>>,
+    probe_keys: Vec<Expr>,
+    residual: Option<Expr>,
+    probe_is_left: bool,
+    current_probe: Option<Row>,
+    pending: std::vec::IntoIter<Row>,
+}
+
+impl HashJoin {
+    /// Materialize `build` into a hash table keyed by `build_keys`; stream
+    /// `probe` with `probe_keys`.
+    pub fn new(
+        probe: BoxOp,
+        build: BoxOp,
+        probe_keys: Vec<Expr>,
+        build_keys: Vec<Expr>,
+        residual: Option<Expr>,
+        probe_is_left: bool,
+    ) -> Result<HashJoin> {
+        let mut table: HashMap<Vec<Value>, Vec<Row>> = HashMap::new();
+        let rows = crate::exec::collect(build)?;
+        for row in rows {
+            let mut key = Vec::with_capacity(build_keys.len());
+            let mut has_null = false;
+            for e in &build_keys {
+                let v = e.eval(&row)?;
+                has_null |= v.is_null();
+                key.push(v);
+            }
+            if !has_null {
+                table.entry(key).or_default().push(row);
+            }
+        }
+        Ok(HashJoin {
+            probe,
+            table,
+            probe_keys,
+            residual,
+            probe_is_left,
+            current_probe: None,
+            pending: Vec::new().into_iter(),
+        })
+    }
+}
+
+impl Operator for HashJoin {
+    fn next(&mut self) -> Result<Option<Row>> {
+        loop {
+            if let Some(build_row) = self.pending.next() {
+                let probe_row = self.current_probe.as_ref().expect("probe set");
+                let joined = if self.probe_is_left {
+                    let mut j = probe_row.clone();
+                    j.extend(build_row);
+                    j
+                } else {
+                    let mut j = build_row;
+                    j.extend_from_slice(probe_row);
+                    j
+                };
+                match &self.residual {
+                    Some(p) if !p.eval(&joined)?.is_true() => continue,
+                    _ => return Ok(Some(joined)),
+                }
+            }
+            let Some(probe_row) = self.probe.next()? else {
+                return Ok(None);
+            };
+            let mut key = Vec::with_capacity(self.probe_keys.len());
+            let mut has_null = false;
+            for e in &self.probe_keys {
+                let v = e.eval(&probe_row)?;
+                has_null |= v.is_null();
+                key.push(v);
+            }
+            let matches = if has_null {
+                Vec::new()
+            } else {
+                self.table.get(&key).cloned().unwrap_or_default()
+            };
+            self.current_probe = Some(probe_row);
+            self.pending = matches.into_iter();
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "HashJoin"
+    }
+}
+
+/// Sort-merge join on equi-keys: both inputs are materialized and sorted
+/// by their key expressions, then merged with duplicate-group handling.
+pub struct MergeJoin {
+    output: std::vec::IntoIter<Row>,
+}
+
+impl MergeJoin {
+    /// Build (eagerly) from two children and their key expressions.
+    pub fn new(
+        left: BoxOp,
+        right: BoxOp,
+        left_keys: Vec<Expr>,
+        right_keys: Vec<Expr>,
+        residual: Option<Expr>,
+    ) -> Result<MergeJoin> {
+        let sort_side = |op: BoxOp, keys: &[Expr]| -> Result<Vec<(Vec<Value>, Row)>> {
+            let rows = crate::exec::collect(op)?;
+            let mut keyed = Vec::with_capacity(rows.len());
+            for row in rows {
+                let mut k = Vec::with_capacity(keys.len());
+                let mut has_null = false;
+                for e in keys {
+                    let v = e.eval(&row)?;
+                    has_null |= v.is_null();
+                    k.push(v);
+                }
+                if !has_null {
+                    keyed.push((k, row));
+                }
+            }
+            keyed.sort_by(|a, b| a.0.cmp(&b.0));
+            Ok(keyed)
+        };
+        let l = sort_side(left, &left_keys)?;
+        let r = sort_side(right, &right_keys)?;
+
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < l.len() && j < r.len() {
+            match l[i].0.cmp(&r[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    // Emit the full cross product of the two equal groups.
+                    let key = &l[i].0;
+                    let li_end = (i..l.len()).take_while(|&x| &l[x].0 == key).last().unwrap() + 1;
+                    let rj_end = (j..r.len()).take_while(|&x| &r[x].0 == key).last().unwrap() + 1;
+                    for (_, lrow) in &l[i..li_end] {
+                        for (_, rrow) in &r[j..rj_end] {
+                            let mut joined = lrow.clone();
+                            joined.extend_from_slice(rrow);
+                            match &residual {
+                                Some(p) if !p.eval(&joined)?.is_true() => {}
+                                _ => out.push(joined),
+                            }
+                        }
+                    }
+                    i = li_end;
+                    j = rj_end;
+                }
+            }
+        }
+        Ok(MergeJoin { output: out.into_iter() })
+    }
+}
+
+impl Operator for MergeJoin {
+    fn next(&mut self) -> Result<Option<Row>> {
+        Ok(self.output.next())
+    }
+
+    fn name(&self) -> &'static str {
+        "MergeJoin"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{collect, Values};
+    use crate::expr::CmpOp;
+
+    fn left() -> BoxOp {
+        // (id, name)
+        Box::new(Values::new(vec![
+            vec![Value::Int(1), Value::str("a")],
+            vec![Value::Int(2), Value::str("b")],
+            vec![Value::Int(2), Value::str("b2")],
+            vec![Value::Int(3), Value::str("c")],
+            vec![Value::Null, Value::str("n")],
+        ]))
+    }
+
+    fn right() -> BoxOp {
+        // (ref, tag)
+        Box::new(Values::new(vec![
+            vec![Value::Int(2), Value::str("x")],
+            vec![Value::Int(2), Value::str("y")],
+            vec![Value::Int(3), Value::str("z")],
+            vec![Value::Int(9), Value::str("w")],
+            vec![Value::Null, Value::str("nn")],
+        ]))
+    }
+
+    fn expected_pairs() -> Vec<(i64, String, String)> {
+        vec![
+            (2, "b".into(), "x".into()),
+            (2, "b".into(), "y".into()),
+            (2, "b2".into(), "x".into()),
+            (2, "b2".into(), "y".into()),
+            (3, "c".into(), "z".into()),
+        ]
+    }
+
+    fn normalize(rows: Vec<Row>) -> Vec<(i64, String, String)> {
+        let mut v: Vec<(i64, String, String)> = rows
+            .into_iter()
+            .map(|r| {
+                (
+                    r[0].as_int().unwrap(),
+                    r[1].as_str().unwrap().to_string(),
+                    r[3].as_str().unwrap().to_string(),
+                )
+            })
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn nested_loop_equi() {
+        let pred = Expr::cmp(CmpOp::Eq, Expr::col(0), Expr::col(2));
+        let j = NestedLoopJoin::new(left(), right(), Some(pred)).unwrap();
+        assert_eq!(normalize(collect(Box::new(j)).unwrap()), expected_pairs());
+    }
+
+    #[test]
+    fn hash_join_matches_nested_loop() {
+        let j = HashJoin::new(
+            left(),
+            right(),
+            vec![Expr::col(0)],
+            vec![Expr::col(0)],
+            None,
+            true,
+        )
+        .unwrap();
+        assert_eq!(normalize(collect(Box::new(j)).unwrap()), expected_pairs());
+    }
+
+    #[test]
+    fn merge_join_matches_nested_loop() {
+        let j = MergeJoin::new(left(), right(), vec![Expr::col(0)], vec![Expr::col(0)], None)
+            .unwrap();
+        assert_eq!(normalize(collect(Box::new(j)).unwrap()), expected_pairs());
+    }
+
+    #[test]
+    fn cross_product_without_predicate() {
+        let j = NestedLoopJoin::new(left(), right(), None).unwrap();
+        assert_eq!(collect(Box::new(j)).unwrap().len(), 25);
+    }
+
+    #[test]
+    fn hash_join_residual() {
+        // join on id, but keep only tag = 'y'
+        let residual = Expr::cmp(CmpOp::Eq, Expr::col(3), Expr::lit("y"));
+        let j = HashJoin::new(
+            left(),
+            right(),
+            vec![Expr::col(0)],
+            vec![Expr::col(0)],
+            Some(residual),
+            true,
+        )
+        .unwrap();
+        let rows = collect(Box::new(j)).unwrap();
+        assert_eq!(rows.len(), 2); // b-y and b2-y
+    }
+}

@@ -1,0 +1,88 @@
+//! Table access: sequential scans and index scans.
+
+use std::sync::Arc;
+
+use crate::error::Result;
+use crate::exec::Operator;
+use crate::index::btree::BTree;
+use crate::storage::heap::{HeapCursor, HeapFile, Rid};
+use crate::tuple::decode_row;
+use crate::types::Row;
+
+/// Full-file scan of a heap in physical order.
+pub struct SeqScan {
+    cursor: HeapCursor,
+    arity: usize,
+}
+
+impl SeqScan {
+    /// Scan `heap`, decoding rows of `arity` columns.
+    pub fn new(heap: Arc<HeapFile>, arity: usize) -> SeqScan {
+        SeqScan { cursor: HeapCursor::new(heap), arity }
+    }
+}
+
+impl Operator for SeqScan {
+    fn next(&mut self) -> Result<Option<Row>> {
+        match self.cursor.next()? {
+            Some((_rid, bytes)) => Ok(Some(decode_row(&bytes, self.arity)?)),
+            None => Ok(None),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "SeqScan"
+    }
+}
+
+/// Index scan: probe a B+Tree for a key range, then fetch matching heap
+/// rows. RIDs are materialized up front (the paper's workloads probe with
+/// selective predicates, so RID lists are short relative to the table).
+pub struct IndexScan {
+    heap: Arc<HeapFile>,
+    arity: usize,
+    rids: std::vec::IntoIter<Rid>,
+}
+
+impl IndexScan {
+    /// Scan `index` for logical keys starting with `prefix`.
+    pub fn prefix(
+        heap: Arc<HeapFile>,
+        index: &BTree,
+        prefix: &[u8],
+        arity: usize,
+    ) -> Result<IndexScan> {
+        let rids = index.scan_prefix(prefix)?;
+        Ok(IndexScan { heap, arity, rids: rids.into_iter() })
+    }
+
+    /// Scan `index` for keys in `[lo, hi]` (see [`BTree::scan_range`]).
+    pub fn range(
+        heap: Arc<HeapFile>,
+        index: &BTree,
+        lo: Option<&[u8]>,
+        hi: Option<&[u8]>,
+        hi_inclusive: bool,
+        arity: usize,
+    ) -> Result<IndexScan> {
+        let pairs = index.scan_range(lo, hi, hi_inclusive)?;
+        let rids: Vec<Rid> = pairs.into_iter().map(|(_, rid)| rid).collect();
+        Ok(IndexScan { heap, arity, rids: rids.into_iter() })
+    }
+}
+
+impl Operator for IndexScan {
+    fn next(&mut self) -> Result<Option<Row>> {
+        match self.rids.next() {
+            Some(rid) => {
+                let bytes = self.heap.get(rid)?;
+                Ok(Some(decode_row(&bytes, self.arity)?))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "IndexScan"
+    }
+}

@@ -1,0 +1,100 @@
+//! In-memory sort.
+
+use crate::error::Result;
+use crate::exec::{BoxOp, Operator};
+use crate::expr::Expr;
+use crate::types::{Row, Value};
+
+/// One ORDER BY key.
+pub struct SortKey {
+    /// Key expression.
+    pub expr: Expr,
+    /// Ascending (`true`) or descending.
+    pub asc: bool,
+}
+
+/// Materialize the child, sort, then emit. NULLs order first (matching the
+/// index key encoding).
+pub struct Sort {
+    child: Option<BoxOp>,
+    keys: Vec<SortKey>,
+    sorted: std::vec::IntoIter<Row>,
+    done_build: bool,
+}
+
+impl Sort {
+    /// Sort `child` by `keys`.
+    pub fn new(child: BoxOp, keys: Vec<SortKey>) -> Sort {
+        Sort { child: Some(child), keys, sorted: Vec::new().into_iter(), done_build: false }
+    }
+
+    fn build(&mut self) -> Result<()> {
+        let child = self.child.take().expect("build once");
+        let rows = crate::exec::collect(child)?;
+        let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(rows.len());
+        for row in rows {
+            let mut k = Vec::with_capacity(self.keys.len());
+            for sk in &self.keys {
+                k.push(sk.expr.eval(&row)?);
+            }
+            keyed.push((k, row));
+        }
+        let descending: Vec<bool> = self.keys.iter().map(|k| !k.asc).collect();
+        keyed.sort_by(|a, b| {
+            for (i, (ka, kb)) in a.0.iter().zip(&b.0).enumerate() {
+                let ord = ka.cmp(kb);
+                let ord = if descending[i] { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        self.sorted = keyed.into_iter().map(|(_, r)| r).collect::<Vec<_>>().into_iter();
+        self.done_build = true;
+        Ok(())
+    }
+}
+
+impl Operator for Sort {
+    fn next(&mut self) -> Result<Option<Row>> {
+        if !self.done_build {
+            self.build()?;
+        }
+        Ok(self.sorted.next())
+    }
+
+    fn name(&self) -> &'static str {
+        "Sort"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{collect, Values};
+
+    #[test]
+    fn sorts_ascending_and_descending() {
+        let rows = vec![
+            vec![Value::Int(2), Value::str("b")],
+            vec![Value::Int(1), Value::str("c")],
+            vec![Value::Int(2), Value::str("a")],
+            vec![Value::Null, Value::str("z")],
+        ];
+        let op = Sort::new(
+            Box::new(Values::new(rows)),
+            vec![
+                SortKey { expr: Expr::col(0), asc: true },
+                SortKey { expr: Expr::col(1), asc: false },
+            ],
+        );
+        let out = collect(Box::new(op)).unwrap();
+        let snapshot: Vec<(Option<i64>, &str)> =
+            out.iter().map(|r| (r[0].as_int(), r[1].as_str().unwrap())).collect();
+        assert_eq!(
+            snapshot,
+            [(None, "z"), (Some(1), "c"), (Some(2), "b"), (Some(2), "a")]
+        );
+    }
+}

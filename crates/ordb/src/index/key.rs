@@ -1,0 +1,121 @@
+//! Order-preserving key encoding.
+//!
+//! Index keys are byte strings whose lexicographic order equals the SQL
+//! order of the underlying values, so the B+Tree only ever compares bytes.
+//!
+//! Per column: a type tag, then a payload:
+//!
+//! * NULL  → `0x00` (sorts before everything)
+//! * Int   → `0x01` + 8 bytes big-endian with the sign bit flipped
+//! * Str   → `0x02` + bytes with `0x00` escaped as `0x00 0xFF`,
+//!   terminated by `0x00 0x00`
+//! * Xadt  → `0x03` + its plain text, escaped like Str
+//!
+//! The encoding is prefix-compatible: the encoding of `(a)` is a byte
+//! prefix of the encoding of `(a, b)`, which is what composite-index
+//! prefix scans rely on.
+
+use crate::types::Value;
+
+/// Append the encoding of one value to `out`.
+pub fn encode_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Null => out.push(0x00),
+        Value::Int(i) => {
+            out.push(0x01);
+            let flipped = (*i as u64) ^ (1u64 << 63);
+            out.extend_from_slice(&flipped.to_be_bytes());
+        }
+        Value::Str(s) => {
+            out.push(0x02);
+            encode_bytes(s.as_bytes(), out);
+        }
+        Value::Xadt(x) => {
+            out.push(0x03);
+            encode_bytes(x.to_plain().as_bytes(), out);
+        }
+    }
+}
+
+fn encode_bytes(bytes: &[u8], out: &mut Vec<u8>) {
+    for &b in bytes {
+        if b == 0x00 {
+            out.push(0x00);
+            out.push(0xFF);
+        } else {
+            out.push(b);
+        }
+    }
+    out.push(0x00);
+    out.push(0x00);
+}
+
+/// Encode a composite key.
+pub fn encode_key(values: &[Value]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 12);
+    for v in values {
+        encode_value(v, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enc(v: &Value) -> Vec<u8> {
+        let mut out = Vec::new();
+        encode_value(v, &mut out);
+        out
+    }
+
+    #[test]
+    fn integer_order_preserved() {
+        let values = [i64::MIN, -1_000_000, -1, 0, 1, 42, 1_000_000, i64::MAX];
+        let encoded: Vec<Vec<u8>> = values.iter().map(|i| enc(&Value::Int(*i))).collect();
+        for w in encoded.windows(2) {
+            assert!(w[0] < w[1], "{:?} !< {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn string_order_preserved() {
+        let values = ["", "a", "aa", "ab", "b", "ba", "z"];
+        let encoded: Vec<Vec<u8>> = values.iter().map(|s| enc(&Value::str(*s))).collect();
+        for w in encoded.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn embedded_nul_escaping_keeps_order_and_uniqueness() {
+        let a = enc(&Value::str("a\0b"));
+        let b = enc(&Value::str("a\0c"));
+        let c = enc(&Value::str("a"));
+        assert!(c < a && a < b);
+        assert_ne!(a, enc(&Value::str("a\u{FF}b")));
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        assert!(enc(&Value::Null) < enc(&Value::Int(i64::MIN)));
+        assert!(enc(&Value::Null) < enc(&Value::str("")));
+    }
+
+    #[test]
+    fn composite_prefix_property() {
+        let one = encode_key(&[Value::Int(7)]);
+        let two = encode_key(&[Value::Int(7), Value::str("x")]);
+        assert!(two.starts_with(&one));
+    }
+
+    #[test]
+    fn composite_order_is_lexicographic() {
+        let k1 = encode_key(&[Value::Int(1), Value::str("z")]);
+        let k2 = encode_key(&[Value::Int(2), Value::str("a")]);
+        assert!(k1 < k2);
+        let k3 = encode_key(&[Value::str("ab"), Value::Int(1)]);
+        let k4 = encode_key(&[Value::str("b"), Value::Int(0)]);
+        assert!(k3 < k4);
+    }
+}

@@ -1,0 +1,4 @@
+//! Indexing: order-preserving key encoding and the paged B+Tree.
+
+pub mod btree;
+pub mod key;

@@ -1,0 +1,44 @@
+//! # ordb — a mini object-relational DBMS
+//!
+//! The DB2-substitute substrate for the XORator reproduction: a compact,
+//! from-scratch object-relational engine with
+//!
+//! * paged storage over real files ([`storage`]): 8 KiB slotted pages, a
+//!   bounded LRU buffer pool, heap files with big-record overflow chains;
+//! * paged B+Tree secondary indexes with order-preserving composite keys
+//!   ([`index`]);
+//! * an extensible type system ([`types`]) with `INTEGER`, `VARCHAR`, and
+//!   the object-relational `XADT` type (the paper's §3.4 extension);
+//! * scalar built-ins and UDFs with a faithful marshalling call path
+//!   ([`functions`]) — the basis of the paper's Figure 14 experiment;
+//! * a Volcano executor ([`exec`]) with seq/index scans, three join
+//!   algorithms, hash aggregation, and lateral table functions (`unnest`);
+//! * a SQL subset frontend ([`sql`]) and a statistics-driven planner
+//!   ([`plan`]);
+//! * the [`Database`] facade ([`db`]) tying it together, including
+//!   `runstats`, size accounting, and cold-cache control for experiments.
+//!
+//! Intentionally out of scope (documented in DESIGN.md): transactions,
+//! WAL/recovery, and concurrency control — the paper's experiments are
+//! single-stream load-then-query workloads.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod db;
+pub mod error;
+pub mod exec;
+pub mod expr;
+pub mod functions;
+pub mod index;
+pub mod plan;
+pub mod sql;
+pub mod stats;
+pub mod storage;
+pub mod tuple;
+pub mod types;
+
+pub use catalog::{ColumnDef, IndexDef, TableDef};
+pub use db::{Database, DbOptions, QueryResult};
+pub use error::{DbError, Result};
+pub use types::{DataType, Row, Value};

@@ -1,0 +1,233 @@
+//! SQL lexer.
+
+use crate::error::{DbError, Result};
+
+/// A SQL token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are matched case-insensitively by
+    /// the parser).
+    Ident(String),
+    /// `'single-quoted'` string literal (with `''` escape).
+    Str(String),
+    /// Integer literal.
+    Num(i64),
+    /// Punctuation / operator.
+    Sym(Sym),
+}
+
+/// Punctuation and operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // the variants are self-describing punctuation
+pub enum Sym {
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Star,
+    Semicolon,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+}
+
+impl Token {
+    /// True if this token is the keyword `kw` (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize a SQL string.
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            // advance one UTF-8 char
+                            let ch_len = utf8_len(bytes[i]);
+                            s.push_str(&input[i..i + ch_len]);
+                            i += ch_len;
+                        }
+                        None => {
+                            return Err(DbError::Parse("unterminated string literal".into()))
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let n: i64 = input[start..i]
+                    .parse()
+                    .map_err(|_| DbError::Parse(format!("bad number {:?}", &input[start..i])))?;
+                out.push(Token::Num(n));
+            }
+            b'"' => {
+                // Quoted identifier.
+                i += 1;
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(DbError::Parse("unterminated quoted identifier".into()));
+                }
+                out.push(Token::Ident(input[start..i].to_string()));
+                i += 1;
+            }
+            _ if b.is_ascii_alphabetic() || b == b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] >= 0x80)
+                {
+                    i += 1;
+                }
+                out.push(Token::Ident(input[start..i].to_string()));
+            }
+            b'(' => push_sym(&mut out, Sym::LParen, &mut i),
+            b')' => push_sym(&mut out, Sym::RParen, &mut i),
+            b',' => push_sym(&mut out, Sym::Comma, &mut i),
+            b'.' => push_sym(&mut out, Sym::Dot, &mut i),
+            b'*' => push_sym(&mut out, Sym::Star, &mut i),
+            b';' => push_sym(&mut out, Sym::Semicolon, &mut i),
+            b'+' => push_sym(&mut out, Sym::Plus, &mut i),
+            b'/' => push_sym(&mut out, Sym::Slash, &mut i),
+            b'%' => push_sym(&mut out, Sym::Percent, &mut i),
+            b'-' => push_sym(&mut out, Sym::Minus, &mut i),
+            b'=' => push_sym(&mut out, Sym::Eq, &mut i),
+            b'!' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Token::Sym(Sym::Ne));
+                i += 2;
+            }
+            b'<' => {
+                match bytes.get(i + 1) {
+                    Some(b'>') => {
+                        out.push(Token::Sym(Sym::Ne));
+                        i += 2;
+                    }
+                    Some(b'=') => {
+                        out.push(Token::Sym(Sym::Le));
+                        i += 2;
+                    }
+                    _ => {
+                        out.push(Token::Sym(Sym::Lt));
+                        i += 1;
+                    }
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Sym(Sym::Ge));
+                    i += 2;
+                } else {
+                    out.push(Token::Sym(Sym::Gt));
+                    i += 1;
+                }
+            }
+            other => {
+                return Err(DbError::Parse(format!(
+                    "unexpected character {:?} at byte {i}",
+                    other as char
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn push_sym(out: &mut Vec<Token>, s: Sym, i: &mut usize) {
+    out.push(Token::Sym(s));
+    *i += 1;
+}
+
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_select() {
+        let toks = lex("SELECT a.b, 'x''y' FROM t WHERE n >= 10 -- comment\n").unwrap();
+        assert_eq!(toks.len(), 12);
+        assert!(toks[0].is_kw("select"));
+        assert_eq!(toks[5], Token::Str("x'y".into()));
+        assert_eq!(toks[10], Token::Sym(Sym::Ge));
+        assert_eq!(toks[11], Token::Num(10));
+    }
+
+    #[test]
+    fn lexes_operators() {
+        let toks = lex("= <> != < <= > >= * . , ( ) ;").unwrap();
+        use Sym::*;
+        let syms: Vec<Sym> = toks
+            .iter()
+            .map(|t| match t {
+                Token::Sym(s) => *s,
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        assert_eq!(
+            syms,
+            [Eq, Ne, Ne, Lt, Le, Gt, Ge, Star, Dot, Comma, LParen, RParen, Semicolon]
+        );
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(lex("SELECT 'oops").is_err());
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        let toks = lex("\"weird name\"").unwrap();
+        assert_eq!(toks, vec![Token::Ident("weird name".into())]);
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        let toks = lex("'héllo — wörld'").unwrap();
+        assert_eq!(toks, vec![Token::Str("héllo — wörld".into())]);
+    }
+}

@@ -1,0 +1,8 @@
+//! SQL frontend: lexer, AST, parser.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{AstExpr, FromItem, Select, SelectItem, Statement};
+pub use parser::{parse_select, parse_statement};

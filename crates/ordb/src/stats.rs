@@ -1,0 +1,127 @@
+//! Table statistics — the engine's `runstats` (paper §4.2: "collected
+//! statistics … always ran the runstats command before executing the
+//! queries").
+
+use std::collections::HashMap;
+
+use crate::types::Value;
+
+/// Statistics for one table.
+#[derive(Debug, Clone, Default)]
+pub struct TableStats {
+    /// Row count.
+    pub row_count: u64,
+    /// Estimated number of distinct values per column index.
+    pub ndv: Vec<u64>,
+    /// Average encoded row width in bytes.
+    pub avg_row_bytes: u64,
+}
+
+impl TableStats {
+    /// Distinct-value estimate for column `i` (at least 1).
+    pub fn ndv_of(&self, i: usize) -> u64 {
+        self.ndv.get(i).copied().unwrap_or(1).max(1)
+    }
+
+    /// Estimated selectivity of `col = literal`.
+    pub fn eq_selectivity(&self, col: usize) -> f64 {
+        1.0 / self.ndv_of(col) as f64
+    }
+}
+
+/// Incremental builder used while scanning a table.
+pub struct StatsBuilder {
+    rows: u64,
+    bytes: u64,
+    /// Per-column sets of value hashes, capped to bound memory; when the
+    /// cap is hit the estimate switches to a linear-counting style guess.
+    distinct: Vec<HashMap<u64, ()>>,
+    capped: Vec<bool>,
+    cap: usize,
+}
+
+impl StatsBuilder {
+    /// Builder for a table of `arity` columns.
+    pub fn new(arity: usize) -> StatsBuilder {
+        StatsBuilder {
+            rows: 0,
+            bytes: 0,
+            distinct: (0..arity).map(|_| HashMap::new()).collect(),
+            capped: vec![false; arity],
+            cap: 100_000,
+        }
+    }
+
+    /// Feed one row (with its encoded byte length).
+    pub fn add(&mut self, row: &[Value], encoded_len: usize) {
+        self.rows += 1;
+        self.bytes += encoded_len as u64;
+        for (i, v) in row.iter().enumerate() {
+            if self.capped[i] {
+                continue;
+            }
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            v.hash(&mut h);
+            self.distinct[i].insert(h.finish(), ());
+            if self.distinct[i].len() >= self.cap {
+                self.capped[i] = true;
+            }
+        }
+    }
+
+    /// Finish into [`TableStats`].
+    pub fn finish(self) -> TableStats {
+        let ndv = self
+            .distinct
+            .iter()
+            .zip(&self.capped)
+            .map(|(set, capped)| {
+                if *capped {
+                    // Beyond the cap assume near-unique.
+                    self.rows.max(set.len() as u64)
+                } else {
+                    set.len() as u64
+                }
+            })
+            .collect();
+        TableStats {
+            row_count: self.rows,
+            ndv,
+            avg_row_bytes: self.bytes.checked_div(self.rows).unwrap_or(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_rows_and_distincts() {
+        let mut b = StatsBuilder::new(2);
+        for i in 0..100i64 {
+            b.add(&[Value::Int(i % 10), Value::str(format!("s{i}"))], 20);
+        }
+        let s = b.finish();
+        assert_eq!(s.row_count, 100);
+        assert_eq!(s.ndv_of(0), 10);
+        assert_eq!(s.ndv_of(1), 100);
+        assert_eq!(s.avg_row_bytes, 20);
+        assert!((s.eq_selectivity(0) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_table() {
+        let s = StatsBuilder::new(1).finish();
+        assert_eq!(s.row_count, 0);
+        assert_eq!(s.ndv_of(0), 1);
+        assert_eq!(s.avg_row_bytes, 0);
+    }
+
+    #[test]
+    fn ndv_of_out_of_range_column() {
+        let s = StatsBuilder::new(1).finish();
+        assert_eq!(s.ndv_of(99), 1);
+    }
+}

@@ -1,0 +1,109 @@
+//! Page files: fixed-size page I/O over real files.
+
+use std::fs::{File, OpenOptions};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+
+use crate::error::Result;
+use crate::storage::page::PAGE_SIZE;
+
+/// A file of [`PAGE_SIZE`]-byte pages.
+pub struct PageFile {
+    file: File,
+    path: PathBuf,
+    page_count: u32,
+}
+
+impl PageFile {
+    /// Open (creating if absent) the page file at `path`.
+    pub fn open(path: impl AsRef<Path>) -> Result<PageFile> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let len = file.metadata()?.len();
+        let page_count = (len / PAGE_SIZE as u64) as u32;
+        Ok(PageFile { file, path, page_count })
+    }
+
+    /// Number of allocated pages.
+    pub fn page_count(&self) -> u32 {
+        self.page_count
+    }
+
+    /// The file's path on disk.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Current file size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.page_count as u64 * PAGE_SIZE as u64
+    }
+
+    /// Read page `pid` into `buf`.
+    pub fn read_page(&self, pid: u32, buf: &mut [u8; PAGE_SIZE]) -> Result<()> {
+        self.file.read_exact_at(buf, pid as u64 * PAGE_SIZE as u64)?;
+        Ok(())
+    }
+
+    /// Write page `pid` from `buf`.
+    pub fn write_page(&self, pid: u32, buf: &[u8; PAGE_SIZE]) -> Result<()> {
+        self.file.write_all_at(buf, pid as u64 * PAGE_SIZE as u64)?;
+        Ok(())
+    }
+
+    /// Extend the file by one zeroed page, returning its id.
+    pub fn allocate(&mut self) -> Result<u32> {
+        let pid = self.page_count;
+        let zeros = [0u8; PAGE_SIZE];
+        self.file.write_all_at(&zeros, pid as u64 * PAGE_SIZE as u64)?;
+        self.page_count += 1;
+        Ok(pid)
+    }
+
+    /// Flush file contents to stable storage.
+    pub fn sync(&self) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_read_write() {
+        let dir = std::env::temp_dir().join(format!("ordb-disk-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.db");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut f = PageFile::open(&path).unwrap();
+            assert_eq!(f.page_count(), 0);
+            let p0 = f.allocate().unwrap();
+            let p1 = f.allocate().unwrap();
+            assert_eq!((p0, p1), (0, 1));
+            let mut buf = [0u8; PAGE_SIZE];
+            buf[0] = 0xAB;
+            buf[PAGE_SIZE - 1] = 0xCD;
+            f.write_page(p1, &buf).unwrap();
+            f.sync().unwrap();
+        }
+        {
+            let f = PageFile::open(&path).unwrap();
+            assert_eq!(f.page_count(), 2);
+            assert_eq!(f.size_bytes(), 2 * PAGE_SIZE as u64);
+            let mut buf = [0u8; PAGE_SIZE];
+            f.read_page(1, &mut buf).unwrap();
+            assert_eq!((buf[0], buf[PAGE_SIZE - 1]), (0xAB, 0xCD));
+            f.read_page(0, &mut buf).unwrap();
+            assert_eq!(buf[0], 0);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}

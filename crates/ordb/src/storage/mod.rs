@@ -1,0 +1,6 @@
+//! Physical storage: page files, buffer pool, slotted pages, heap files.
+
+pub mod buffer;
+pub mod disk;
+pub mod heap;
+pub mod page;

@@ -1,0 +1,355 @@
+//! Slotted pages.
+//!
+//! Every page is [`PAGE_SIZE`] bytes with the layout:
+//!
+//! ```text
+//! 0..2   n_slots  (u16)
+//! 2..4   free_off (u16)  — start of the record area (records grow down)
+//! 4..8   special0 (u32)  — owner-defined (B+Tree: node kind / level)
+//! 8..12  special1 (u32)  — owner-defined (B+Tree: right sibling)
+//! 12..16 special2 (u32)  — owner-defined
+//! 16..   slot array, 4 bytes per slot: offset u16, len u16
+//! ...    free space
+//! ...    records, packed at the end of the page
+//! ```
+//!
+//! A slot length of `DEAD` (`u16::MAX`) marks a deleted record. The slot *array order*
+//! is logical order — the B+Tree keeps entries sorted by inserting slots in
+//! the middle of the array, without moving record bytes.
+
+/// Size of every page, matching the paper's 8 KiB DB2 configuration.
+pub const PAGE_SIZE: usize = 8192;
+
+const HEADER: usize = 16;
+const SLOT_SIZE: usize = 4;
+
+/// Slot length marking a deleted record.
+const DEAD: u16 = u16::MAX;
+
+/// An in-memory page image.
+pub struct Page {
+    data: Box<[u8; PAGE_SIZE]>,
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Page {
+    /// A zeroed page with an empty slot array.
+    pub fn new() -> Page {
+        let mut p = Page { data: vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().unwrap() };
+        p.set_free_off(PAGE_SIZE as u16);
+        p
+    }
+
+    /// Wrap raw bytes read from disk. A freshly-allocated (all-zero) page
+    /// has `free_off == 0`, which is impossible for an initialized page
+    /// (records live above the 16-byte header), so it is normalized to an
+    /// empty slotted page.
+    pub fn from_bytes(bytes: [u8; PAGE_SIZE]) -> Page {
+        let mut p = Page { data: Box::new(bytes) };
+        if p.free_off() == 0 {
+            p.set_free_off(PAGE_SIZE as u16);
+        }
+        p
+    }
+
+    /// The raw page image (for writing to disk).
+    pub fn bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.data
+    }
+
+    /// Mutable raw page image. Owners using a page as raw storage (heap
+    /// overflow pages) write through this; slotted-page invariants are then
+    /// the owner's responsibility.
+    pub fn bytes_mut(&mut self) -> &mut [u8; PAGE_SIZE] {
+        &mut self.data
+    }
+
+    fn read_u16(&self, at: usize) -> u16 {
+        u16::from_le_bytes([self.data[at], self.data[at + 1]])
+    }
+
+    fn write_u16(&mut self, at: usize, v: u16) {
+        self.data[at..at + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    fn read_u32(&self, at: usize) -> u32 {
+        u32::from_le_bytes(self.data[at..at + 4].try_into().unwrap())
+    }
+
+    fn write_u32(&mut self, at: usize, v: u32) {
+        self.data[at..at + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Number of slots (including dead ones).
+    pub fn slot_count(&self) -> usize {
+        self.read_u16(0) as usize
+    }
+
+    fn set_slot_count(&mut self, n: usize) {
+        self.write_u16(0, n as u16);
+    }
+
+    fn free_off(&self) -> usize {
+        self.read_u16(2) as usize
+    }
+
+    fn set_free_off(&mut self, v: u16) {
+        self.write_u16(2, v);
+    }
+
+    /// Owner-defined header word 0.
+    pub fn special0(&self) -> u32 {
+        self.read_u32(4)
+    }
+
+    /// Set owner-defined header word 0.
+    pub fn set_special0(&mut self, v: u32) {
+        self.write_u32(4, v);
+    }
+
+    /// Owner-defined header word 1.
+    pub fn special1(&self) -> u32 {
+        self.read_u32(8)
+    }
+
+    /// Set owner-defined header word 1.
+    pub fn set_special1(&mut self, v: u32) {
+        self.write_u32(8, v);
+    }
+
+    /// Owner-defined header word 2.
+    pub fn special2(&self) -> u32 {
+        self.read_u32(12)
+    }
+
+    /// Set owner-defined header word 2.
+    pub fn set_special2(&mut self, v: u32) {
+        self.write_u32(12, v);
+    }
+
+    fn slot(&self, idx: usize) -> (usize, u16) {
+        let at = HEADER + idx * SLOT_SIZE;
+        (self.read_u16(at) as usize, self.read_u16(at + 2))
+    }
+
+    fn set_slot(&mut self, idx: usize, offset: usize, len: u16) {
+        let at = HEADER + idx * SLOT_SIZE;
+        self.write_u16(at, offset as u16);
+        self.write_u16(at + 2, len);
+    }
+
+    /// Contiguous free bytes available for one more record + slot.
+    pub fn free_space(&self) -> usize {
+        let slots_end = HEADER + self.slot_count() * SLOT_SIZE;
+        self.free_off().saturating_sub(slots_end).saturating_sub(SLOT_SIZE)
+    }
+
+    /// Append a record at the end of the slot array. Returns the slot
+    /// index, or `None` if it does not fit (caller allocates a new page).
+    pub fn insert(&mut self, record: &[u8]) -> Option<usize> {
+        let idx = self.slot_count();
+        self.insert_at(idx, record)
+    }
+
+    /// Insert a record so that it occupies slot index `idx`, shifting later
+    /// slots up by one. Used by the B+Tree to keep entries sorted.
+    pub fn insert_at(&mut self, idx: usize, record: &[u8]) -> Option<usize> {
+        assert!(idx <= self.slot_count(), "slot index out of range");
+        if record.len() > u16::MAX as usize - 1 {
+            return None;
+        }
+        if self.free_space() < record.len() {
+            return None;
+        }
+        let n = self.slot_count();
+        // Shift the slot array entries [idx..n) up one position.
+        for i in (idx..n).rev() {
+            let (off, len) = self.slot(i);
+            self.set_slot(i + 1, off, len);
+        }
+        let new_off = self.free_off() - record.len();
+        self.data[new_off..new_off + record.len()].copy_from_slice(record);
+        self.set_free_off(new_off as u16);
+        self.set_slot(idx, new_off, record.len() as u16);
+        self.set_slot_count(n + 1);
+        Some(idx)
+    }
+
+    /// The record in slot `idx`, `None` if the slot is dead or out of range.
+    pub fn get(&self, idx: usize) -> Option<&[u8]> {
+        if idx >= self.slot_count() {
+            return None;
+        }
+        let (off, len) = self.slot(idx);
+        if len == DEAD {
+            return None;
+        }
+        Some(&self.data[off..off + len as usize])
+    }
+
+    /// Mark slot `idx` dead. The record bytes become reclaimable garbage
+    /// removed by the next [`Page::compact`].
+    pub fn delete(&mut self, idx: usize) {
+        if idx < self.slot_count() {
+            let (off, _) = self.slot(idx);
+            self.set_slot(idx, off, DEAD);
+        }
+    }
+
+    /// Remove slot `idx` entirely, shifting later slots down (B+Tree use).
+    pub fn remove_slot(&mut self, idx: usize) {
+        let n = self.slot_count();
+        assert!(idx < n, "slot index out of range");
+        for i in idx..n - 1 {
+            let (off, len) = self.slot(i + 1);
+            self.set_slot(i, off, len);
+        }
+        self.set_slot_count(n - 1);
+    }
+
+    /// Rewrite the record area dropping dead-record garbage, preserving
+    /// slot indexes of live records.
+    pub fn compact(&mut self) {
+        let n = self.slot_count();
+        let mut records: Vec<(usize, Vec<u8>)> = Vec::with_capacity(n);
+        for i in 0..n {
+            if let Some(r) = self.get(i) {
+                records.push((i, r.to_vec()));
+            }
+        }
+        let mut off = PAGE_SIZE;
+        for (i, r) in &records {
+            off -= r.len();
+            self.data[off..off + r.len()].copy_from_slice(r);
+            self.set_slot(*i, off, r.len() as u16);
+        }
+        self.set_free_off(off as u16);
+    }
+
+    /// Replace the record in slot `idx`. Returns false if the new record
+    /// does not fit even after compaction.
+    pub fn replace(&mut self, idx: usize, record: &[u8]) -> bool {
+        assert!(idx < self.slot_count());
+        let (off, len) = self.slot(idx);
+        if len != DEAD && record.len() <= len as usize {
+            // Fits in place (possibly leaving a gap at the front of the
+            // old record — tracked as garbage until compaction).
+            let start = off + (len as usize - record.len());
+            self.data[start..start + record.len()].copy_from_slice(record);
+            self.set_slot(idx, start, record.len() as u16);
+            return true;
+        }
+        self.set_slot(idx, off, DEAD);
+        self.compact();
+        if self.free_space() + SLOT_SIZE < record.len() {
+            return false;
+        }
+        let new_off = self.free_off() - record.len();
+        self.data[new_off..new_off + record.len()].copy_from_slice(record);
+        self.set_free_off(new_off as u16);
+        self.set_slot(idx, new_off, record.len() as u16);
+        true
+    }
+
+    /// Maximum record size a fresh page can hold.
+    pub fn max_record_len() -> usize {
+        PAGE_SIZE - HEADER - SLOT_SIZE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_get() {
+        let mut p = Page::new();
+        let a = p.insert(b"hello").unwrap();
+        let b = p.insert(b"world!").unwrap();
+        assert_eq!(p.get(a), Some(&b"hello"[..]));
+        assert_eq!(p.get(b), Some(&b"world!"[..]));
+        assert_eq!(p.slot_count(), 2);
+    }
+
+    #[test]
+    fn fills_up_and_rejects() {
+        let mut p = Page::new();
+        let rec = [7u8; 100];
+        let mut n = 0;
+        while p.insert(&rec).is_some() {
+            n += 1;
+        }
+        // 8192 - 16 header; each record costs 104 bytes.
+        assert!((77..=79).contains(&n), "n = {n}");
+        assert!(p.free_space() < 104);
+    }
+
+    #[test]
+    fn delete_and_compact() {
+        let mut p = Page::new();
+        let a = p.insert(&[1u8; 1000]).unwrap();
+        let b = p.insert(&[2u8; 1000]).unwrap();
+        let before = p.free_space();
+        p.delete(a);
+        assert_eq!(p.get(a), None);
+        assert_eq!(p.get(b), Some(&[2u8; 1000][..]));
+        p.compact();
+        assert!(p.free_space() >= before + 1000);
+        assert_eq!(p.get(b), Some(&[2u8; 1000][..]));
+    }
+
+    #[test]
+    fn insert_at_keeps_order() {
+        let mut p = Page::new();
+        p.insert(b"a").unwrap();
+        p.insert(b"c").unwrap();
+        p.insert_at(1, b"b").unwrap();
+        let all: Vec<&[u8]> = (0..3).map(|i| p.get(i).unwrap()).collect();
+        assert_eq!(all, [b"a" as &[u8], b"b", b"c"]);
+    }
+
+    #[test]
+    fn remove_slot_shifts_down() {
+        let mut p = Page::new();
+        for s in [b"a" as &[u8], b"b", b"c"] {
+            p.insert(s).unwrap();
+        }
+        p.remove_slot(1);
+        assert_eq!(p.slot_count(), 2);
+        assert_eq!(p.get(0), Some(b"a" as &[u8]));
+        assert_eq!(p.get(1), Some(b"c" as &[u8]));
+    }
+
+    #[test]
+    fn replace_in_place_and_grow() {
+        let mut p = Page::new();
+        let i = p.insert(b"aaaa").unwrap();
+        assert!(p.replace(i, b"bb"));
+        assert_eq!(p.get(i), Some(b"bb" as &[u8]));
+        assert!(p.replace(i, b"cccccccccc"));
+        assert_eq!(p.get(i), Some(b"cccccccccc" as &[u8]));
+    }
+
+    #[test]
+    fn specials_round_trip() {
+        let mut p = Page::new();
+        p.set_special0(11);
+        p.set_special1(22);
+        p.set_special2(33);
+        let q = Page::from_bytes(*p.bytes());
+        assert_eq!((q.special0(), q.special1(), q.special2()), (11, 22, 33));
+    }
+
+    #[test]
+    fn round_trip_through_bytes() {
+        let mut p = Page::new();
+        p.insert(b"persisted").unwrap();
+        let q = Page::from_bytes(*p.bytes());
+        assert_eq!(q.get(0), Some(b"persisted" as &[u8]));
+    }
+}

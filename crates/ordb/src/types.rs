@@ -1,0 +1,205 @@
+//! Data types and runtime values.
+//!
+//! The engine implements the three types the XORator mapping needs:
+//! `INTEGER`, `VARCHAR`, and the object-relational extension type `XADT`
+//! (paper §3.4). Every column is nullable, as in SQL.
+
+use std::fmt;
+
+use xadt::XadtValue;
+
+/// Declared type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Integer,
+    /// Variable-length UTF-8 string (no declared length limit).
+    Varchar,
+    /// The XML abstract data type.
+    Xadt,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Integer => write!(f, "INTEGER"),
+            DataType::Varchar => write!(f, "VARCHAR"),
+            DataType::Xadt => write!(f, "XADT"),
+        }
+    }
+}
+
+impl DataType {
+    /// Parse a SQL type name (`INTEGER`/`INT`, `VARCHAR`/`STRING`, `XADT`).
+    pub fn parse(s: &str) -> Option<DataType> {
+        match s.to_ascii_uppercase().as_str() {
+            "INTEGER" | "INT" | "BIGINT" => Some(DataType::Integer),
+            "VARCHAR" | "STRING" | "TEXT" | "CHAR" => Some(DataType::Varchar),
+            "XADT" | "XML" => Some(DataType::Xadt),
+            _ => None,
+        }
+    }
+}
+
+/// A runtime value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// SQL NULL (of any type).
+    Null,
+    /// An `INTEGER`.
+    Int(i64),
+    /// A `VARCHAR`.
+    Str(String),
+    /// An `XADT` fragment.
+    Xadt(XadtValue),
+}
+
+impl Value {
+    /// The value's type, `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Integer),
+            Value::Str(_) => Some(DataType::Varchar),
+            Value::Xadt(_) => Some(DataType::Xadt),
+        }
+    }
+
+    /// True for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Integer content, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String content, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// XADT content, if this is an `Xadt`.
+    pub fn as_xadt(&self) -> Option<&XadtValue> {
+        match self {
+            Value::Xadt(x) => Some(x),
+            _ => None,
+        }
+    }
+
+    /// SQL three-valued-logic truthiness: NULL is not true.
+    pub fn is_true(&self) -> bool {
+        matches!(self, Value::Int(i) if *i != 0)
+    }
+
+    /// Build a string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// SQL comparison; returns `None` when either side is NULL.
+    pub fn sql_cmp(&self, other: &Value) -> Option<std::cmp::Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Xadt(a), Value::Xadt(b)) => Some(a.cmp(b)),
+            // Heterogeneous comparisons compare by type rank — the planner
+            // never produces these for well-typed queries.
+            _ => Some(type_rank(self).cmp(&type_rank(other))),
+        }
+    }
+}
+
+fn type_rank(v: &Value) -> u8 {
+    match v {
+        Value::Null => 0,
+        Value::Int(_) => 1,
+        Value::Str(_) => 2,
+        Value::Xadt(_) => 3,
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Xadt(x) => write!(f, "{x}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<XadtValue> for Value {
+    fn from(v: XadtValue) -> Self {
+        Value::Xadt(v)
+    }
+}
+
+/// A row of values, produced and consumed by executor operators.
+pub type Row = Vec<Value>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_parsing() {
+        assert_eq!(DataType::parse("int"), Some(DataType::Integer));
+        assert_eq!(DataType::parse("VARCHAR"), Some(DataType::Varchar));
+        assert_eq!(DataType::parse("xadt"), Some(DataType::Xadt));
+        assert_eq!(DataType::parse("blob"), None);
+    }
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
+    }
+
+    #[test]
+    fn int_and_str_ordering() {
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Int(10)),
+            Some(std::cmp::Ordering::Less)
+        );
+        assert_eq!(
+            Value::str("b").sql_cmp(&Value::str("a")),
+            Some(std::cmp::Ordering::Greater)
+        );
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Int(1).is_true());
+        assert!(!Value::Int(0).is_true());
+        assert!(!Value::Null.is_true());
+        assert!(!Value::str("x").is_true());
+    }
+}

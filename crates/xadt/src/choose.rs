@@ -1,0 +1,99 @@
+//! Storage-format choice (paper §3.4.1 / §4.1).
+//!
+//! "The decision to use the correct implementation of the XADT is made
+//! during the document transformation process by monitoring the
+//! effectiveness of the compression technique … by randomly parsing a few
+//! sample documents to obtain the storage space sizes in both uncompressed
+//! and compressed versions. Compression is used only if the space
+//! efficiency is above a certain threshold value" — the paper's DB2
+//! implementation uses a 20 % threshold, which is the default here.
+
+use crate::compress::compress;
+use crate::fragment::StorageFormat;
+use crate::token::FragmentError;
+
+/// The paper's threshold: compress only when it saves at least 20 %.
+pub const DEFAULT_MIN_SAVINGS: f64 = 0.20;
+
+/// Measured outcome of sampling fragments in both formats.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleReport {
+    /// Total bytes across samples stored plain.
+    pub plain_bytes: usize,
+    /// Total bytes across samples stored compressed.
+    pub compressed_bytes: usize,
+    /// Number of fragments sampled.
+    pub samples: usize,
+}
+
+impl SampleReport {
+    /// Fraction of space saved by compression (negative if it grew).
+    pub fn savings(&self) -> f64 {
+        if self.plain_bytes == 0 {
+            return 0.0;
+        }
+        1.0 - (self.compressed_bytes as f64 / self.plain_bytes as f64)
+    }
+
+    /// The format this report recommends at `min_savings`.
+    pub fn recommend(&self, min_savings: f64) -> StorageFormat {
+        if self.samples > 0 && self.savings() >= min_savings {
+            StorageFormat::Compressed
+        } else {
+            StorageFormat::Plain
+        }
+    }
+}
+
+/// Measure `samples` in both formats.
+pub fn sample_fragments<'a>(
+    samples: impl IntoIterator<Item = &'a str>,
+) -> Result<SampleReport, FragmentError> {
+    let mut report = SampleReport { plain_bytes: 0, compressed_bytes: 0, samples: 0 };
+    for s in samples {
+        report.plain_bytes += s.len();
+        report.compressed_bytes += compress(s)?.len();
+        report.samples += 1;
+    }
+    Ok(report)
+}
+
+/// Sample and recommend in one step using [`DEFAULT_MIN_SAVINGS`].
+pub fn choose_format<'a>(
+    samples: impl IntoIterator<Item = &'a str>,
+) -> Result<StorageFormat, FragmentError> {
+    Ok(sample_fragments(samples)?.recommend(DEFAULT_MIN_SAVINGS))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repetitive_fragments_choose_compressed() {
+        let frag: String =
+            (0..100).map(|i| format!("<sectionName>sec {i}</sectionName>")).collect();
+        assert_eq!(choose_format([frag.as_str()]).unwrap(), StorageFormat::Compressed);
+    }
+
+    #[test]
+    fn sparse_fragments_choose_plain() {
+        // Long unique text dominated by content, few repeated tags: the
+        // dictionary cannot save 20 %.
+        let frag = "<T>the quick brown fox jumps over the lazy dog repeatedly and at length with no markup</T>";
+        assert_eq!(choose_format([frag]).unwrap(), StorageFormat::Plain);
+    }
+
+    #[test]
+    fn empty_sample_set_defaults_to_plain() {
+        assert_eq!(choose_format([]).unwrap(), StorageFormat::Plain);
+    }
+
+    #[test]
+    fn savings_computation() {
+        let r = SampleReport { plain_bytes: 100, compressed_bytes: 62, samples: 3 };
+        assert!((r.savings() - 0.38).abs() < 1e-9);
+        assert_eq!(r.recommend(0.20), StorageFormat::Compressed);
+        assert_eq!(r.recommend(0.40), StorageFormat::Plain);
+    }
+}

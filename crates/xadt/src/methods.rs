@@ -1,0 +1,504 @@
+//! The XADT methods of paper §3.4.2: `getElm`, `findKeyInElm`, and
+//! `getElmIndex`.
+//!
+//! All three are implemented as single-pass streaming scans over the stored
+//! fragment (plain or compressed) — no DOM is materialised. Matching
+//! subtrees are re-rendered into a plain-format output [`XadtValue`], which
+//! can feed another method call, exactly the composition the paper uses for
+//! complex path queries.
+
+use crate::compress::write_event;
+use crate::fragment::XadtValue;
+use crate::token::{Event, FragmentError};
+
+/// `getElm(inXML, rootElm, searchElm, searchKey, level)`.
+///
+/// Returns all *outermost* `root_elm` elements in `input` that contain a
+/// `search_elm` descendant within `level` levels below the root element
+/// whose text content contains `search_key`. Per the paper:
+///
+/// * `level = None` — ignore depth;
+/// * empty `search_key` — only require that `search_elm` exist;
+/// * empty `search_elm` — return every `root_elm` element;
+/// * empty `root_elm` — treat each top-level element of the fragment as a
+///   root (the paper leaves this case open; this is the natural reading
+///   used by the composed SIGMOD queries).
+pub fn get_elm(
+    input: &XadtValue,
+    root_elm: &str,
+    search_elm: &str,
+    search_key: &str,
+    level: Option<u32>,
+) -> Result<XadtValue, FragmentError> {
+    let mut events = input.events()?;
+    let mut out = String::new();
+
+    // State while inside a candidate root element.
+    let mut capture: Option<Capture> = None;
+    let mut depth: usize = 0;
+
+    while let Some(ev) = events.next()? {
+        match &ev {
+            Event::Start { name, .. } => {
+                if capture.is_none() && root_matches(root_elm, name, depth) {
+                    capture = Some(Capture::new(depth));
+                }
+                if let Some(cap) = &mut capture {
+                    // rel == 0 is the root itself: it participates as a
+                    // search scope when rootElm == searchElm (the paper's
+                    // QE1 calls getElm(line, 'LINE', 'LINE', key)).
+                    let rel = depth - cap.root_depth;
+                    if !cap.matched && *name == search_elm {
+                        let within_level = level.is_none_or(|l| rel as u32 <= l);
+                        if within_level {
+                            if search_key.is_empty() {
+                                cap.matched = true;
+                            } else {
+                                cap.key_scopes.push(KeyScope {
+                                    end_depth: depth,
+                                    text: String::new(),
+                                });
+                            }
+                        }
+                    }
+                    write_event(&ev, &mut cap.buf);
+                }
+                depth += 1;
+            }
+            Event::End { .. } => {
+                depth -= 1;
+                if let Some(cap) = &mut capture {
+                    write_event(&ev, &mut cap.buf);
+                    while cap
+                        .key_scopes
+                        .last()
+                        .is_some_and(|s| s.end_depth == depth)
+                    {
+                        let scope = cap.key_scopes.pop().expect("checked non-empty");
+                        if scope.text.contains(search_key) {
+                            cap.matched = true;
+                        }
+                    }
+                    if depth == cap.root_depth {
+                        // Candidate complete.
+                        let cap = capture.take().expect("capture present");
+                        let accept = search_elm.is_empty() || cap.matched;
+                        if accept {
+                            out.push_str(&cap.buf);
+                        }
+                    }
+                }
+            }
+            Event::Text(t) => {
+                if let Some(cap) = &mut capture {
+                    for scope in &mut cap.key_scopes {
+                        scope.text.push_str(t);
+                    }
+                    write_event(&ev, &mut cap.buf);
+                }
+            }
+        }
+    }
+    Ok(XadtValue::plain(out))
+}
+
+fn root_matches(root_elm: &str, name: &str, depth: usize) -> bool {
+    if root_elm.is_empty() {
+        depth == 0
+    } else {
+        name == root_elm
+    }
+}
+
+struct Capture {
+    root_depth: usize,
+    buf: String,
+    matched: bool,
+    key_scopes: Vec<KeyScope>,
+}
+
+impl Capture {
+    fn new(root_depth: usize) -> Self {
+        Capture { root_depth, buf: String::new(), matched: false, key_scopes: Vec::new() }
+    }
+}
+
+struct KeyScope {
+    /// Depth at which the scope's end tag will close (== depth of its start).
+    end_depth: usize,
+    text: String,
+}
+
+/// `findKeyInElm(inXML, searchElm, searchKey)` — returns `true` as soon as
+/// a `search_elm` element whose content contains `search_key` is found.
+///
+/// * empty `search_key` — any `search_elm` element suffices;
+/// * empty `search_elm` — `search_key` may appear in any element content.
+///
+/// The paper forbids both being empty; this implementation returns an
+/// error in that case.
+pub fn find_key_in_elm(
+    input: &XadtValue,
+    search_elm: &str,
+    search_key: &str,
+) -> Result<bool, FragmentError> {
+    if search_elm.is_empty() && search_key.is_empty() {
+        return Err(FragmentError(
+            "findKeyInElm: searchElm and searchKey cannot both be empty".into(),
+        ));
+    }
+    let mut events = input.events()?;
+    let mut depth = 0usize;
+    // Depths at which a currently-open searchElm started (nested matches
+    // possible with recursive DTDs).
+    let mut open_scopes: Vec<usize> = Vec::new();
+    while let Some(ev) = events.next()? {
+        match &ev {
+            Event::Start { name, .. } => {
+                if *name == search_elm {
+                    if search_key.is_empty() {
+                        return Ok(true);
+                    }
+                    open_scopes.push(depth);
+                }
+                depth += 1;
+            }
+            Event::End { .. } => {
+                depth -= 1;
+                if open_scopes.last() == Some(&depth) {
+                    open_scopes.pop();
+                }
+            }
+            Event::Text(t) => {
+                let in_scope = search_elm.is_empty() || !open_scopes.is_empty();
+                if in_scope && !search_key.is_empty() && t.contains(search_key) {
+                    return Ok(true);
+                }
+            }
+        }
+    }
+    Ok(false)
+}
+
+/// `getElmIndex(inXML, parentElm, childElm, startPos, endPos)`.
+///
+/// Returns the `child_elm` children of each `parent_elm` element whose
+/// 1-based sibling position *among the `child_elm` children of that parent*
+/// lies in `start_pos..=end_pos`. With an empty `parent_elm` the top level
+/// of the fragment is the parent (paper: "childElm is treated as the root
+/// element in the XADT"). `child_elm` must be non-empty.
+pub fn get_elm_index(
+    input: &XadtValue,
+    parent_elm: &str,
+    child_elm: &str,
+    start_pos: u32,
+    end_pos: u32,
+) -> Result<XadtValue, FragmentError> {
+    if child_elm.is_empty() {
+        return Err(FragmentError("getElmIndex: childElm cannot be empty".into()));
+    }
+    let mut events = input.events()?;
+    let mut out = String::new();
+    let mut depth = 0usize;
+
+    // Stack of currently-open parentElm scopes; each counts childElm
+    // occurrences among its direct children. With empty parent_elm a single
+    // implicit scope at depth 0 is used.
+    struct Scope {
+        child_depth: usize,
+        count: u32,
+    }
+    let mut scopes: Vec<Scope> = Vec::new();
+    if parent_elm.is_empty() {
+        scopes.push(Scope { child_depth: 0, count: 0 });
+    }
+    // When capturing a matched child subtree: depth at which it closes.
+    let mut capture_until: Option<usize> = None;
+
+    while let Some(ev) = events.next()? {
+        match &ev {
+            Event::Start { name, .. } => {
+                if capture_until.is_some() {
+                    write_event(&ev, &mut out);
+                } else {
+                    if *name == child_elm
+                        && scopes.last().is_some_and(|s| s.child_depth == depth)
+                    {
+                        let scope = scopes.last_mut().expect("checked non-empty");
+                        scope.count += 1;
+                        if scope.count >= start_pos && scope.count <= end_pos {
+                            capture_until = Some(depth);
+                            write_event(&ev, &mut out);
+                        }
+                    }
+                    if !parent_elm.is_empty() && *name == parent_elm {
+                        scopes.push(Scope { child_depth: depth + 1, count: 0 });
+                    }
+                }
+                depth += 1;
+            }
+            Event::End { .. } => {
+                depth -= 1;
+                if let Some(until) = capture_until {
+                    write_event(&ev, &mut out);
+                    if depth == until {
+                        capture_until = None;
+                    }
+                } else if !parent_elm.is_empty()
+                    && scopes.last().is_some_and(|s| s.child_depth == depth + 1)
+                {
+                    scopes.pop();
+                }
+            }
+            Event::Text(t) => {
+                if capture_until.is_some() {
+                    write_event(&Event::Text(t.clone()), &mut out);
+                }
+            }
+        }
+    }
+    Ok(XadtValue::plain(out))
+}
+
+/// Count the elements named `elm` in the fragment (any depth; all
+/// occurrences, including nested ones). One of the "more specialized
+/// methods" §3.4.2 anticipates.
+pub fn count_elm(input: &XadtValue, elm: &str) -> Result<i64, FragmentError> {
+    if elm.is_empty() {
+        return Err(FragmentError("countElm: elm cannot be empty".into()));
+    }
+    let mut events = input.events()?;
+    let mut n = 0;
+    while let Some(ev) = events.next()? {
+        if matches!(&ev, Event::Start { name, .. } if *name == elm) {
+            n += 1;
+        }
+    }
+    Ok(n)
+}
+
+/// The value of attribute `attr` on the first `elm` element, if any.
+/// Another §3.4.2-style specialized method (e.g. reading
+/// `AuthorPosition` without leaving the fragment).
+pub fn get_attr(
+    input: &XadtValue,
+    elm: &str,
+    attr: &str,
+) -> Result<Option<String>, FragmentError> {
+    if elm.is_empty() || attr.is_empty() {
+        return Err(FragmentError("getAttr: elm and attr must be non-empty".into()));
+    }
+    let mut events = input.events()?;
+    while let Some(ev) = events.next()? {
+        if let Event::Start { name, attrs } = &ev {
+            if *name == elm {
+                if let Some((_, v)) = attrs.iter().find(|(a, _)| *a == attr) {
+                    return Ok(Some(v.to_string()));
+                }
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Concatenated text content of the whole fragment. Not in the paper's
+/// method list, but §3.4.2 explicitly allows "more specialized methods";
+/// the SIGMOD aggregation queries use it to group XADT fragments by their
+/// text (mirroring the Hybrid schema's `*_value` columns).
+pub fn text_content(input: &XadtValue) -> Result<String, FragmentError> {
+    let mut events = input.events()?;
+    let mut out = String::new();
+    while let Some(ev) = events.next()? {
+        if let Event::Text(t) = ev {
+            out.push_str(&t);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plain(s: &str) -> XadtValue {
+        XadtValue::plain(s)
+    }
+
+    fn compressed(s: &str) -> XadtValue {
+        XadtValue::compressed(s).unwrap()
+    }
+
+    const LINES: &str = "<LINE>O my friend</LINE><LINE>farewell <STAGEDIR>Rising</STAGEDIR></LINE><LINE>to arms</LINE>";
+
+    #[test]
+    fn get_elm_filters_by_key() {
+        for v in [plain(LINES), compressed(LINES)] {
+            let r = get_elm(&v, "LINE", "LINE", "friend", None).unwrap();
+            assert_eq!(r.to_plain(), "<LINE>O my friend</LINE>");
+        }
+    }
+
+    #[test]
+    fn get_elm_root_equals_search_elm() {
+        // The paper's QE1 uses getElm(speech_line, 'LINE', 'LINE', 'friend'):
+        // root and search element coincide; the root's own content counts.
+        // Our semantics require searchElm strictly below root, so when the
+        // names coincide we treat the root itself as its own search scope.
+        let v = plain("<LINE>my friend</LINE>");
+        let r = get_elm(&v, "LINE", "LINE", "friend", None).unwrap();
+        assert_eq!(r.to_plain(), "<LINE>my friend</LINE>");
+    }
+
+    #[test]
+    fn get_elm_nested_search() {
+        let frag = "<SPEECH><SPEAKER>A</SPEAKER><LINE>hello</LINE></SPEECH><SPEECH><SPEAKER>B</SPEAKER></SPEECH>";
+        let r = get_elm(&plain(frag), "SPEECH", "LINE", "", None).unwrap();
+        assert_eq!(
+            r.to_plain(),
+            "<SPEECH><SPEAKER>A</SPEAKER><LINE>hello</LINE></SPEECH>"
+        );
+    }
+
+    #[test]
+    fn get_elm_empty_search_elm_returns_all_roots() {
+        let r = get_elm(&plain(LINES), "LINE", "", "ignored", None).unwrap();
+        assert_eq!(r.to_plain(), LINES);
+    }
+
+    #[test]
+    fn get_elm_respects_level() {
+        let frag = "<a><b><c>deep</c></b></a>";
+        // c is 2 levels below a.
+        let hit = get_elm(&plain(frag), "a", "c", "", Some(2)).unwrap();
+        assert_eq!(hit.to_plain(), frag);
+        let miss = get_elm(&plain(frag), "a", "c", "", Some(1)).unwrap();
+        assert!(miss.to_plain().is_empty());
+    }
+
+    #[test]
+    fn get_elm_empty_root_uses_top_level() {
+        let frag = "<x><y>k</y></x><z>no</z>";
+        let r = get_elm(&plain(frag), "", "y", "k", None).unwrap();
+        assert_eq!(r.to_plain(), "<x><y>k</y></x>");
+    }
+
+    #[test]
+    fn get_elm_composes() {
+        // QG1 shape: aTuple with matching title, then extract authors.
+        let frag = "<aTuple><title>On Joins</title><authors><author>X</author><author>Y</author></authors></aTuple><aTuple><title>Other</title><authors><author>Z</author></authors></aTuple>";
+        let tuples = get_elm(&plain(frag), "aTuple", "title", "Join", None).unwrap();
+        let authors = get_elm(&tuples, "author", "", "", None).unwrap();
+        assert_eq!(authors.to_plain(), "<author>X</author><author>Y</author>");
+    }
+
+    #[test]
+    fn find_key_in_elm_basic() {
+        for v in [plain(LINES), compressed(LINES)] {
+            assert!(find_key_in_elm(&v, "LINE", "friend").unwrap());
+            assert!(find_key_in_elm(&v, "LINE", "nope").is_ok_and(|b| !b));
+            assert!(find_key_in_elm(&v, "STAGEDIR", "Rising").unwrap());
+            assert!(find_key_in_elm(&v, "STAGEDIR", "").unwrap());
+            assert!(!find_key_in_elm(&v, "NOPE", "").unwrap());
+            assert!(find_key_in_elm(&v, "", "arms").unwrap());
+        }
+    }
+
+    #[test]
+    fn find_key_requires_key_inside_element() {
+        let frag = "<a>outside</a><b>inside</b>";
+        assert!(!find_key_in_elm(&plain(frag), "b", "outside").unwrap());
+        assert!(find_key_in_elm(&plain(frag), "b", "inside").unwrap());
+    }
+
+    #[test]
+    fn find_key_both_empty_is_error() {
+        assert!(find_key_in_elm(&plain(LINES), "", "").is_err());
+    }
+
+    #[test]
+    fn find_key_matches_nested_text() {
+        // Key sits inside a nested STAGEDIR but we search LINE content.
+        assert!(find_key_in_elm(&plain(LINES), "LINE", "Rising").unwrap());
+    }
+
+    #[test]
+    fn get_elm_index_top_level() {
+        for v in [plain(LINES), compressed(LINES)] {
+            let second = get_elm_index(&v, "", "LINE", 2, 2).unwrap();
+            assert_eq!(
+                second.to_plain(),
+                "<LINE>farewell <STAGEDIR>Rising</STAGEDIR></LINE>"
+            );
+            let range = get_elm_index(&v, "", "LINE", 2, 3).unwrap();
+            assert!(range.to_plain().ends_with("<LINE>to arms</LINE>"));
+        }
+    }
+
+    #[test]
+    fn get_elm_index_with_parent() {
+        let frag = "<authors><author>A</author><author>B</author></authors><authors><author>C</author><author>D</author></authors>";
+        let r = get_elm_index(&plain(frag), "authors", "author", 2, 2).unwrap();
+        assert_eq!(r.to_plain(), "<author>B</author><author>D</author>");
+    }
+
+    #[test]
+    fn get_elm_index_counts_only_named_children() {
+        let frag = "<p><x/><c>1</c><x/><c>2</c></p>";
+        let r = get_elm_index(&plain(frag), "p", "c", 2, 2).unwrap();
+        assert_eq!(r.to_plain(), "<c>2</c>");
+    }
+
+    #[test]
+    fn get_elm_index_ignores_grandchildren() {
+        let frag = "<p><w><c>deep</c></w><c>direct</c></p>";
+        let r = get_elm_index(&plain(frag), "p", "c", 1, 9).unwrap();
+        assert_eq!(r.to_plain(), "<c>direct</c>");
+    }
+
+    #[test]
+    fn get_elm_index_empty_child_is_error() {
+        assert!(get_elm_index(&plain(LINES), "", "", 1, 1).is_err());
+    }
+
+    #[test]
+    fn text_content_concatenates() {
+        assert_eq!(
+            text_content(&plain(LINES)).unwrap(),
+            "O my friendfarewell Risingto arms"
+        );
+    }
+
+    #[test]
+    fn count_elm_counts_all_depths() {
+        let frag = "<a><b/><b><b/></b></a><b/>";
+        for v in [plain(frag), compressed(frag)] {
+            assert_eq!(count_elm(&v, "b").unwrap(), 4);
+            assert_eq!(count_elm(&v, "a").unwrap(), 1);
+            assert_eq!(count_elm(&v, "z").unwrap(), 0);
+        }
+        assert!(count_elm(&plain(frag), "").is_err());
+    }
+
+    #[test]
+    fn get_attr_returns_first_match() {
+        let frag = r#"<author AuthorPosition="1">A</author><author AuthorPosition="2">B</author>"#;
+        for v in [plain(frag), compressed(frag)] {
+            assert_eq!(
+                get_attr(&v, "author", "AuthorPosition").unwrap(),
+                Some("1".to_string())
+            );
+            assert_eq!(get_attr(&v, "author", "nope").unwrap(), None);
+            assert_eq!(get_attr(&v, "title", "x").unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn methods_preserve_attributes() {
+        let frag = r#"<author AuthorPosition="2">Bob</author>"#;
+        let r = get_elm(&plain(frag), "author", "", "", None).unwrap();
+        assert_eq!(r.to_plain(), frag);
+        let c = compressed(frag);
+        let r2 = get_elm(&c, "author", "", "", None).unwrap();
+        assert_eq!(r2.to_plain(), frag);
+    }
+}

@@ -1,0 +1,313 @@
+//! Tokenization of XML *fragments*.
+//!
+//! An XADT value stores a fragment: a sequence of sibling elements (with
+//! nested content), e.g. `<SPEAKER>s1</SPEAKER><SPEAKER>s2</SPEAKER>`.
+//! Fragments are produced by the shredder from parsed documents, so they
+//! are well-formed; the tokenizer nonetheless reports malformed input as
+//! an error rather than panicking.
+
+use std::borrow::Cow;
+
+/// One event produced while scanning a fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event<'a> {
+    /// `<name attr="v" ...>`.
+    Start {
+        /// Tag name.
+        name: &'a str,
+        /// Attributes as (name, entity-resolved value) pairs.
+        attrs: Vec<(&'a str, Cow<'a, str>)>,
+    },
+    /// `</name>` or the implicit end of `<name/>`.
+    End {
+        /// Tag name of the element being closed.
+        name: &'a str,
+    },
+    /// A run of character data with entities resolved.
+    Text(Cow<'a, str>),
+}
+
+/// Error produced when a fragment is not well-formed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FragmentError(pub String);
+
+impl std::fmt::Display for FragmentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed XML fragment: {}", self.0)
+    }
+}
+
+impl std::error::Error for FragmentError {}
+
+/// Streaming tokenizer over the plain (tagged-text) fragment format.
+///
+/// The tokenizer additionally exposes the byte offset of each event start
+/// via [`PlainTokenizer::offset`], which lets the XADT methods slice whole
+/// subtrees out of the input without re-serializing.
+pub struct PlainTokenizer<'a> {
+    input: &'a str,
+    pos: usize,
+    /// Stack of open element names, used to emit `End` for `<e/>` and to
+    /// verify nesting.
+    stack: Vec<&'a str>,
+    /// Pending end event for a self-closing tag.
+    pending_end: Option<&'a str>,
+}
+
+impl<'a> PlainTokenizer<'a> {
+    /// Tokenize `input`, which must be a fragment (zero or more elements
+    /// and text runs).
+    pub fn new(input: &'a str) -> Self {
+        PlainTokenizer { input, pos: 0, stack: Vec::new(), pending_end: None }
+    }
+
+    /// Byte offset where the *next* event begins.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Current element nesting depth.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Produce the next event, `Ok(None)` at end of input.
+    #[allow(clippy::should_implement_trait)] // fallible iterator
+    pub fn next(&mut self) -> Result<Option<Event<'a>>, FragmentError> {
+        if let Some(name) = self.pending_end.take() {
+            return Ok(Some(Event::End { name }));
+        }
+        let bytes = self.input.as_bytes();
+        if self.pos >= bytes.len() {
+            if self.stack.is_empty() {
+                return Ok(None);
+            }
+            return Err(FragmentError(format!("unclosed element <{}>", self.stack.pop().unwrap())));
+        }
+        if bytes[self.pos] == b'<' {
+            if self.input[self.pos..].starts_with("</") {
+                let start = self.pos + 2;
+                let end = self.input[start..]
+                    .find('>')
+                    .ok_or_else(|| FragmentError("unterminated end tag".into()))?;
+                let name = self.input[start..start + end].trim_end();
+                self.pos = start + end + 1;
+                match self.stack.pop() {
+                    Some(open) if open == name => Ok(Some(Event::End { name })),
+                    Some(open) => Err(FragmentError(format!(
+                        "close </{name}> does not match open <{open}>"
+                    ))),
+                    None => Err(FragmentError(format!("close </{name}> with no open tag"))),
+                }
+            } else {
+                self.start_tag()
+            }
+        } else {
+            let start = self.pos;
+            let rel = self.input[start..].find('<').unwrap_or(self.input.len() - start);
+            self.pos = start + rel;
+            let raw = &self.input[start..self.pos];
+            Ok(Some(Event::Text(unescape(raw))))
+        }
+    }
+
+    fn start_tag(&mut self) -> Result<Option<Event<'a>>, FragmentError> {
+        let tag_start = self.pos + 1;
+        let rest = &self.input[tag_start..];
+        let name_len = rest
+            .bytes()
+            .take_while(|&b| !matches!(b, b' ' | b'\t' | b'\r' | b'\n' | b'>' | b'/'))
+            .count();
+        if name_len == 0 {
+            return Err(FragmentError("empty tag name".into()));
+        }
+        let name = &rest[..name_len];
+        let mut p = tag_start + name_len;
+        let mut attrs = Vec::new();
+        let bytes = self.input.as_bytes();
+        loop {
+            while p < bytes.len() && matches!(bytes[p], b' ' | b'\t' | b'\r' | b'\n') {
+                p += 1;
+            }
+            if p >= bytes.len() {
+                return Err(FragmentError("unterminated start tag".into()));
+            }
+            match bytes[p] {
+                b'>' => {
+                    self.pos = p + 1;
+                    self.stack.push(name);
+                    return Ok(Some(Event::Start { name, attrs }));
+                }
+                b'/' => {
+                    if bytes.get(p + 1) == Some(&b'>') {
+                        self.pos = p + 2;
+                        self.pending_end = Some(name);
+                        return Ok(Some(Event::Start { name, attrs }));
+                    }
+                    return Err(FragmentError("stray '/' in start tag".into()));
+                }
+                _ => {
+                    // attribute name = value
+                    let an_start = p;
+                    while p < bytes.len() && !matches!(bytes[p], b'=' | b' ' | b'\t' | b'>' ) {
+                        p += 1;
+                    }
+                    let an = &self.input[an_start..p];
+                    while p < bytes.len() && matches!(bytes[p], b' ' | b'\t') {
+                        p += 1;
+                    }
+                    if bytes.get(p) != Some(&b'=') {
+                        return Err(FragmentError(format!("attribute {an:?} missing '='")));
+                    }
+                    p += 1;
+                    while p < bytes.len() && matches!(bytes[p], b' ' | b'\t') {
+                        p += 1;
+                    }
+                    let q = *bytes
+                        .get(p)
+                        .filter(|&&b| b == b'"' || b == b'\'')
+                        .ok_or_else(|| FragmentError("attribute value must be quoted".into()))?;
+                    p += 1;
+                    let v_start = p;
+                    while p < bytes.len() && bytes[p] != q {
+                        p += 1;
+                    }
+                    if p >= bytes.len() {
+                        return Err(FragmentError("unterminated attribute value".into()));
+                    }
+                    attrs.push((an, unescape(&self.input[v_start..p])));
+                    p += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Resolve the predefined entities in `raw`; borrows when nothing to do.
+pub fn unescape(raw: &str) -> Cow<'_, str> {
+    if !raw.contains('&') {
+        return Cow::Borrowed(raw);
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut rest = raw;
+    while let Some(idx) = rest.find('&') {
+        out.push_str(&rest[..idx]);
+        rest = &rest[idx + 1..];
+        if let Some(end) = rest.find(';') {
+            let name = &rest[..end];
+            let replacement = match name {
+                "lt" => Some('<'),
+                "gt" => Some('>'),
+                "amp" => Some('&'),
+                "apos" => Some('\''),
+                "quot" => Some('"'),
+                _ => name
+                    .strip_prefix('#')
+                    .and_then(|n| {
+                        if let Some(h) = n.strip_prefix('x') {
+                            u32::from_str_radix(h, 16).ok()
+                        } else {
+                            n.parse().ok()
+                        }
+                    })
+                    .and_then(char::from_u32),
+            };
+            match replacement {
+                Some(c) => {
+                    out.push(c);
+                    rest = &rest[end + 1..];
+                }
+                None => out.push('&'),
+            }
+        } else {
+            out.push('&');
+        }
+    }
+    out.push_str(rest);
+    Cow::Owned(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_events(s: &str) -> Vec<Event<'_>> {
+        let mut t = PlainTokenizer::new(s);
+        let mut out = Vec::new();
+        while let Some(e) = t.next().unwrap() {
+            out.push(e);
+        }
+        out
+    }
+
+    #[test]
+    fn tokenizes_sibling_elements() {
+        let ev = all_events("<A>x</A><B/>");
+        assert_eq!(ev.len(), 5);
+        assert!(matches!(&ev[0], Event::Start { name: "A", .. }));
+        assert!(matches!(&ev[1], Event::Text(t) if t == "x"));
+        assert!(matches!(&ev[2], Event::End { name: "A" }));
+        assert!(matches!(&ev[3], Event::Start { name: "B", .. }));
+        assert!(matches!(&ev[4], Event::End { name: "B" }));
+    }
+
+    #[test]
+    fn tokenizes_attributes() {
+        let ev = all_events(r#"<a x="1" y='2&amp;3'>t</a>"#);
+        match &ev[0] {
+            Event::Start { name, attrs } => {
+                assert_eq!(*name, "a");
+                assert_eq!(attrs[0], ("x", Cow::Borrowed("1")));
+                assert_eq!(attrs[1].1.as_ref(), "2&3");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unescapes_text() {
+        let ev = all_events("<a>&lt;hi&gt; &amp; bye</a>");
+        assert!(matches!(&ev[1], Event::Text(t) if t == "<hi> & bye"));
+    }
+
+    #[test]
+    fn rejects_mismatched_nesting() {
+        let mut t = PlainTokenizer::new("<a><b></a></b>");
+        let mut err = None;
+        loop {
+            match t.next() {
+                Ok(Some(_)) => continue,
+                Ok(None) => break,
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        assert!(err.is_some());
+    }
+
+    #[test]
+    fn rejects_unclosed_element() {
+        let mut t = PlainTokenizer::new("<a>");
+        assert!(matches!(t.next(), Ok(Some(_))));
+        assert!(t.next().is_err());
+    }
+
+    #[test]
+    fn unescape_leaves_plain_borrowed() {
+        assert!(matches!(unescape("plain"), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn offset_tracks_event_starts() {
+        let s = "<A>x</A><B>y</B>";
+        let mut t = PlainTokenizer::new(s);
+        assert_eq!(t.offset(), 0);
+        t.next().unwrap(); // <A>
+        t.next().unwrap(); // x
+        t.next().unwrap(); // </A>
+        assert_eq!(t.offset(), 8);
+        assert_eq!(&s[8..], "<B>y</B>");
+    }
+}

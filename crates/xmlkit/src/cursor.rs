@@ -1,0 +1,196 @@
+//! A byte cursor over the input with position tracking.
+//!
+//! Both the document parser and the DTD parser are hand-written
+//! recursive-descent parsers over this cursor. The cursor works on bytes and
+//! only decodes UTF-8 when a whole `char` is needed, which keeps scanning of
+//! long text runs cheap.
+
+use crate::error::{ErrorKind, Pos, Result, XmlError};
+
+/// Cursor over `&str` input with line/column tracking.
+#[derive(Debug, Clone)]
+pub(crate) struct Cursor<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    offset: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(input: &'a str) -> Self {
+        Cursor { input, bytes: input.as_bytes(), offset: 0, line: 1, col: 1 }
+    }
+
+    /// Current position (for error reporting).
+    pub(crate) fn pos(&self) -> Pos {
+        Pos { offset: self.offset, line: self.line, column: self.col }
+    }
+
+    pub(crate) fn error(&self, kind: ErrorKind) -> XmlError {
+        XmlError::new(kind, self.pos())
+    }
+
+    pub(crate) fn is_eof(&self) -> bool {
+        self.offset >= self.bytes.len()
+    }
+
+    /// Peek at the next byte without consuming it.
+    pub(crate) fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.offset).copied()
+    }
+
+    /// The unconsumed remainder of the input.
+    pub(crate) fn rest(&self) -> &'a str {
+        &self.input[self.offset..]
+    }
+
+    /// Consume and return one byte. Errors at EOF.
+    pub(crate) fn bump(&mut self) -> Result<u8> {
+        match self.peek() {
+            Some(b) => {
+                self.advance(1);
+                Ok(b)
+            }
+            None => Err(self.error(ErrorKind::UnexpectedEof)),
+        }
+    }
+
+    /// Advance by `n` bytes, updating line/column bookkeeping.
+    pub(crate) fn advance(&mut self, n: usize) {
+        let end = (self.offset + n).min(self.bytes.len());
+        for &b in &self.bytes[self.offset..end] {
+            if b == b'\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+        self.offset = end;
+    }
+
+    /// True if the remaining input starts with `s`.
+    pub(crate) fn starts_with(&self, s: &str) -> bool {
+        self.rest().starts_with(s)
+    }
+
+    /// Consume `s` if the input starts with it; return whether it did.
+    pub(crate) fn eat(&mut self, s: &str) -> bool {
+        if self.starts_with(s) {
+            self.advance(s.len());
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Require the literal `s` next, or error with `Expected(what)`.
+    pub(crate) fn expect(&mut self, s: &str, what: &'static str) -> Result<()> {
+        if self.eat(s) {
+            Ok(())
+        } else {
+            Err(self.error(ErrorKind::Expected(what)))
+        }
+    }
+
+    /// Skip XML whitespace (space, tab, CR, LF). Returns how many bytes were
+    /// skipped so callers can require at least one.
+    pub(crate) fn skip_ws(&mut self) -> usize {
+        let start = self.offset;
+        while let Some(b) = self.peek() {
+            if matches!(b, b' ' | b'\t' | b'\r' | b'\n') {
+                self.advance(1);
+            } else {
+                break;
+            }
+        }
+        self.offset - start
+    }
+
+    /// Consume bytes while `pred` holds and return the consumed slice.
+    pub(crate) fn take_while(&mut self, pred: impl Fn(u8) -> bool) -> &'a str {
+        let start = self.offset;
+        while let Some(b) = self.peek() {
+            if pred(b) {
+                self.advance(1);
+            } else {
+                break;
+            }
+        }
+        &self.input[start..self.offset]
+    }
+
+    /// Consume everything up to (but not including) the literal `delim`.
+    /// Errors if `delim` never occurs.
+    pub(crate) fn take_until(&mut self, delim: &str) -> Result<&'a str> {
+        match self.rest().find(delim) {
+            Some(idx) => {
+                let start = self.offset;
+                self.advance(idx);
+                Ok(&self.input[start..start + idx])
+            }
+            None => Err(self.error(ErrorKind::UnexpectedEof)),
+        }
+    }
+
+    /// Parse an XML `Name` (simplified to the common subset: ASCII letters,
+    /// digits, `_ - . :` with a letter/underscore/colon start; non-ASCII
+    /// bytes are accepted as name characters, which admits all UTF-8 names).
+    pub(crate) fn name(&mut self) -> Result<&'a str> {
+        let pos = self.pos();
+        let s = self.take_while(is_name_byte);
+        if s.is_empty() || !is_name_start(s.as_bytes()[0]) {
+            return Err(XmlError::new(ErrorKind::InvalidName(s.to_string()), pos));
+        }
+        Ok(s)
+    }
+}
+
+pub(crate) fn is_name_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b == b':' || b >= 0x80
+}
+
+pub(crate) fn is_name_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_lines_and_columns() {
+        let mut c = Cursor::new("ab\ncd");
+        c.advance(4);
+        let p = c.pos();
+        assert_eq!((p.line, p.column, p.offset), (2, 2, 4));
+    }
+
+    #[test]
+    fn take_until_finds_delimiter() {
+        let mut c = Cursor::new("hello-->rest");
+        assert_eq!(c.take_until("-->").unwrap(), "hello");
+        assert!(c.eat("-->"));
+        assert_eq!(c.rest(), "rest");
+    }
+
+    #[test]
+    fn name_rejects_leading_digit() {
+        let mut c = Cursor::new("1abc");
+        assert!(c.name().is_err());
+    }
+
+    #[test]
+    fn name_accepts_colon_and_dash() {
+        let mut c = Cursor::new("xlink:href rest");
+        assert_eq!(c.name().unwrap(), "xlink:href");
+    }
+
+    #[test]
+    fn skip_ws_counts_bytes() {
+        let mut c = Cursor::new("  \t\nx");
+        assert_eq!(c.skip_ws(), 4);
+        assert_eq!(c.peek(), Some(b'x'));
+    }
+}

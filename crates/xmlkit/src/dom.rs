@@ -1,0 +1,308 @@
+//! Arena-based document object model.
+//!
+//! A [`Document`] owns all nodes in a single `Vec` and hands out copyable
+//! [`NodeId`] handles. This keeps the tree cache-friendly and free of
+//! reference-counting cycles, at the cost of requiring the document for
+//! every navigation step — the usual arena trade-off.
+
+use std::fmt;
+
+/// Handle to a node inside a [`Document`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The index of this node in the document arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One attribute on an element, in document order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name as written.
+    pub name: String,
+    /// Attribute value with entities resolved.
+    pub value: String,
+}
+
+/// The payload of a node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An element with a tag name and attributes.
+    Element {
+        /// Tag name as written.
+        name: String,
+        /// Attributes in document order.
+        attributes: Vec<Attribute>,
+    },
+    /// A text run. Adjacent text (including resolved CDATA) is merged.
+    Text(String),
+}
+
+/// A node in the arena: payload plus tree links.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Element or text payload.
+    pub kind: NodeKind,
+    /// Parent node, `None` for the root element.
+    pub parent: Option<NodeId>,
+    /// Children in document order (always empty for text nodes).
+    pub children: Vec<NodeId>,
+}
+
+/// A parsed XML document: an arena of nodes plus the root element.
+#[derive(Debug, Clone)]
+pub struct Document {
+    nodes: Vec<Node>,
+    root: NodeId,
+    /// Name given in the `<!DOCTYPE name ...>` declaration, if present.
+    pub doctype: Option<String>,
+}
+
+impl Document {
+    /// Create a document whose root element is named `root_name`.
+    pub fn new(root_name: impl Into<String>) -> Document {
+        let root = Node {
+            kind: NodeKind::Element { name: root_name.into(), attributes: Vec::new() },
+            parent: None,
+            children: Vec::new(),
+        };
+        Document { nodes: vec![root], root: NodeId(0), doctype: None }
+    }
+
+    /// The root element.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Total number of nodes (elements + text runs).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the document holds only the root element with no content.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1 && self.nodes[0].children.is_empty()
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Append a child element under `parent` and return its id.
+    pub fn add_element(&mut self, parent: NodeId, name: impl Into<String>) -> NodeId {
+        self.push_node(
+            parent,
+            NodeKind::Element { name: name.into(), attributes: Vec::new() },
+        )
+    }
+
+    /// Append a text child under `parent`. Merges with a trailing text
+    /// sibling so parsers that emit text in chunks produce a single run.
+    pub fn add_text(&mut self, parent: NodeId, text: impl AsRef<str>) -> NodeId {
+        if let Some(&last) = self.nodes[parent.index()].children.last() {
+            if let NodeKind::Text(existing) = &mut self.nodes[last.index()].kind {
+                existing.push_str(text.as_ref());
+                return last;
+            }
+        }
+        self.push_node(parent, NodeKind::Text(text.as_ref().to_string()))
+    }
+
+    /// Set an attribute on an element (replacing any existing one).
+    ///
+    /// # Panics
+    /// Panics if `id` is a text node.
+    pub fn set_attribute(&mut self, id: NodeId, name: impl Into<String>, value: impl Into<String>) {
+        match &mut self.nodes[id.index()].kind {
+            NodeKind::Element { attributes, .. } => {
+                let name = name.into();
+                let value = value.into();
+                if let Some(a) = attributes.iter_mut().find(|a| a.name == name) {
+                    a.value = value;
+                } else {
+                    attributes.push(Attribute { name, value });
+                }
+            }
+            NodeKind::Text(_) => panic!("set_attribute on a text node"),
+        }
+    }
+
+    fn push_node(&mut self, parent: NodeId, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { kind, parent: Some(parent), children: Vec::new() });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Element tag name, or `None` for text nodes.
+    pub fn tag(&self, id: NodeId) -> Option<&str> {
+        match &self.node(id).kind {
+            NodeKind::Element { name, .. } => Some(name),
+            NodeKind::Text(_) => None,
+        }
+    }
+
+    /// The value of attribute `name` on element `id`.
+    pub fn attribute(&self, id: NodeId, name: &str) -> Option<&str> {
+        match &self.node(id).kind {
+            NodeKind::Element { attributes, .. } => {
+                attributes.iter().find(|a| a.name == name).map(|a| a.value.as_str())
+            }
+            NodeKind::Text(_) => None,
+        }
+    }
+
+    /// All attributes of element `id` (empty slice for text nodes).
+    pub fn attributes(&self, id: NodeId) -> &[Attribute] {
+        match &self.node(id).kind {
+            NodeKind::Element { attributes, .. } => attributes,
+            NodeKind::Text(_) => &[],
+        }
+    }
+
+    /// Children of `id` in document order.
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.node(id).children
+    }
+
+    /// Child *elements* of `id` in document order.
+    pub fn child_elements<'a>(&'a self, id: NodeId) -> impl Iterator<Item = NodeId> + 'a {
+        self.children(id).iter().copied().filter(|&c| self.tag(c).is_some())
+    }
+
+    /// Child elements of `id` with tag `name`.
+    pub fn children_named<'a>(
+        &'a self,
+        id: NodeId,
+        name: &'a str,
+    ) -> impl Iterator<Item = NodeId> + 'a {
+        self.child_elements(id).filter(move |&c| self.tag(c) == Some(name))
+    }
+
+    /// First child element named `name`.
+    pub fn first_child_named(&self, id: NodeId, name: &str) -> Option<NodeId> {
+        self.children_named(id, name).next()
+    }
+
+    /// Concatenated text content of the subtree rooted at `id`.
+    pub fn text_content(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        self.collect_text(id, &mut out);
+        out
+    }
+
+    fn collect_text(&self, id: NodeId, out: &mut String) {
+        match &self.node(id).kind {
+            NodeKind::Text(t) => out.push_str(t),
+            NodeKind::Element { .. } => {
+                for &c in self.children(id) {
+                    self.collect_text(c, out);
+                }
+            }
+        }
+    }
+
+    /// Pre-order traversal of the subtree rooted at `id` (including `id`).
+    pub fn descendants(&self, id: NodeId) -> Descendants<'_> {
+        Descendants { doc: self, stack: vec![id] }
+    }
+
+    /// All elements in the document with tag `name`, in document order.
+    pub fn elements_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = NodeId> + 'a {
+        self.descendants(self.root).filter(move |&n| self.tag(n) == Some(name))
+    }
+
+    /// Count of element nodes in the document.
+    pub fn element_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Element { .. }))
+            .count()
+    }
+}
+
+/// Iterator returned by [`Document::descendants`].
+pub struct Descendants<'a> {
+    doc: &'a Document,
+    stack: Vec<NodeId>,
+}
+
+impl<'a> Iterator for Descendants<'a> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.stack.pop()?;
+        // Push children in reverse so the left-most child pops first.
+        let children = self.doc.children(id);
+        self.stack.extend(children.iter().rev());
+        Some(id)
+    }
+}
+
+impl fmt::Display for Document {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::serialize::to_string(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Document {
+        let mut d = Document::new("PLAY");
+        let act = d.add_element(d.root(), "ACT");
+        let title = d.add_element(act, "TITLE");
+        d.add_text(title, "Act ");
+        d.add_text(title, "One"); // merges with previous run
+        let speech = d.add_element(act, "SPEECH");
+        let sp = d.add_element(speech, "SPEAKER");
+        d.add_text(sp, "HAMLET");
+        d
+    }
+
+    #[test]
+    fn text_runs_merge() {
+        let d = sample();
+        let title = d.elements_named("TITLE").next().unwrap();
+        assert_eq!(d.children(title).len(), 1);
+        assert_eq!(d.text_content(title), "Act One");
+    }
+
+    #[test]
+    fn descendants_are_preorder() {
+        let d = sample();
+        let tags: Vec<_> =
+            d.descendants(d.root()).filter_map(|n| d.tag(n)).collect();
+        assert_eq!(tags, ["PLAY", "ACT", "TITLE", "SPEECH", "SPEAKER"]);
+    }
+
+    #[test]
+    fn attributes_round_trip() {
+        let mut d = Document::new("root");
+        d.set_attribute(d.root(), "a", "1");
+        d.set_attribute(d.root(), "a", "2");
+        d.set_attribute(d.root(), "b", "3");
+        assert_eq!(d.attribute(d.root(), "a"), Some("2"));
+        assert_eq!(d.attributes(d.root()).len(), 2);
+    }
+
+    #[test]
+    fn children_named_filters() {
+        let d = sample();
+        let act = d.first_child_named(d.root(), "ACT").unwrap();
+        assert_eq!(d.children_named(act, "SPEECH").count(), 1);
+        assert_eq!(d.children_named(act, "NOPE").count(), 0);
+    }
+
+    #[test]
+    fn element_count_excludes_text() {
+        let d = sample();
+        assert_eq!(d.element_count(), 5);
+        assert!(d.len() > 5);
+    }
+}

@@ -1,0 +1,285 @@
+//! Abstract syntax for Document Type Definitions.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// How many times a content particle may occur.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Occurrence {
+    /// Exactly once (no suffix).
+    One,
+    /// Zero or one (`?`).
+    Opt,
+    /// Zero or more (`*`).
+    Star,
+    /// One or more (`+`).
+    Plus,
+}
+
+impl Occurrence {
+    /// Parse from the suffix character, `One` when absent.
+    pub fn from_suffix(b: Option<u8>) -> (Occurrence, bool) {
+        match b {
+            Some(b'?') => (Occurrence::Opt, true),
+            Some(b'*') => (Occurrence::Star, true),
+            Some(b'+') => (Occurrence::Plus, true),
+            _ => (Occurrence::One, false),
+        }
+    }
+
+    /// True if the particle may repeat (`*` or `+`).
+    pub fn repeats(self) -> bool {
+        matches!(self, Occurrence::Star | Occurrence::Plus)
+    }
+
+    /// True if the particle may be absent (`?` or `*`).
+    pub fn optional(self) -> bool {
+        matches!(self, Occurrence::Opt | Occurrence::Star)
+    }
+
+    /// The suffix character, if any.
+    pub fn suffix(self) -> Option<char> {
+        match self {
+            Occurrence::One => None,
+            Occurrence::Opt => Some('?'),
+            Occurrence::Star => Some('*'),
+            Occurrence::Plus => Some('+'),
+        }
+    }
+}
+
+impl fmt::Display for Occurrence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.suffix() {
+            Some(c) => write!(f, "{c}"),
+            None => Ok(()),
+        }
+    }
+}
+
+/// The body of a content particle, before its occurrence suffix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParticleKind {
+    /// A child element name.
+    Name(String),
+    /// A sequence `(a, b, c)`.
+    Seq(Vec<Particle>),
+    /// A choice `(a | b | c)`.
+    Choice(Vec<Particle>),
+}
+
+/// A content particle: body plus occurrence suffix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Particle {
+    /// Name, sequence, or choice.
+    pub kind: ParticleKind,
+    /// `?`, `*`, `+`, or exactly-once.
+    pub occurrence: Occurrence,
+}
+
+impl Particle {
+    /// A bare element-name particle occurring exactly once.
+    pub fn name(n: impl Into<String>) -> Particle {
+        Particle { kind: ParticleKind::Name(n.into()), occurrence: Occurrence::One }
+    }
+
+    /// Attach an occurrence suffix to this particle.
+    pub fn with(mut self, occ: Occurrence) -> Particle {
+        self.occurrence = occ;
+        self
+    }
+}
+
+/// An element's declared content.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContentModel {
+    /// `EMPTY`.
+    Empty,
+    /// `ANY`.
+    Any,
+    /// `(#PCDATA)`.
+    PcData,
+    /// Mixed content `(#PCDATA | a | b)*` — text interleaved with the
+    /// named elements.
+    Mixed(Vec<String>),
+    /// Element content: a single top-level particle.
+    Children(Particle),
+}
+
+impl ContentModel {
+    /// True for `(#PCDATA)` and mixed content — the element may directly
+    /// contain character data.
+    pub fn has_pcdata(&self) -> bool {
+        matches!(self, ContentModel::PcData | ContentModel::Mixed(_))
+    }
+
+    /// Element names that may appear as children, in declaration order,
+    /// without duplicates.
+    pub fn child_names(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        match self {
+            ContentModel::Empty | ContentModel::Any | ContentModel::PcData => {}
+            ContentModel::Mixed(names) => {
+                for n in names {
+                    if !out.contains(&n.as_str()) {
+                        out.push(n.as_str());
+                    }
+                }
+            }
+            ContentModel::Children(p) => collect_names(p, &mut out),
+        }
+        out
+    }
+}
+
+fn collect_names<'a>(p: &'a Particle, out: &mut Vec<&'a str>) {
+    match &p.kind {
+        ParticleKind::Name(n) => {
+            if !out.contains(&n.as_str()) {
+                out.push(n);
+            }
+        }
+        ParticleKind::Seq(ps) | ParticleKind::Choice(ps) => {
+            for q in ps {
+                collect_names(q, out);
+            }
+        }
+    }
+}
+
+/// `<!ELEMENT name content>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElementDecl {
+    /// The declared element name.
+    pub name: String,
+    /// Its content model.
+    pub content: ContentModel,
+}
+
+/// Declared type of an attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttType {
+    /// `CDATA`.
+    CData,
+    /// `ID`.
+    Id,
+    /// `IDREF` / `IDREFS`.
+    IdRef,
+    /// `NMTOKEN` / `NMTOKENS`.
+    NmToken,
+    /// `ENTITY` / `ENTITIES`.
+    Entity,
+    /// Enumerated `(a|b|c)`.
+    Enumerated(Vec<String>),
+}
+
+/// Default-value behaviour of an attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttDefault {
+    /// `#REQUIRED`.
+    Required,
+    /// `#IMPLIED`.
+    Implied,
+    /// `#FIXED "v"`.
+    Fixed(String),
+    /// A plain default value.
+    Value(String),
+}
+
+/// One attribute definition inside an `<!ATTLIST>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttDef {
+    /// Attribute name.
+    pub name: String,
+    /// Declared type.
+    pub ty: AttType,
+    /// Default behaviour.
+    pub default: AttDefault,
+}
+
+/// A parsed DTD: element declarations, attribute lists, and entities.
+#[derive(Debug, Clone, Default)]
+pub struct Dtd {
+    /// Element declarations in document order.
+    pub elements: Vec<ElementDecl>,
+    /// Attribute definitions per element name (merged across ATTLISTs).
+    pub attlists: HashMap<String, Vec<AttDef>>,
+    /// Parameter entities (`<!ENTITY % name "...">`).
+    pub parameter_entities: HashMap<String, String>,
+    /// General entities (`<!ENTITY name "...">`).
+    pub general_entities: HashMap<String, String>,
+}
+
+impl Dtd {
+    /// Look up an element declaration by name.
+    pub fn element(&self, name: &str) -> Option<&ElementDecl> {
+        self.elements.iter().find(|e| e.name == name)
+    }
+
+    /// Attribute definitions for `element`, empty if none declared.
+    pub fn attributes_of(&self, element: &str) -> &[AttDef] {
+        self.attlists.get(element).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The root element: the first declared element that never appears as a
+    /// child of another declared element. Falls back to the first
+    /// declaration when every element is referenced (e.g. recursive DTDs).
+    pub fn infer_root(&self) -> Option<&str> {
+        let mut referenced: Vec<&str> = Vec::new();
+        for e in &self.elements {
+            referenced.extend(e.content.child_names());
+        }
+        self.elements
+            .iter()
+            .find(|e| !referenced.contains(&e.name.as_str()))
+            .or_else(|| self.elements.first())
+            .map(|e| e.name.as_str())
+    }
+
+    /// All declared element names in declaration order.
+    pub fn element_names(&self) -> impl Iterator<Item = &str> {
+        self.elements.iter().map(|e| e.name.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occurrence_properties() {
+        assert!(Occurrence::Star.repeats() && Occurrence::Star.optional());
+        assert!(Occurrence::Plus.repeats() && !Occurrence::Plus.optional());
+        assert!(!Occurrence::Opt.repeats() && Occurrence::Opt.optional());
+        assert!(!Occurrence::One.repeats() && !Occurrence::One.optional());
+    }
+
+    #[test]
+    fn child_names_dedup_in_order() {
+        let cm = ContentModel::Children(Particle {
+            kind: ParticleKind::Seq(vec![
+                Particle::name("A"),
+                Particle {
+                    kind: ParticleKind::Choice(vec![Particle::name("B"), Particle::name("A")]),
+                    occurrence: Occurrence::Plus,
+                },
+            ]),
+            occurrence: Occurrence::One,
+        });
+        assert_eq!(cm.child_names(), ["A", "B"]);
+    }
+
+    #[test]
+    fn infer_root_picks_unreferenced() {
+        let mut dtd = Dtd::default();
+        dtd.elements.push(ElementDecl {
+            name: "CHILD".into(),
+            content: ContentModel::PcData,
+        });
+        dtd.elements.push(ElementDecl {
+            name: "ROOT".into(),
+            content: ContentModel::Children(Particle::name("CHILD")),
+        });
+        assert_eq!(dtd.infer_root(), Some("ROOT"));
+    }
+}

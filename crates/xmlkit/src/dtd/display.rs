@@ -1,0 +1,134 @@
+//! `Display` implementations that print DTD declarations back out in the
+//! conventional `<!ELEMENT ...>` syntax. Useful in tests and for dumping
+//! simplified DTDs (paper Figure 2).
+
+use std::fmt;
+
+use crate::dtd::ast::{
+    AttDef, AttDefault, AttType, ContentModel, Dtd, ElementDecl, Particle, ParticleKind,
+};
+
+impl fmt::Display for Particle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ParticleKind::Name(n) => write!(f, "{n}")?,
+            ParticleKind::Seq(items) => {
+                write!(f, "(")?;
+                for (i, p) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")?;
+            }
+            ParticleKind::Choice(items) => {
+                write!(f, "(")?;
+                for (i, p) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")?;
+            }
+        }
+        write!(f, "{}", self.occurrence)
+    }
+}
+
+impl fmt::Display for ContentModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContentModel::Empty => write!(f, "EMPTY"),
+            ContentModel::Any => write!(f, "ANY"),
+            ContentModel::PcData => write!(f, "(#PCDATA)"),
+            ContentModel::Mixed(names) => {
+                write!(f, "(#PCDATA")?;
+                for n in names {
+                    write!(f, " | {n}")?;
+                }
+                write!(f, ")*")
+            }
+            ContentModel::Children(p) => {
+                // Top-level particles are always printed parenthesised.
+                match &p.kind {
+                    ParticleKind::Name(_) => write!(f, "({p})"),
+                    _ => write!(f, "{p}"),
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for ElementDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<!ELEMENT {} {}>", self.name, self.content)
+    }
+}
+
+impl fmt::Display for AttDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ty = match &self.ty {
+            AttType::CData => "CDATA".to_string(),
+            AttType::Id => "ID".to_string(),
+            AttType::IdRef => "IDREF".to_string(),
+            AttType::NmToken => "NMTOKEN".to_string(),
+            AttType::Entity => "ENTITY".to_string(),
+            AttType::Enumerated(opts) => format!("({})", opts.join("|")),
+        };
+        let default = match &self.default {
+            AttDefault::Required => "#REQUIRED".to_string(),
+            AttDefault::Implied => "#IMPLIED".to_string(),
+            AttDefault::Fixed(v) => format!("#FIXED \"{v}\""),
+            AttDefault::Value(v) => format!("\"{v}\""),
+        };
+        write!(f, "{} {} {}", self.name, ty, default)
+    }
+}
+
+impl fmt::Display for Dtd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.elements {
+            writeln!(f, "{e}")?;
+            if let Some(atts) = self.attlists.get(&e.name) {
+                for a in atts {
+                    writeln!(f, "<!ATTLIST {} {}>", e.name, a)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::dtd::parse_dtd;
+
+    #[test]
+    fn display_round_trips_through_parser() {
+        let src = r#"
+            <!ELEMENT PLAY (INDUCT?, ACT+)>
+            <!ELEMENT ACT (TITLE, (SPEECH | SUBHEAD)+)>
+            <!ELEMENT INDUCT (#PCDATA)>
+            <!ELEMENT TITLE (#PCDATA)>
+            <!ELEMENT SPEECH (#PCDATA | STAGEDIR)*>
+            <!ELEMENT SUBHEAD EMPTY>
+            <!ELEMENT STAGEDIR ANY>
+        "#;
+        let dtd = parse_dtd(src).unwrap();
+        let printed = dtd.to_string();
+        let reparsed = parse_dtd(&printed).unwrap();
+        assert_eq!(dtd.elements, reparsed.elements);
+    }
+
+    #[test]
+    fn attlist_display_round_trips() {
+        let src = r#"<!ELEMENT a (#PCDATA)>
+<!ATTLIST a x CDATA #IMPLIED y (u|v) "u" z CDATA #REQUIRED>"#;
+        let dtd = parse_dtd(src).unwrap();
+        let printed = dtd.to_string();
+        let reparsed = parse_dtd(&printed).unwrap();
+        assert_eq!(dtd.attlists, reparsed.attlists);
+    }
+}

@@ -1,0 +1,13 @@
+//! DTD parsing, printing, and validation.
+
+pub mod ast;
+mod display;
+mod parser;
+pub mod validate;
+
+pub use ast::{
+    AttDef, AttDefault, AttType, ContentModel, Dtd, ElementDecl, Occurrence, Particle,
+    ParticleKind,
+};
+pub use parser::{parse_content_model, parse_dtd};
+pub use validate::{validate, ValidationError};

@@ -1,0 +1,587 @@
+//! DTD parser.
+//!
+//! Parses a sequence of markup declarations — `<!ELEMENT>`, `<!ATTLIST>`,
+//! `<!ENTITY>` (general and parameter), comments, and processing
+//! instructions — into a [`Dtd`]. Parameter-entity references (`%name;`)
+//! are expanded textually before a declaration is parsed, which is how the
+//! paper's SIGMOD Proceedings DTD uses its `%Xlink;` entity.
+
+use std::collections::HashMap;
+
+use crate::cursor::Cursor;
+use crate::dtd::ast::{
+    AttDef, AttDefault, AttType, ContentModel, Dtd, ElementDecl, Occurrence, Particle,
+    ParticleKind,
+};
+use crate::error::{ErrorKind, Result};
+
+/// Parse the text of a DTD (the markup declarations only, *not* wrapped in
+/// `<!DOCTYPE ... [...]>`).
+pub fn parse_dtd(input: &str) -> Result<Dtd> {
+    let mut p = DtdParser { c: Cursor::new(input), dtd: Dtd::default() };
+    p.run()?;
+    Ok(p.dtd)
+}
+
+struct DtdParser<'a> {
+    c: Cursor<'a>,
+    dtd: Dtd,
+}
+
+impl<'a> DtdParser<'a> {
+    fn run(&mut self) -> Result<()> {
+        loop {
+            self.c.skip_ws();
+            if self.c.is_eof() {
+                return Ok(());
+            }
+            if self.c.starts_with("<!--") {
+                self.c.advance(4);
+                self.c.take_until("-->")?;
+                self.c.advance(3);
+            } else if self.c.starts_with("<?") {
+                self.c.take_until("?>")?;
+                self.c.advance(2);
+            } else if self.c.starts_with("<!ELEMENT") {
+                self.element_decl()?;
+            } else if self.c.starts_with("<!ATTLIST") {
+                self.attlist_decl()?;
+            } else if self.c.starts_with("<!ENTITY") {
+                self.entity_decl()?;
+            } else if self.c.starts_with("%") {
+                // A parameter-entity reference at declaration level: expand
+                // it by parsing its replacement text recursively.
+                self.c.advance(1);
+                let name = self.c.name()?.to_string();
+                self.c.expect(";", "; after parameter entity")?;
+                let body = self.lookup_pe(&name)?;
+                let sub = parse_dtd_with(&body, &self.dtd.parameter_entities)?;
+                self.merge(sub);
+            } else {
+                return Err(self
+                    .c
+                    .error(ErrorKind::MalformedDtd("unexpected content".into())));
+            }
+        }
+    }
+
+    fn merge(&mut self, other: Dtd) {
+        self.dtd.elements.extend(other.elements);
+        for (k, v) in other.attlists {
+            self.dtd.attlists.entry(k).or_default().extend(v);
+        }
+        self.dtd.parameter_entities.extend(other.parameter_entities);
+        self.dtd.general_entities.extend(other.general_entities);
+    }
+
+    fn lookup_pe(&self, name: &str) -> Result<String> {
+        self.dtd
+            .parameter_entities
+            .get(name)
+            .cloned()
+            .ok_or_else(|| self.c.error(ErrorKind::UnknownEntity(format!("%{name}"))))
+    }
+
+    /// Expand `%name;` references in a declaration body.
+    fn expand_pes(&self, raw: &str) -> Result<String> {
+        expand_parameter_entities(raw, &self.dtd.parameter_entities)
+            .map_err(|e| self.c.error(ErrorKind::UnknownEntity(e)))
+    }
+
+    fn element_decl(&mut self) -> Result<()> {
+        self.c.expect("<!ELEMENT", "<!ELEMENT")?;
+        self.c.skip_ws();
+        let name = self.c.name()?.to_string();
+        self.c.skip_ws();
+        let body_raw = self.take_decl_body()?;
+        let body = self.expand_pes(&body_raw)?;
+        let content = parse_content_model(body.trim())
+            .map_err(|m| self.c.error(ErrorKind::MalformedDtd(m)))?;
+        self.dtd.elements.push(ElementDecl { name, content });
+        Ok(())
+    }
+
+    fn attlist_decl(&mut self) -> Result<()> {
+        self.c.expect("<!ATTLIST", "<!ATTLIST")?;
+        self.c.skip_ws();
+        let elem = self.c.name()?.to_string();
+        let body_raw = self.take_decl_body()?;
+        let body = self.expand_pes(&body_raw)?;
+        let defs = parse_att_defs(&body).map_err(|m| self.c.error(ErrorKind::MalformedDtd(m)))?;
+        self.dtd.attlists.entry(elem).or_default().extend(defs);
+        Ok(())
+    }
+
+    fn entity_decl(&mut self) -> Result<()> {
+        self.c.expect("<!ENTITY", "<!ENTITY")?;
+        self.c.skip_ws();
+        let is_parameter = self.c.eat("%");
+        if is_parameter {
+            self.c.skip_ws();
+        }
+        let name = self.c.name()?.to_string();
+        self.c.skip_ws();
+        let value = self.quoted_literal()?;
+        self.c.skip_ws();
+        self.c.expect(">", "> to close ENTITY")?;
+        if is_parameter {
+            self.dtd.parameter_entities.insert(name, value);
+        } else {
+            self.dtd.general_entities.insert(name, value);
+        }
+        Ok(())
+    }
+
+    fn quoted_literal(&mut self) -> Result<String> {
+        let quote = match self.c.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.c.error(ErrorKind::Expected("quoted literal"))),
+        };
+        self.c.advance(1);
+        let delim = if quote == b'"' { "\"" } else { "'" };
+        let s = self.c.take_until(delim)?.to_string();
+        self.c.advance(1);
+        Ok(s)
+    }
+
+    /// Take the raw body of the current declaration up to its closing `>`
+    /// (quote-aware, so defaults containing `>` survive).
+    fn take_decl_body(&mut self) -> Result<String> {
+        let mut out = String::new();
+        let mut quote: Option<u8> = None;
+        loop {
+            let b = match self.c.peek() {
+                Some(b) => b,
+                None => return Err(self.c.error(ErrorKind::UnexpectedEof)),
+            };
+            match quote {
+                Some(q) => {
+                    if b == q {
+                        quote = None;
+                    }
+                }
+                None => match b {
+                    b'"' | b'\'' => quote = Some(b),
+                    b'>' => {
+                        self.c.advance(1);
+                        return Ok(out);
+                    }
+                    _ => {}
+                },
+            }
+            out.push(b as char);
+            self.c.advance(1);
+        }
+    }
+}
+
+fn parse_dtd_with(input: &str, pes: &HashMap<String, String>) -> Result<Dtd> {
+    let mut p = DtdParser { c: Cursor::new(input), dtd: Dtd::default() };
+    p.dtd.parameter_entities = pes.clone();
+    p.run()?;
+    // The inherited parameter entities are bookkeeping, not declarations of
+    // the sub-fragment; drop them so `merge` does not duplicate.
+    p.dtd.parameter_entities.retain(|k, _| !pes.contains_key(k));
+    Ok(p.dtd)
+}
+
+/// Expand `%name;` references (non-recursively nested expansions supported).
+pub(crate) fn expand_parameter_entities(
+    raw: &str,
+    pes: &HashMap<String, String>,
+) -> std::result::Result<String, String> {
+    if !raw.contains('%') {
+        return Ok(raw.to_string());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut rest = raw;
+    let mut depth = 0;
+    while let Some(idx) = rest.find('%') {
+        out.push_str(&rest[..idx]);
+        rest = &rest[idx + 1..];
+        let end = match rest.find(';') {
+            Some(e) => e,
+            None => {
+                // A bare '%' (e.g. inside a literal) — keep it.
+                out.push('%');
+                continue;
+            }
+        };
+        let name = &rest[..end];
+        if !name.bytes().all(crate::cursor::is_name_byte) || name.is_empty() {
+            out.push('%');
+            continue;
+        }
+        rest = &rest[end + 1..];
+        let body = pes.get(name).ok_or_else(|| name.to_string())?;
+        depth += 1;
+        if depth > 32 {
+            return Err(format!("parameter entity nesting too deep at %{name};"));
+        }
+        let expanded = expand_parameter_entities(body, pes)?;
+        out.push_str(&expanded);
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+/// Parse a content-model body such as `(TITLE, SUBTITLE*, (SPEECH|SUBHEAD)+)`.
+pub fn parse_content_model(body: &str) -> std::result::Result<ContentModel, String> {
+    let body = body.trim();
+    match body {
+        "EMPTY" => return Ok(ContentModel::Empty),
+        "ANY" => return Ok(ContentModel::Any),
+        _ => {}
+    }
+    let mut p = CmParser { bytes: body.as_bytes(), pos: 0 };
+    let cm = p.model()?;
+    p.ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing content in content model: {body:?}"));
+    }
+    Ok(cm)
+}
+
+struct CmParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> CmParser<'a> {
+    fn ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\r' | b'\n')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn model(&mut self) -> std::result::Result<ContentModel, String> {
+        self.ws();
+        if self.peek() != Some(b'(') {
+            return Err("content model must start with '('".into());
+        }
+        // Look ahead for #PCDATA to distinguish mixed content.
+        let inner = &self.bytes[self.pos..];
+        let inner_str = std::str::from_utf8(inner).map_err(|_| "invalid utf-8")?;
+        if inner_str.trim_start_matches('(').trim_start().starts_with("#PCDATA") {
+            return self.mixed();
+        }
+        let p = self.particle()?;
+        Ok(ContentModel::Children(p))
+    }
+
+    fn mixed(&mut self) -> std::result::Result<ContentModel, String> {
+        self.expect(b'(')?;
+        self.ws();
+        if !self.eat_str("#PCDATA") {
+            return Err("expected #PCDATA".into());
+        }
+        let mut names = Vec::new();
+        loop {
+            self.ws();
+            match self.peek() {
+                Some(b'|') => {
+                    self.pos += 1;
+                    self.ws();
+                    names.push(self.name()?);
+                }
+                Some(b')') => {
+                    self.pos += 1;
+                    break;
+                }
+                other => return Err(format!("unexpected {other:?} in mixed content")),
+            }
+        }
+        // `(#PCDATA)` may close bare; with names a trailing `*` is required
+        // by the spec; we accept its absence for robustness.
+        let _ = self.eat(b'*');
+        if names.is_empty() {
+            Ok(ContentModel::PcData)
+        } else {
+            Ok(ContentModel::Mixed(names))
+        }
+    }
+
+    fn particle(&mut self) -> std::result::Result<Particle, String> {
+        self.ws();
+        let kind = if self.peek() == Some(b'(') {
+            self.pos += 1;
+            let first = self.particle()?;
+            self.ws();
+            match self.peek() {
+                Some(b',') => {
+                    let mut items = vec![first];
+                    while self.eat(b',') {
+                        items.push(self.particle()?);
+                        self.ws();
+                    }
+                    self.expect(b')')?;
+                    ParticleKind::Seq(items)
+                }
+                Some(b'|') => {
+                    let mut items = vec![first];
+                    while self.eat(b'|') {
+                        items.push(self.particle()?);
+                        self.ws();
+                    }
+                    self.expect(b')')?;
+                    ParticleKind::Choice(items)
+                }
+                Some(b')') => {
+                    self.pos += 1;
+                    // Single-item group `(a)` — keep as a 1-sequence so the
+                    // occurrence on the group is preserved distinctly.
+                    ParticleKind::Seq(vec![first])
+                }
+                other => return Err(format!("unexpected {other:?} in group")),
+            }
+        } else {
+            ParticleKind::Name(self.name()?)
+        };
+        let (occ, took) = Occurrence::from_suffix(self.peek());
+        if took {
+            self.pos += 1;
+        }
+        Ok(Particle { kind, occurrence: occ })
+    }
+
+    fn name(&mut self) -> std::result::Result<String, String> {
+        self.ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len() && crate::cursor::is_name_byte(self.bytes[self.pos]) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!(
+                "expected a name at byte {start} of content model"
+            ));
+        }
+        Ok(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap().to_string())
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        self.ws();
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_str(&mut self, s: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(s.as_bytes()) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> std::result::Result<(), String> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            Err(format!("expected {:?}", b as char))
+        }
+    }
+}
+
+fn parse_att_defs(body: &str) -> std::result::Result<Vec<AttDef>, String> {
+    let mut p = CmParser { bytes: body.as_bytes(), pos: 0 };
+    let mut defs = Vec::new();
+    loop {
+        p.ws();
+        if p.pos == p.bytes.len() {
+            return Ok(defs);
+        }
+        let name = p.name()?;
+        p.ws();
+        let ty = if p.peek() == Some(b'(') {
+            p.pos += 1;
+            let mut opts = vec![p.name()?];
+            while p.eat(b'|') {
+                opts.push(p.name()?);
+            }
+            p.expect(b')')?;
+            AttType::Enumerated(opts)
+        } else {
+            match p.name()?.as_str() {
+                "CDATA" => AttType::CData,
+                "ID" => AttType::Id,
+                "IDREF" | "IDREFS" => AttType::IdRef,
+                "NMTOKEN" | "NMTOKENS" => AttType::NmToken,
+                "ENTITY" | "ENTITIES" => AttType::Entity,
+                "NOTATION" => {
+                    // NOTATION (a|b) — treat like enumerated.
+                    p.ws();
+                    p.expect(b'(')?;
+                    let mut opts = vec![p.name()?];
+                    while p.eat(b'|') {
+                        opts.push(p.name()?);
+                    }
+                    p.expect(b')')?;
+                    AttType::Enumerated(opts)
+                }
+                other => return Err(format!("unknown attribute type {other:?}")),
+            }
+        };
+        p.ws();
+        let default = if p.eat_str("#REQUIRED") {
+            AttDefault::Required
+        } else if p.eat_str("#IMPLIED") {
+            AttDefault::Implied
+        } else if p.eat_str("#FIXED") {
+            p.ws();
+            AttDefault::Fixed(quoted(&mut p)?)
+        } else {
+            AttDefault::Value(quoted(&mut p)?)
+        };
+        defs.push(AttDef { name, ty, default });
+    }
+}
+
+fn quoted(p: &mut CmParser<'_>) -> std::result::Result<String, String> {
+    p.ws();
+    let q = p.peek().ok_or("expected quoted default")?;
+    if q != b'"' && q != b'\'' {
+        return Err("expected quoted default".into());
+    }
+    p.pos += 1;
+    let start = p.pos;
+    while p.pos < p.bytes.len() && p.bytes[p.pos] != q {
+        p.pos += 1;
+    }
+    if p.pos == p.bytes.len() {
+        return Err("unterminated default value".into());
+    }
+    let s = std::str::from_utf8(&p.bytes[start..p.pos]).unwrap().to_string();
+    p.pos += 1;
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_plays_dtd() {
+        let dtd = parse_dtd(
+            r#"
+            <!ELEMENT PLAY (INDUCT?, ACT+)>
+            <!ELEMENT INDUCT (TITLE, SUBTITLE*, SCENE+)>
+            <!ELEMENT ACT (SCENE+, TITLE, SUBTITLE*, SPEECH+, PROLOGUE?)>
+            <!ELEMENT SCENE (TITLE, SUBTITLE*, (SPEECH | SUBHEAD)+)>
+            <!ELEMENT SPEECH (SPEAKER, LINE)+>
+            <!ELEMENT PROLOGUE (#PCDATA)>
+            <!ELEMENT TITLE (#PCDATA)>
+            <!ELEMENT SUBTITLE (#PCDATA)>
+            <!ELEMENT SUBHEAD (#PCDATA)>
+            <!ELEMENT SPEAKER (#PCDATA)>
+            <!ELEMENT LINE (#PCDATA)>
+            "#,
+        )
+        .unwrap();
+        assert_eq!(dtd.elements.len(), 11);
+        assert_eq!(dtd.infer_root(), Some("PLAY"));
+        let play = dtd.element("PLAY").unwrap();
+        match &play.content {
+            ContentModel::Children(p) => match &p.kind {
+                ParticleKind::Seq(items) => {
+                    assert_eq!(items.len(), 2);
+                    assert_eq!(items[0].occurrence, Occurrence::Opt);
+                    assert_eq!(items[1].occurrence, Occurrence::Plus);
+                }
+                other => panic!("expected Seq, got {other:?}"),
+            },
+            other => panic!("expected Children, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_mixed_content() {
+        let dtd = parse_dtd("<!ELEMENT LINE (#PCDATA | STAGEDIR)*>").unwrap();
+        assert_eq!(
+            dtd.element("LINE").unwrap().content,
+            ContentModel::Mixed(vec!["STAGEDIR".into()])
+        );
+    }
+
+    #[test]
+    fn parses_pcdata_empty_any() {
+        let dtd = parse_dtd(
+            "<!ELEMENT A (#PCDATA)><!ELEMENT B EMPTY><!ELEMENT C ANY>",
+        )
+        .unwrap();
+        assert_eq!(dtd.element("A").unwrap().content, ContentModel::PcData);
+        assert_eq!(dtd.element("B").unwrap().content, ContentModel::Empty);
+        assert_eq!(dtd.element("C").unwrap().content, ContentModel::Any);
+    }
+
+    #[test]
+    fn parses_attlist() {
+        let dtd = parse_dtd(
+            r#"<!ELEMENT title (#PCDATA)>
+               <!ATTLIST title articleCode CDATA #IMPLIED
+                               kind (long|short) "long">"#,
+        )
+        .unwrap();
+        let atts = dtd.attributes_of("title");
+        assert_eq!(atts.len(), 2);
+        assert_eq!(atts[0].name, "articleCode");
+        assert_eq!(atts[0].ty, AttType::CData);
+        assert_eq!(atts[0].default, AttDefault::Implied);
+        assert_eq!(
+            atts[1].ty,
+            AttType::Enumerated(vec!["long".into(), "short".into()])
+        );
+        assert_eq!(atts[1].default, AttDefault::Value("long".into()));
+    }
+
+    #[test]
+    fn parameter_entities_expand_in_attlist() {
+        let dtd = parse_dtd(
+            r#"<!ENTITY % Xlink "xml:link CDATA #IMPLIED href CDATA #IMPLIED">
+               <!ELEMENT index (#PCDATA)>
+               <!ATTLIST index %Xlink;>"#,
+        )
+        .unwrap();
+        let atts = dtd.attributes_of("index");
+        assert_eq!(atts.len(), 2);
+        assert_eq!(atts[0].name, "xml:link");
+        assert_eq!(atts[1].name, "href");
+    }
+
+    #[test]
+    fn unknown_parameter_entity_is_an_error() {
+        assert!(parse_dtd("<!ELEMENT a (#PCDATA)><!ATTLIST a %nope;>").is_err());
+    }
+
+    #[test]
+    fn nested_groups_parse() {
+        let dtd = parse_dtd(
+            "<!ELEMENT INDUCT (TITLE,SUBTITLE*,(SCENE+ | (SPEECH|STAGEDIR|SUBHEAD)+))>",
+        )
+        .unwrap();
+        let names = dtd.element("INDUCT").unwrap().content.child_names();
+        assert_eq!(names, ["TITLE", "SUBTITLE", "SCENE", "SPEECH", "STAGEDIR", "SUBHEAD"]);
+    }
+
+    #[test]
+    fn group_occurrence_on_sequence() {
+        // SPEECH content model from Figure 1: (SPEAKER, LINE)+
+        let dtd = parse_dtd("<!ELEMENT SPEECH (SPEAKER, LINE)+>").unwrap();
+        match &dtd.element("SPEECH").unwrap().content {
+            ContentModel::Children(p) => {
+                assert_eq!(p.occurrence, Occurrence::Plus);
+                assert!(matches!(p.kind, ParticleKind::Seq(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

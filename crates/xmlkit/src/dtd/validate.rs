@@ -1,0 +1,322 @@
+//! DTD validation: check that a parsed document conforms to a DTD.
+//!
+//! The content-model matcher is a memoized backtracking matcher over the
+//! sequence of child element names — sufficient for DTDs in this workspace
+//! (it does not require the model to be deterministic, unlike the XML spec,
+//! which is a stricter constraint than validation needs).
+
+use std::collections::HashSet;
+
+use crate::dom::{Document, NodeId, NodeKind};
+use crate::dtd::ast::{AttDefault, ContentModel, Dtd, Particle, ParticleKind};
+
+/// A single validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationError {
+    /// Element where the failure was detected.
+    pub element: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "<{}>: {}", self.element, self.message)
+    }
+}
+
+/// Validate `doc` against `dtd`. Returns every violation found (empty
+/// means the document is valid).
+pub fn validate(doc: &Document, dtd: &Dtd) -> Vec<ValidationError> {
+    let mut errors = Vec::new();
+    validate_node(doc, doc.root(), dtd, &mut errors);
+    errors
+}
+
+fn validate_node(doc: &Document, id: NodeId, dtd: &Dtd, errors: &mut Vec<ValidationError>) {
+    let name = match doc.tag(id) {
+        Some(n) => n.to_string(),
+        None => return,
+    };
+    let decl = match dtd.element(&name) {
+        Some(d) => d,
+        None => {
+            errors.push(ValidationError {
+                element: name,
+                message: "element is not declared".into(),
+            });
+            return;
+        }
+    };
+
+    // Attribute checks: declared-required attributes must be present; all
+    // present attributes must be declared (when an ATTLIST exists).
+    let defs = dtd.attributes_of(&name);
+    for def in defs {
+        if matches!(def.default, AttDefault::Required) && doc.attribute(id, &def.name).is_none() {
+            errors.push(ValidationError {
+                element: name.clone(),
+                message: format!("missing required attribute {:?}", def.name),
+            });
+        }
+    }
+    if !defs.is_empty() {
+        let declared: HashSet<&str> = defs.iter().map(|d| d.name.as_str()).collect();
+        for a in doc.attributes(id) {
+            if !declared.contains(a.name.as_str()) {
+                errors.push(ValidationError {
+                    element: name.clone(),
+                    message: format!("undeclared attribute {:?}", a.name),
+                });
+            }
+        }
+    }
+
+    // Content checks.
+    let child_tags: Vec<&str> = doc
+        .children(id)
+        .iter()
+        .filter_map(|&c| doc.tag(c))
+        .collect();
+    let has_text = doc.children(id).iter().any(|&c| {
+        matches!(&doc.node(c).kind, NodeKind::Text(t) if !t.trim().is_empty())
+    });
+
+    match &decl.content {
+        ContentModel::Empty => {
+            if !doc.children(id).is_empty() {
+                errors.push(ValidationError {
+                    element: name.clone(),
+                    message: "declared EMPTY but has content".into(),
+                });
+            }
+        }
+        ContentModel::Any => {}
+        ContentModel::PcData => {
+            if !child_tags.is_empty() {
+                errors.push(ValidationError {
+                    element: name.clone(),
+                    message: format!(
+                        "declared (#PCDATA) but contains elements {child_tags:?}"
+                    ),
+                });
+            }
+        }
+        ContentModel::Mixed(allowed) => {
+            for t in &child_tags {
+                if !allowed.iter().any(|a| a == t) {
+                    errors.push(ValidationError {
+                        element: name.clone(),
+                        message: format!("element {t:?} not allowed in mixed content"),
+                    });
+                }
+            }
+        }
+        ContentModel::Children(p) => {
+            if has_text {
+                errors.push(ValidationError {
+                    element: name.clone(),
+                    message: "character data not allowed in element content".into(),
+                });
+            }
+            if !matches_particle(p, &child_tags) {
+                errors.push(ValidationError {
+                    element: name.clone(),
+                    message: format!(
+                        "children {child_tags:?} do not match content model {p}"
+                    ),
+                });
+            }
+        }
+    }
+
+    for &c in doc.children(id) {
+        validate_node(doc, c, dtd, errors);
+    }
+}
+
+/// True if the full sequence `names` matches particle `p`.
+fn matches_particle(p: &Particle, names: &[&str]) -> bool {
+    let mut results = Vec::new();
+    match_at(p, names, 0, &mut results);
+    results.contains(&names.len())
+}
+
+/// Collect every index `j` such that `p` can match `names[i..j]`.
+fn match_at(p: &Particle, names: &[&str], i: usize, out: &mut Vec<usize>) {
+    // Matching a single occurrence of the body from position i.
+    let mut once = Vec::new();
+    match_body(p, names, i, &mut once);
+
+    let mut reachable: Vec<usize> = Vec::new();
+    if p.occurrence.optional() {
+        reachable.push(i);
+    }
+    if p.occurrence.repeats() {
+        // Fixpoint over repeated matches.
+        let mut frontier = once.clone();
+        let mut seen: HashSet<usize> = frontier.iter().copied().collect();
+        reachable.extend(frontier.iter().copied());
+        while let Some(j) = frontier.pop() {
+            let mut next = Vec::new();
+            match_body(p, names, j, &mut next);
+            for k in next {
+                if k > j && seen.insert(k) {
+                    reachable.push(k);
+                    frontier.push(k);
+                }
+            }
+        }
+    } else {
+        reachable.extend(once);
+    }
+    for j in reachable {
+        if !out.contains(&j) {
+            out.push(j);
+        }
+    }
+}
+
+/// Match one occurrence of `p`'s body (ignoring its occurrence suffix).
+fn match_body(p: &Particle, names: &[&str], i: usize, out: &mut Vec<usize>) {
+    match &p.kind {
+        ParticleKind::Name(n) => {
+            if names.get(i) == Some(&n.as_str()) {
+                out.push(i + 1);
+            }
+        }
+        ParticleKind::Seq(items) => {
+            let mut positions = vec![i];
+            for item in items {
+                let mut next = Vec::new();
+                for &pos in &positions {
+                    match_at(item, names, pos, &mut next);
+                }
+                next.sort_unstable();
+                next.dedup();
+                positions = next;
+                if positions.is_empty() {
+                    return;
+                }
+            }
+            out.extend(positions);
+        }
+        ParticleKind::Choice(items) => {
+            for item in items {
+                match_at(item, names, i, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtd::parse_dtd;
+    use crate::parser::parse_document;
+
+    fn plays_dtd() -> Dtd {
+        parse_dtd(
+            r#"
+            <!ELEMENT PLAY (INDUCT?, ACT+)>
+            <!ELEMENT INDUCT (#PCDATA)>
+            <!ELEMENT ACT (TITLE, SPEECH+)>
+            <!ELEMENT TITLE (#PCDATA)>
+            <!ELEMENT SPEECH (SPEAKER, LINE)+>
+            <!ELEMENT SPEAKER (#PCDATA)>
+            <!ELEMENT LINE (#PCDATA | STAGEDIR)*>
+            <!ELEMENT STAGEDIR (#PCDATA)>
+            <!ATTLIST ACT num CDATA #REQUIRED>
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn valid_document_passes() {
+        let doc = parse_document(
+            r#"<PLAY><ACT num="1"><TITLE>t</TITLE>
+               <SPEECH><SPEAKER>s</SPEAKER><LINE>l <STAGEDIR>Rising</STAGEDIR></LINE>
+                       <SPEAKER>s2</SPEAKER><LINE>l2</LINE></SPEECH>
+               </ACT></PLAY>"#,
+        )
+        .unwrap();
+        assert_eq!(validate(&doc, &plays_dtd()), Vec::new());
+    }
+
+    #[test]
+    fn missing_required_attribute_fails() {
+        let doc = parse_document(
+            "<PLAY><ACT><TITLE>t</TITLE><SPEECH><SPEAKER>s</SPEAKER><LINE>l</LINE></SPEECH></ACT></PLAY>",
+        )
+        .unwrap();
+        let errs = validate(&doc, &plays_dtd());
+        assert!(errs.iter().any(|e| e.message.contains("required attribute")));
+    }
+
+    #[test]
+    fn wrong_child_order_fails() {
+        let doc = parse_document(
+            r#"<PLAY><ACT num="1"><SPEECH><SPEAKER>s</SPEAKER><LINE>l</LINE></SPEECH><TITLE>t</TITLE></ACT></PLAY>"#,
+        )
+        .unwrap();
+        let errs = validate(&doc, &plays_dtd());
+        assert!(errs.iter().any(|e| e.message.contains("do not match")));
+    }
+
+    #[test]
+    fn undeclared_element_fails() {
+        let doc = parse_document("<PLAY><WAT/></PLAY>").unwrap();
+        let errs = validate(&doc, &plays_dtd());
+        assert!(errs.iter().any(|e| e.message.contains("not declared")));
+        // children of PLAY also fail the content model
+        assert!(errs.len() >= 2);
+    }
+
+    #[test]
+    fn plus_group_requires_one_occurrence() {
+        let doc = parse_document(r#"<PLAY><ACT num="1"><TITLE>t</TITLE></ACT></PLAY>"#).unwrap();
+        let errs = validate(&doc, &plays_dtd());
+        assert!(!errs.is_empty(), "SPEECH+ requires at least one speech");
+    }
+
+    #[test]
+    fn optional_element_may_be_absent_or_present() {
+        let with = parse_document(
+            r#"<PLAY><INDUCT>i</INDUCT><ACT num="1"><TITLE>t</TITLE><SPEECH><SPEAKER>s</SPEAKER><LINE>l</LINE></SPEECH></ACT></PLAY>"#,
+        )
+        .unwrap();
+        assert_eq!(validate(&with, &plays_dtd()), Vec::new());
+    }
+
+    #[test]
+    fn matcher_handles_ambiguous_choice() {
+        // (a | (a, b)) over [a, b]: requires trying both branches.
+        let dtd = parse_dtd(
+            "<!ELEMENT r (a | (a, b))><!ELEMENT a EMPTY><!ELEMENT b EMPTY>",
+        )
+        .unwrap();
+        let doc = parse_document("<r><a/><b/></r>").unwrap();
+        assert_eq!(validate(&doc, &dtd), Vec::new());
+        let doc2 = parse_document("<r><a/></r>").unwrap();
+        assert_eq!(validate(&doc2, &dtd), Vec::new());
+        let doc3 = parse_document("<r><b/></r>").unwrap();
+        assert!(!validate(&doc3, &dtd).is_empty());
+    }
+
+    #[test]
+    fn star_group_matches_empty_and_many() {
+        let dtd =
+            parse_dtd("<!ELEMENT r (a, b)*><!ELEMENT a EMPTY><!ELEMENT b EMPTY>").unwrap();
+        for (body, ok) in [
+            ("", true),
+            ("<a/><b/>", true),
+            ("<a/><b/><a/><b/>", true),
+            ("<a/>", false),
+            ("<b/><a/>", false),
+        ] {
+            let doc = parse_document(&format!("<r>{body}</r>")).unwrap();
+            assert_eq!(validate(&doc, &dtd).is_empty(), ok, "body: {body}");
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Error type shared by the XML and DTD parsers.
+
+use std::fmt;
+
+/// Position of an error within the input, in bytes and (1-based) line/column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// Byte offset from the start of the input.
+    pub offset: usize,
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in bytes, not characters).
+    pub column: u32,
+}
+
+impl Pos {
+    /// The start-of-input position.
+    pub const START: Pos = Pos { offset: 0, line: 1, column: 1 };
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// The category of a parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Input ended while more content was required.
+    UnexpectedEof,
+    /// A character that cannot start or continue the current construct.
+    UnexpectedChar(char),
+    /// A literal token was required (e.g. `>` or `=`).
+    Expected(&'static str),
+    /// An element close tag did not match the open tag.
+    MismatchedTag {
+        /// Name of the element that was open.
+        open: String,
+        /// Name the close tag used.
+        close: String,
+    },
+    /// A name (element, attribute, entity) was malformed.
+    InvalidName(String),
+    /// Reference to an entity that is not defined.
+    UnknownEntity(String),
+    /// A numeric character reference did not denote a valid char.
+    InvalidCharRef(String),
+    /// The document has no root element, or content outside the root.
+    MalformedDocument(String),
+    /// An attribute appeared twice on the same element.
+    DuplicateAttribute(String),
+    /// A DTD declaration was malformed.
+    MalformedDtd(String),
+}
+
+/// Error produced by [`crate::parse_document`] and the DTD parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// What went wrong.
+    pub kind: ErrorKind,
+    /// Where it went wrong.
+    pub pos: Pos,
+}
+
+impl XmlError {
+    pub(crate) fn new(kind: ErrorKind, pos: Pos) -> Self {
+        XmlError { kind, pos }
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ErrorKind::UnexpectedEof => write!(f, "unexpected end of input at {}", self.pos),
+            ErrorKind::UnexpectedChar(c) => {
+                write!(f, "unexpected character {c:?} at {}", self.pos)
+            }
+            ErrorKind::Expected(tok) => write!(f, "expected {tok} at {}", self.pos),
+            ErrorKind::MismatchedTag { open, close } => write!(
+                f,
+                "close tag </{close}> does not match open tag <{open}> at {}",
+                self.pos
+            ),
+            ErrorKind::InvalidName(n) => write!(f, "invalid name {n:?} at {}", self.pos),
+            ErrorKind::UnknownEntity(e) => write!(f, "unknown entity &{e}; at {}", self.pos),
+            ErrorKind::InvalidCharRef(r) => {
+                write!(f, "invalid character reference &#{r}; at {}", self.pos)
+            }
+            ErrorKind::MalformedDocument(m) => write!(f, "malformed document: {m} at {}", self.pos),
+            ErrorKind::DuplicateAttribute(a) => {
+                write!(f, "duplicate attribute {a:?} at {}", self.pos)
+            }
+            ErrorKind::MalformedDtd(m) => write!(f, "malformed DTD: {m} at {}", self.pos),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, XmlError>;

@@ -1,0 +1,31 @@
+//! # xmlkit
+//!
+//! A self-contained XML 1.0 + DTD substrate for the XORator reproduction:
+//!
+//! * [`parse_document`] — recursive-descent XML parser producing an
+//!   arena-based [`Document`] (elements, attributes, merged text runs,
+//!   CDATA, entities, comments/PIs skipped).
+//! * [`dtd::parse_dtd`] — DTD parser covering `<!ELEMENT>`, `<!ATTLIST>`,
+//!   and `<!ENTITY>` (including parameter entities such as the SIGMOD
+//!   Proceedings DTD's `%Xlink;`).
+//! * [`dtd::validate()`](dtd::validate::validate) — content-model validation used by the data
+//!   generators to prove their output conforms to the paper's DTDs.
+//! * [`serialize`] — compact and pretty serialization of documents and
+//!   subtrees (the shredder uses subtree serialization to build XADT
+//!   fragments).
+//!
+//! The crate deliberately implements the subset of XML the paper's data
+//! sets exercise; namespaces and external DTD subsets are out of scope.
+
+#![warn(missing_docs)]
+
+mod cursor;
+pub mod dom;
+pub mod dtd;
+pub mod error;
+mod parser;
+pub mod serialize;
+
+pub use dom::{Attribute, Document, Node, NodeId, NodeKind};
+pub use error::{ErrorKind, Pos, Result, XmlError};
+pub use parser::parse_document;

@@ -1,0 +1,433 @@
+//! Recursive-descent XML 1.0 document parser.
+//!
+//! Supported: prolog, `<!DOCTYPE>` (name captured; internal subset parsed
+//! for entity declarations and otherwise skipped), elements, attributes,
+//! character data, CDATA sections, comments, processing instructions, the
+//! five predefined entities, numeric character references, and custom
+//! general entities declared in the internal subset.
+//!
+//! Not supported (not needed by this workspace): external DTD subsets and
+//! namespaces-aware processing (prefixes are kept as part of the name).
+
+use std::collections::HashMap;
+
+use crate::cursor::Cursor;
+use crate::dom::{Document, NodeId};
+use crate::error::{ErrorKind, Result};
+
+/// Parse a complete XML document into a [`Document`].
+pub fn parse_document(input: &str) -> Result<Document> {
+    Parser::new(input).document()
+}
+
+struct Parser<'a> {
+    c: Cursor<'a>,
+    entities: HashMap<String, String>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        let mut entities = HashMap::new();
+        for (k, v) in [("lt", "<"), ("gt", ">"), ("amp", "&"), ("apos", "'"), ("quot", "\"")] {
+            entities.insert(k.to_string(), v.to_string());
+        }
+        Parser { c: Cursor::new(input), entities }
+    }
+
+    fn document(&mut self) -> Result<Document> {
+        let doctype = self.prolog()?;
+        self.c.skip_ws();
+        if !self.c.starts_with("<") {
+            return Err(self
+                .c
+                .error(ErrorKind::MalformedDocument("expected root element".into())));
+        }
+        let mut doc = self.root_element()?;
+        doc.doctype = doctype;
+        // Only misc (comments / PIs / whitespace) may follow the root.
+        loop {
+            self.c.skip_ws();
+            if self.c.is_eof() {
+                break;
+            }
+            if self.c.starts_with("<!--") {
+                self.comment()?;
+            } else if self.c.starts_with("<?") {
+                self.processing_instruction()?;
+            } else {
+                return Err(self.c.error(ErrorKind::MalformedDocument(
+                    "content after root element".into(),
+                )));
+            }
+        }
+        Ok(doc)
+    }
+
+    /// Parse the XML declaration, misc, and DOCTYPE. Returns the doctype name.
+    fn prolog(&mut self) -> Result<Option<String>> {
+        let mut doctype = None;
+        loop {
+            self.c.skip_ws();
+            if self.c.starts_with("<?") {
+                self.processing_instruction()?;
+            } else if self.c.starts_with("<!--") {
+                self.comment()?;
+            } else if self.c.starts_with("<!DOCTYPE") {
+                if doctype.is_some() {
+                    return Err(self.c.error(ErrorKind::MalformedDocument(
+                        "multiple DOCTYPE declarations".into(),
+                    )));
+                }
+                doctype = Some(self.doctype()?);
+            } else {
+                return Ok(doctype);
+            }
+        }
+    }
+
+    fn doctype(&mut self) -> Result<String> {
+        self.c.expect("<!DOCTYPE", "<!DOCTYPE")?;
+        self.c.skip_ws();
+        let name = self.c.name()?.to_string();
+        self.c.skip_ws();
+        // External id (SYSTEM/PUBLIC) — capture and ignore.
+        if self.c.eat("SYSTEM") {
+            self.c.skip_ws();
+            self.quoted_literal()?;
+            self.c.skip_ws();
+        } else if self.c.eat("PUBLIC") {
+            self.c.skip_ws();
+            self.quoted_literal()?;
+            self.c.skip_ws();
+            self.quoted_literal()?;
+            self.c.skip_ws();
+        }
+        // Internal subset: scan for <!ENTITY declarations so general
+        // entities used in the body resolve; other declarations skipped.
+        if self.c.eat("[") {
+            loop {
+                self.c.skip_ws();
+                if self.c.eat("]") {
+                    break;
+                }
+                if self.c.starts_with("<!--") {
+                    self.comment()?;
+                } else if self.c.starts_with("<!ENTITY") {
+                    self.entity_decl()?;
+                } else if self.c.starts_with("<!") || self.c.starts_with("<?") {
+                    // Skip over one markup declaration, tracking quotes so a
+                    // '>' inside a literal does not terminate early.
+                    self.skip_markup_decl()?;
+                } else {
+                    return Err(self
+                        .c
+                        .error(ErrorKind::MalformedDtd("unexpected content in subset".into())));
+                }
+            }
+            self.c.skip_ws();
+        }
+        self.c.expect(">", "> to close DOCTYPE")?;
+        Ok(name)
+    }
+
+    fn entity_decl(&mut self) -> Result<()> {
+        self.c.expect("<!ENTITY", "<!ENTITY")?;
+        self.c.skip_ws();
+        if self.c.eat("%") {
+            // Parameter entity — skip: only the DTD parser uses these.
+            self.skip_markup_decl()?;
+            return Ok(());
+        }
+        let name = self.c.name()?.to_string();
+        self.c.skip_ws();
+        let value = self.quoted_literal()?;
+        self.c.skip_ws();
+        self.c.expect(">", "> to close ENTITY")?;
+        self.entities.insert(name, value);
+        Ok(())
+    }
+
+    fn skip_markup_decl(&mut self) -> Result<()> {
+        // Consume until the matching '>' at quote depth zero.
+        let mut quote: Option<u8> = None;
+        loop {
+            let b = self.c.bump()?;
+            match quote {
+                Some(q) if b == q => quote = None,
+                Some(_) => {}
+                None => match b {
+                    b'"' | b'\'' => quote = Some(b),
+                    b'>' => return Ok(()),
+                    _ => {}
+                },
+            }
+        }
+    }
+
+    fn quoted_literal(&mut self) -> Result<String> {
+        let quote = match self.c.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.c.error(ErrorKind::Expected("quoted literal"))),
+        };
+        self.c.advance(1);
+        let delim = if quote == b'"' { "\"" } else { "'" };
+        let s = self.c.take_until(delim)?.to_string();
+        self.c.advance(1);
+        Ok(s)
+    }
+
+    fn root_element(&mut self) -> Result<Document> {
+        // Parse the opening tag manually to learn the root name, then reuse
+        // the shared element-content machinery.
+        self.c.expect("<", "<")?;
+        let name = self.c.name()?.to_string();
+        let mut doc = Document::new(name.clone());
+        let root = doc.root();
+        self.attributes(&mut doc, root)?;
+        self.c.skip_ws();
+        if self.c.eat("/>") {
+            return Ok(doc);
+        }
+        self.c.expect(">", "> to close start tag")?;
+        self.content(&mut doc, root, &name)?;
+        Ok(doc)
+    }
+
+    /// Parse attributes of the current start tag into `node`.
+    fn attributes(&mut self, doc: &mut Document, node: NodeId) -> Result<()> {
+        loop {
+            let ws = self.c.skip_ws();
+            match self.c.peek() {
+                Some(b'>') | Some(b'/') | None => return Ok(()),
+                _ => {}
+            }
+            if ws == 0 {
+                return Err(self.c.error(ErrorKind::Expected("whitespace before attribute")));
+            }
+            let name = self.c.name()?.to_string();
+            if doc.attribute(node, &name).is_some() {
+                return Err(self.c.error(ErrorKind::DuplicateAttribute(name)));
+            }
+            self.c.skip_ws();
+            self.c.expect("=", "= after attribute name")?;
+            self.c.skip_ws();
+            let raw = self.quoted_literal()?;
+            let value = self.resolve_entities(&raw)?;
+            doc.set_attribute(node, name, value);
+        }
+    }
+
+    /// Parse element content until the matching close tag for `open_name`.
+    fn content(&mut self, doc: &mut Document, parent: NodeId, open_name: &str) -> Result<()> {
+        loop {
+            if self.c.is_eof() {
+                return Err(self.c.error(ErrorKind::UnexpectedEof));
+            }
+            if self.c.starts_with("</") {
+                self.c.advance(2);
+                let close = self.c.name()?;
+                if close != open_name {
+                    return Err(self.c.error(ErrorKind::MismatchedTag {
+                        open: open_name.to_string(),
+                        close: close.to_string(),
+                    }));
+                }
+                self.c.skip_ws();
+                self.c.expect(">", "> to close end tag")?;
+                return Ok(());
+            } else if self.c.starts_with("<!--") {
+                self.comment()?;
+            } else if self.c.starts_with("<![CDATA[") {
+                self.c.advance("<![CDATA[".len());
+                let text = self.c.take_until("]]>")?;
+                self.c.advance(3);
+                if !text.is_empty() {
+                    doc.add_text(parent, text);
+                }
+            } else if self.c.starts_with("<?") {
+                self.processing_instruction()?;
+            } else if self.c.starts_with("<") {
+                self.c.advance(1);
+                let name = self.c.name()?.to_string();
+                let child = doc.add_element(parent, name.clone());
+                self.attributes(doc, child)?;
+                self.c.skip_ws();
+                if self.c.eat("/>") {
+                    continue;
+                }
+                self.c.expect(">", "> to close start tag")?;
+                self.content(doc, child, &name)?;
+            } else {
+                // Character data up to the next markup.
+                let raw = self.c.take_while(|b| b != b'<');
+                let text = self.resolve_entities(raw)?;
+                if !text.trim().is_empty() {
+                    doc.add_text(parent, text);
+                } else if !text.is_empty() {
+                    // Whitespace-only runs between elements are dropped;
+                    // mixed-content callers get significant text intact
+                    // because it always contains non-whitespace.
+                }
+            }
+        }
+    }
+
+    fn comment(&mut self) -> Result<()> {
+        self.c.expect("<!--", "<!--")?;
+        self.c.take_until("-->")?;
+        self.c.advance(3);
+        Ok(())
+    }
+
+    fn processing_instruction(&mut self) -> Result<()> {
+        self.c.expect("<?", "<?")?;
+        self.c.take_until("?>")?;
+        self.c.advance(2);
+        Ok(())
+    }
+
+    /// Replace entity and character references in `raw`.
+    fn resolve_entities(&self, raw: &str) -> Result<String> {
+        if !raw.contains('&') {
+            return Ok(raw.to_string());
+        }
+        let mut out = String::with_capacity(raw.len());
+        let mut rest = raw;
+        while let Some(idx) = rest.find('&') {
+            out.push_str(&rest[..idx]);
+            rest = &rest[idx + 1..];
+            let end = rest
+                .find(';')
+                .ok_or_else(|| self.c.error(ErrorKind::UnknownEntity(rest.to_string())))?;
+            let name = &rest[..end];
+            rest = &rest[end + 1..];
+            if let Some(num) = name.strip_prefix('#') {
+                let code = if let Some(hex) = num.strip_prefix('x') {
+                    u32::from_str_radix(hex, 16)
+                } else {
+                    num.parse::<u32>()
+                }
+                .map_err(|_| self.c.error(ErrorKind::InvalidCharRef(num.to_string())))?;
+                let ch = char::from_u32(code)
+                    .ok_or_else(|| self.c.error(ErrorKind::InvalidCharRef(num.to_string())))?;
+                out.push(ch);
+            } else if let Some(v) = self.entities.get(name) {
+                out.push_str(v);
+            } else {
+                return Err(self.c.error(ErrorKind::UnknownEntity(name.to_string())));
+            }
+        }
+        out.push_str(rest);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_document() {
+        let doc = parse_document("<a/>").unwrap();
+        assert_eq!(doc.tag(doc.root()), Some("a"));
+        assert!(doc.is_empty());
+    }
+
+    #[test]
+    fn parses_nested_elements_and_text() {
+        let doc = parse_document("<PLAY><ACT><TITLE>Act I</TITLE></ACT></PLAY>").unwrap();
+        let title = doc.elements_named("TITLE").next().unwrap();
+        assert_eq!(doc.text_content(title), "Act I");
+    }
+
+    #[test]
+    fn parses_attributes() {
+        let doc =
+            parse_document(r#"<e a="1" b='two &amp; three'/>"#).unwrap();
+        assert_eq!(doc.attribute(doc.root(), "a"), Some("1"));
+        assert_eq!(doc.attribute(doc.root(), "b"), Some("two & three"));
+    }
+
+    #[test]
+    fn rejects_duplicate_attribute() {
+        assert!(parse_document(r#"<e a="1" a="2"/>"#).is_err());
+    }
+
+    #[test]
+    fn rejects_mismatched_tags() {
+        let err = parse_document("<a><b></a></b>").unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::MismatchedTag { .. }));
+    }
+
+    #[test]
+    fn resolves_predefined_entities_in_text() {
+        let doc = parse_document("<t>&lt;x&gt; &amp; &quot;y&quot;</t>").unwrap();
+        assert_eq!(doc.text_content(doc.root()), "<x> & \"y\"");
+    }
+
+    #[test]
+    fn resolves_numeric_char_refs() {
+        let doc = parse_document("<t>&#65;&#x42;</t>").unwrap();
+        assert_eq!(doc.text_content(doc.root()), "AB");
+    }
+
+    #[test]
+    fn rejects_unknown_entity() {
+        let err = parse_document("<t>&nope;</t>").unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::UnknownEntity(_)));
+    }
+
+    #[test]
+    fn custom_entity_from_internal_subset() {
+        let doc = parse_document(
+            r#"<!DOCTYPE t [<!ENTITY who "world">]><t>hello &who;</t>"#,
+        )
+        .unwrap();
+        assert_eq!(doc.doctype.as_deref(), Some("t"));
+        assert_eq!(doc.text_content(doc.root()), "hello world");
+    }
+
+    #[test]
+    fn cdata_is_literal_text() {
+        let doc = parse_document("<t><![CDATA[<not & markup>]]></t>").unwrap();
+        assert_eq!(doc.text_content(doc.root()), "<not & markup>");
+    }
+
+    #[test]
+    fn comments_and_pis_are_ignored() {
+        let doc = parse_document(
+            "<?xml version=\"1.0\"?><!-- c --><t><?pi data?><!-- c2 -->x</t><!-- tail -->",
+        )
+        .unwrap();
+        assert_eq!(doc.text_content(doc.root()), "x");
+    }
+
+    #[test]
+    fn whitespace_only_text_between_elements_is_dropped() {
+        let doc = parse_document("<a>\n  <b/>\n  <c/>\n</a>").unwrap();
+        assert_eq!(doc.children(doc.root()).len(), 2);
+    }
+
+    #[test]
+    fn rejects_content_after_root() {
+        assert!(parse_document("<a/><b/>").is_err());
+    }
+
+    #[test]
+    fn doctype_with_skipped_declarations() {
+        let doc = parse_document(
+            "<!DOCTYPE PLAY [\n<!ELEMENT PLAY (#PCDATA)>\n<!ATTLIST PLAY x CDATA #IMPLIED>\n]>\n<PLAY>hi</PLAY>",
+        )
+        .unwrap();
+        assert_eq!(doc.doctype.as_deref(), Some("PLAY"));
+        assert_eq!(doc.text_content(doc.root()), "hi");
+    }
+
+    #[test]
+    fn mixed_content_preserves_text_and_children() {
+        let doc =
+            parse_document("<LINE>O, speak <STAGEDIR>Rising</STAGEDIR> again</LINE>").unwrap();
+        assert_eq!(doc.children(doc.root()).len(), 3);
+        assert_eq!(doc.text_content(doc.root()), "O, speak Rising again");
+    }
+}

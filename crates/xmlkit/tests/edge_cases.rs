@@ -1,0 +1,131 @@
+//! Edge-case integration tests for the XML/DTD substrate: error
+//! positions, escaping corners, deep nesting, and DTD robustness.
+
+use xmlkit::dtd::{parse_dtd, validate};
+use xmlkit::{parse_document, serialize, ErrorKind};
+
+#[test]
+fn error_positions_are_line_accurate() {
+    let err = parse_document("<a>\n  <b>\n    <c>\n  </b>\n</a>").unwrap_err();
+    assert!(matches!(err.kind, ErrorKind::MismatchedTag { .. }));
+    assert_eq!(err.pos.line, 4, "{err}");
+}
+
+#[test]
+fn deeply_nested_documents_parse() {
+    let depth = 500;
+    let mut s = String::new();
+    for _ in 0..depth {
+        s.push_str("<d>");
+    }
+    s.push('x');
+    for _ in 0..depth {
+        s.push_str("</d>");
+    }
+    let doc = parse_document(&s).unwrap();
+    assert_eq!(doc.elements_named("d").count(), depth);
+}
+
+#[test]
+fn attribute_escaping_round_trips() {
+    let src = r#"<e a="&lt;tag&gt; &amp; &quot;quote&quot;">body &amp; soul</e>"#;
+    let doc = parse_document(src).unwrap();
+    assert_eq!(doc.attribute(doc.root(), "a"), Some("<tag> & \"quote\""));
+    let out = serialize::to_string(&doc);
+    let doc2 = parse_document(&out).unwrap();
+    assert_eq!(
+        doc.attribute(doc.root(), "a"),
+        doc2.attribute(doc2.root(), "a")
+    );
+    assert_eq!(doc.text_content(doc.root()), doc2.text_content(doc2.root()));
+}
+
+#[test]
+fn unicode_content_round_trips() {
+    let src = "<поэма title=\"贝奥武甫\">Ðe wæs on burgum — 古詩 §¶</поэма>";
+    let doc = parse_document(src).unwrap();
+    assert_eq!(doc.text_content(doc.root()), "Ðe wæs on burgum — 古詩 §¶");
+    let out = serialize::to_string(&doc);
+    assert_eq!(parse_document(&out).unwrap().text_content(doc.root()), doc.text_content(doc.root()));
+}
+
+#[test]
+fn crlf_and_tabs_in_markup() {
+    let doc = parse_document("<a\r\n\tx=\"1\"\r\n>\r\n<b/>\r\n</a>").unwrap();
+    assert_eq!(doc.attribute(doc.root(), "x"), Some("1"));
+    assert_eq!(doc.children(doc.root()).len(), 1);
+}
+
+#[test]
+fn dtd_with_comments_and_pis() {
+    let dtd = parse_dtd(
+        "<!-- the root --><?keep going?>\n<!ELEMENT r (a?)><!-- a leaf -->\n<!ELEMENT a EMPTY>",
+    )
+    .unwrap();
+    assert_eq!(dtd.elements.len(), 2);
+}
+
+#[test]
+fn empty_content_group_rejected() {
+    assert!(parse_dtd("<!ELEMENT r ()>").is_err());
+    assert!(parse_dtd("<!ELEMENT r (a,)>").is_err());
+    assert!(parse_dtd("<!ELEMENT r (a |)>").is_err());
+}
+
+#[test]
+fn validator_catches_every_error_not_just_first() {
+    let dtd = parse_dtd(
+        "<!ELEMENT r (a, b)><!ELEMENT a EMPTY><!ELEMENT b EMPTY>\
+         <!ATTLIST a req CDATA #REQUIRED>",
+    )
+    .unwrap();
+    let doc = parse_document("<r><b/><a/></r>").unwrap();
+    let errors = validate(&doc, &dtd);
+    // Wrong order + missing required attribute = at least two findings.
+    assert!(errors.len() >= 2, "{errors:?}");
+}
+
+#[test]
+fn doctype_external_ids_are_tolerated() {
+    let doc = parse_document(
+        r#"<!DOCTYPE PLAY SYSTEM "play.dtd"><PLAY>x</PLAY>"#,
+    )
+    .unwrap();
+    assert_eq!(doc.doctype.as_deref(), Some("PLAY"));
+    let doc = parse_document(
+        r#"<!DOCTYPE PP PUBLIC "-//ACM//DTD PP//EN" "pp.dtd"><PP/>"#,
+    )
+    .unwrap();
+    assert_eq!(doc.doctype.as_deref(), Some("PP"));
+}
+
+#[test]
+fn huge_text_runs_are_handled() {
+    let body = "word ".repeat(100_000);
+    let src = format!("<t>{body}</t>");
+    let doc = parse_document(&src).unwrap();
+    assert_eq!(doc.text_content(doc.root()).len(), body.len());
+}
+
+#[test]
+fn self_closing_with_attributes() {
+    let doc = parse_document(r#"<r><img src="a.png" alt="x y"/></r>"#).unwrap();
+    let img = doc.elements_named("img").next().unwrap();
+    assert_eq!(doc.attribute(img, "alt"), Some("x y"));
+    assert!(doc.children(img).is_empty());
+}
+
+#[test]
+fn pretty_printer_is_reparseable() {
+    let src = "<PLAY><ACT n=\"1\"><TITLE>T &amp; U</TITLE><SPEECH><SPEAKER>A</SPEAKER><LINE>mixed <STAGEDIR>dir</STAGEDIR> tail</LINE></SPEECH></ACT></PLAY>";
+    let doc = parse_document(src).unwrap();
+    let pretty = serialize::to_pretty_string(&doc);
+    let re = parse_document(&pretty).unwrap();
+    // Pretty-printing only adds ignorable whitespace between elements.
+    assert_eq!(
+        doc.elements_named("LINE").count(),
+        re.elements_named("LINE").count()
+    );
+    let line = re.elements_named("LINE").next().unwrap();
+    assert_eq!(re.text_content(line), "mixed dir tail");
+}

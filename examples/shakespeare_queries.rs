@@ -1,0 +1,87 @@
+//! The paper's Shakespeare workload (§4.3) end to end: generate a corpus
+//! conforming to the Figure 10 DTD, load it under both mappings, create
+//! the advisor's indexes, and run QS1–QS6 cold, printing the paper's
+//! Hybrid/XORator ratios.
+//!
+//! Run with: `cargo run --release --example shakespeare_queries`
+
+use datagen::ShakespeareConfig;
+use xmlkit::dtd::parse_dtd;
+use xorator::prelude::*;
+use xorator_bench_shim::*;
+
+// The bench harness lives in the (unpublished) xorator-bench crate; this
+// example carries a minimal copy of its two helpers so it runs from the
+// core crate alone.
+mod xorator_bench_shim {
+    use std::time::{Duration, Instant};
+
+    pub fn time_cold(
+        db: &ordb::Database,
+        sql: &str,
+        reps: usize,
+    ) -> ordb::Result<(Duration, usize)> {
+        let mut runs = Vec::new();
+        let mut rows = 0;
+        for _ in 0..reps {
+            db.drop_cache()?;
+            let t = Instant::now();
+            rows = db.query(sql)?.len();
+            runs.push(t.elapsed());
+        }
+        runs.sort();
+        let mid = &runs[1..reps - 1];
+        Ok((mid.iter().sum::<Duration>() / mid.len() as u32, rows))
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = ShakespeareConfig { plays: 8, ..Default::default() };
+    let docs = datagen::generate_shakespeare(&cfg);
+    println!(
+        "generated {} plays ({} KB)",
+        docs.len(),
+        docs.iter().map(String::len).sum::<usize>() / 1024
+    );
+
+    let simple = simplify(&parse_dtd(xorator::dtds::SHAKESPEARE_DTD)?);
+    let queries = shakespeare_queries();
+    let workload: Vec<&str> = queries.iter().flat_map(|q| [q.hybrid, q.xorator]).collect();
+
+    let dir = std::env::temp_dir().join("xorator-shakespeare-example");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut dbs = Vec::new();
+    for (name, mapping) in
+        [("hybrid", map_hybrid(&simple)), ("xorator", map_xorator(&simple))]
+    {
+        let db = ordb::Database::open(dir.join(name))?;
+        let report = load_corpus(&db, &mapping, &docs, LoadOptions::default())?;
+        let n_idx = advise_and_apply(&db, &mapping, &workload)?;
+        db.runstats_all()?;
+        println!(
+            "{name}: {} tables, {} tuples, {} indexes, loaded in {:.2}s",
+            db.table_count(),
+            report.tuples,
+            n_idx,
+            report.elapsed.as_secs_f64()
+        );
+        dbs.push(db);
+    }
+    let (hdb, xdb) = (&dbs[0], &dbs[1]);
+
+    println!("\n{:<5} {:>12} {:>12} {:>8}  description", "query", "hybrid", "xorator", "ratio");
+    for q in &queries {
+        let (th, hrows) = time_cold(hdb, q.hybrid, 5)?;
+        let (tx, xrows) = time_cold(xdb, q.xorator, 5)?;
+        println!(
+            "{:<5} {:>10.2}ms {:>10.2}ms {:>8.2}  {} ({hrows}/{xrows} rows)",
+            q.id,
+            th.as_secs_f64() * 1e3,
+            tx.as_secs_f64() * 1e3,
+            th.as_secs_f64() / tx.as_secs_f64(),
+            q.description.split(':').next().unwrap_or(q.description),
+        );
+    }
+    Ok(())
+}

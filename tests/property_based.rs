@@ -1,0 +1,272 @@
+//! Property-based tests over the core data structures and invariants:
+//!
+//! * XML serialize → parse round-trips;
+//! * XADT compression round-trips and method agreement across formats;
+//! * B+Tree behaves like a sorted map (model test);
+//! * tuple codec round-trips;
+//! * SQL LIKE matches a reference implementation.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use ordb::index::btree::BTree;
+use ordb::index::key::encode_key;
+use ordb::storage::buffer::BufferPool;
+use ordb::storage::heap::Rid;
+use ordb::tuple::{decode_row, encode_row};
+use ordb::types::Value;
+use xadt::XadtValue;
+use xmlkit::{parse_document, serialize, Document, NodeId};
+
+// ---- generators --------------------------------------------------------
+
+/// Element names from a small pool (keeps trees join-friendly).
+fn arb_name() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["a", "b", "LINE", "SPEAKER", "aTuple", "x1"])
+        .prop_map(str::to_string)
+}
+
+/// Text without XML-significant characters (escaping is covered by
+/// dedicated cases; here we stress structure).
+fn arb_text() -> impl Strategy<Value = String> {
+    "[ -;=?-~]{0,20}".prop_map(|s| s.replace(['<', '&', '>'], " "))
+}
+
+#[derive(Debug, Clone)]
+enum Tree {
+    Text(String),
+    Elem { name: String, attrs: Vec<(String, String)>, children: Vec<Tree> },
+}
+
+fn arb_tree() -> impl Strategy<Value = Tree> {
+    let leaf = prop_oneof![
+        arb_text().prop_map(Tree::Text),
+        (arb_name(), prop::collection::vec(("[a-z]{1,4}", arb_text()), 0..2)).prop_map(
+            |(name, attrs)| Tree::Elem { name, attrs, children: vec![] }
+        ),
+    ];
+    leaf.prop_recursive(4, 24, 4, |inner| {
+        (
+            arb_name(),
+            prop::collection::vec(("[a-z]{1,4}", arb_text()), 0..2),
+            prop::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(name, attrs, children)| Tree::Elem { name, attrs, children })
+    })
+}
+
+fn build(doc: &mut Document, parent: NodeId, t: &Tree) {
+    match t {
+        Tree::Text(s) => {
+            if !s.trim().is_empty() {
+                doc.add_text(parent, s);
+            }
+        }
+        Tree::Elem { name, attrs, children } => {
+            let e = doc.add_element(parent, name.clone());
+            for (k, v) in attrs {
+                doc.set_attribute(e, k.clone(), v.clone());
+            }
+            for c in children {
+                build(doc, e, c);
+            }
+        }
+    }
+}
+
+fn tree_to_doc(t: &Tree) -> Document {
+    let mut doc = Document::new("root");
+    let root = doc.root();
+    build(&mut doc, root, t);
+    doc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn xml_serialize_parse_round_trip(t in arb_tree()) {
+        let doc = tree_to_doc(&t);
+        let text = serialize::to_string(&doc);
+        let back = parse_document(&text).unwrap();
+        prop_assert_eq!(serialize::to_string(&back), text);
+    }
+
+    #[test]
+    fn xadt_compression_round_trip(t in arb_tree()) {
+        let doc = tree_to_doc(&t);
+        // Serialize the children of root as a fragment.
+        let mut frag = String::new();
+        for &c in doc.children(doc.root()) {
+            serialize::write_subtree(&doc, c, &mut frag);
+        }
+        let bytes = xadt::compress(&frag).unwrap();
+        // Decompression renders the canonical form (e.g. `<a></a>` rather
+        // than `<a/>`): compare canonicalized event streams.
+        prop_assert_eq!(xadt::decompress(&bytes).unwrap(), canon(&frag));
+    }
+
+    #[test]
+    fn xadt_methods_agree_across_formats(t in arb_tree(), key in "[a-z]{1,3}") {
+        let doc = tree_to_doc(&t);
+        let mut frag = String::new();
+        for &c in doc.children(doc.root()) {
+            serialize::write_subtree(&doc, c, &mut frag);
+        }
+        let plain = XadtValue::plain(frag.clone());
+        let comp = XadtValue::compressed(&frag).unwrap();
+        for elm in ["a", "LINE", ""] {
+            if elm.is_empty() && key.is_empty() { continue; }
+            let fp = xadt::find_key_in_elm(&plain, elm, &key).unwrap();
+            let fc = xadt::find_key_in_elm(&comp, elm, &key).unwrap();
+            prop_assert_eq!(fp, fc, "findKeyInElm({}, {})", elm, &key);
+        }
+        let gp = xadt::get_elm(&plain, "a", "b", &key, None).unwrap();
+        let gc = xadt::get_elm(&comp, "a", "b", &key, None).unwrap();
+        prop_assert_eq!(gp.to_plain(), gc.to_plain());
+        let up = xadt::unnest(&plain, "a").unwrap().len();
+        let uc = xadt::unnest(&comp, "a").unwrap().len();
+        prop_assert_eq!(up, uc);
+    }
+
+    #[test]
+    fn tuple_codec_round_trips(values in prop::collection::vec(arb_value(), 0..6)) {
+        let mut buf = Vec::new();
+        encode_row(&values, &mut buf);
+        let back = decode_row(&buf, values.len()).unwrap();
+        prop_assert_eq!(back, values);
+    }
+
+    #[test]
+    fn like_matches_reference(pattern in "[ab%_]{0,8}", text in "[ab]{0,8}") {
+        let got = ordb::expr::like_match(pattern.as_bytes(), text.as_bytes());
+        let want = like_reference(pattern.as_bytes(), text.as_bytes());
+        prop_assert_eq!(got, want, "pattern={:?} text={:?}", &pattern, &text);
+    }
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        "[ -~]{0,12}".prop_map(Value::Str),
+        "[a-z]{1,6}".prop_map(|s| Value::Xadt(XadtValue::plain(format!("<e>{s}</e>")))),
+    ]
+}
+
+/// Canonical plain rendering of a fragment: tokenize and re-render every
+/// event (collapses `<a/>` to `<a></a>`, normalizes attribute quoting).
+fn canon(frag: &str) -> String {
+    let mut t = xadt::PlainTokenizer::new(frag);
+    let mut out = String::new();
+    while let Some(ev) = t.next().unwrap() {
+        xadt::compress::write_event(&ev, &mut out);
+    }
+    out
+}
+
+/// Exponential-time reference LIKE matcher.
+fn like_reference(p: &[u8], t: &[u8]) -> bool {
+    match (p.first(), t.first()) {
+        (None, None) => true,
+        (None, Some(_)) => false,
+        (Some(b'%'), _) => {
+            like_reference(&p[1..], t) || (!t.is_empty() && like_reference(p, &t[1..]))
+        }
+        (Some(b'_'), Some(_)) => like_reference(&p[1..], &t[1..]),
+        (Some(c), Some(d)) if c == d => like_reference(&p[1..], &t[1..]),
+        _ => false,
+    }
+}
+
+// ---- B+Tree model test -------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn btree_behaves_like_sorted_map(ops in prop::collection::vec(arb_op(), 1..150)) {
+        let dir = std::env::temp_dir().join(format!(
+            "xorator-prop-btree-{}-{:x}",
+            std::process::id(),
+            std::collections::hash_map::DefaultHasher::new_with(&ops)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let pool = Arc::new(BufferPool::new(16));
+        pool.register_file(1, dir.join("t.db")).unwrap();
+        let tree = BTree::create(pool, 1).unwrap();
+        let mut model: std::collections::BTreeSet<(Vec<u8>, u64)> = Default::default();
+
+        for op in &ops {
+            match op {
+                Op::Insert(k, r) => {
+                    let key = encode_key(std::slice::from_ref(k));
+                    tree.insert(&key, Rid::from_u64(*r)).unwrap();
+                    model.insert((key, *r));
+                }
+                Op::Delete(k, r) => {
+                    let key = encode_key(std::slice::from_ref(k));
+                    let existed = tree.delete(&key, Rid::from_u64(*r)).unwrap();
+                    prop_assert_eq!(existed, model.remove(&(key, *r)));
+                }
+                Op::Lookup(k) => {
+                    let key = encode_key(std::slice::from_ref(k));
+                    let mut got = tree.scan_prefix(&key).unwrap();
+                    got.sort();
+                    let mut want: Vec<Rid> = model
+                        .iter()
+                        .filter(|(mk, _)| mk.starts_with(&key))
+                        .map(|(_, r)| Rid::from_u64(*r))
+                        .collect();
+                    want.sort();
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+        prop_assert_eq!(tree.len().unwrap(), model.len() as u64);
+        // Full scan is sorted and complete.
+        let all = tree.scan_range(None, None, true).unwrap();
+        prop_assert_eq!(all.len(), model.len());
+        for w in all.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[derive(Debug, Clone, Hash)]
+enum Op {
+    Insert(Value, u64),
+    Delete(Value, u64),
+    Lookup(Value),
+}
+
+fn arb_key() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (0i64..40).prop_map(Value::Int),
+        "[a-c]{0,3}".prop_map(Value::Str),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (arb_key(), 0u64..8).prop_map(|(k, r)| Op::Insert(k, r)),
+        (arb_key(), 0u64..8).prop_map(|(k, r)| Op::Delete(k, r)),
+        arb_key().prop_map(Op::Lookup),
+    ]
+}
+
+/// Helper trait to build a hasher seeded from data (stable temp dirs).
+trait HasherExt {
+    fn new_with<T: std::hash::Hash>(t: &T) -> u64;
+}
+
+impl HasherExt for std::collections::hash_map::DefaultHasher {
+    fn new_with<T: std::hash::Hash>(t: &T) -> u64 {
+        use std::hash::Hasher;
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        t.hash(&mut h);
+        h.finish()
+    }
+}
