@@ -8,27 +8,16 @@ use xorator::prelude::*;
 use xorator_bench::{scratch_dir, setup, workload_sql};
 
 fn bench_qg(c: &mut Criterion) {
-    let docs =
-        datagen::generate_sigmod(&SigmodConfig { documents: 120, ..Default::default() });
+    let docs = datagen::generate_sigmod(&SigmodConfig { documents: 120, ..Default::default() });
     let queries = sigmod_queries();
     let wl = workload_sql(&queries);
     let simple = simplify(&parse_dtd(xorator::dtds::SIGMOD_DTD).unwrap());
-    let h = setup(
-        &scratch_dir("bench-fig13-h"),
-        map_hybrid(&simple),
-        &docs,
-        FormatPolicy::Auto,
-        &wl,
-    )
-    .expect("hybrid");
-    let x = setup(
-        &scratch_dir("bench-fig13-x"),
-        map_xorator(&simple),
-        &docs,
-        FormatPolicy::Auto,
-        &wl,
-    )
-    .expect("xorator");
+    let h =
+        setup(&scratch_dir("bench-fig13-h"), map_hybrid(&simple), &docs, FormatPolicy::Auto, &wl)
+            .expect("hybrid");
+    let x =
+        setup(&scratch_dir("bench-fig13-x"), map_xorator(&simple), &docs, FormatPolicy::Auto, &wl)
+            .expect("xorator");
 
     let mut group = c.benchmark_group("fig13");
     group.warm_up_time(std::time::Duration::from_secs(1));

@@ -9,20 +9,11 @@ use xorator::prelude::*;
 use xorator_bench::{scratch_dir, setup, workload_sql};
 
 fn bench_udf(c: &mut Criterion) {
-    let docs = datagen::generate_shakespeare(&ShakespeareConfig {
-        plays: 3,
-        ..Default::default()
-    });
+    let docs = datagen::generate_shakespeare(&ShakespeareConfig { plays: 3, ..Default::default() });
     let simple = simplify(&parse_dtd(xorator::dtds::SHAKESPEARE_DTD).unwrap());
     let wl = workload_sql(&shakespeare_queries());
-    let h = setup(
-        &scratch_dir("bench-fig14"),
-        map_hybrid(&simple),
-        &docs,
-        FormatPolicy::Auto,
-        &wl,
-    )
-    .expect("load");
+    let h = setup(&scratch_dir("bench-fig14"), map_hybrid(&simple), &docs, FormatPolicy::Auto, &wl)
+        .expect("load");
 
     let mut group = c.benchmark_group("fig14");
     group.warm_up_time(std::time::Duration::from_secs(1));

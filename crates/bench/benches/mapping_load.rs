@@ -9,10 +9,8 @@ use xorator::prelude::*;
 use xorator_bench::{scratch_dir, setup, workload_sql};
 
 fn bench_loads(c: &mut Criterion) {
-    let shakespeare = datagen::generate_shakespeare(&ShakespeareConfig {
-        plays: 3,
-        ..Default::default()
-    });
+    let shakespeare =
+        datagen::generate_shakespeare(&ShakespeareConfig { plays: 3, ..Default::default() });
     let sigmod = datagen::generate_sigmod(&SigmodConfig { documents: 60, ..Default::default() });
 
     let mut group = c.benchmark_group("load");
@@ -26,17 +24,10 @@ fn bench_loads(c: &mut Criterion) {
             &shakespeare,
             workload_sql(&shakespeare_queries()),
         ),
-        (
-            "sigmod",
-            xorator::dtds::SIGMOD_DTD,
-            &sigmod,
-            workload_sql(&sigmod_queries()),
-        ),
+        ("sigmod", xorator::dtds::SIGMOD_DTD, &sigmod, workload_sql(&sigmod_queries())),
     ] {
         let simple = simplify(&parse_dtd(dtd_src).unwrap());
-        for (alg, mapping) in
-            [("hybrid", map_hybrid(&simple)), ("xorator", map_xorator(&simple))]
-        {
+        for (alg, mapping) in [("hybrid", map_hybrid(&simple)), ("xorator", map_xorator(&simple))] {
             group.bench_with_input(
                 BenchmarkId::new(corpus, alg),
                 &(docs, &mapping),

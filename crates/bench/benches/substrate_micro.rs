@@ -33,11 +33,9 @@ fn bench_xadt_methods(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_secs(1));
     group.measurement_time(std::time::Duration::from_secs(3));
     for (name, value) in [("plain", &plain), ("compressed", &compressed)] {
-        group.bench_with_input(
-            BenchmarkId::new("findKeyInElm", name),
-            value,
-            |b, v| b.iter(|| find_key_in_elm(v, "LINE", "friend").unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new("findKeyInElm", name), value, |b, v| {
+            b.iter(|| find_key_in_elm(v, "LINE", "friend").unwrap())
+        });
         group.bench_with_input(BenchmarkId::new("getElm", name), value, |b, v| {
             b.iter(|| get_elm(v, "LINE", "LINE", "friend", None).unwrap())
         });

@@ -21,7 +21,8 @@ use datagen::{ShakespeareConfig, SigmodConfig};
 use xmlkit::dtd::parse_dtd;
 use xorator::prelude::*;
 use xorator_bench::{
-    mb, replicate, scratch_dir, setup, sizes, time_query, workload_sql, LoadedDb,
+    mb, replicate, scratch_dir, setup, sizes, time_query, time_query_opts, workload_sql, LoadedDb,
+    QueryTiming,
 };
 
 struct Args {
@@ -68,39 +69,69 @@ fn parse_args() -> Args {
 fn main() {
     let args = parse_args();
     let run = |name: &str| args.command == name || args.command == "all";
+    let mut mlog = MetricsLog::default();
     if run("table1") {
         table1(&args);
     }
     if run("fig11") {
-        fig11(&args);
+        fig11(&args, &mut mlog);
     }
     if run("table2") {
         table2(&args);
     }
     if run("fig13") {
-        fig13(&args);
+        fig13(&args, &mut mlog);
     }
     if run("fig14") {
-        fig14(&args);
+        fig14(&args, &mut mlog);
     }
     if run("examples") {
         examples(&args);
     }
+    if let Some(path) = mlog.write().expect("write metrics.json") {
+        println!("\n(per-query metrics written to {})", path.display());
+    }
+}
+
+/// Accumulates one JSON object per timed query and writes them all as a
+/// JSON array to `target/experiments/metrics.json` at the end of the run.
+#[derive(Default)]
+struct MetricsLog {
+    entries: Vec<String>,
+}
+
+impl MetricsLog {
+    /// Record one timed query. `metrics` comes from the extra instrumented
+    /// cold run, so the five timed runs stay untouched.
+    fn push(&mut self, figure: &str, scale: usize, query: &str, variant: &str, t: &QueryTiming) {
+        let metrics = t.metrics.as_ref().map_or_else(|| "null".to_string(), |m| m.to_json());
+        self.entries.push(format!(
+            "{{\"figure\":\"{figure}\",\"scale\":{scale},\"query\":\"{query}\",\
+             \"variant\":\"{variant}\",\"mean_ns\":{},\"rows\":{},\"metrics\":{metrics}}}",
+            t.mean.as_nanos(),
+            t.rows
+        ));
+    }
+
+    fn write(&self) -> std::io::Result<Option<std::path::PathBuf>> {
+        if self.entries.is_empty() {
+            return Ok(None);
+        }
+        let path = scratch_dir("metrics.json");
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(&path, format!("[\n{}\n]\n", self.entries.join(",\n")))?;
+        Ok(Some(path))
+    }
 }
 
 fn shakespeare_docs(args: &Args) -> Vec<String> {
-    let cfg = if args.full {
-        ShakespeareConfig::paper_size()
-    } else {
-        ShakespeareConfig::default()
-    };
+    let cfg =
+        if args.full { ShakespeareConfig::paper_size() } else { ShakespeareConfig::default() };
     let docs = datagen::generate_shakespeare(&cfg);
     let bytes: usize = docs.iter().map(String::len).sum();
-    println!(
-        "# Shakespeare corpus: {} plays, {} of XML",
-        docs.len(),
-        human(bytes as u64)
-    );
+    println!("# Shakespeare corpus: {} plays, {} of XML", docs.len(), human(bytes as u64));
     docs
 }
 
@@ -108,11 +139,7 @@ fn sigmod_docs(args: &Args) -> Vec<String> {
     let cfg = if args.full { SigmodConfig::paper_size() } else { SigmodConfig::default() };
     let docs = datagen::generate_sigmod(&cfg);
     let bytes: usize = docs.iter().map(String::len).sum();
-    println!(
-        "# SIGMOD corpus: {} documents, {} of XML",
-        docs.len(),
-        human(bytes as u64)
-    );
+    println!("# SIGMOD corpus: {} documents, {} of XML", docs.len(), human(bytes as u64));
     docs
 }
 
@@ -125,12 +152,7 @@ fn human(bytes: u64) -> String {
 }
 
 /// Load one corpus under both mappings for a workload.
-fn load_pair(
-    tag: &str,
-    dtd_src: &str,
-    docs: &[String],
-    workload: &[&str],
-) -> (LoadedDb, LoadedDb) {
+fn load_pair(tag: &str, dtd_src: &str, docs: &[String], workload: &[&str]) -> (LoadedDb, LoadedDb) {
     let simple = simplify(&parse_dtd(dtd_src).expect("paper DTD parses"));
     let h = setup(
         &scratch_dir(&format!("{tag}-hybrid")),
@@ -187,11 +209,7 @@ fn table1(args: &Args) {
     let queries = shakespeare_queries();
     let wl = workload_sql(&queries);
     let (h, x) = load_pair("table1", xorator::dtds::SHAKESPEARE_DTD, &docs, &wl);
-    print_size_table(
-        "Table 1 — Shakespeare data set: tables, database size, index size",
-        &h,
-        &x,
-    );
+    print_size_table("Table 1 — Shakespeare data set: tables, database size, index size", &h, &x);
 }
 
 fn table2(args: &Args) {
@@ -215,6 +233,7 @@ fn ratio_figure(
     dtd_src: &str,
     base: &[String],
     queries: &[xorator::queries::QueryPair],
+    mlog: &mut MetricsLog,
 ) {
     let wl = workload_sql(queries);
     println!("\n## {title}\n");
@@ -231,8 +250,10 @@ fn ratio_figure(
         }
         let mut cells = Vec::new();
         for q in queries {
-            let th = time_query(&h.db, q.hybrid, args.reps).expect("hybrid query");
-            let tx = time_query(&x.db, q.xorator, args.reps).expect("xorator query");
+            let th = time_query_opts(&h.db, q.hybrid, args.reps, true).expect("hybrid query");
+            let tx = time_query_opts(&x.db, q.xorator, args.reps, true).expect("xorator query");
+            mlog.push(tag, scale, q.id, "hybrid", &th);
+            mlog.push(tag, scale, q.id, "xorator", &tx);
             let ratio = th.mean.as_secs_f64() / tx.mean.as_secs_f64().max(1e-9);
             cells.push(format!("{ratio:.2}"));
             eprintln!(
@@ -240,14 +261,13 @@ fn ratio_figure(
                 tag, q.id, th.mean, th.rows, tx.mean, tx.rows
             );
         }
-        let load_ratio =
-            h.load.elapsed.as_secs_f64() / x.load.elapsed.as_secs_f64().max(1e-9);
+        let load_ratio = h.load.elapsed.as_secs_f64() / x.load.elapsed.as_secs_f64().max(1e-9);
         println!("| DSx{scale} | {} | {load_ratio:.2} |", cells.join(" | "));
     }
     println!("\n(Values are Hybrid/XORator response-time ratios; > 1 means XORator is faster, matching the paper's log-scale figures.)");
 }
 
-fn fig11(args: &Args) {
+fn fig11(args: &Args, mlog: &mut MetricsLog) {
     let base = shakespeare_docs(args);
     ratio_figure(
         args,
@@ -256,10 +276,11 @@ fn fig11(args: &Args) {
         xorator::dtds::SHAKESPEARE_DTD,
         &base,
         &shakespeare_queries(),
+        mlog,
     );
 }
 
-fn fig13(args: &Args) {
+fn fig13(args: &Args, mlog: &mut MetricsLog) {
     let base = sigmod_docs(args);
     ratio_figure(
         args,
@@ -268,28 +289,25 @@ fn fig13(args: &Args) {
         xorator::dtds::SIGMOD_DTD,
         &base,
         &sigmod_queries(),
+        mlog,
     );
 }
 
-fn fig14(args: &Args) {
+fn fig14(args: &Args, mlog: &mut MetricsLog) {
     let docs = shakespeare_docs(args);
     let queries = shakespeare_queries();
     let wl = workload_sql(&queries);
     let simple = simplify(&parse_dtd(xorator::dtds::SHAKESPEARE_DTD).unwrap());
-    let h = setup(
-        &scratch_dir("fig14"),
-        map_hybrid(&simple),
-        &docs,
-        FormatPolicy::Auto,
-        &wl,
-    )
-    .expect("load");
+    let h = setup(&scratch_dir("fig14"), map_hybrid(&simple), &docs, FormatPolicy::Auto, &wl)
+        .expect("load");
     println!("\n## Figure 14 — Overhead of invoking UDFs vs. built-in functions\n");
     println!("| query | built-in | UDF (NOT FENCED) | UDF/built-in |");
     println!("|---|---|---|---|");
     for (id, _desc, builtin, udf) in udf_overhead_queries() {
-        let tb = time_query(&h.db, builtin, args.reps).expect("builtin");
-        let tu = time_query(&h.db, udf, args.reps).expect("udf");
+        let tb = time_query_opts(&h.db, builtin, args.reps, true).expect("builtin");
+        let tu = time_query_opts(&h.db, udf, args.reps, true).expect("udf");
+        mlog.push("fig14", 1, id, "builtin", &tb);
+        mlog.push("fig14", 1, id, "udf", &tu);
         println!(
             "| {id} | {:.2} ms | {:.2} ms | {:.2} |",
             ms(tb.mean),

@@ -14,9 +14,13 @@
 //! .load sigmod N            generate + load N proceedings docs
 //! .xpath /PLAY/ACT/...      compile an XPath and run it
 //! .explain SELECT ...       show the planner's decisions
+//! .analyze SELECT ...       EXPLAIN ANALYZE: run + per-operator rows/time
+//! .metrics                  session buffer-pool / engine / UDF counters
 //! .stats                    run runstats on every table
 //! .quit
 //! ```
+//!
+//! Meta commands also accept a backslash prefix (`\analyze`, `\metrics`).
 
 use std::io::{BufRead, Write};
 
@@ -40,8 +44,7 @@ fn main() {
     let mut opts = DbOptions::default();
     while let Some(a) = args.next() {
         if a == "--pool-frames" {
-            opts.pool_frames =
-                args.next().and_then(|v| v.parse().ok()).unwrap_or(opts.pool_frames);
+            opts.pool_frames = args.next().and_then(|v| v.parse().ok()).unwrap_or(opts.pool_frames);
         }
     }
     let db = match Database::open_with(&dir, opts) {
@@ -84,7 +87,9 @@ fn main() {
 
 impl Shell {
     fn dispatch(&mut self, input: &str) -> Result<(), Box<dyn std::error::Error>> {
-        if let Some(rest) = input.strip_prefix('.') {
+        // Meta commands take either prefix: `.analyze` and `\analyze` are
+        // the same command.
+        if let Some(rest) = input.strip_prefix('.').or_else(|| input.strip_prefix('\\')) {
             let mut parts = rest.split_whitespace();
             match parts.next().unwrap_or_default() {
                 "help" => print!("{}", HELP),
@@ -116,10 +121,8 @@ impl Shell {
                 }
                 "xpath" => {
                     let path = rest.trim_start_matches("xpath").trim();
-                    let mapping = self
-                        .mapping
-                        .as_ref()
-                        .ok_or("no mapping loaded; use .load first")?;
+                    let mapping =
+                        self.mapping.as_ref().ok_or("no mapping loaded; use .load first")?;
                     let compiled = compile_xpath(mapping, path)?;
                     println!("-- {}", compiled.sql);
                     print!("{}", self.db.query(&compiled.sql)?);
@@ -127,6 +130,46 @@ impl Shell {
                 "explain" => {
                     let sql = rest.trim_start_matches("explain").trim();
                     print!("{}", self.db.query(&format!("EXPLAIN {sql}"))?);
+                }
+                "analyze" => {
+                    let sql = rest.trim_start_matches("analyze").trim();
+                    if sql.is_empty() {
+                        return Err("usage: \\analyze SELECT ...".into());
+                    }
+                    let report = self.db.explain_analyze(sql)?;
+                    print!("{report}");
+                    println!("({} rows)", report.result.len());
+                }
+                "metrics" => {
+                    let pool = self.db.io_stats_total();
+                    println!(
+                        "buffer pool: fetches={} hits={} misses={} evictions={} \
+                         writebacks={} hit_ratio={:.3}",
+                        pool.fetches(),
+                        pool.hits,
+                        pool.misses,
+                        pool.evictions,
+                        pool.writebacks,
+                        pool.hit_ratio()
+                    );
+                    let e = ordb::metrics::ENGINE.snapshot();
+                    println!(
+                        "engine: index_probes={} sort_rows={} sort_spills={} \
+                         unnest_calls={} unnest_bytes={}",
+                        e.index_probes, e.sort_rows, e.sort_spills, e.unnest_calls, e.unnest_bytes
+                    );
+                    let called: Vec<_> =
+                        self.db.udf_counters().into_iter().filter(|u| u.calls > 0).collect();
+                    if called.is_empty() {
+                        println!("functions: (none called yet)");
+                    } else {
+                        for u in called {
+                            println!(
+                                "function {}: calls={} marshalled_bytes={}",
+                                u.name, u.calls, u.marshalled_bytes
+                            );
+                        }
+                    }
                 }
                 "stats" => {
                     self.db.runstats_all()?;
@@ -198,7 +241,10 @@ const HELP: &str = "\
 .load sigmod N            generate + load N proceedings docs
 .xpath /PLAY/ACT/...      compile an XPath and run it
 .explain SELECT ...       show the planner's decisions
+.analyze SELECT ...       EXPLAIN ANALYZE: run + per-operator rows/time
+.metrics                  session buffer-pool / engine / UDF counters
 .stats                    run runstats on every table
 .quit                     exit
+meta commands also accept a backslash prefix (\\analyze, \\metrics, ...)
 anything else is SQL (SELECT / CREATE / INSERT / DELETE / DROP)
 ";

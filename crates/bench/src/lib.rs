@@ -63,25 +63,67 @@ pub struct QueryTiming {
     pub runs: Vec<Duration>,
     /// Rows returned (sanity check: must agree across algorithms).
     pub rows: usize,
+    /// Per-operator profile and engine counters from one extra cold
+    /// instrumented run (not one of the timed runs, so the paper's
+    /// methodology is unchanged).
+    pub metrics: Option<ordb::QueryMetrics>,
 }
 
 /// Run `sql` cold `reps` times (default methodology: 5) and report the
 /// mean of the middle `reps - 2` runs.
+///
+/// Every run must return the same number of rows — a divergence means the
+/// query is non-deterministic or the engine is broken, and either way the
+/// timing is meaningless, so this fails loudly instead of reporting it.
 pub fn time_query(db: &Database, sql: &str, reps: usize) -> ordb::Result<QueryTiming> {
+    time_query_opts(db, sql, reps, false)
+}
+
+/// [`time_query`], optionally followed by one extra cold instrumented run
+/// that fills [`QueryTiming::metrics`].
+pub fn time_query_opts(
+    db: &Database,
+    sql: &str,
+    reps: usize,
+    with_metrics: bool,
+) -> ordb::Result<QueryTiming> {
     assert!(reps >= 3, "need at least 3 runs to trim");
     let mut runs = Vec::with_capacity(reps);
     let mut rows = 0;
-    for _ in 0..reps {
+    for rep in 0..reps {
         db.drop_cache()?;
         let start = Instant::now();
         let result: QueryResult = db.query(sql)?;
         runs.push(start.elapsed());
-        rows = result.len();
+        if rep == 0 {
+            rows = result.len();
+        } else if result.len() != rows {
+            return Err(ordb::DbError::Exec(format!(
+                "row count diverged across timing runs of {sql:?}: \
+                 run 1 returned {rows}, run {} returned {}",
+                rep + 1,
+                result.len()
+            )));
+        }
     }
     runs.sort();
     let middle = &runs[1..reps - 1];
     let mean = middle.iter().sum::<Duration>() / middle.len() as u32;
-    Ok(QueryTiming { mean, runs, rows })
+    let metrics = if with_metrics {
+        db.drop_cache()?;
+        let report = db.explain_analyze(sql)?;
+        if report.result.len() != rows {
+            return Err(ordb::DbError::Exec(format!(
+                "row count diverged on the instrumented run of {sql:?}: \
+                 timed runs returned {rows}, instrumented run returned {}",
+                report.result.len()
+            )));
+        }
+        Some(report.metrics)
+    } else {
+        None
+    };
+    Ok(QueryTiming { mean, runs, rows, metrics })
 }
 
 /// Replicate `base` docs `k` times — the paper's DSx`k` configurations.
@@ -150,22 +192,12 @@ mod tests {
         let dtd = xmlkit::dtd::parse_dtd(xorator::dtds::SHAKESPEARE_DTD).unwrap();
         let simple = simplify(&dtd);
 
-        let h = setup(
-            &scratch_dir("libtest-h"),
-            map_hybrid(&simple),
-            &docs,
-            FormatPolicy::Auto,
-            &sql,
-        )
-        .unwrap();
-        let x = setup(
-            &scratch_dir("libtest-x"),
-            map_xorator(&simple),
-            &docs,
-            FormatPolicy::Auto,
-            &sql,
-        )
-        .unwrap();
+        let h =
+            setup(&scratch_dir("libtest-h"), map_hybrid(&simple), &docs, FormatPolicy::Auto, &sql)
+                .unwrap();
+        let x =
+            setup(&scratch_dir("libtest-x"), map_xorator(&simple), &docs, FormatPolicy::Auto, &sql)
+                .unwrap();
 
         assert_eq!(h.db.table_count(), 17);
         assert_eq!(x.db.table_count(), 7);
@@ -173,10 +205,22 @@ mod tests {
 
         // QS2 must select something in both dialects.
         let q = &queries[1];
-        let th = time_query(&h.db, q.hybrid, 3).unwrap();
-        let tx = time_query(&x.db, q.xorator, 3).unwrap();
+        let th = time_query_opts(&h.db, q.hybrid, 3, true).unwrap();
+        let tx = time_query_opts(&x.db, q.xorator, 3, true).unwrap();
         assert!(th.rows > 0, "QS2 must select something (hybrid)");
         assert!(tx.rows > 0, "QS2 must select something (xorator)");
+
+        // The instrumented extra run profiles both plans: root row counts
+        // agree with the timed runs, and the cold run touched the pool.
+        for t in [&th, &tx] {
+            let m = t.metrics.as_ref().expect("metrics requested");
+            assert_eq!(m.rows, t.rows as u64);
+            let root = m.root.as_ref().expect("profiled plan");
+            assert_eq!(root.rows_out, t.rows as u64);
+            assert!(m.pool.fetches() > 0, "cold instrumented run fetches pages");
+        }
+        // The plain path carries no profile.
+        assert!(time_query(&h.db, q.hybrid, 3).unwrap().metrics.is_none());
     }
 
     #[test]

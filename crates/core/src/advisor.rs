@@ -117,19 +117,12 @@ pub const MIN_INDEXABLE_NDV: u64 = 10;
 /// Convenience: base + selectivity-filtered workload advice, applied.
 /// Collects statistics first (`runstats`) so the selectivity filter has
 /// distinct-value counts to work with.
-pub fn advise_and_apply(
-    db: &Database,
-    mapping: &Mapping,
-    queries: &[&str],
-) -> Result<usize> {
+pub fn advise_and_apply(db: &Database, mapping: &Mapping, queries: &[&str]) -> Result<usize> {
     db.runstats_all()?;
     let mut specs = advise_base(mapping);
     for spec in advise_for_workload(mapping, queries) {
         let selective = db.stats_of(&spec.table).is_none_or(|stats| {
-            let table = mapping
-                .tables
-                .iter()
-                .find(|t| t.name.eq_ignore_ascii_case(&spec.table));
+            let table = mapping.tables.iter().find(|t| t.name.eq_ignore_ascii_case(&spec.table));
             match table.and_then(|t| t.col_named(&spec.columns[0])) {
                 Some(i) => stats.ndv_of(i) >= MIN_INDEXABLE_NDV,
                 None => true,
@@ -160,9 +153,7 @@ mod tests {
         // 9 tables; every table has an ID, all but play have a parentID.
         assert_eq!(specs.len(), 9 + 8);
         assert!(specs.iter().any(|s| s.table == "speech" && s.columns == ["speechID"]));
-        assert!(specs
-            .iter()
-            .any(|s| s.table == "line" && s.columns == ["line_parentID"]));
+        assert!(specs.iter().any(|s| s.table == "line" && s.columns == ["line_parentID"]));
     }
 
     #[test]
@@ -193,8 +184,7 @@ mod tests {
 
     #[test]
     fn apply_deduplicates() {
-        let dir = std::env::temp_dir()
-            .join(format!("xorator-advise-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("xorator-advise-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let db = Database::open(&dir).unwrap();
         let m = mapping();

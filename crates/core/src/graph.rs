@@ -289,12 +289,8 @@ mod tests {
 
     #[test]
     fn recursive_dtd_detected() {
-        let dtd = simplify(
-            &parse_dtd(
-                "<!ELEMENT part (name, part*)><!ELEMENT name (#PCDATA)>",
-            )
-            .unwrap(),
-        );
+        let dtd =
+            simplify(&parse_dtd("<!ELEMENT part (name, part*)><!ELEMENT name (#PCDATA)>").unwrap());
         let g = DtdGraph::shared(&dtd);
         let rec = g.recursive_nodes();
         let part = g.nodes_named("part").next().unwrap();
@@ -305,12 +301,7 @@ mod tests {
 
     #[test]
     fn mutual_recursion_detected() {
-        let dtd = simplify(
-            &parse_dtd(
-                "<!ELEMENT a (b?)><!ELEMENT b (a?)>",
-            )
-            .unwrap(),
-        );
+        let dtd = simplify(&parse_dtd("<!ELEMENT a (b?)><!ELEMENT b (a?)>").unwrap());
         let g = DtdGraph::shared(&dtd);
         let rec = g.recursive_nodes();
         assert!(rec.iter().filter(|&&b| b).count() == 2);

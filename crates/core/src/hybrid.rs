@@ -97,8 +97,7 @@ mod tests {
         names.sort();
         assert_eq!(
             names,
-            ["act", "induct", "line", "play", "scene", "speaker", "speech", "subhead",
-             "subtitle"],
+            ["act", "induct", "line", "play", "scene", "speaker", "speech", "subhead", "subtitle"],
             "Figure 5 has exactly these 9 tables"
         );
         // play (playID)
@@ -158,23 +157,34 @@ mod tests {
         assert_eq!(m.table_count(), 7, "paper Table 2: Hybrid = 7 tables\n{m}");
         let mut names: Vec<&str> = m.tables.iter().map(|t| t.name.as_str()).collect();
         names.sort();
-        assert_eq!(
-            names,
-            ["articles", "atuple", "author", "authors", "pp", "slist", "slisttuple"]
-        );
+        assert_eq!(names, ["articles", "atuple", "author", "authors", "pp", "slist", "slisttuple"]);
         // PP inlines the eight header scalars.
         let pp = m.table_for("PP").unwrap();
-        for c in ["pp_volume", "pp_number", "pp_month", "pp_year", "pp_conference",
-                  "pp_date", "pp_confyear", "pp_location"] {
+        for c in [
+            "pp_volume",
+            "pp_number",
+            "pp_month",
+            "pp_year",
+            "pp_conference",
+            "pp_date",
+            "pp_confyear",
+            "pp_location",
+        ] {
             assert!(pp.col_named(c).is_some(), "missing {c}");
         }
         // aTuple inlines title (+articleCode), pages, and the Toindex /
         // fullText chains with their Xlink attributes.
         let atuple = m.table_for("aTuple").unwrap();
-        for c in ["atuple_title", "atuple_title_articlecode", "atuple_initpage",
-                  "atuple_endpage", "atuple_toindex_index",
-                  "atuple_toindex_index_xml_link", "atuple_toindex_index_href",
-                  "atuple_fulltext_size"] {
+        for c in [
+            "atuple_title",
+            "atuple_title_articlecode",
+            "atuple_initpage",
+            "atuple_endpage",
+            "atuple_toindex_index",
+            "atuple_toindex_index_xml_link",
+            "atuple_toindex_index_href",
+            "atuple_fulltext_size",
+        ] {
             assert!(atuple.col_named(c).is_some(), "missing {c} in {}", atuple.describe());
         }
         // author keeps its position attribute and value.

@@ -62,8 +62,8 @@ pub mod prelude {
     pub use crate::queries::{
         example_queries, shakespeare_queries, sigmod_queries, udf_overhead_queries,
     };
-    pub use crate::schema::{Algorithm, ColumnKind, MappedColumn, MappedTable, Mapping};
     pub use crate::reconstruct::{canonical, reconstruct_documents};
+    pub use crate::schema::{Algorithm, ColumnKind, MappedColumn, MappedTable, Mapping};
     pub use crate::shred::Shredder;
     pub use crate::simplify::{simplify, Occ, SimpleDtd};
     pub use crate::xorator::map_xorator;

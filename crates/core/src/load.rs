@@ -74,9 +74,8 @@ pub fn choose_format(
                 if let Value::Xadt(x) = v {
                     let plain = x.to_plain();
                     report.plain_bytes += plain.len();
-                    report.compressed_bytes += xadt::compress(&plain)
-                        .map_err(|e| CoreError::Shred(e.to_string()))?
-                        .len();
+                    report.compressed_bytes +=
+                        xadt::compress(&plain).map_err(|e| CoreError::Shred(e.to_string()))?.len();
                     report.samples += 1;
                 }
             }
@@ -238,10 +237,7 @@ pub fn load_corpus_parallel(
                                 .col_of_kind(&crate::schema::ColumnKind::ParentCode);
                             let parent_elem = match code_col {
                                 Some(cc) => row[cc].as_str().map(str::to_string),
-                                None => mapping.tables[table]
-                                    .parent_tables
-                                    .first()
-                                    .cloned(),
+                                None => mapping.tables[table].parent_tables.first().cloned(),
                             };
                             parent_elem
                                 .and_then(|e| mapping.table_index(&e))
@@ -328,9 +324,7 @@ mod tests {
         assert!(xrep.tuples < hrep.tuples, "{} !< {}", xrep.tuples, hrep.tuples);
 
         // Same logical content: count lines containing 'friend'.
-        let h = hdb
-            .query("SELECT COUNT(*) FROM line WHERE line_value LIKE '%friend%'")
-            .unwrap();
+        let h = hdb.query("SELECT COUNT(*) FROM line WHERE line_value LIKE '%friend%'").unwrap();
         let x = xdb
             .query(
                 "SELECT COUNT(*) FROM speech \
@@ -366,12 +360,10 @@ mod tests {
             .collect();
         for mapping in [crate::hybrid::map_hybrid(&dtd), crate::xorator::map_xorator(&dtd)] {
             let serial_db = Database::open(tmp(&format!("ser-{}", mapping.algorithm))).unwrap();
-            let serial =
-                load_corpus(&serial_db, &mapping, &docs, LoadOptions::default()).unwrap();
+            let serial = load_corpus(&serial_db, &mapping, &docs, LoadOptions::default()).unwrap();
             let par_db = Database::open(tmp(&format!("par-{}", mapping.algorithm))).unwrap();
             let parallel =
-                load_corpus_parallel(&par_db, &mapping, &docs, LoadOptions::default(), 4)
-                    .unwrap();
+                load_corpus_parallel(&par_db, &mapping, &docs, LoadOptions::default(), 4).unwrap();
             assert_eq!(serial.tuples, parallel.tuples);
             // Every table's full contents must be identical.
             for t in &mapping.tables {
@@ -379,8 +371,7 @@ mod tests {
                 let a = serial_db.query(&sql).unwrap();
                 let b = par_db.query(&sql).unwrap();
                 let norm = |r: &ordb::QueryResult| {
-                    let mut v: Vec<String> =
-                        r.rows.iter().map(|row| format!("{row:?}")).collect();
+                    let mut v: Vec<String> = r.rows.iter().map(|row| format!("{row:?}")).collect();
                     v.sort();
                     v
                 };

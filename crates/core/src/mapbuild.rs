@@ -26,8 +26,7 @@ pub(crate) fn select_relations(
     base: impl Fn(&DtdGraph, NodeIdx) -> bool,
 ) -> Vec<bool> {
     let n = g.nodes.len();
-    let mut is_rel: Vec<bool> =
-        (0..n).map(|v| g.indegree(v) == 0 || base(g, v)).collect();
+    let mut is_rel: Vec<bool> = (0..n).map(|v| g.indegree(v) == 0 || base(g, v)).collect();
     // Recursion: nodes in cycles with in-degree > 1, plus one node per
     // cycle that would otherwise have none.
     for comp in g.cyclic_components() {
@@ -108,13 +107,7 @@ pub(crate) fn table_scaffold(
         .filter(|&&(c, _)| is_rel[c])
         .map(|&(c, _)| g.nodes[c].element.clone())
         .collect();
-    MappedTable {
-        name: naming::table(&element),
-        element,
-        columns,
-        parent_tables,
-        child_tables,
-    }
+    MappedTable { name: naming::table(&element), element, columns, parent_tables, child_tables }
 }
 
 /// Append the element's own PCDATA value column (both algorithms place it
@@ -135,9 +128,8 @@ pub(crate) fn push_value_column(g: &DtdGraph, v: NodeIdx, table: &mut MappedTabl
 
 /// Push a column, uniquifying its name if an earlier column took it.
 pub(crate) fn push_unique(table: &mut MappedTable, mut col: MappedColumn) {
-    let taken = |name: &str, cols: &[MappedColumn]| {
-        cols.iter().any(|c| c.name.eq_ignore_ascii_case(name))
-    };
+    let taken =
+        |name: &str, cols: &[MappedColumn]| cols.iter().any(|c| c.name.eq_ignore_ascii_case(name));
     if taken(&col.name, &table.columns) {
         let mut i = 2;
         loop {

@@ -103,16 +103,9 @@ mod tests {
         // regime, an order of magnitude above XORator's 7. (The exact
         // count is sensitive to small DTD differences; the comparison is
         // about the explosion, not the constant.)
-        assert!(
-            (60..=200).contains(&n),
-            "expected a Monet-scale explosion, got {n}\n{inv:#?}"
-        );
+        assert!((60..=200).contains(&n), "expected a Monet-scale explosion, got {n}\n{inv:#?}");
         // Shared elements multiply: SPEECH appears via many paths.
-        let speech_paths = inv
-            .element_paths
-            .iter()
-            .filter(|p| p.ends_with("/SPEECH"))
-            .count();
+        let speech_paths = inv.element_paths.iter().filter(|p| p.ends_with("/SPEECH")).count();
         assert!(speech_paths >= 4, "{speech_paths}");
     }
 

@@ -267,8 +267,7 @@ mod tests {
 
     #[test]
     fn every_query_parses() {
-        for q in shakespeare_queries().iter().chain(&sigmod_queries()).chain(&example_queries())
-        {
+        for q in shakespeare_queries().iter().chain(&sigmod_queries()).chain(&example_queries()) {
             parse_statement(q.hybrid)
                 .unwrap_or_else(|e| panic!("{} hybrid: {e}\n{}", q.id, q.hybrid));
             parse_statement(q.xorator)
@@ -286,11 +285,9 @@ mod tests {
         // must never use more than Hybrid (the paper's core claim).
         fn base_tables(sql: &str) -> usize {
             match parse_statement(sql).unwrap() {
-                ordb::sql::Statement::Select(q) => q
-                    .from
-                    .iter()
-                    .filter(|f| matches!(f, ordb::sql::FromItem::Table { .. }))
-                    .count(),
+                ordb::sql::Statement::Select(q) => {
+                    q.from.iter().filter(|f| matches!(f, ordb::sql::FromItem::Table { .. })).count()
+                }
                 _ => 0,
             }
         }

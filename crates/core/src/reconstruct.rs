@@ -40,9 +40,7 @@ pub fn reconstruct_documents(db: &Database, mapping: &Mapping) -> Result<Vec<Doc
     // Load every table fully, grouped by element.
     let mut tuples: Vec<Vec<TupleNode>> = Vec::with_capacity(mapping.tables.len());
     for t in &mapping.tables {
-        let r = db
-            .query(&format!("SELECT * FROM {}", t.name))
-            .map_err(CoreError::Db)?;
+        let r = db.query(&format!("SELECT * FROM {}", t.name)).map_err(CoreError::Db)?;
         let id_col = t.id_col();
         let parent_col = t.col_of_kind(&ColumnKind::ParentId);
         let code_col = t.col_of_kind(&ColumnKind::ParentCode);
@@ -53,8 +51,7 @@ pub fn reconstruct_documents(db: &Database, mapping: &Mapping) -> Result<Vec<Doc
             .map(|row| TupleNode {
                 id: row[id_col].as_int().unwrap_or_default(),
                 parent_id: parent_col.and_then(|c| row[c].as_int()),
-                parent_code: code_col
-                    .and_then(|c| row[c].as_str().map(str::to_string)),
+                parent_code: code_col.and_then(|c| row[c].as_str().map(str::to_string)),
                 order: order_col.and_then(|c| row[c].as_int()).unwrap_or(0),
                 row,
             })
@@ -71,11 +68,7 @@ pub fn reconstruct_documents(db: &Database, mapping: &Mapping) -> Result<Vec<Doc
                 let code = match &n.parent_code {
                     Some(c) => c.clone(),
                     // Single-parent tables have no code column.
-                    None => mapping.tables[ti]
-                        .parent_tables
-                        .first()
-                        .cloned()
-                        .unwrap_or_default(),
+                    None => mapping.tables[ti].parent_tables.first().cloned().unwrap_or_default(),
                 };
                 children.entry((ti, code, pid)).or_default().push(ri);
             }
@@ -142,9 +135,9 @@ fn emit(
                 }
             }
             ColumnKind::Xadt { .. } => {
-                let frag = v.as_xadt().ok_or_else(|| {
-                    CoreError::Shred("XADT column holds a non-XADT value".into())
-                })?;
+                let frag = v
+                    .as_xadt()
+                    .ok_or_else(|| CoreError::Shred("XADT column holds a non-XADT value".into()))?;
                 attach_fragment(doc, node, &frag.to_plain())?;
             }
         }
@@ -251,10 +244,8 @@ fn canon_node(doc: &Document, node: NodeId, out: &mut String) {
     out.push_str(&trimmed.join(" "));
     let header_only_len = out.len();
     // Element children grouped by name.
-    let mut names: Vec<&str> = doc
-        .child_elements(node)
-        .map(|c| doc.tag(c).expect("element"))
-        .collect();
+    let mut names: Vec<&str> =
+        doc.child_elements(node).map(|c| doc.tag(c).expect("element")).collect();
     names.sort_unstable();
     names.dedup();
     for n in names {
@@ -298,10 +289,8 @@ mod tests {
             crate::schema::Algorithm::Hybrid => map_hybrid(&simple),
             crate::schema::Algorithm::Xorator => map_xorator(&simple),
         };
-        let dir = std::env::temp_dir().join(format!(
-            "xorator-reconstruct-{alg}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("xorator-reconstruct-{alg}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let db = Database::open(&dir).unwrap();
         let docs = vec![DOC.to_string(), DOC.replace("hello", "goodbye")];

@@ -252,9 +252,6 @@ mod tests {
             naming::path_column("aTuple", &["Toindex".into(), "index".into()]),
             "atuple_toindex_index"
         );
-        assert_eq!(
-            naming::attr_column("index", &[], "xml:link"),
-            "index_xml_link"
-        );
+        assert_eq!(naming::attr_column("index", &[], "xml:link"), "index_xml_link");
     }
 }

@@ -121,8 +121,7 @@ impl fmt::Display for SimpleDtd {
                 let body = if e.has_pcdata { "(#PCDATA)" } else { "EMPTY" };
                 writeln!(f, "<!ELEMENT {} {body}>", e.name)?;
             } else {
-                let kids: Vec<String> =
-                    e.children.iter().map(|(n, o)| format!("{n}{o}")).collect();
+                let kids: Vec<String> = e.children.iter().map(|(n, o)| format!("{n}{o}")).collect();
                 writeln!(f, "<!ELEMENT {} ({})>", e.name, kids.join(", "))?;
             }
         }
@@ -279,16 +278,11 @@ mod tests {
 
     #[test]
     fn grouping_duplicate_names() {
-        let dtd = parse_dtd(
-            "<!ELEMENT R (A, B?, A)><!ELEMENT A (#PCDATA)><!ELEMENT B (#PCDATA)>",
-        )
-        .unwrap();
+        let dtd = parse_dtd("<!ELEMENT R (A, B?, A)><!ELEMENT A (#PCDATA)><!ELEMENT B (#PCDATA)>")
+            .unwrap();
         let s = simplify(&dtd);
         let r = s.element("R").unwrap();
-        assert_eq!(
-            r.children,
-            vec![("A".to_string(), Occ::Star), ("B".to_string(), Occ::Opt)]
-        );
+        assert_eq!(r.children, vec![("A".to_string(), Occ::Star), ("B".to_string(), Occ::Opt)]);
     }
 
     #[test]

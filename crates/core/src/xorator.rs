@@ -46,7 +46,10 @@ pub fn map_xorator(dtd: &SimpleDtd) -> Mapping {
                     push_unique(
                         &mut table,
                         MappedColumn {
-                            name: naming::path_column(&table_element, std::slice::from_ref(&child.element)),
+                            name: naming::path_column(
+                                &table_element,
+                                std::slice::from_ref(&child.element),
+                            ),
                             ty: DataType::Varchar,
                             kind: ColumnKind::InlineText { path: vec![child.element.clone()] },
                         },
@@ -75,7 +78,10 @@ pub fn map_xorator(dtd: &SimpleDtd) -> Mapping {
                 push_unique(
                     &mut table,
                     MappedColumn {
-                        name: naming::path_column(&table_element, std::slice::from_ref(&child.element)),
+                        name: naming::path_column(
+                            &table_element,
+                            std::slice::from_ref(&child.element),
+                        ),
                         ty: DataType::Xadt,
                         kind: ColumnKind::Xadt { child: child.element.clone() },
                     },
@@ -147,10 +153,7 @@ mod tests {
         assert_eq!(m.table_count(), 7, "paper Table 1: XORator = 7 tables\n{m}");
         let mut names: Vec<&str> = m.tables.iter().map(|t| t.element.as_str()).collect();
         names.sort();
-        assert_eq!(
-            names,
-            ["ACT", "EPILOGUE", "INDUCT", "PLAY", "PROLOGUE", "SCENE", "SPEECH"]
-        );
+        assert_eq!(names, ["ACT", "EPILOGUE", "INDUCT", "PLAY", "PROLOGUE", "SCENE", "SPEECH"]);
         // PLAY stores FM and PERSONAE subtrees as XADT columns.
         let play = m.table_for("PLAY").unwrap();
         for (col, ty) in [
@@ -181,10 +184,7 @@ mod tests {
         assert_eq!(pp.columns[i].ty, DataType::Xadt);
         assert!(pp.col_named("pp_volume").is_some());
         assert!(pp.col_named("pp_location").is_some());
-        assert_eq!(
-            pp.columns.iter().filter(|c| c.ty == DataType::Xadt).count(),
-            1
-        );
+        assert_eq!(pp.columns.iter().filter(|c| c.ty == DataType::Xadt).count(), 1);
     }
 
     #[test]
@@ -201,10 +201,8 @@ mod tests {
     fn starred_leaf_with_attributes_is_xadt() {
         // author* with an attribute: storing as a string would lose the
         // attribute, so it must map to XADT.
-        let m = map(
-            "<!ELEMENT r (author)*><!ELEMENT author (#PCDATA)>\
-             <!ATTLIST author pos CDATA #IMPLIED>",
-        );
+        let m = map("<!ELEMENT r (author)*><!ELEMENT author (#PCDATA)>\
+             <!ATTLIST author pos CDATA #IMPLIED>");
         let r = m.table_for("r").unwrap();
         let i = r.col_named("r_author").unwrap();
         assert_eq!(r.columns[i].ty, DataType::Xadt);

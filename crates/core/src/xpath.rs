@@ -58,9 +58,8 @@ pub struct CompiledXPath {
 pub fn parse_xpath(input: &str) -> Result<Vec<Step>, CoreError> {
     let err = |m: &str| CoreError::Shred(format!("xpath: {m} in {input:?}"));
     let input = input.trim();
-    let rest = input
-        .strip_prefix('/')
-        .ok_or_else(|| err("path must be absolute (start with /)"))?;
+    let rest =
+        input.strip_prefix('/').ok_or_else(|| err("path must be absolute (start with /)"))?;
     let mut steps = Vec::new();
     // Split on '/' at bracket depth zero.
     let mut depth = 0usize;
@@ -139,20 +138,15 @@ pub fn compile_xpath(mapping: &Mapping, path: &str) -> Result<CompiledXPath, Cor
     let steps = parse_xpath(path)?;
     let err = |m: String| CoreError::Shred(format!("xpath: {m} in {path:?}"));
     if steps[0].name != mapping.root_element {
-        return Err(err(format!(
-            "path must start at the mapping root <{}>",
-            mapping.root_element
-        )));
+        return Err(err(format!("path must start at the mapping root <{}>", mapping.root_element)));
     }
 
     let mut from: Vec<String> = Vec::new();
     let mut wheres: Vec<String> = Vec::new();
-    let mut table: &MappedTable = mapping
-        .table_for(&steps[0].name)
-        .ok_or_else(|| err("root element has no table".into()))?;
+    let mut table: &MappedTable =
+        mapping.table_for(&steps[0].name).ok_or_else(|| err("root element has no table".into()))?;
     from.push(table.name.clone());
-    apply_table_preds(mapping, table, &steps[0], &mut from, &mut wheres)
-        .map_err(err)?;
+    apply_table_preds(mapping, table, &steps[0], &mut from, &mut wheres).map_err(err)?;
 
     let mut i = 1;
     let mut select: Option<String> = None;
@@ -202,14 +196,15 @@ pub fn compile_xpath(mapping: &Mapping, path: &str) -> Result<CompiledXPath, Cor
             continue;
         }
         // Case 2: the step enters an XADT column of the current table.
-        if let Some(cidx) = table.columns.iter().position(
-            |c| matches!(&c.kind, ColumnKind::Xadt { child } if child == &step.name),
-        ) {
-            select = Some(compile_xadt_tail(
-                &table.columns[cidx].name,
-                &steps[i..],
-                &mut wheres,
-            ).map_err(err)?);
+        if let Some(cidx) = table
+            .columns
+            .iter()
+            .position(|c| matches!(&c.kind, ColumnKind::Xadt { child } if child == &step.name))
+        {
+            select = Some(
+                compile_xadt_tail(&table.columns[cidx].name, &steps[i..], &mut wheres)
+                    .map_err(err)?,
+            );
             i = steps.len();
             continue;
         }
@@ -285,9 +280,11 @@ fn apply_table_preds(
                     continue;
                 }
                 // XADT child column?
-                if let Some(cidx) = table.columns.iter().position(
-                    |c| matches!(&c.kind, ColumnKind::Xadt { child: ch } if ch == child),
-                ) {
+                if let Some(cidx) = table
+                    .columns
+                    .iter()
+                    .position(|c| matches!(&c.kind, ColumnKind::Xadt { child: ch } if ch == child))
+                {
                     wheres.push(format!(
                         "findKeyInElm({}, {}, {}) = 1",
                         table.columns[cidx].name,
@@ -304,10 +301,7 @@ fn apply_table_preds(
                             .col_of_kind(&ColumnKind::ParentId)
                             .ok_or("predicate child lacks parentID")?]
                         .name;
-                        wheres.push(format!(
-                            "{pid} = {}",
-                            table.columns[table.id_col()].name
-                        ));
+                        wheres.push(format!("{pid} = {}", table.columns[table.id_col()].name));
                         if let Some(code) = ct.col_of_kind(&ColumnKind::ParentCode) {
                             wheres.push(format!(
                                 "{} = {}",
@@ -378,10 +372,7 @@ fn compile_xadt_tail(
             }
         }
         if let Some(n) = position {
-            expr = format!(
-                "getElmIndex({expr}, '', {}, {n}, {n})",
-                sql_quote(&step.name)
-            );
+            expr = format!("getElmIndex({expr}, '', {}, {n}, {n})", sql_quote(&step.name));
         } else {
             expr = format!(
                 "getElm({expr}, {}, {}, {})",
@@ -417,21 +408,14 @@ mod tests {
 
     #[test]
     fn parses_steps_and_predicates() {
-        let steps = parse_xpath(
-            "/PLAY/ACT/SCENE/SPEECH[SPEAKER='HAMLET']/LINE[contains(.,'friend')][2]",
-        )
-        .unwrap();
+        let steps =
+            parse_xpath("/PLAY/ACT/SCENE/SPEECH[SPEAKER='HAMLET']/LINE[contains(.,'friend')][2]")
+                .unwrap();
         assert_eq!(steps.len(), 5);
-        assert_eq!(
-            steps[3].preds,
-            vec![Pred::ChildEquals("SPEAKER".into(), "HAMLET".into())]
-        );
+        assert_eq!(steps[3].preds, vec![Pred::ChildEquals("SPEAKER".into(), "HAMLET".into())]);
         assert_eq!(
             steps[4].preds,
-            vec![
-                Pred::Contains(".".into(), "friend".into()),
-                Pred::Position(2)
-            ]
+            vec![Pred::Contains(".".into(), "friend".into()), Pred::Position(2)]
         );
     }
 
@@ -458,27 +442,15 @@ mod tests {
             cx.sql
         );
         let from_clause = cx.sql.split(" WHERE ").next().unwrap();
-        assert!(
-            !from_clause.contains("speaker"),
-            "XORator must not join speaker: {from_clause}"
-        );
+        assert!(!from_clause.contains("speaker"), "XORator must not join speaker: {from_clause}");
     }
 
     #[test]
     fn compiles_xadt_tail_with_keyword() {
         let (_, x) = mappings();
-        let c = compile_xpath(&x, "/PLAY/ACT/SCENE/SPEECH/LINE[contains(.,'love')]")
-            .unwrap();
-        assert!(
-            c.sql.contains("getElm(speech_line, 'LINE', 'LINE', 'love')"),
-            "{}",
-            c.sql
-        );
-        assert!(
-            c.sql.contains("findKeyInElm(speech_line, 'LINE', 'love') = 1"),
-            "{}",
-            c.sql
-        );
+        let c = compile_xpath(&x, "/PLAY/ACT/SCENE/SPEECH/LINE[contains(.,'love')]").unwrap();
+        assert!(c.sql.contains("getElm(speech_line, 'LINE', 'LINE', 'love')"), "{}", c.sql);
+        assert!(c.sql.contains("findKeyInElm(speech_line, 'LINE', 'love') = 1"), "{}", c.sql);
     }
 
     #[test]

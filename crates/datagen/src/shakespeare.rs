@@ -332,9 +332,6 @@ mod tests {
         let cfg = ShakespeareConfig { plays: 1, ..ShakespeareConfig::paper_size() };
         let docs = generate(&cfg);
         let bytes = docs[0].len();
-        assert!(
-            (60_000..500_000).contains(&bytes),
-            "one play is {bytes} bytes"
-        );
+        assert!((60_000..500_000).contains(&bytes), "one play is {bytes} bytes");
     }
 }

@@ -29,7 +29,13 @@ pub struct SigmodConfig {
 
 impl Default for SigmodConfig {
     fn default() -> Self {
-        SigmodConfig { documents: 400, seed: 4242, max_sections: 4, max_articles: 5, max_authors: 4 }
+        SigmodConfig {
+            documents: 400,
+            seed: 4242,
+            max_sections: 4,
+            max_articles: 5,
+            max_authors: 4,
+        }
     }
 }
 
@@ -41,13 +47,31 @@ impl SigmodConfig {
 }
 
 const MONTHS: &[&str] = &[
-    "January", "February", "March", "April", "May", "June", "July", "August", "September",
-    "October", "November", "December",
+    "January",
+    "February",
+    "March",
+    "April",
+    "May",
+    "June",
+    "July",
+    "August",
+    "September",
+    "October",
+    "November",
+    "December",
 ];
 
 const CITIES: &[&str] = &[
-    "San Jose", "Seattle", "Tucson", "Washington", "Minneapolis", "Montreal", "Athens",
-    "Philadelphia", "Dallas", "Santa Barbara",
+    "San Jose",
+    "Seattle",
+    "Tucson",
+    "Washington",
+    "Minneapolis",
+    "Montreal",
+    "Athens",
+    "Philadelphia",
+    "Dallas",
+    "Santa Barbara",
 ];
 
 /// Generate the corpus; element `i` is one `<PP>` proceedings document.

@@ -5,42 +5,80 @@ use rand::Rng;
 
 /// Common words used to fill prose and verse.
 pub const WORDS: &[&str] = &[
-    "the", "and", "to", "of", "my", "thou", "that", "with", "not", "his", "your", "for",
-    "be", "but", "he", "me", "this", "thy", "so", "have", "will", "what", "her", "thee",
-    "no", "him", "good", "we", "shall", "all", "do", "are", "our", "if", "more", "come",
-    "night", "day", "sweet", "heart", "eyes", "death", "life", "fair", "sword", "crown",
-    "king", "queen", "lord", "lady", "noble", "gentle", "heaven", "earth", "soul", "blood",
-    "honour", "grief", "joy", "sorrow", "fortune", "stars", "moon", "sun", "storm", "sea",
-    "word", "tongue", "hand", "face", "name", "house", "gate", "wall", "garden", "rose",
+    "the", "and", "to", "of", "my", "thou", "that", "with", "not", "his", "your", "for", "be",
+    "but", "he", "me", "this", "thy", "so", "have", "will", "what", "her", "thee", "no", "him",
+    "good", "we", "shall", "all", "do", "are", "our", "if", "more", "come", "night", "day",
+    "sweet", "heart", "eyes", "death", "life", "fair", "sword", "crown", "king", "queen", "lord",
+    "lady", "noble", "gentle", "heaven", "earth", "soul", "blood", "honour", "grief", "joy",
+    "sorrow", "fortune", "stars", "moon", "sun", "storm", "sea", "word", "tongue", "hand", "face",
+    "name", "house", "gate", "wall", "garden", "rose",
 ];
 
 /// Speaker names used across generated plays.
 pub const SPEAKERS: &[&str] = &[
-    "HAMLET", "ROMEO", "JULIET", "MACBETH", "OTHELLO", "IAGO", "PORTIA", "BRUTUS",
-    "CASSIUS", "OPHELIA", "HORATIO", "MERCUTIO", "TYBALT", "BENVOLIO", "FALSTAFF",
-    "PROSPERO", "MIRANDA", "ARIEL", "PUCK", "OBERON", "TITANIA", "LEAR", "CORDELIA",
-    "EDMUND", "KENT", "GLOUCESTER", "DUKE", "FIRST CITIZEN", "SECOND CITIZEN", "MESSENGER",
+    "HAMLET",
+    "ROMEO",
+    "JULIET",
+    "MACBETH",
+    "OTHELLO",
+    "IAGO",
+    "PORTIA",
+    "BRUTUS",
+    "CASSIUS",
+    "OPHELIA",
+    "HORATIO",
+    "MERCUTIO",
+    "TYBALT",
+    "BENVOLIO",
+    "FALSTAFF",
+    "PROSPERO",
+    "MIRANDA",
+    "ARIEL",
+    "PUCK",
+    "OBERON",
+    "TITANIA",
+    "LEAR",
+    "CORDELIA",
+    "EDMUND",
+    "KENT",
+    "GLOUCESTER",
+    "DUKE",
+    "FIRST CITIZEN",
+    "SECOND CITIZEN",
+    "MESSENGER",
 ];
 
 /// Surnames for the SIGMOD author pool.
 pub const SURNAMES: &[&str] = &[
-    "Smith", "Chen", "Garcia", "Patel", "Kumar", "Mueller", "Tanaka", "Ivanov", "Rossi",
-    "Silva", "Kim", "Nguyen", "Brown", "Wilson", "Davis", "Lopez", "Olsen", "Novak",
-    "Fischer", "Weber", "Moreau", "Costa", "Haas", "Stone", "Rivers", "Field", "Marsh",
+    "Smith", "Chen", "Garcia", "Patel", "Kumar", "Mueller", "Tanaka", "Ivanov", "Rossi", "Silva",
+    "Kim", "Nguyen", "Brown", "Wilson", "Davis", "Lopez", "Olsen", "Novak", "Fischer", "Weber",
+    "Moreau", "Costa", "Haas", "Stone", "Rivers", "Field", "Marsh",
 ];
 
 /// First-name initials pool.
 pub const INITIALS: &[&str] = &[
-    "A.", "B.", "C.", "D.", "E.", "F.", "G.", "H.", "J.", "K.", "L.", "M.", "N.", "P.",
-    "R.", "S.", "T.", "V.", "W.", "Y.",
+    "A.", "B.", "C.", "D.", "E.", "F.", "G.", "H.", "J.", "K.", "L.", "M.", "N.", "P.", "R.", "S.",
+    "T.", "V.", "W.", "Y.",
 ];
 
 /// Database-paper title fragments for the SIGMOD generator.
 pub const TITLE_TOPICS: &[&str] = &[
-    "Query Optimization", "Index Structures", "Parallel Scans", "Transaction Recovery",
-    "View Maintenance", "Data Warehousing", "Spatial Access Methods", "Buffer Management",
-    "Schema Evolution", "Semistructured Data", "Object Stores", "Active Rules",
-    "Deductive Databases", "Data Mining", "Workflow Systems", "Replication Protocols",
+    "Query Optimization",
+    "Index Structures",
+    "Parallel Scans",
+    "Transaction Recovery",
+    "View Maintenance",
+    "Data Warehousing",
+    "Spatial Access Methods",
+    "Buffer Management",
+    "Schema Evolution",
+    "Semistructured Data",
+    "Object Stores",
+    "Active Rules",
+    "Deductive Databases",
+    "Data Mining",
+    "Workflow Systems",
+    "Replication Protocols",
 ];
 
 /// Stitch `n` pseudo-random words into a sentence-ish string.

@@ -159,8 +159,7 @@ impl Catalog {
             .tables
             .remove(&key)
             .ok_or_else(|| DbError::Catalog(format!("unknown table {name:?}")))?;
-        let index_names: Vec<String> =
-            self.by_table.remove(&key).unwrap_or_default();
+        let index_names: Vec<String> = self.by_table.remove(&key).unwrap_or_default();
         let mut dropped = Vec::new();
         for n in index_names {
             if let Some(ix) = self.indexes.remove(&n) {
@@ -209,8 +208,7 @@ impl Catalog {
             }
             let mut parts = line.split_whitespace();
             let tag = parts.next().unwrap_or_default();
-            let bad =
-                |m: &str| DbError::Catalog(format!("catalog line {}: {m}", lineno + 1));
+            let bad = |m: &str| DbError::Catalog(format!("catalog line {}: {m}", lineno + 1));
             match tag {
                 "next_file" => {
                     cat.next_file = parts
@@ -333,9 +331,7 @@ mod tests {
     fn duplicate_table_rejected() {
         let mut c = sample();
         let f = c.allocate_file_id();
-        assert!(c
-            .add_table(TableDef { name: "SPEECH".into(), columns: vec![], file: f })
-            .is_err());
+        assert!(c.add_table(TableDef { name: "SPEECH".into(), columns: vec![], file: f }).is_err());
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::RwLock;
 
@@ -13,12 +14,14 @@ use crate::error::{DbError, Result};
 use crate::exec::collect;
 use crate::index::btree::BTree;
 use crate::index::key::encode_key;
-use crate::plan::{plan_select, PlanContext};
+use crate::metrics::{udf_delta, Profiler, QueryMetrics, ENGINE};
+use crate::plan::{plan_select, plan_select_profiled, PlanContext};
 use crate::sql::ast::{AstExpr, Statement};
 use crate::sql::parser::parse_statement;
 use crate::stats::{StatsBuilder, TableStats};
 use crate::storage::buffer::{BufferPool, PoolStats, DEFAULT_POOL_FRAMES};
 use crate::storage::heap::HeapFile;
+use crate::trace::{TraceEvent, TraceSink};
 use crate::tuple::{encode_row, encoded_len};
 use crate::types::{DataType, Row, Value};
 
@@ -48,6 +51,7 @@ pub struct Database {
     pool: Arc<BufferPool>,
     inner: RwLock<DbInner>,
     functions: crate::functions::FunctionRegistry,
+    trace: RwLock<Option<Arc<dyn TraceSink>>>,
 }
 
 /// The result of a SELECT.
@@ -79,6 +83,23 @@ impl QueryResult {
     }
 }
 
+/// The result of [`Database::explain_analyze`]: the query's rows plus a
+/// full [`QueryMetrics`] snapshot. `Display` renders the annotated plan
+/// tree and counters (the classic `EXPLAIN ANALYZE` output).
+#[derive(Debug, Clone)]
+pub struct AnalyzeReport {
+    /// The query result, identical to what `query()` returns.
+    pub result: QueryResult,
+    /// Per-operator and per-query measurements.
+    pub metrics: QueryMetrics,
+}
+
+impl fmt::Display for AnalyzeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.metrics.render())
+    }
+}
+
 impl fmt::Display for QueryResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{}", self.columns.join(" | "))?;
@@ -106,34 +127,54 @@ impl Database {
         let mut indexes = HashMap::new();
         for t in catalog.tables() {
             pool.register_file(t.file, file_path(&dir, t.file))?;
-            heaps.insert(
-                t.name.to_ascii_lowercase(),
-                Arc::new(HeapFile::new(pool.clone(), t.file)),
-            );
+            heaps
+                .insert(t.name.to_ascii_lowercase(), Arc::new(HeapFile::new(pool.clone(), t.file)));
         }
         for i in catalog.indexes() {
             pool.register_file(i.file, file_path(&dir, i.file))?;
-            indexes.insert(
-                i.name.to_ascii_lowercase(),
-                Arc::new(BTree::open(pool.clone(), i.file)?),
-            );
+            indexes
+                .insert(i.name.to_ascii_lowercase(), Arc::new(BTree::open(pool.clone(), i.file)?));
         }
         Ok(Database {
             dir,
             pool,
-            inner: RwLock::new(DbInner {
-                catalog,
-                heaps,
-                indexes,
-                stats: HashMap::new(),
-            }),
+            inner: RwLock::new(DbInner { catalog, heaps, indexes, stats: HashMap::new() }),
             functions: crate::functions::FunctionRegistry::with_builtins(),
+            trace: RwLock::new(None),
         })
+    }
+
+    /// Install (or clear, with `None`) the query-lifecycle trace sink.
+    /// Events are emitted only when the `trace` cargo feature is on (the
+    /// default); without it the emission sites compile away and an
+    /// installed sink receives nothing.
+    pub fn set_trace_sink(&self, sink: Option<Arc<dyn TraceSink>>) {
+        *self.trace.write() = sink;
+    }
+
+    /// Emit a lifecycle event; the payload closure runs only when a sink
+    /// is installed (and only when the `trace` feature is compiled in).
+    fn emit(&self, make: impl FnOnce() -> TraceEvent) {
+        #[cfg(feature = "trace")]
+        {
+            let sink = self.trace.read().clone();
+            if let Some(sink) = sink {
+                sink.event(&make());
+            }
+        }
+        #[cfg(not(feature = "trace"))]
+        let _ = make;
     }
 
     /// The function registry (to register custom functions).
     pub fn functions_mut(&mut self) -> &mut crate::functions::FunctionRegistry {
         &mut self.functions
+    }
+
+    /// Lifetime call and marshalling counters for every registered
+    /// function, sorted by name.
+    pub fn udf_counters(&self) -> Vec<crate::metrics::UdfCounters> {
+        self.functions.counters()
     }
 
     /// Create a table.
@@ -244,7 +285,13 @@ impl Database {
 
     /// Run a SELECT (or EXPLAIN SELECT).
     pub fn query(&self, sql: &str) -> Result<QueryResult> {
-        match parse_statement(sql)? {
+        let wall = Instant::now();
+        self.emit(|| TraceEvent::QueryStart { sql: sql.to_string() });
+        let t = Instant::now();
+        let stmt = parse_statement(sql)?;
+        let parse_time = t.elapsed();
+        self.emit(|| TraceEvent::Parsed { elapsed: parse_time });
+        match stmt {
             Statement::Explain(inner) => match *inner {
                 Statement::Select(q) => {
                     let inner = self.inner.read();
@@ -272,12 +319,76 @@ impl Database {
                     stats: &inner.stats,
                     functions: &self.functions,
                 };
+                let t = Instant::now();
                 let plan = plan_select(&ctx, &q)?;
+                let plan_time = t.elapsed();
+                self.emit(|| TraceEvent::Planned {
+                    elapsed: plan_time,
+                    explain: plan.explain.clone(),
+                });
                 let rows = collect(plan.root)?;
+                self.emit(|| TraceEvent::QueryEnd {
+                    rows: rows.len() as u64,
+                    wall: wall.elapsed(),
+                });
                 Ok(QueryResult { columns: plan.columns, rows })
             }
             other => Err(DbError::Plan(format!("query() expects SELECT, got {other:?}"))),
         }
+    }
+
+    /// Run a SELECT with full instrumentation: every operator is wrapped
+    /// to count `next()` calls, rows, and inclusive time, and the query
+    /// is bracketed with buffer-pool, index, sort, and UDF counter
+    /// snapshots. Returns both the result and the [`QueryMetrics`].
+    ///
+    /// The counter deltas are exact only for single-stream use (see
+    /// `metrics`): a concurrent query on the same process would be
+    /// attributed to this one's window.
+    pub fn explain_analyze(&self, sql: &str) -> Result<AnalyzeReport> {
+        let wall = Instant::now();
+        self.emit(|| TraceEvent::QueryStart { sql: sql.to_string() });
+        let t = Instant::now();
+        let stmt = parse_statement(sql)?;
+        let parse_time = t.elapsed();
+        self.emit(|| TraceEvent::Parsed { elapsed: parse_time });
+        let Statement::Select(q) = stmt else {
+            return Err(DbError::Plan("explain_analyze() expects SELECT".into()));
+        };
+        let inner = self.inner.read();
+        let ctx = PlanContext {
+            catalog: &inner.catalog,
+            heaps: &inner.heaps,
+            indexes: &inner.indexes,
+            stats: &inner.stats,
+            functions: &self.functions,
+        };
+        let mut prof = Profiler::enabled();
+        let t = Instant::now();
+        let plan = plan_select_profiled(&ctx, &q, &mut prof)?;
+        let plan_time = t.elapsed();
+        self.emit(|| TraceEvent::Planned { elapsed: plan_time, explain: plan.explain.clone() });
+
+        let pool0 = self.pool.stats_total();
+        let engine0 = ENGINE.snapshot();
+        let udf0 = self.functions.counters();
+        let t = Instant::now();
+        let rows = collect(plan.root)?;
+        let exec_time = t.elapsed();
+
+        let metrics = QueryMetrics {
+            parse: parse_time,
+            plan: plan_time,
+            exec: exec_time,
+            wall: wall.elapsed(),
+            rows: rows.len() as u64,
+            pool: self.pool.stats_total().since(&pool0),
+            engine: ENGINE.snapshot().since(&engine0),
+            udfs: udf_delta(&udf0, &self.functions.counters()),
+            root: prof.finish(),
+        };
+        self.emit(|| TraceEvent::QueryEnd { rows: metrics.rows, wall: metrics.wall });
+        Ok(AnalyzeReport { result: QueryResult { columns: plan.columns, rows }, metrics })
     }
 
     /// Planner decisions for a SELECT, without executing it.
@@ -355,9 +466,7 @@ impl Database {
                 inner.catalog.save(&self.dir)?;
                 Ok(0)
             }
-            Statement::Explain(_) => {
-                Err(DbError::Plan("EXPLAIN returns rows; use query()".into()))
-            }
+            Statement::Explain(_) => Err(DbError::Plan("EXPLAIN returns rows; use query()".into())),
             Statement::Select(_) => {
                 Err(DbError::Plan("execute() expects DDL/DML; use query()".into()))
             }
@@ -366,11 +475,7 @@ impl Database {
 
     /// `DELETE FROM table [WHERE …]`: scans, evaluates the predicate
     /// against each row, removes matches from the heap and every index.
-    fn delete_rows(
-        &self,
-        table: &str,
-        predicate: Option<AstExpr>,
-    ) -> Result<u64> {
+    fn delete_rows(&self, table: &str, predicate: Option<AstExpr>) -> Result<u64> {
         let inner = self.inner.read();
         let tdef = inner
             .catalog
@@ -425,11 +530,7 @@ impl Database {
     }
 
     /// Compile a WHERE expression against one table's columns (for DELETE).
-    fn compile_table_predicate(
-        &self,
-        tdef: &TableDef,
-        ast: AstExpr,
-    ) -> Result<crate::expr::Expr> {
+    fn compile_table_predicate(&self, tdef: &TableDef, ast: AstExpr) -> Result<crate::expr::Expr> {
         crate::plan::compile_single_table(tdef, &ast, &self.functions)
     }
 
@@ -524,14 +625,30 @@ impl Database {
     }
 
     /// Flush and empty the buffer pool — makes the next query run cold,
-    /// as in the paper's methodology (§4.2).
+    /// as in the paper's methodology (§4.2). The flush's writebacks are
+    /// *excluded* from the I/O stats (they belong to the workload that
+    /// dirtied the pages, not to the cold query measured next), so a
+    /// `drop_cache` → query → `take_io_stats` sequence charges the query
+    /// only its own I/O.
     pub fn drop_cache(&self) -> Result<()> {
         self.pool.drop_cache()
     }
 
-    /// Buffer pool I/O counters since the last call.
+    /// Buffer pool I/O counters accumulated since the previous
+    /// `take_io_stats` call — **snapshot-and-reset** semantics: each call
+    /// closes a measurement window and opens the next. Use
+    /// [`Database::io_stats_total`] for cumulative counters, and see
+    /// [`Database::drop_cache`] for how cache teardown interacts with
+    /// these windows. `explain_analyze` reads only the cumulative
+    /// counters, so it never disturbs a window.
     pub fn take_io_stats(&self) -> PoolStats {
         self.pool.take_stats()
+    }
+
+    /// Cumulative buffer pool I/O counters since open. Never resets and
+    /// does not affect [`Database::take_io_stats`] windows.
+    pub fn io_stats_total(&self) -> PoolStats {
+        self.pool.stats_total()
     }
 
     /// Enable or disable the storage-latency simulation (see
@@ -561,10 +678,9 @@ fn coerce(v: &mut Value, c: &ColumnDef) -> Result<()> {
             *v = Value::Xadt(xadt::XadtValue::plain(s.clone()));
             Ok(())
         }
-        (got, want) => Err(DbError::Exec(format!(
-            "column {:?} expects {want}, got {got:?}",
-            c.name
-        ))),
+        (got, want) => {
+            Err(DbError::Exec(format!("column {:?} expects {want}, got {got:?}", c.name)))
+        }
     }
 }
 
@@ -657,11 +773,8 @@ mod tests {
             )
             .unwrap();
         assert_eq!(r.len(), 2);
-        let frags: Vec<String> = r
-            .rows
-            .iter()
-            .map(|row| row[0].as_xadt().unwrap().to_plain().into_owned())
-            .collect();
+        let frags: Vec<String> =
+            r.rows.iter().map(|row| row[0].as_xadt().unwrap().to_plain().into_owned()).collect();
         assert!(frags.contains(&"<LINE>my good friend</LINE>".to_string()));
         assert!(frags.contains(&"<LINE>to arms, friend</LINE>".to_string()));
     }
@@ -710,11 +823,9 @@ mod tests {
     fn cost_model_picks_index_nlj_for_selective_probes() {
         let db = db("costnlj");
         db.execute("CREATE TABLE parent (pid INTEGER, tag VARCHAR)").unwrap();
-        db.execute("CREATE TABLE child (cid INTEGER, c_parent INTEGER, payload VARCHAR)")
-            .unwrap();
-        let parents: Vec<Row> = (0..200)
-            .map(|i| vec![Value::Int(i), Value::str(format!("tag{i}"))])
-            .collect();
+        db.execute("CREATE TABLE child (cid INTEGER, c_parent INTEGER, payload VARCHAR)").unwrap();
+        let parents: Vec<Row> =
+            (0..200).map(|i| vec![Value::Int(i), Value::str(format!("tag{i}"))]).collect();
         db.insert_rows("parent", parents).unwrap();
         let children: Vec<Row> = (0..8000)
             .map(|i| {
@@ -732,10 +843,7 @@ mod tests {
         let sql = "SELECT cid FROM parent, child \
                    WHERE tag = 'tag7' AND c_parent = pid";
         let explain = db.explain(sql).unwrap().join("\n");
-        assert!(
-            explain.contains("index-nested-loop"),
-            "expected index NLJ in: {explain}"
-        );
+        assert!(explain.contains("index-nested-loop"), "expected index NLJ in: {explain}");
         let r = db.query(sql).unwrap();
         assert_eq!(r.len(), 40);
         // An unselective outer flips to a hash join.
@@ -755,10 +863,10 @@ mod tests {
                  GROUP BY speech_parentID ORDER BY speech_parentID",
             )
             .unwrap();
-        assert_eq!(r.rows, vec![
-            vec![Value::Int(1), Value::Int(2)],
-            vec![Value::Int(2), Value::Int(1)],
-        ]);
+        assert_eq!(
+            r.rows,
+            vec![vec![Value::Int(1), Value::Int(2)], vec![Value::Int(2), Value::Int(1)],]
+        );
     }
 
     #[test]
@@ -773,8 +881,7 @@ mod tests {
 
     #[test]
     fn persistence_across_reopen() {
-        let dir =
-            std::env::temp_dir().join(format!("ordb-db-reopen-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("ordb-db-reopen-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         {
             let db = Database::open(&dir).unwrap();
@@ -788,10 +895,7 @@ mod tests {
             assert_eq!(db.table_count(), 1);
             let r = db.query("SELECT x FROM t WHERE a = 7").unwrap();
             assert_eq!(r.len(), 1);
-            assert_eq!(
-                r.rows[0][0].as_xadt().unwrap().to_plain(),
-                "<e>seven</e>"
-            );
+            assert_eq!(r.rows[0][0].as_xadt().unwrap().to_plain(), "<e>seven</e>");
         }
     }
 
@@ -801,9 +905,8 @@ mod tests {
         db.execute("CREATE TABLE t (a INTEGER, b VARCHAR)").unwrap();
         db.execute("CREATE INDEX t_a ON t (a)").unwrap();
         let d0 = db.data_size_bytes().unwrap();
-        let rows: Vec<Row> = (0..5000)
-            .map(|i| vec![Value::Int(i), Value::str(format!("row number {i}"))])
-            .collect();
+        let rows: Vec<Row> =
+            (0..5000).map(|i| vec![Value::Int(i), Value::str(format!("row number {i}"))]).collect();
         db.insert_rows("t", rows).unwrap();
         db.flush().unwrap();
         assert!(db.data_size_bytes().unwrap() > d0);
@@ -908,18 +1011,142 @@ mod tests {
     fn explain_statement_returns_plan_rows() {
         let db = db("explainsql");
         setup_speech(&db);
-        let r = db
-            .query("EXPLAIN SELECT speechID FROM speech WHERE speech_parentID = 1")
-            .unwrap();
+        let r = db.query("EXPLAIN SELECT speechID FROM speech WHERE speech_parentID = 1").unwrap();
         assert_eq!(r.columns, vec!["plan".to_string()]);
         assert!(!r.rows.is_empty());
-        let text = r
-            .rows
-            .iter()
-            .map(|row| row[0].as_str().unwrap())
-            .collect::<Vec<_>>()
-            .join("\n");
+        let text = r.rows.iter().map(|row| row[0].as_str().unwrap()).collect::<Vec<_>>().join("\n");
         assert!(text.contains("scan speech"), "{text}");
+    }
+
+    #[test]
+    fn explain_analyze_matches_query_for_join() {
+        let db = db("analyzejoin");
+        setup_speech(&db);
+        let sql = "SELECT act_title, speechID FROM speech, act \
+                   WHERE speech_parentID = actID";
+        let plain = db.query(sql).unwrap();
+        let report = db.explain_analyze(sql).unwrap();
+        assert_eq!(report.result.len(), plain.len());
+        assert_eq!(report.metrics.rows, plain.len() as u64);
+        let root = report.metrics.root.as_ref().expect("profiled plan");
+        assert_eq!(root.rows_out, plain.len() as u64, "root emits the result rows");
+        // The rendered tree mentions both scans and the join.
+        let text = report.metrics.render();
+        assert!(text.contains("speech"), "{text}");
+        assert!(text.contains("act"), "{text}");
+        assert!(text.contains("Join"), "{text}");
+    }
+
+    #[test]
+    fn explain_analyze_matches_query_for_unnest() {
+        let db = db("analyzeunnest");
+        db.execute("CREATE TABLE speakers (speaker XADT)").unwrap();
+        db.execute(
+            "INSERT INTO speakers VALUES \
+             ('<s>s1</s><s>s2</s>'), ('<s>s1</s>')",
+        )
+        .unwrap();
+        let sql = "SELECT DISTINCT u.out AS SPEAKER \
+                   FROM speakers, TABLE(unnest(speaker, 's')) u";
+        let plain = db.query(sql).unwrap();
+        let report = db.explain_analyze(sql).unwrap();
+        assert_eq!(plain.len(), 2);
+        assert_eq!(report.result.len(), plain.len());
+        assert_eq!(report.metrics.rows, plain.len() as u64);
+        // Two outer rows were unnested, over non-empty fragments.
+        assert_eq!(report.metrics.engine.unnest_calls, 2);
+        assert!(report.metrics.engine.unnest_bytes > 0);
+        let text = report.metrics.render();
+        assert!(text.contains("UnnestScan"), "{text}");
+        assert!(text.contains("Distinct"), "{text}");
+    }
+
+    #[test]
+    fn explain_analyze_counts_udf_calls() {
+        let db = db("analyzeudf");
+        setup_speech(&db);
+        let report = db
+            .explain_analyze(
+                "SELECT speechID FROM speech \
+                 WHERE findKeyInElm(speech_speaker, 'SPEAKER', 'HAMLET') = 1",
+            )
+            .unwrap();
+        let fk = report
+            .metrics
+            .udfs
+            .iter()
+            .find(|u| u.name == "findKeyInElm")
+            .expect("findKeyInElm counted");
+        assert_eq!(fk.calls, 3, "called once per speech row");
+        assert!(fk.marshalled_bytes > 0, "UDF path marshals scalar args");
+    }
+
+    #[test]
+    fn warm_scan_improves_hit_ratio() {
+        let db = db("warmscan");
+        db.execute("CREATE TABLE t (a INTEGER, b VARCHAR)").unwrap();
+        db.insert_rows(
+            "t",
+            (0..4000)
+                .map(|i| vec![Value::Int(i), Value::str(format!("payload row {i}"))])
+                .collect(),
+        )
+        .unwrap();
+        db.flush().unwrap();
+        db.drop_cache().unwrap();
+        let sql = "SELECT COUNT(*) FROM t";
+        let cold = db.explain_analyze(sql).unwrap().metrics.pool;
+        let warm = db.explain_analyze(sql).unwrap().metrics.pool;
+        assert!(cold.misses > 0, "cold scan reads from disk: {cold:?}");
+        assert!(
+            warm.hit_ratio() > cold.hit_ratio(),
+            "warm repeat must hit the pool: cold {cold:?}, warm {warm:?}"
+        );
+        assert_eq!(warm.misses, 0, "fully cached on the warm run: {warm:?}");
+    }
+
+    #[test]
+    fn drop_cache_writebacks_not_charged_to_next_window() {
+        let db = db("dropchargewindow");
+        db.execute("CREATE TABLE t (a INTEGER)").unwrap();
+        db.insert_rows("t", (0..500).map(|i| vec![Value::Int(i)]).collect()).unwrap();
+        // Dirty frames exist now; open a fresh window, then drop the cache.
+        db.take_io_stats();
+        db.drop_cache().unwrap();
+        let window = db.take_io_stats();
+        assert_eq!(
+            window.writebacks, 0,
+            "cache-teardown flushes must not land in the measurement window: {window:?}"
+        );
+        // An explicit flush IS charged.
+        db.insert_rows("t", vec![vec![Value::Int(9999)]]).unwrap();
+        db.flush().unwrap();
+        assert!(db.take_io_stats().writebacks > 0);
+    }
+
+    #[test]
+    fn trace_sink_sees_query_lifecycle() {
+        let db = db("tracesink");
+        setup_speech(&db);
+        let sink = crate::trace::MemorySink::new();
+        db.set_trace_sink(Some(sink.clone()));
+        db.query("SELECT speechID FROM speech").unwrap();
+        let events = sink.events();
+        #[cfg(feature = "trace")]
+        {
+            use crate::trace::TraceEvent as E;
+            assert_eq!(events.len(), 4, "{events:?}");
+            assert!(matches!(&events[0], E::QueryStart { sql } if sql.contains("speechID")));
+            assert!(matches!(events[1], E::Parsed { .. }));
+            assert!(matches!(&events[2], E::Planned { explain, .. } if !explain.is_empty()));
+            assert!(matches!(events[3], E::QueryEnd { rows: 3, .. }));
+        }
+        #[cfg(not(feature = "trace"))]
+        assert!(events.is_empty());
+        // Uninstalling stops delivery.
+        db.set_trace_sink(None);
+        db.query("SELECT speechID FROM speech").unwrap();
+        assert_eq!(sink.events().len(), events.len());
     }
 
     #[test]
@@ -928,9 +1155,6 @@ mod tests {
         db.execute("CREATE TABLE t (a INTEGER)").unwrap();
         db.insert_rows("t", (0..10).map(|i| vec![Value::Int(i)]).collect()).unwrap();
         let r = db.query("SELECT a FROM t ORDER BY a DESC LIMIT 3").unwrap();
-        assert_eq!(
-            r.rows,
-            vec![vec![Value::Int(9)], vec![Value::Int(8)], vec![Value::Int(7)]]
-        );
+        assert_eq!(r.rows, vec![vec![Value::Int(9)], vec![Value::Int(8)], vec![Value::Int(7)]]);
     }
 }

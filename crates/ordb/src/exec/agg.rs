@@ -141,9 +141,9 @@ impl HashAggregate {
                 Some(s) => s,
                 None => {
                     order.push(key.clone());
-                    groups
-                        .entry(key)
-                        .or_insert_with(|| self.aggs.iter().map(|a| AggState::new(a.func)).collect())
+                    groups.entry(key).or_insert_with(|| {
+                        self.aggs.iter().map(|a| AggState::new(a.func)).collect()
+                    })
                 }
             };
             for (state, call) in states.iter_mut().zip(&self.aggs) {
@@ -157,10 +157,7 @@ impl HashAggregate {
         if groups.is_empty() && self.group_exprs.is_empty() {
             // Global aggregate over empty input still yields one row.
             order.push(Vec::new());
-            groups.insert(
-                Vec::new(),
-                self.aggs.iter().map(|a| AggState::new(a.func)).collect(),
-            );
+            groups.insert(Vec::new(), self.aggs.iter().map(|a| AggState::new(a.func)).collect());
         }
         let mut out = Vec::with_capacity(order.len());
         for key in order {
@@ -260,10 +257,7 @@ mod tests {
             ],
         );
         let out = collect(Box::new(op)).unwrap();
-        assert_eq!(
-            out,
-            vec![vec![Value::Int(2), Value::Int(8), Value::Int(1), Value::Int(3)]]
-        );
+        assert_eq!(out, vec![vec![Value::Int(2), Value::Int(8), Value::Int(1), Value::Int(3)]]);
     }
 
     #[test]

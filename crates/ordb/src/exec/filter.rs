@@ -145,9 +145,8 @@ mod tests {
 
     #[test]
     fn project_computes() {
-        let rows =
-            collect(Box::new(Project::new(values(3), vec![Expr::col(1), Expr::lit(9i64)])))
-                .unwrap();
+        let rows = collect(Box::new(Project::new(values(3), vec![Expr::col(1), Expr::lit(9i64)])))
+            .unwrap();
         assert_eq!(rows[2], vec![Value::str("r2"), Value::Int(9)]);
     }
 

@@ -379,22 +379,15 @@ mod tests {
 
     #[test]
     fn hash_join_matches_nested_loop() {
-        let j = HashJoin::new(
-            left(),
-            right(),
-            vec![Expr::col(0)],
-            vec![Expr::col(0)],
-            None,
-            true,
-        )
-        .unwrap();
+        let j = HashJoin::new(left(), right(), vec![Expr::col(0)], vec![Expr::col(0)], None, true)
+            .unwrap();
         assert_eq!(normalize(collect(Box::new(j)).unwrap()), expected_pairs());
     }
 
     #[test]
     fn merge_join_matches_nested_loop() {
-        let j = MergeJoin::new(left(), right(), vec![Expr::col(0)], vec![Expr::col(0)], None)
-            .unwrap();
+        let j =
+            MergeJoin::new(left(), right(), vec![Expr::col(0)], vec![Expr::col(0)], None).unwrap();
         assert_eq!(normalize(collect(Box::new(j)).unwrap()), expected_pairs());
     }
 

@@ -6,6 +6,7 @@
 
 mod agg;
 mod filter;
+mod instrument;
 mod join;
 mod scan;
 mod sort;
@@ -13,6 +14,7 @@ mod table_fn;
 
 pub use agg::{AggCall, AggFunc, Distinct, HashAggregate};
 pub use filter::{Filter, Limit, Project, Values};
+pub use instrument::Instrumented;
 pub use join::{HashJoin, IndexNestedLoopJoin, MergeJoin, NestedLoopJoin};
 pub use scan::{IndexScan, SeqScan};
 pub use sort::{Sort, SortKey};

@@ -31,6 +31,11 @@ impl Sort {
     fn build(&mut self) -> Result<()> {
         let child = self.child.take().expect("build once");
         let rows = crate::exec::collect(child)?;
+        // The sort is fully in-memory, so only the row volume is counted;
+        // ENGINE.sort_spills stays 0 until an external sort exists.
+        crate::metrics::ENGINE
+            .sort_rows
+            .fetch_add(rows.len() as u64, std::sync::atomic::Ordering::Relaxed);
         let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(rows.len());
         for row in rows {
             let mut k = Vec::with_capacity(self.keys.len());
@@ -92,9 +97,6 @@ mod tests {
         let out = collect(Box::new(op)).unwrap();
         let snapshot: Vec<(Option<i64>, &str)> =
             out.iter().map(|r| (r[0].as_int(), r[1].as_str().unwrap())).collect();
-        assert_eq!(
-            snapshot,
-            [(None, "z"), (Some(1), "c"), (Some(2), "b"), (Some(2), "a")]
-        );
+        assert_eq!(snapshot, [(None, "z"), (Some(1), "c"), (Some(2), "b"), (Some(2), "a")]);
     }
 }

@@ -47,6 +47,9 @@ impl Operator for UnnestScan {
             let frags: Vec<Value> = match (&input, &tag) {
                 (Value::Null, _) => Vec::new(),
                 (Value::Xadt(x), Value::Str(t)) => {
+                    use std::sync::atomic::Ordering::Relaxed;
+                    crate::metrics::ENGINE.unnest_calls.fetch_add(1, Relaxed);
+                    crate::metrics::ENGINE.unnest_bytes.fetch_add(x.storage_len() as u64, Relaxed);
                     xadt::unnest(x, t)?.into_iter().map(Value::Xadt).collect()
                 }
                 other => {
@@ -75,31 +78,19 @@ mod tests {
     fn figure_9_unnest() {
         // Table `speakers` with a single XADT column.
         let rows = vec![
-            vec![Value::Xadt(XadtValue::plain(
-                "<speaker>s1</speaker><speaker>s2</speaker>",
-            ))],
+            vec![Value::Xadt(XadtValue::plain("<speaker>s1</speaker><speaker>s2</speaker>"))],
             vec![Value::Xadt(XadtValue::plain("<speaker>s1</speaker>"))],
         ];
-        let op = UnnestScan::new(
-            Box::new(Values::new(rows)),
-            Expr::col(0),
-            Expr::lit("speaker"),
-        );
+        let op = UnnestScan::new(Box::new(Values::new(rows)), Expr::col(0), Expr::lit("speaker"));
         let out = collect(Box::new(op)).unwrap();
         // 3 unnested rows, each child ++ fragment.
         assert_eq!(out.len(), 3);
         assert_eq!(out[0].len(), 2);
-        let frags: Vec<String> = out
-            .iter()
-            .map(|r| r[1].as_xadt().unwrap().to_plain().into_owned())
-            .collect();
+        let frags: Vec<String> =
+            out.iter().map(|r| r[1].as_xadt().unwrap().to_plain().into_owned()).collect();
         assert_eq!(
             frags,
-            [
-                "<speaker>s1</speaker>",
-                "<speaker>s2</speaker>",
-                "<speaker>s1</speaker>"
-            ]
+            ["<speaker>s1</speaker>", "<speaker>s2</speaker>", "<speaker>s1</speaker>"]
         );
         // DISTINCT over the fragment column gives 2 speakers (Fig. 9b).
         let mut unique = frags;
@@ -111,22 +102,14 @@ mod tests {
     #[test]
     fn empty_fragment_produces_no_rows() {
         let rows = vec![vec![Value::Xadt(XadtValue::plain(""))]];
-        let op = UnnestScan::new(
-            Box::new(Values::new(rows)),
-            Expr::col(0),
-            Expr::lit("speaker"),
-        );
+        let op = UnnestScan::new(Box::new(Values::new(rows)), Expr::col(0), Expr::lit("speaker"));
         assert!(collect(Box::new(op)).unwrap().is_empty());
     }
 
     #[test]
     fn null_input_produces_no_rows() {
         let rows = vec![vec![Value::Null]];
-        let op = UnnestScan::new(
-            Box::new(Values::new(rows)),
-            Expr::col(0),
-            Expr::lit("x"),
-        );
+        let op = UnnestScan::new(Box::new(Values::new(rows)), Expr::col(0), Expr::lit("x"));
         assert!(collect(Box::new(op)).unwrap().is_empty());
     }
 
@@ -141,12 +124,7 @@ mod tests {
         ))]];
         let narrowed = Expr::Func {
             def: get_elm,
-            args: vec![
-                Expr::col(0),
-                Expr::lit("aTuple"),
-                Expr::lit("title"),
-                Expr::lit("Join"),
-            ],
+            args: vec![Expr::col(0), Expr::lit("aTuple"), Expr::lit("title"), Expr::lit("Join")],
         };
         let op = UnnestScan::new(Box::new(Values::new(rows)), narrowed, Expr::lit("author"));
         let out = collect(Box::new(op)).unwrap();

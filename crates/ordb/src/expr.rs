@@ -256,9 +256,8 @@ impl Expr {
                                 a.checked_rem(b)
                             }
                         };
-                        v.map(Value::Int).ok_or_else(|| {
-                            DbError::Exec("integer arithmetic overflow".into())
-                        })
+                        v.map(Value::Int)
+                            .ok_or_else(|| DbError::Exec("integer arithmetic overflow".into()))
                     }
                     (a, b) => Err(DbError::Exec(format!(
                         "arithmetic on non-integers: {a:?} {op:?} {b:?}"
@@ -421,14 +420,8 @@ mod tests {
             Value::Null
         );
         // true OR null = true; false OR null = null
-        assert_eq!(
-            Expr::Or(Box::new(t), Box::new(null.clone())).eval(&[]).unwrap(),
-            Value::Int(1)
-        );
-        assert_eq!(
-            Expr::Or(Box::new(f), Box::new(null)).eval(&[]).unwrap(),
-            Value::Null
-        );
+        assert_eq!(Expr::Or(Box::new(t), Box::new(null.clone())).eval(&[]).unwrap(), Value::Int(1));
+        assert_eq!(Expr::Or(Box::new(f), Box::new(null)).eval(&[]).unwrap(), Value::Null);
     }
 
     #[test]

@@ -18,11 +18,13 @@
 //! registered as UDFs exactly as the paper implemented them in DB2.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use xadt::XadtValue;
 
 use crate::error::{DbError, Result};
+use crate::metrics::UdfCounters;
 use crate::tuple::{decode_row, encode_row};
 use crate::types::Value;
 
@@ -53,6 +55,11 @@ pub struct FunctionDef {
     pub path: CallPath,
     /// Accepted argument counts (inclusive range).
     pub arity: (usize, usize),
+    /// Cumulative successful+failed invocations (observability).
+    calls: AtomicU64,
+    /// Cumulative bytes copied through the UDF call buffer; FENCED mode's
+    /// second copy counts double. Stays 0 for built-ins.
+    marshalled_bytes: AtomicU64,
 }
 
 impl FunctionDef {
@@ -67,6 +74,7 @@ impl FunctionDef {
                 args.len()
             )));
         }
+        self.calls.fetch_add(1, Ordering::Relaxed);
         match self.path {
             CallPath::Builtin => (self.imp)(args),
             CallPath::Udf { fenced } => {
@@ -91,6 +99,8 @@ impl FunctionDef {
                 }
                 let mut buf = Vec::new();
                 encode_row(&scalars, &mut buf);
+                let copies = if fenced { 2 } else { 1 };
+                self.marshalled_bytes.fetch_add(copies * buf.len() as u64, Ordering::Relaxed);
                 let buf = if fenced { buf.clone() } else { buf };
                 let mut callee_args = decode_row(&buf, scalars.len())?;
                 for (slot, loc) in callee_args.iter_mut().zip(locators) {
@@ -107,6 +117,7 @@ impl FunctionDef {
                 }
                 let mut rbuf = Vec::new();
                 encode_row(std::slice::from_ref(&result), &mut rbuf);
+                self.marshalled_bytes.fetch_add(copies * rbuf.len() as u64, Ordering::Relaxed);
                 let rbuf = if fenced { rbuf.clone() } else { rbuf };
                 let mut row = decode_row(&rbuf, 1)?;
                 Ok(row.pop().expect("one result"))
@@ -162,22 +173,40 @@ impl FunctionRegistry {
     }
 
     /// Register (or replace) a function.
-    pub fn register(
-        &mut self,
-        name: &str,
-        imp: ScalarImpl,
-        path: CallPath,
-        arity: (usize, usize),
-    ) {
+    pub fn register(&mut self, name: &str, imp: ScalarImpl, path: CallPath, arity: (usize, usize)) {
         self.map.insert(
             name.to_ascii_lowercase(),
-            Arc::new(FunctionDef { name: name.to_string(), imp, path, arity }),
+            Arc::new(FunctionDef {
+                name: name.to_string(),
+                imp,
+                path,
+                arity,
+                calls: AtomicU64::new(0),
+                marshalled_bytes: AtomicU64::new(0),
+            }),
         );
     }
 
     /// Look up a function (case-insensitive).
     pub fn get(&self, name: &str) -> Option<Arc<FunctionDef>> {
         self.map.get(&name.to_ascii_lowercase()).cloned()
+    }
+
+    /// Cumulative call counters of every registered function, sorted by
+    /// name. Bracket a query with two snapshots and diff with
+    /// [`crate::metrics::udf_delta`].
+    pub fn counters(&self) -> Vec<UdfCounters> {
+        let mut out: Vec<UdfCounters> = self
+            .map
+            .values()
+            .map(|d| UdfCounters {
+                name: d.name.clone(),
+                calls: d.calls.load(Ordering::Relaxed),
+                marshalled_bytes: d.marshalled_bytes.load(Ordering::Relaxed),
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
     }
 }
 
@@ -355,29 +384,19 @@ mod tests {
     fn substr_semantics() {
         let r = reg();
         let f = r.get("substr").unwrap();
-        assert_eq!(
-            f.call(&[Value::str("HAMLET"), Value::Int(5)]).unwrap(),
-            Value::str("ET")
-        );
+        assert_eq!(f.call(&[Value::str("HAMLET"), Value::Int(5)]).unwrap(), Value::str("ET"));
         assert_eq!(
             f.call(&[Value::str("HAMLET"), Value::Int(2), Value::Int(3)]).unwrap(),
             Value::str("AML")
         );
-        assert_eq!(
-            f.call(&[Value::str("ab"), Value::Int(9)]).unwrap(),
-            Value::str("")
-        );
+        assert_eq!(f.call(&[Value::str("ab"), Value::Int(9)]).unwrap(), Value::str(""));
     }
 
     #[test]
     fn arity_checked() {
         let r = reg();
         assert!(r.get("length").unwrap().call(&[]).is_err());
-        assert!(r
-            .get("findKeyInElm")
-            .unwrap()
-            .call(&[Value::str("a"), Value::str("b")])
-            .is_err());
+        assert!(r.get("findKeyInElm").unwrap().call(&[Value::str("a"), Value::str("b")]).is_err());
     }
 
     #[test]
@@ -389,10 +408,7 @@ mod tests {
             .unwrap()
             .call(&[frag, Value::str("LINE"), Value::str("LINE"), Value::str("friend")])
             .unwrap();
-        assert_eq!(
-            out.as_xadt().unwrap().to_plain(),
-            "<LINE>my friend</LINE>"
-        );
+        assert_eq!(out.as_xadt().unwrap().to_plain(), "<LINE>my friend</LINE>");
     }
 
     #[test]
@@ -442,10 +458,7 @@ mod tests {
     fn xtext_extracts_content() {
         let r = reg();
         let frag = Value::Xadt(XadtValue::plain("<author>A. B.</author>"));
-        assert_eq!(
-            r.get("xtext").unwrap().call(&[frag]).unwrap(),
-            Value::str("A. B.")
-        );
+        assert_eq!(r.get("xtext").unwrap().call(&[frag]).unwrap(), Value::str("A. B."));
     }
 
     #[test]

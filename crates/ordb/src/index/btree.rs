@@ -179,12 +179,7 @@ impl BTree {
         }
     }
 
-    fn insert_leaf(
-        &self,
-        frame: &Arc<Frame>,
-        _pid: u32,
-        stored: &[u8],
-    ) -> Result<InsertOutcome> {
+    fn insert_leaf(&self, frame: &Arc<Frame>, _pid: u32, stored: &[u8]) -> Result<InsertOutcome> {
         let mut p = frame.page.lock();
         let pos = match leaf_position(&p, stored) {
             Ok(_) => return Ok((None, false)), // exact (key, rid) already present
@@ -325,9 +320,7 @@ impl BTree {
                     pid = child;
                 }
                 other => {
-                    return Err(DbError::Corrupt(format!(
-                        "page {pid} has bad node kind {other}"
-                    )))
+                    return Err(DbError::Corrupt(format!("page {pid} has bad node kind {other}")))
                 }
             }
         }
@@ -341,6 +334,8 @@ impl BTree {
         lo: &[u8],
         mut f: impl FnMut(&[u8], Rid) -> Result<bool>,
     ) -> Result<()> {
+        // One probe = one descent; prefix and range scans both land here.
+        crate::metrics::ENGINE.index_probes.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let (mut pid, mut idx) = self.find_leaf(lo)?;
         loop {
             let frame = self.pool.fetch(self.file, pid)?;
@@ -390,11 +385,7 @@ impl BTree {
         let mut out = Vec::new();
         self.scan_from(lo, |key, rid| {
             if let Some(hi) = hi {
-                let within = if hi_inclusive {
-                    key <= hi || key.starts_with(hi)
-                } else {
-                    key < hi
-                };
+                let within = if hi_inclusive { key <= hi || key.starts_with(hi) } else { key < hi };
                 if !within {
                     return Ok(false);
                 }
@@ -650,8 +641,7 @@ mod tests {
 
     #[test]
     fn reopen_preserves_contents() {
-        let dir =
-            std::env::temp_dir().join(format!("ordb-btree-reopen-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("ordb-btree-reopen-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("i.db");
         let _ = std::fs::remove_file(&path);

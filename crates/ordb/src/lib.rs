@@ -31,14 +31,18 @@ pub mod exec;
 pub mod expr;
 pub mod functions;
 pub mod index;
+pub mod metrics;
 pub mod plan;
 pub mod sql;
 pub mod stats;
 pub mod storage;
+pub mod trace;
 pub mod tuple;
 pub mod types;
 
 pub use catalog::{ColumnDef, IndexDef, TableDef};
-pub use db::{Database, DbOptions, QueryResult};
+pub use db::{AnalyzeReport, Database, DbOptions, QueryResult};
 pub use error::{DbError, Result};
+pub use metrics::QueryMetrics;
+pub use trace::{MemorySink, TraceEvent, TraceSink};
 pub use types::{DataType, Row, Value};

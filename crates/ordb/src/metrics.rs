@@ -1,0 +1,502 @@
+//! Engine observability: cheap atomic counters and per-query snapshots.
+//!
+//! The paper's evaluation (§4) argues from *where time goes* — join work
+//! vs. in-fragment XADT evaluation, buffer-pool behaviour on a small
+//! testbed, FENCED vs. NOT FENCED UDF marshalling (Fig. 14). This module
+//! provides the measurement layer those arguments need:
+//!
+//! * [`NodeMetrics`] — per-operator atomics filled in by the
+//!   [`Instrumented`](crate::exec::Instrumented) wrapper (`next()` calls,
+//!   rows out, inclusive wall time);
+//! * [`Profiler`] — collects wrapped plan nodes during planning and
+//!   produces a nested [`OperatorProfile`] tree afterwards;
+//! * [`EngineCounters`] / [`ENGINE`] — process-wide counters for events
+//!   that are awkward to thread through call chains (index probes, sort
+//!   volume, `unnest` expansions). Deltas of [`EngineCounters::snapshot`]
+//!   bracket a query. The engine runs single-stream workloads (see
+//!   DESIGN.md); concurrent queries would attribute each other's counts.
+//! * [`QueryMetrics`] — the per-query roll-up rendered by
+//!   `Database::explain_analyze` and exported as JSON by the bench
+//!   harness.
+//!
+//! Overhead: every counter is a relaxed `AtomicU64` add. The plain
+//! `query()` path constructs no [`Instrumented`] wrappers at all (the
+//! profiler is disabled), so per-row cost there is zero; the global
+//! counters cost one uncontended atomic add per probe/sort/unnest event.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::exec::{BoxOp, Instrumented};
+use crate::storage::buffer::PoolStats;
+
+// ---- per-operator metrics ----------------------------------------------
+
+/// Counters for one instrumented plan node. Shared between the executing
+/// [`Instrumented`](crate::exec::Instrumented) wrapper and the
+/// [`Profiler`] that reads them after execution.
+#[derive(Debug, Default)]
+pub struct NodeMetrics {
+    /// Number of `next()` calls (including the final `None`).
+    pub next_calls: AtomicU64,
+    /// Rows produced.
+    pub rows_out: AtomicU64,
+    /// Wall time spent inside `next()`, *inclusive* of children.
+    pub elapsed_nanos: AtomicU64,
+}
+
+impl NodeMetrics {
+    /// Record one `next()` call.
+    pub fn record(&self, elapsed: Duration, produced_row: bool) {
+        self.next_calls.fetch_add(1, Ordering::Relaxed);
+        self.elapsed_nanos.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        if produced_row {
+            self.rows_out.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A finished operator's stats, nested like the plan tree. Times are
+/// inclusive of children (the root's time ≈ total execution time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatorProfile {
+    /// Display label, e.g. `SeqScan speech` or `hash join act`.
+    pub label: String,
+    /// Number of `next()` calls.
+    pub next_calls: u64,
+    /// Rows produced.
+    pub rows_out: u64,
+    /// Inclusive wall time.
+    pub elapsed: Duration,
+    /// Child operators.
+    pub children: Vec<OperatorProfile>,
+}
+
+struct ProfNode {
+    label: String,
+    children: Vec<usize>,
+    metrics: Arc<NodeMetrics>,
+}
+
+/// Collects instrumented plan nodes while the planner builds the tree.
+///
+/// A disabled profiler (the plain `query()` path) makes
+/// [`Profiler::wrap`] the identity — no wrapper allocation, no timing.
+pub struct Profiler {
+    nodes: Option<Vec<ProfNode>>,
+}
+
+impl Profiler {
+    /// A profiler that records nothing; `wrap` is the identity.
+    pub fn disabled() -> Profiler {
+        Profiler { nodes: None }
+    }
+
+    /// A recording profiler for `explain_analyze`.
+    pub fn enabled() -> Profiler {
+        Profiler { nodes: Some(Vec::new()) }
+    }
+
+    /// Whether this profiler records.
+    pub fn is_enabled(&self) -> bool {
+        self.nodes.is_some()
+    }
+
+    /// Wrap `op` in an [`Instrumented`](crate::exec::Instrumented) node
+    /// labelled `label`, registering `children` (ids returned by earlier
+    /// `wrap` calls) as its plan children. Returns the (possibly wrapped)
+    /// operator and this node's id.
+    pub fn wrap(
+        &mut self,
+        op: BoxOp,
+        label: impl Into<String>,
+        children: Vec<usize>,
+    ) -> (BoxOp, usize) {
+        let Some(nodes) = self.nodes.as_mut() else {
+            return (op, 0);
+        };
+        let metrics = Arc::new(NodeMetrics::default());
+        nodes.push(ProfNode { label: label.into(), children, metrics: metrics.clone() });
+        (Box::new(Instrumented::new(op, metrics)), nodes.len() - 1)
+    }
+
+    /// Build the finished profile tree. The planner wraps the plan root
+    /// last, so the last registered node is the tree root. `None` when
+    /// disabled or nothing was wrapped.
+    pub fn finish(self) -> Option<OperatorProfile> {
+        let nodes = self.nodes?;
+        let root = nodes.len().checked_sub(1)?;
+        Some(build_profile(&nodes, root))
+    }
+}
+
+fn build_profile(nodes: &[ProfNode], ix: usize) -> OperatorProfile {
+    let n = &nodes[ix];
+    OperatorProfile {
+        label: n.label.clone(),
+        next_calls: n.metrics.next_calls.load(Ordering::Relaxed),
+        rows_out: n.metrics.rows_out.load(Ordering::Relaxed),
+        elapsed: Duration::from_nanos(n.metrics.elapsed_nanos.load(Ordering::Relaxed)),
+        children: n.children.iter().map(|&c| build_profile(nodes, c)).collect(),
+    }
+}
+
+// ---- engine-wide counters ----------------------------------------------
+
+/// Process-wide counters for events deep inside the engine. Bracket a
+/// query with two [`EngineCounters::snapshot`]s and subtract.
+#[derive(Debug, Default)]
+pub struct EngineCounters {
+    /// B+Tree descents (one per `scan_from`, which underlies prefix and
+    /// range scans and therefore every index probe).
+    pub index_probes: AtomicU64,
+    /// Rows materialized by `Sort` operators.
+    pub sort_rows: AtomicU64,
+    /// Sort runs spilled to disk. The current `Sort` is fully in-memory,
+    /// so this stays 0; it is reported so the metrics schema is stable
+    /// when an external sort lands.
+    pub sort_spills: AtomicU64,
+    /// `unnest` table-function expansions (one per outer row unnested).
+    pub unnest_calls: AtomicU64,
+    /// Bytes of XADT fragment content fed through `unnest` (the table-UDF
+    /// analogue of scalar-UDF marshalling bytes).
+    pub unnest_bytes: AtomicU64,
+}
+
+/// The global counter instance.
+pub static ENGINE: EngineCounters = EngineCounters {
+    index_probes: AtomicU64::new(0),
+    sort_rows: AtomicU64::new(0),
+    sort_spills: AtomicU64::new(0),
+    unnest_calls: AtomicU64::new(0),
+    unnest_bytes: AtomicU64::new(0),
+};
+
+/// A point-in-time copy of [`EngineCounters`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EngineSnapshot {
+    /// See [`EngineCounters::index_probes`].
+    pub index_probes: u64,
+    /// See [`EngineCounters::sort_rows`].
+    pub sort_rows: u64,
+    /// See [`EngineCounters::sort_spills`].
+    pub sort_spills: u64,
+    /// See [`EngineCounters::unnest_calls`].
+    pub unnest_calls: u64,
+    /// See [`EngineCounters::unnest_bytes`].
+    pub unnest_bytes: u64,
+}
+
+impl EngineCounters {
+    /// Copy the current counter values.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            index_probes: self.index_probes.load(Ordering::Relaxed),
+            sort_rows: self.sort_rows.load(Ordering::Relaxed),
+            sort_spills: self.sort_spills.load(Ordering::Relaxed),
+            unnest_calls: self.unnest_calls.load(Ordering::Relaxed),
+            unnest_bytes: self.unnest_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl EngineSnapshot {
+    /// Counter growth since `earlier` (saturating).
+    pub fn since(&self, earlier: &EngineSnapshot) -> EngineSnapshot {
+        EngineSnapshot {
+            index_probes: self.index_probes.saturating_sub(earlier.index_probes),
+            sort_rows: self.sort_rows.saturating_sub(earlier.sort_rows),
+            sort_spills: self.sort_spills.saturating_sub(earlier.sort_spills),
+            unnest_calls: self.unnest_calls.saturating_sub(earlier.unnest_calls),
+            unnest_bytes: self.unnest_bytes.saturating_sub(earlier.unnest_bytes),
+        }
+    }
+}
+
+// ---- UDF counters -------------------------------------------------------
+
+/// Cumulative call counters of one registered function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UdfCounters {
+    /// Function name as registered.
+    pub name: String,
+    /// Total invocations.
+    pub calls: u64,
+    /// Bytes copied through the UDF call buffer (arguments in + results
+    /// out; FENCED mode's second copy is included). 0 for built-ins.
+    pub marshalled_bytes: u64,
+}
+
+/// Per-function growth between two [`UdfCounters`] snapshots, dropping
+/// functions that were not called.
+pub fn udf_delta(before: &[UdfCounters], after: &[UdfCounters]) -> Vec<UdfCounters> {
+    let mut out = Vec::new();
+    for a in after {
+        let b = before.iter().find(|b| b.name == a.name);
+        let calls = a.calls.saturating_sub(b.map_or(0, |b| b.calls));
+        let bytes = a.marshalled_bytes.saturating_sub(b.map_or(0, |b| b.marshalled_bytes));
+        if calls > 0 {
+            out.push(UdfCounters { name: a.name.clone(), calls, marshalled_bytes: bytes });
+        }
+    }
+    out.sort_by(|a, b| a.name.cmp(&b.name));
+    out
+}
+
+// ---- the per-query roll-up ---------------------------------------------
+
+/// Everything measured about one query execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryMetrics {
+    /// Time in the SQL parser.
+    pub parse: Duration,
+    /// Time in the planner.
+    pub plan: Duration,
+    /// Time draining the operator tree.
+    pub exec: Duration,
+    /// End-to-end wall time (parse + plan + exec + bookkeeping).
+    pub wall: Duration,
+    /// Rows returned.
+    pub rows: u64,
+    /// Buffer-pool activity during execution (delta, not cumulative).
+    pub pool: PoolStats,
+    /// Engine counter deltas (index probes, sort volume, unnest).
+    pub engine: EngineSnapshot,
+    /// Per-function call/marshalling deltas, functions actually called.
+    pub udfs: Vec<UdfCounters>,
+    /// The annotated operator tree, root first.
+    pub root: Option<OperatorProfile>,
+}
+
+impl QueryMetrics {
+    /// Render the annotated plan tree plus counters, the body of
+    /// `EXPLAIN ANALYZE` output.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if let Some(root) = &self.root {
+            render_node(root, 0, &mut out);
+        }
+        out.push_str(&format!(
+            "phases: parse {} · plan {} · exec {} · wall {}\n",
+            fmt_dur(self.parse),
+            fmt_dur(self.plan),
+            fmt_dur(self.exec),
+            fmt_dur(self.wall),
+        ));
+        out.push_str(&format!(
+            "buffer pool: {} fetches ({} hits, {} misses, hit ratio {:.1}%), \
+             {} evictions, {} reads, {} writes\n",
+            self.pool.fetches(),
+            self.pool.hits,
+            self.pool.misses,
+            self.pool.hit_ratio() * 100.0,
+            self.pool.evictions,
+            self.pool.misses,
+            self.pool.writebacks,
+        ));
+        out.push_str(&format!(
+            "index probes: {} · sort rows: {} (spills: {}) · unnest: {} calls, {} B\n",
+            self.engine.index_probes,
+            self.engine.sort_rows,
+            self.engine.sort_spills,
+            self.engine.unnest_calls,
+            self.engine.unnest_bytes,
+        ));
+        for u in &self.udfs {
+            out.push_str(&format!(
+                "udf {}: {} calls, {} B marshalled\n",
+                u.name, u.calls, u.marshalled_bytes
+            ));
+        }
+        out
+    }
+
+    /// Serialize as a JSON object (hand-rolled; no external deps).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        push_kv(&mut s, "parse_ns", self.parse.as_nanos() as u64);
+        push_kv(&mut s, "plan_ns", self.plan.as_nanos() as u64);
+        push_kv(&mut s, "exec_ns", self.exec.as_nanos() as u64);
+        push_kv(&mut s, "wall_ns", self.wall.as_nanos() as u64);
+        push_kv(&mut s, "rows", self.rows);
+        s.push_str("\"pool\":{");
+        push_kv(&mut s, "fetches", self.pool.fetches());
+        push_kv(&mut s, "hits", self.pool.hits);
+        push_kv(&mut s, "misses", self.pool.misses);
+        push_kv(&mut s, "evictions", self.pool.evictions);
+        push_kv(&mut s, "reads", self.pool.misses);
+        push_kv(&mut s, "writes", self.pool.writebacks);
+        s.push_str(&format!("\"hit_ratio\":{:.4}}},", self.pool.hit_ratio()));
+        push_kv(&mut s, "index_probes", self.engine.index_probes);
+        push_kv(&mut s, "sort_rows", self.engine.sort_rows);
+        push_kv(&mut s, "sort_spills", self.engine.sort_spills);
+        push_kv(&mut s, "unnest_calls", self.engine.unnest_calls);
+        push_kv(&mut s, "unnest_bytes", self.engine.unnest_bytes);
+        s.push_str("\"udfs\":[");
+        for (i, u) in self.udfs.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"name\":{},\"calls\":{},\"marshalled_bytes\":{}}}",
+                json_str(&u.name),
+                u.calls,
+                u.marshalled_bytes
+            ));
+        }
+        s.push_str("],\"plan\":");
+        match &self.root {
+            Some(root) => json_node(root, &mut s),
+            None => s.push_str("null"),
+        }
+        s.push('}');
+        s
+    }
+}
+
+fn render_node(n: &OperatorProfile, depth: usize, out: &mut String) {
+    let indent = "  ".repeat(depth);
+    out.push_str(&format!(
+        "{indent}{}  [rows={} next={} time={}]\n",
+        n.label,
+        n.rows_out,
+        n.next_calls,
+        fmt_dur(n.elapsed)
+    ));
+    for c in &n.children {
+        render_node(c, depth + 1, out);
+    }
+}
+
+fn json_node(n: &OperatorProfile, s: &mut String) {
+    s.push_str(&format!(
+        "{{\"label\":{},\"rows\":{},\"next_calls\":{},\"elapsed_ns\":{},\"children\":[",
+        json_str(&n.label),
+        n.rows_out,
+        n.next_calls,
+        n.elapsed.as_nanos()
+    ));
+    for (i, c) in n.children.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        json_node(c, s);
+    }
+    s.push_str("]}");
+}
+
+fn push_kv(s: &mut String, key: &str, v: u64) {
+    s.push_str(&format!("\"{key}\":{v},"));
+}
+
+/// Escape a string as a JSON literal.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Values;
+    use crate::types::Value;
+
+    #[test]
+    fn disabled_profiler_is_identity() {
+        let mut p = Profiler::disabled();
+        let op: BoxOp = Box::new(Values::new(vec![vec![Value::Int(1)]]));
+        let (op, id) = p.wrap(op, "Values", vec![]);
+        assert_eq!(id, 0);
+        assert_eq!(op.name(), "Values"); // not wrapped
+        assert!(p.finish().is_none());
+    }
+
+    #[test]
+    fn enabled_profiler_counts_rows_and_nests() {
+        let mut p = Profiler::enabled();
+        let op: BoxOp = Box::new(Values::new(vec![vec![Value::Int(1)], vec![Value::Int(2)]]));
+        let (op, leaf) = p.wrap(op, "Values", vec![]);
+        let (op, _root) = p.wrap(op, "Root", vec![leaf]);
+        let rows = crate::exec::collect(op).unwrap();
+        assert_eq!(rows.len(), 2);
+        let prof = p.finish().unwrap();
+        assert_eq!(prof.label, "Root");
+        assert_eq!(prof.rows_out, 2);
+        assert_eq!(prof.next_calls, 3); // 2 rows + final None
+        assert_eq!(prof.children.len(), 1);
+        assert_eq!(prof.children[0].label, "Values");
+        assert_eq!(prof.children[0].rows_out, 2);
+    }
+
+    #[test]
+    fn udf_delta_drops_uncalled() {
+        let before = vec![
+            UdfCounters { name: "getElm".into(), calls: 5, marshalled_bytes: 100 },
+            UdfCounters { name: "xtext".into(), calls: 2, marshalled_bytes: 8 },
+        ];
+        let after = vec![
+            UdfCounters { name: "getElm".into(), calls: 9, marshalled_bytes: 180 },
+            UdfCounters { name: "xtext".into(), calls: 2, marshalled_bytes: 8 },
+        ];
+        let d = udf_delta(&before, &after);
+        assert_eq!(d, vec![UdfCounters { name: "getElm".into(), calls: 4, marshalled_bytes: 80 }]);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let m = QueryMetrics {
+            parse: Duration::from_micros(10),
+            plan: Duration::from_micros(20),
+            exec: Duration::from_millis(1),
+            wall: Duration::from_millis(2),
+            rows: 3,
+            pool: PoolStats { hits: 8, misses: 2, writebacks: 0, evictions: 0 },
+            engine: EngineSnapshot { index_probes: 1, ..Default::default() },
+            udfs: vec![UdfCounters { name: "findKeyInElm".into(), calls: 3, marshalled_bytes: 99 }],
+            root: Some(OperatorProfile {
+                label: "SeqScan \"t\"".into(),
+                next_calls: 4,
+                rows_out: 3,
+                elapsed: Duration::from_micros(500),
+                children: vec![],
+            }),
+        };
+        let j = m.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"hit_ratio\":0.8000"), "{j}");
+        assert!(j.contains("\"label\":\"SeqScan \\\"t\\\"\""), "{j}");
+        assert!(j.contains("\"udfs\":[{\"name\":\"findKeyInElm\""), "{j}");
+        // Balanced braces/brackets (cheap well-formedness check).
+        let balance = |open: char, close: char| {
+            j.chars().filter(|&c| c == open).count() == j.chars().filter(|&c| c == close).count()
+        };
+        assert!(balance('{', '}') && balance('[', ']'));
+    }
+}

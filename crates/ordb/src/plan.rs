@@ -30,6 +30,7 @@ use crate::expr::{CmpOp, Expr};
 use crate::functions::FunctionRegistry;
 use crate::index::btree::BTree;
 use crate::index::key::encode_key;
+use crate::metrics::Profiler;
 use crate::sql::ast::{AstExpr, FromItem, Select, SelectItem};
 use crate::stats::TableStats;
 use crate::storage::heap::HeapFile;
@@ -107,6 +108,17 @@ struct BaseRef {
 
 /// Plan a SELECT.
 pub fn plan_select(ctx: &PlanContext<'_>, q: &Select) -> Result<PhysicalPlan> {
+    plan_select_profiled(ctx, q, &mut Profiler::disabled())
+}
+
+/// Plan a SELECT, wrapping every operator in an instrumentation node when
+/// `prof` is recording (the `EXPLAIN ANALYZE` path). With a disabled
+/// profiler this is exactly [`plan_select`] — no wrappers are built.
+pub fn plan_select_profiled(
+    ctx: &PlanContext<'_>,
+    q: &Select,
+    prof: &mut Profiler,
+) -> Result<PhysicalPlan> {
     let mut explain = Vec::new();
 
     // ---- 1. bind FROM ---------------------------------------------------
@@ -227,13 +239,13 @@ pub fn plan_select(ctx: &PlanContext<'_>, q: &Select) -> Result<PhysicalPlan> {
 
     let n = bases.len();
     let mut joined = vec![false; n];
-    let start = (0..n)
-        .min_by(|&a, &b| est[a].partial_cmp(&est[b]).expect("finite"))
-        .expect("nonempty");
+    let start =
+        (0..n).min_by(|&a, &b| est[a].partial_cmp(&est[b]).expect("finite")).expect("nonempty");
     joined[start] = true;
 
     let mut schema = Schema::default();
-    let (mut root, used_index) = build_scan(ctx, &bases[start], local.get(&bases[start].alias))?;
+    let (mut root, used_index, mut root_id) =
+        build_scan(ctx, &bases[start], local.get(&bases[start].alias), prof)?;
     explain.push(format!(
         "scan {} ({}) via {} [est {:.0} rows]",
         bases[start].alias, bases[start].table, used_index, est[start]
@@ -250,9 +262,8 @@ pub fn plan_select(ctx: &PlanContext<'_>, q: &Select) -> Result<PhysicalPlan> {
         'outer: for &cand in &order {
             for (ei, (a1, _, a2, _)) in edges_left.iter().enumerate() {
                 let cand_alias = &bases[cand].alias;
-                let in_cur = |al: &String| {
-                    schema.0.iter().any(|bnd| bnd.alias.eq_ignore_ascii_case(al))
-                };
+                let in_cur =
+                    |al: &String| schema.0.iter().any(|bnd| bnd.alias.eq_ignore_ascii_case(al));
                 if (a1 == cand_alias && in_cur(a2)) || (a2 == cand_alias && in_cur(a1)) {
                     picked = Some((cand, ei));
                     break 'outer;
@@ -264,9 +275,14 @@ pub fn plan_select(ctx: &PlanContext<'_>, q: &Select) -> Result<PhysicalPlan> {
             None => {
                 // No connecting edge: cross join the smallest remainder.
                 let cand = order[0];
-                let inner = build_scan(ctx, &bases[cand], local.get(&bases[cand].alias))?.0;
+                let (inner, _, inner_id) =
+                    build_scan(ctx, &bases[cand], local.get(&bases[cand].alias), prof)?;
                 explain.push(format!("cross join {}", bases[cand].alias));
-                root = Box::new(NestedLoopJoin::new(root, inner, None)?);
+                (root, root_id) = prof.wrap(
+                    Box::new(NestedLoopJoin::new(root, inner, None)?),
+                    format!("NestedLoopJoin (cross) {}", bases[cand].alias),
+                    vec![root_id, inner_id],
+                );
                 schema.0.extend(bases[cand].columns.iter().cloned());
                 joined[cand] = true;
                 current_rows *= est[cand];
@@ -275,8 +291,7 @@ pub fn plan_select(ctx: &PlanContext<'_>, q: &Select) -> Result<PhysicalPlan> {
         };
         let (a1, e1, a2, e2) = edges_left.remove(edge_idx);
         let cand_alias = bases[cand].alias.clone();
-        let (outer_ast, inner_ast) =
-            if a1 == cand_alias { (e2, e1) } else { (e1, e2) };
+        let (outer_ast, inner_ast) = if a1 == cand_alias { (e2, e1) } else { (e1, e2) };
         debug_assert!(a1 == cand_alias || a2 == cand_alias);
 
         // The outer side expression compiles against the current schema.
@@ -290,9 +305,8 @@ pub fn plan_select(ctx: &PlanContext<'_>, q: &Select) -> Result<PhysicalPlan> {
             AstExpr::Column { name, .. } => Some(name.clone()),
             _ => None,
         };
-        let inner_index = inner_col.as_ref().and_then(|col| {
-            find_index_on(ctx, &inner_base.table, col)
-        });
+        let inner_index =
+            inner_col.as_ref().and_then(|col| find_index_on(ctx, &inner_base.table, col));
         let inner_local = local.get(&inner_base.alias);
 
         // Join sizing: matches per probe on an equi key ≈ (inner rows
@@ -307,10 +321,8 @@ pub fn plan_select(ctx: &PlanContext<'_>, q: &Select) -> Result<PhysicalPlan> {
         let inner_ndv = inner_col
             .as_ref()
             .and_then(|col| {
-                let idx = inner_base
-                    .columns
-                    .iter()
-                    .position(|b| b.column.eq_ignore_ascii_case(col))?;
+                let idx =
+                    inner_base.columns.iter().position(|b| b.column.eq_ignore_ascii_case(col))?;
                 inner_stats.map(|s| s.ndv_of(idx) as f64)
             })
             .unwrap_or(inner_rows.max(1.0))
@@ -337,17 +349,21 @@ pub fn plan_select(ctx: &PlanContext<'_>, q: &Select) -> Result<PhysicalPlan> {
                 inner_base.alias, current_rows
             ));
             let _ = offset;
-            root = Box::new(IndexNestedLoopJoin::new(
-                root,
-                ctx.heap_of(&inner_base.table)?,
-                index,
-                inner_base.arity,
-                vec![outer_key],
-                residual,
-            ));
+            (root, root_id) = prof.wrap(
+                Box::new(IndexNestedLoopJoin::new(
+                    root,
+                    ctx.heap_of(&inner_base.table)?,
+                    index,
+                    inner_base.arity,
+                    vec![outer_key],
+                    residual,
+                )),
+                format!("IndexNestedLoopJoin {}", inner_base.alias),
+                vec![root_id],
+            );
         } else {
             // Hash join, building on the estimated-smaller side.
-            let inner_plan = build_scan(ctx, inner_base, inner_local)?.0;
+            let (inner_plan, _, inner_id) = build_scan(ctx, inner_base, inner_local, prof)?;
             let inner_schema = Schema(inner_base.columns.clone());
             let inner_key = compile(&inner_ast, &inner_schema, ctx.functions)?;
             schema.0.extend(inner_base.columns.iter().cloned());
@@ -357,14 +373,18 @@ pub fn plan_select(ctx: &PlanContext<'_>, q: &Select) -> Result<PhysicalPlan> {
                     "hash join {} (build inner {:.0} rows, probe {:.0})",
                     inner_base.alias, est[cand], current_rows
                 ));
-                root = Box::new(HashJoin::new(
-                    root,
-                    inner_plan,
-                    vec![outer_key],
-                    vec![inner_key],
-                    None,
-                    true,
-                )?);
+                (root, root_id) = prof.wrap(
+                    Box::new(HashJoin::new(
+                        root,
+                        inner_plan,
+                        vec![outer_key],
+                        vec![inner_key],
+                        None,
+                        true,
+                    )?),
+                    format!("HashJoin {}", inner_base.alias),
+                    vec![root_id, inner_id],
+                );
             } else {
                 // Build on the current (smaller) result, stream the new
                 // table as the probe side; output stays build ++ probe.
@@ -372,14 +392,18 @@ pub fn plan_select(ctx: &PlanContext<'_>, q: &Select) -> Result<PhysicalPlan> {
                     "hash join {} (build current {:.0} rows, probe inner {:.0})",
                     inner_base.alias, current_rows, est[cand]
                 ));
-                root = Box::new(HashJoin::new(
-                    inner_plan,
-                    root,
-                    vec![inner_key],
-                    vec![outer_key],
-                    None,
-                    false,
-                )?);
+                (root, root_id) = prof.wrap(
+                    Box::new(HashJoin::new(
+                        inner_plan,
+                        root,
+                        vec![inner_key],
+                        vec![outer_key],
+                        None,
+                        false,
+                    )?),
+                    format!("HashJoin {}", inner_base.alias),
+                    vec![inner_id, root_id],
+                );
             }
         }
         joined[cand] = true;
@@ -390,30 +414,30 @@ pub fn plan_select(ctx: &PlanContext<'_>, q: &Select) -> Result<PhysicalPlan> {
     for (_, e1, _, e2) in edges_left {
         let pred = AstExpr::Cmp { op: CmpOp::Eq, lhs: Box::new(e1), rhs: Box::new(e2) };
         let compiled = compile(&pred, &schema, ctx.functions)?;
-        root = Box::new(Filter::new(root, compiled));
+        (root, root_id) =
+            prof.wrap(Box::new(Filter::new(root, compiled)), "Filter (join edge)", vec![root_id]);
     }
 
     // ---- 5. lateral table functions + deferred predicates ---------------
     let mut pending = deferred;
     // Predicates whose aliases are all base tables apply now.
-    root = apply_ready_preds(root, &mut pending, &schema, ctx.functions, &|a| {
-        schema_has_alias(&schema, a)
-    })?;
+    (root, root_id) = apply_ready_preds(root, root_id, &mut pending, &schema, ctx.functions, prof)?;
 
     for (alias, _func, args) in &fns {
         let input = compile(&args[0], &schema, ctx.functions)?;
         let tag = compile(&args[1], &schema, ctx.functions)?;
         explain.push(format!("lateral unnest {alias}"));
-        root = Box::new(UnnestScan::new(root, input, tag));
+        (root, root_id) = prof.wrap(
+            Box::new(UnnestScan::new(root, input, tag)),
+            format!("UnnestScan {alias}"),
+            vec![root_id],
+        );
         schema.0.push(Binding { alias: alias.clone(), column: "out".into(), ty: DataType::Xadt });
-        root = apply_ready_preds(root, &mut pending, &schema, ctx.functions, &|a| {
-            schema_has_alias(&schema, a)
-        })?;
+        (root, root_id) =
+            apply_ready_preds(root, root_id, &mut pending, &schema, ctx.functions, prof)?;
     }
     if let Some((aliases, _)) = pending.first() {
-        return Err(DbError::Plan(format!(
-            "predicate references unavailable aliases {aliases:?}"
-        )));
+        return Err(DbError::Plan(format!("predicate references unavailable aliases {aliases:?}")));
     }
 
     // ---- 6. aggregation / distinct / order / limit / projection ---------
@@ -445,15 +469,11 @@ pub fn plan_select(ctx: &PlanContext<'_>, q: &Select) -> Result<PhysicalPlan> {
                 }
                 other => {
                     // Must match a GROUP BY expression.
-                    let gidx = q
-                        .group_by
-                        .iter()
-                        .position(|g| g == other)
-                        .ok_or_else(|| {
-                            DbError::Plan(format!(
-                                "select item {other:?} is neither aggregated nor grouped"
-                            ))
-                        })?;
+                    let gidx = q.group_by.iter().position(|g| g == other).ok_or_else(|| {
+                        DbError::Plan(format!(
+                            "select item {other:?} is neither aggregated nor grouped"
+                        ))
+                    })?;
                     out_exprs.push(Expr::col(gidx));
                     columns.push(alias.clone().unwrap_or_else(|| ast_name(other)));
                 }
@@ -481,11 +501,17 @@ pub fn plan_select(ctx: &PlanContext<'_>, q: &Select) -> Result<PhysicalPlan> {
             group_exprs.len(),
             aggs.len()
         ));
-        root = Box::new(HashAggregate::new(root, group_exprs, aggs));
+        (root, root_id) = prof.wrap(
+            Box::new(HashAggregate::new(root, group_exprs, aggs)),
+            "HashAggregate",
+            vec![root_id],
+        );
         if !sort_keys.is_empty() {
-            root = Box::new(Sort::new(root, sort_keys));
+            (root, root_id) =
+                prof.wrap(Box::new(Sort::new(root, sort_keys)), "Sort", vec![root_id]);
         }
-        root = Box::new(Project::new(root, out_exprs));
+        (root, root_id) =
+            prof.wrap(Box::new(Project::new(root, out_exprs)), "Project", vec![root_id]);
     } else {
         // Plain projection.
         let mut out_exprs = Vec::new();
@@ -506,22 +532,23 @@ pub fn plan_select(ctx: &PlanContext<'_>, q: &Select) -> Result<PhysicalPlan> {
         if !q.order_by.is_empty() {
             let mut sort_keys = Vec::new();
             for (e, asc) in &q.order_by {
-                sort_keys.push(SortKey {
-                    expr: compile(e, &schema, ctx.functions)?,
-                    asc: *asc,
-                });
+                sort_keys.push(SortKey { expr: compile(e, &schema, ctx.functions)?, asc: *asc });
             }
-            root = Box::new(Sort::new(root, sort_keys));
+            (root, root_id) =
+                prof.wrap(Box::new(Sort::new(root, sort_keys)), "Sort", vec![root_id]);
         }
-        root = Box::new(Project::new(root, out_exprs));
+        (root, root_id) =
+            prof.wrap(Box::new(Project::new(root, out_exprs)), "Project", vec![root_id]);
     }
 
     if q.distinct {
-        root = Box::new(Distinct::new(root));
+        (root, root_id) = prof.wrap(Box::new(Distinct::new(root)), "Distinct", vec![root_id]);
     }
     if let Some(n) = q.limit {
-        root = Box::new(Limit::new(root, n));
+        (root, root_id) =
+            prof.wrap(Box::new(Limit::new(root, n)), format!("Limit {n}"), vec![root_id]);
     }
+    let _ = root_id;
 
     Ok(PhysicalPlan { root, columns, explain })
 }
@@ -537,11 +564,7 @@ pub fn compile_single_table(
         table
             .columns
             .iter()
-            .map(|c| Binding {
-                alias: table.name.clone(),
-                column: c.name.clone(),
-                ty: c.ty,
-            })
+            .map(|c| Binding { alias: table.name.clone(), column: c.name.clone(), ty: c.ty })
             .collect(),
     );
     compile(ast, &schema, functions)
@@ -560,33 +583,31 @@ fn schema_has_alias(schema: &Schema, alias: &str) -> bool {
     schema.0.iter().any(|b| b.alias.eq_ignore_ascii_case(alias))
 }
 
-/// Apply every pending predicate whose aliases are all available.
+/// Apply every pending predicate whose aliases are all in `schema`.
 fn apply_ready_preds(
     mut root: BoxOp,
+    mut root_id: usize,
     pending: &mut Vec<(Vec<String>, AstExpr)>,
     schema: &Schema,
     fns: &FunctionRegistry,
-    available: &dyn Fn(&str) -> bool,
-) -> Result<BoxOp> {
+    prof: &mut Profiler,
+) -> Result<(BoxOp, usize)> {
     let mut remaining = Vec::new();
     for (aliases, pred) in pending.drain(..) {
-        if aliases.iter().all(|a| available(a)) {
+        if aliases.iter().all(|a| schema_has_alias(schema, a)) {
             let compiled = compile(&pred, schema, fns)?;
-            root = Box::new(Filter::new(root, compiled));
+            (root, root_id) =
+                prof.wrap(Box::new(Filter::new(root, compiled)), "Filter", vec![root_id]);
         } else {
             remaining.push((aliases, pred));
         }
     }
     *pending = remaining;
-    Ok(root)
+    Ok((root, root_id))
 }
 
 /// Find an index on `table` whose first key column is `col`.
-fn find_index_on(
-    ctx: &PlanContext<'_>,
-    table_lower: &str,
-    col: &str,
-) -> Option<Arc<BTree>> {
+fn find_index_on(ctx: &PlanContext<'_>, table_lower: &str, col: &str) -> Option<Arc<BTree>> {
     for idx in ctx.catalog.indexes_of(table_lower) {
         if idx.columns.first().is_some_and(|c| c.eq_ignore_ascii_case(col)) {
             if let Some(tree) = ctx.indexes.get(&idx.name.to_ascii_lowercase()) {
@@ -598,12 +619,14 @@ fn find_index_on(
 }
 
 /// Build the access path for one base table with its local predicates.
-/// Returns the operator and a description of the chosen path.
+/// Returns the operator, a description of the chosen path, and the
+/// profiler id of the topmost node built here.
 fn build_scan(
     ctx: &PlanContext<'_>,
     base: &BaseRef,
     preds: Option<&Vec<AstExpr>>,
-) -> Result<(BoxOp, String)> {
+    prof: &mut Profiler,
+) -> Result<(BoxOp, String, usize)> {
     let heap = ctx.heap_of(&base.table)?;
     let table_schema = Schema(base.columns.clone());
     let empty = Vec::new();
@@ -617,9 +640,7 @@ fn build_scan(
         if let AstExpr::Cmp { op, lhs, rhs } = p {
             let (col, lit, op) = match (&**lhs, &**rhs) {
                 (AstExpr::Column { name, .. }, lit) if is_literal(lit) => (name, lit, *op),
-                (lit, AstExpr::Column { name, .. }) if is_literal(lit) => {
-                    (name, lit, op.flipped())
-                }
+                (lit, AstExpr::Column { name, .. }) if is_literal(lit) => (name, lit, op.flipped()),
                 _ => continue,
             };
             if matches!(op, CmpOp::Ne) {
@@ -629,8 +650,7 @@ fn build_scan(
                 let value = literal_value(lit)?;
                 let is_eq = matches!(op, CmpOp::Eq);
                 // Prefer equality probes over ranges.
-                if chosen.is_none() || (is_eq && !matches!(chosen.as_ref().unwrap().2, CmpOp::Eq))
-                {
+                if chosen.is_none() || (is_eq && !matches!(chosen.as_ref().unwrap().2, CmpOp::Eq)) {
                     chosen = Some((tree, value, op));
                     chosen_pred_idx = i;
                 }
@@ -638,7 +658,7 @@ fn build_scan(
         }
     }
 
-    let (mut op, desc): (BoxOp, String) = match chosen {
+    let (op, desc): (BoxOp, String) = match chosen {
         Some((tree, value, cmp)) => {
             let key = encode_key(std::slice::from_ref(&value));
             let scan = match cmp {
@@ -655,6 +675,7 @@ fn build_scan(
         }
         None => (Box::new(SeqScan::new(heap, base.arity)) as BoxOp, "SeqScan".into()),
     };
+    let (mut op, mut op_id) = prof.wrap(op, format!("{desc} {}", base.alias), vec![]);
 
     // Residual local predicates (all of them except a consumed equality —
     // range probes keep their predicate as a residual for exactness).
@@ -663,18 +684,15 @@ fn build_scan(
         .enumerate()
         .filter(|(i, _)| {
             *i != chosen_pred_idx
-                || !matches!(
-                    preds[chosen_pred_idx],
-                    AstExpr::Cmp { op: CmpOp::Eq, .. }
-                )
+                || !matches!(preds[chosen_pred_idx], AstExpr::Cmp { op: CmpOp::Eq, .. })
         })
         .map(|(_, p)| p)
         .collect();
     for p in residual {
         let compiled = compile(p, &table_schema, ctx.functions)?;
-        op = Box::new(Filter::new(op, compiled));
+        (op, op_id) = prof.wrap(Box::new(Filter::new(op, compiled)), "Filter", vec![op_id]);
     }
-    Ok((op, desc))
+    Ok((op, desc, op_id))
 }
 
 fn is_literal(e: &AstExpr) -> bool {
@@ -701,10 +719,7 @@ fn selectivity(p: &AstExpr, base: &BaseRef, stats: Option<&TableStats>) -> f64 {
             };
             match (col, stats) {
                 (Some(c), Some(s)) => {
-                    let idx = base
-                        .columns
-                        .iter()
-                        .position(|b| b.column.eq_ignore_ascii_case(c));
+                    let idx = base.columns.iter().position(|b| b.column.eq_ignore_ascii_case(c));
                     idx.map_or(0.1, |i| s.eq_selectivity(i))
                 }
                 _ => 0.1,
@@ -718,28 +733,19 @@ fn selectivity(p: &AstExpr, base: &BaseRef, stats: Option<&TableStats>) -> f64 {
 }
 
 /// Collect the FROM aliases referenced by an expression.
-fn collect_aliases(
-    e: &AstExpr,
-    global: &[(String, String)],
-    out: &mut Vec<String>,
-) -> Result<()> {
+fn collect_aliases(e: &AstExpr, global: &[(String, String)], out: &mut Vec<String>) -> Result<()> {
     match e {
         AstExpr::Column { qualifier, name } => {
             match qualifier {
                 Some(q) => out.push(q.clone()),
                 None => {
                     let lname = name.to_ascii_lowercase();
-                    let hits: Vec<&String> = global
-                        .iter()
-                        .filter(|(c, _)| *c == lname)
-                        .map(|(_, a)| a)
-                        .collect();
+                    let hits: Vec<&String> =
+                        global.iter().filter(|(c, _)| *c == lname).map(|(_, a)| a).collect();
                     match hits.len() {
                         0 => return Err(DbError::Plan(format!("unknown column {name:?}"))),
                         1 => out.push(hits[0].clone()),
-                        _ => {
-                            return Err(DbError::Plan(format!("ambiguous column {name:?}")))
-                        }
+                        _ => return Err(DbError::Plan(format!("ambiguous column {name:?}"))),
                     }
                 }
             }
@@ -791,37 +797,31 @@ fn compile(e: &AstExpr, schema: &Schema, fns: &FunctionRegistry) -> Result<Expr>
             lhs: Box::new(compile(lhs, schema, fns)?),
             rhs: Box::new(compile(rhs, schema, fns)?),
         }),
-        AstExpr::And(a, b) => Ok(Expr::And(
-            Box::new(compile(a, schema, fns)?),
-            Box::new(compile(b, schema, fns)?),
-        )),
-        AstExpr::Or(a, b) => Ok(Expr::Or(
-            Box::new(compile(a, schema, fns)?),
-            Box::new(compile(b, schema, fns)?),
-        )),
+        AstExpr::And(a, b) => {
+            Ok(Expr::And(Box::new(compile(a, schema, fns)?), Box::new(compile(b, schema, fns)?)))
+        }
+        AstExpr::Or(a, b) => {
+            Ok(Expr::Or(Box::new(compile(a, schema, fns)?), Box::new(compile(b, schema, fns)?)))
+        }
         AstExpr::Not(x) => Ok(Expr::Not(Box::new(compile(x, schema, fns)?))),
         AstExpr::Like { expr, pattern, negated } => Ok(Expr::Like {
             expr: Box::new(compile(expr, schema, fns)?),
             pattern: pattern.clone(),
             negated: *negated,
         }),
-        AstExpr::IsNull { expr, negated } => Ok(Expr::IsNull {
-            expr: Box::new(compile(expr, schema, fns)?),
-            negated: *negated,
-        }),
+        AstExpr::IsNull { expr, negated } => {
+            Ok(Expr::IsNull { expr: Box::new(compile(expr, schema, fns)?), negated: *negated })
+        }
         AstExpr::Func { name, args } => {
-            let def = fns
-                .get(name)
-                .ok_or_else(|| DbError::Plan(format!("unknown function {name:?}")))?;
+            let def =
+                fns.get(name).ok_or_else(|| DbError::Plan(format!("unknown function {name:?}")))?;
             let mut compiled = Vec::with_capacity(args.len());
             for a in args {
                 compiled.push(compile(a, schema, fns)?);
             }
             Ok(Expr::Func { def, args: compiled })
         }
-        AstExpr::Agg { .. } => {
-            Err(DbError::Plan("aggregate not allowed in this context".into()))
-        }
+        AstExpr::Agg { .. } => Err(DbError::Plan("aggregate not allowed in this context".into())),
         AstExpr::Arith { op, lhs, rhs } => Ok(Expr::Arith {
             op: *op,
             lhs: Box::new(compile(lhs, schema, fns)?),
@@ -866,9 +866,7 @@ fn find_or_add_agg(
         ("sum", false) => AggFunc::Sum,
         ("min", false) => AggFunc::Min,
         ("max", false) => AggFunc::Max,
-        (f, true) => {
-            return Err(DbError::Plan(format!("DISTINCT not supported inside {f}")))
-        }
+        (f, true) => return Err(DbError::Plan(format!("DISTINCT not supported inside {f}"))),
         (f, _) => return Err(DbError::Plan(format!("unknown aggregate {f:?}"))),
     };
     let compiled_arg = match arg {

@@ -79,9 +79,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                             s.push_str(&input[i..i + ch_len]);
                             i += ch_len;
                         }
-                        None => {
-                            return Err(DbError::Parse("unterminated string literal".into()))
-                        }
+                        None => return Err(DbError::Parse("unterminated string literal".into())),
                     }
                 }
                 out.push(Token::Str(s));
@@ -133,22 +131,20 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                 out.push(Token::Sym(Sym::Ne));
                 i += 2;
             }
-            b'<' => {
-                match bytes.get(i + 1) {
-                    Some(b'>') => {
-                        out.push(Token::Sym(Sym::Ne));
-                        i += 2;
-                    }
-                    Some(b'=') => {
-                        out.push(Token::Sym(Sym::Le));
-                        i += 2;
-                    }
-                    _ => {
-                        out.push(Token::Sym(Sym::Lt));
-                        i += 1;
-                    }
+            b'<' => match bytes.get(i + 1) {
+                Some(b'>') => {
+                    out.push(Token::Sym(Sym::Ne));
+                    i += 2;
                 }
-            }
+                Some(b'=') => {
+                    out.push(Token::Sym(Sym::Le));
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token::Sym(Sym::Lt));
+                    i += 1;
+                }
+            },
             b'>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
                     out.push(Token::Sym(Sym::Ge));
@@ -208,10 +204,7 @@ mod tests {
                 other => panic!("{other:?}"),
             })
             .collect();
-        assert_eq!(
-            syms,
-            [Eq, Ne, Ne, Lt, Le, Gt, Ge, Star, Dot, Comma, LParen, RParen, Semicolon]
-        );
+        assert_eq!(syms, [Eq, Ne, Ne, Lt, Le, Gt, Ge, Star, Dot, Comma, LParen, RParen, Semicolon]);
     }
 
     #[test]

@@ -52,11 +52,7 @@ impl Parser {
     }
 
     fn err(&self, msg: &str) -> DbError {
-        DbError::Parse(format!(
-            "{msg} (near token {} = {:?})",
-            self.pos,
-            self.tokens.get(self.pos)
-        ))
+        DbError::Parse(format!("{msg} (near token {} = {:?})", self.pos, self.tokens.get(self.pos)))
     }
 
     fn eat_kw(&mut self, kw: &str) -> bool {
@@ -393,11 +389,8 @@ impl Parser {
             let mut expr: Option<AstExpr> = None;
             loop {
                 let item = self.additive()?;
-                let eq = AstExpr::Cmp {
-                    op: CmpOp::Eq,
-                    lhs: Box::new(lhs.clone()),
-                    rhs: Box::new(item),
-                };
+                let eq =
+                    AstExpr::Cmp { op: CmpOp::Eq, lhs: Box::new(lhs.clone()), rhs: Box::new(item) };
                 expr = Some(match expr {
                     None => eq,
                     Some(acc) => AstExpr::Or(Box::new(acc), Box::new(eq)),
@@ -431,11 +424,7 @@ impl Parser {
                     lhs: Box::new(lhs.clone()),
                     rhs: Box::new(lo),
                 }),
-                Box::new(AstExpr::Cmp {
-                    op: CmpOp::Le,
-                    lhs: Box::new(lhs),
-                    rhs: Box::new(hi),
-                }),
+                Box::new(AstExpr::Cmp { op: CmpOp::Le, lhs: Box::new(lhs), rhs: Box::new(hi) }),
             );
             return Ok(if negated { AstExpr::Not(Box::new(e)) } else { e });
         }
@@ -671,8 +660,7 @@ mod tests {
 
     #[test]
     fn negative_numbers_and_not_like() {
-        let q =
-            parse_select("SELECT a FROM t WHERE a >= -5 AND b NOT LIKE '%x%'").unwrap();
+        let q = parse_select("SELECT a FROM t WHERE a >= -5 AND b NOT LIKE '%x%'").unwrap();
         let cj = q.where_clause.unwrap().conjuncts();
         assert!(matches!(&cj[0], AstExpr::Cmp { rhs, .. } if **rhs == AstExpr::Num(-5)));
         assert!(matches!(&cj[1], AstExpr::Like { negated: true, .. }));

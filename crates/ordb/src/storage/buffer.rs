@@ -43,7 +43,9 @@ impl Frame {
     }
 }
 
-/// I/O counters, reset by [`BufferPool::take_stats`].
+/// I/O counters. [`BufferPool::stats_total`] returns the cumulative
+/// values; [`BufferPool::take_stats`] returns growth since the previous
+/// `take_stats` call (a measurement window).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct PoolStats {
     /// Fetches satisfied from the cache.
@@ -52,6 +54,36 @@ pub struct PoolStats {
     pub misses: u64,
     /// Dirty frames written back.
     pub writebacks: u64,
+    /// Frames evicted to make room (clean or dirty).
+    pub evictions: u64,
+}
+
+impl PoolStats {
+    /// Total fetches (hits + misses).
+    pub fn fetches(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of fetches served from the cache; 0.0 with no fetches.
+    pub fn hit_ratio(&self) -> f64 {
+        let f = self.fetches();
+        if f == 0 {
+            0.0
+        } else {
+            self.hits as f64 / f as f64
+        }
+    }
+
+    /// Counter growth since `earlier` (saturating; counters are
+    /// monotonic, so this is exact for snapshots of the same pool).
+    pub fn since(&self, earlier: &PoolStats) -> PoolStats {
+        PoolStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            writebacks: self.writebacks.saturating_sub(earlier.writebacks),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+        }
+    }
 }
 
 /// Optional storage-latency simulation. The paper's testbed (550 MHz
@@ -85,7 +117,11 @@ struct Inner {
     /// LRU order: front = least recently used.
     lru: VecDeque<(FileId, u32)>,
     capacity: usize,
+    /// Cumulative counters since pool creation (never reset).
     stats: PoolStats,
+    /// Watermark of `stats` at the last `take_stats` call; the window
+    /// returned by `take_stats` is `stats - taken`.
+    taken: PoolStats,
     io_sim: Option<IoSimulation>,
     last_read: Option<(FileId, u32)>,
 }
@@ -105,6 +141,7 @@ impl BufferPool {
                 lru: VecDeque::new(),
                 capacity: capacity.max(8),
                 stats: PoolStats::default(),
+                taken: PoolStats::default(),
                 io_sim: None,
                 last_read: None,
             }),
@@ -149,10 +186,7 @@ impl BufferPool {
     }
 
     fn file<'a>(&self, inner: &'a Inner, id: FileId) -> Result<&'a PageFile> {
-        inner
-            .files
-            .get(&id)
-            .ok_or_else(|| DbError::Catalog(format!("file id {id} not registered")))
+        inner.files.get(&id).ok_or_else(|| DbError::Catalog(format!("file id {id} not registered")))
     }
 
     /// Allocate a fresh page in file `id`, returning a pinned frame for it.
@@ -216,6 +250,7 @@ impl BufferPool {
             };
             let key = inner.lru.remove(ix).expect("index valid");
             let frame = inner.frames.remove(&key).expect("frame present");
+            inner.stats.evictions += 1;
             let dirty = *frame.dirty.lock();
             if dirty {
                 let page = frame.page.lock();
@@ -228,7 +263,8 @@ impl BufferPool {
 
     /// Write back every dirty frame of file `id` (frames stay cached).
     pub fn flush_file(&self, id: FileId) -> Result<()> {
-        let inner = self.inner.lock();
+        let mut inner = self.inner.lock();
+        let mut wb = 0;
         for ((f, pid), frame) in &inner.frames {
             if *f == id {
                 let mut dirty = frame.dirty.lock();
@@ -236,47 +272,78 @@ impl BufferPool {
                     let page = frame.page.lock();
                     self.file(&inner, *f)?.write_page(*pid, page.bytes())?;
                     *dirty = false;
+                    wb += 1;
                 }
             }
         }
+        inner.stats.writebacks += wb;
         self.file(&inner, id)?.sync()?;
         Ok(())
     }
 
-    /// Write back every dirty frame of every file.
-    pub fn flush_all(&self) -> Result<()> {
-        let mut inner = self.inner.lock();
+    /// Write back every dirty frame of every file. `count` controls
+    /// whether the writebacks land in the I/O stats; cache-teardown
+    /// flushes (from [`BufferPool::drop_cache`]) pass `false` so they do
+    /// not pollute the next measurement window.
+    fn flush_all_inner(&self, inner: &mut Inner, count: bool) -> Result<()> {
         let mut wb = 0;
         for ((f, pid), frame) in &inner.frames {
             let mut dirty = frame.dirty.lock();
             if *dirty {
                 let page = frame.page.lock();
-                self.file(&inner, *f)?.write_page(*pid, page.bytes())?;
+                self.file(inner, *f)?.write_page(*pid, page.bytes())?;
                 *dirty = false;
                 wb += 1;
             }
         }
-        inner.stats.writebacks += wb;
+        if count {
+            inner.stats.writebacks += wb;
+        }
         for f in inner.files.values() {
             f.sync()?;
         }
         Ok(())
     }
 
+    /// Write back every dirty frame of every file.
+    pub fn flush_all(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        self.flush_all_inner(&mut inner, true)
+    }
+
     /// Flush and drop every cached frame — the harness's "cold run" switch
     /// (the paper reports cold numbers, §4.2).
+    ///
+    /// The flush's writebacks are **not** counted in the I/O stats: they
+    /// belong to whatever workload dirtied the pages, not to the cold
+    /// query measured next. The sequential-read detector is also reset so
+    /// the first post-drop read is charged as a random read under
+    /// [`IoSimulation`].
     pub fn drop_cache(&self) -> Result<()> {
-        self.flush_all()?;
         let mut inner = self.inner.lock();
+        self.flush_all_inner(&mut inner, false)?;
         inner.frames.clear();
         inner.lru.clear();
+        inner.last_read = None;
         Ok(())
     }
 
-    /// Return and reset the I/O counters.
+    /// Counter growth since the previous `take_stats` call
+    /// (snapshot-and-reset semantics). The cumulative totals are
+    /// available from [`BufferPool::stats_total`], which does not disturb
+    /// these windows.
     pub fn take_stats(&self) -> PoolStats {
         let mut inner = self.inner.lock();
-        std::mem::take(&mut inner.stats)
+        let window = inner.stats.since(&inner.taken);
+        inner.taken = inner.stats;
+        window
+    }
+
+    /// Cumulative counters since pool creation. Never resets and does not
+    /// affect [`BufferPool::take_stats`] windows — safe for
+    /// `explain_analyze` to bracket a query with.
+    pub fn stats_total(&self) -> PoolStats {
+        self.inner.lock().stats
     }
 
     /// Currently cached frame count.

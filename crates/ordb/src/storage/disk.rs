@@ -18,12 +18,8 @@ impl PageFile {
     /// Open (creating if absent) the page file at `path`.
     pub fn open(path: impl AsRef<Path>) -> Result<PageFile> {
         let path = path.as_ref().to_path_buf();
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(&path)?;
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(&path)?;
         let len = file.metadata()?.len();
         let page_count = (len / PAGE_SIZE as u64) as u32;
         Ok(PageFile { file, path, page_count })

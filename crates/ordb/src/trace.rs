@@ -1,0 +1,85 @@
+//! Structured query-lifecycle events with a pluggable sink.
+//!
+//! A [`TraceSink`] registered on a `Database` (via
+//! `Database::set_trace_sink`) receives one [`TraceEvent`] per lifecycle
+//! phase of each query: start → parsed → planned → end. Events carry
+//! durations and (for `Planned`) the planner's decision log, so a sink
+//! can reconstruct a per-phase timeline without touching the hot row
+//! loop — there is deliberately no per-row event.
+//!
+//! The emission call sites are compiled out entirely when the `trace`
+//! cargo feature (on by default) is disabled; with the feature on but no
+//! sink installed, the cost is one `RwLock` read per query phase. Event
+//! payloads are built lazily — only when a sink is installed.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// One query-lifecycle event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A query was submitted.
+    QueryStart {
+        /// The SQL text.
+        sql: String,
+    },
+    /// Parsing finished.
+    Parsed {
+        /// Time spent in the parser.
+        elapsed: Duration,
+    },
+    /// Planning finished.
+    Planned {
+        /// Time spent in the planner.
+        elapsed: Duration,
+        /// The planner's decision log (same lines as `EXPLAIN`).
+        explain: Vec<String>,
+    },
+    /// Execution finished (also emitted on the error path with the rows
+    /// produced so far when execution fails midway — currently only on
+    /// success).
+    QueryEnd {
+        /// Rows returned.
+        rows: u64,
+        /// End-to-end wall time.
+        wall: Duration,
+    },
+}
+
+/// Receives [`TraceEvent`]s. Implementations must be cheap or hand off
+/// quickly: events are emitted synchronously on the query path.
+pub trait TraceSink: Send + Sync {
+    /// Handle one event.
+    fn event(&self, ev: &TraceEvent);
+}
+
+/// A sink that buffers events in memory — for tests and the shell.
+#[derive(Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl MemorySink {
+    /// A fresh, shareable sink.
+    pub fn new() -> Arc<MemorySink> {
+        Arc::new(MemorySink::default())
+    }
+
+    /// Copy out the buffered events.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Drop all buffered events.
+    pub fn clear(&self) {
+        self.events.lock().clear();
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn event(&self, ev: &TraceEvent) {
+        self.events.lock().push(ev.clone());
+    }
+}

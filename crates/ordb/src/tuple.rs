@@ -70,9 +70,8 @@ pub fn decode_row(bytes: &[u8], arity: usize) -> Result<Row> {
     let mut row = Vec::with_capacity(arity);
     let mut pos = 0usize;
     for _ in 0..arity {
-        let tag = *bytes
-            .get(pos)
-            .ok_or_else(|| DbError::Corrupt("tuple truncated at tag".into()))?;
+        let tag =
+            *bytes.get(pos).ok_or_else(|| DbError::Corrupt("tuple truncated at tag".into()))?;
         pos += 1;
         match tag {
             TAG_NULL => row.push(Value::Null),
@@ -105,9 +104,7 @@ pub fn decode_row(bytes: &[u8], arity: usize) -> Result<Row> {
                         row.push(Value::Xadt(XadtValue::plain(s)));
                     }
                     _ => {
-                        row.push(Value::Xadt(XadtValue::from_compressed_bytes(
-                            payload.to_vec(),
-                        )));
+                        row.push(Value::Xadt(XadtValue::from_compressed_bytes(payload.to_vec())));
                     }
                 }
             }
@@ -142,10 +139,7 @@ mod tests {
         let back = decode_row(&buf, row.len()).unwrap();
         assert_eq!(back, row);
         // Compressed value stays compressed through storage.
-        assert!(matches!(
-            &back[4],
-            Value::Xadt(XadtValue::Compressed(_))
-        ));
+        assert!(matches!(&back[4], Value::Xadt(XadtValue::Compressed(_))));
     }
 
     #[test]
@@ -168,9 +162,6 @@ mod tests {
 
     #[test]
     fn unknown_tag_is_corrupt() {
-        assert!(matches!(
-            decode_row(&[99], 1),
-            Err(DbError::Corrupt(_))
-        ));
+        assert!(matches!(decode_row(&[99], 1), Err(DbError::Corrupt(_))));
     }
 }

@@ -185,14 +185,8 @@ mod tests {
 
     #[test]
     fn int_and_str_ordering() {
-        assert_eq!(
-            Value::Int(2).sql_cmp(&Value::Int(10)),
-            Some(std::cmp::Ordering::Less)
-        );
-        assert_eq!(
-            Value::str("b").sql_cmp(&Value::str("a")),
-            Some(std::cmp::Ordering::Greater)
-        );
+        assert_eq!(Value::Int(2).sql_cmp(&Value::Int(10)), Some(std::cmp::Ordering::Less));
+        assert_eq!(Value::str("b").sql_cmp(&Value::str("a")), Some(std::cmp::Ordering::Greater));
     }
 
     #[test]

@@ -18,10 +18,7 @@ fn setup_nums(db: &Database) {
     db.execute("CREATE TABLE nums (n INTEGER, s VARCHAR)").unwrap();
     let rows: Vec<Row> = (1..=10)
         .map(|i| {
-            vec![
-                Value::Int(i),
-                if i % 3 == 0 { Value::Null } else { Value::str(format!("s{i}")) },
-            ]
+            vec![Value::Int(i), if i % 3 == 0 { Value::Null } else { Value::str(format!("s{i}")) }]
         })
         .collect();
     db.insert_rows("nums", rows).unwrap();
@@ -77,10 +74,7 @@ fn null_three_valued_logic() {
 fn min_max_and_count_distinct() {
     let d = db("minmax");
     d.execute("CREATE TABLE t (g VARCHAR, v INTEGER)").unwrap();
-    d.execute(
-        "INSERT INTO t VALUES ('a', 3), ('a', 1), ('a', 3), ('b', 7), ('b', NULL)",
-    )
-    .unwrap();
+    d.execute("INSERT INTO t VALUES ('a', 3), ('a', 1), ('a', 3), ('b', 7), ('b', NULL)").unwrap();
     let r = d
         .query("SELECT g, MIN(v), MAX(v), COUNT(DISTINCT v) FROM t GROUP BY g ORDER BY g")
         .unwrap();
@@ -98,9 +92,7 @@ fn order_by_aggregate_output() {
     let d = db("orderagg");
     d.execute("CREATE TABLE t (g VARCHAR)").unwrap();
     d.execute("INSERT INTO t VALUES ('x'), ('y'), ('y'), ('z'), ('y'), ('z')").unwrap();
-    let r = d
-        .query("SELECT g, COUNT(*) FROM t GROUP BY g ORDER BY COUNT(*) DESC, g")
-        .unwrap();
+    let r = d.query("SELECT g, COUNT(*) FROM t GROUP BY g ORDER BY COUNT(*) DESC, g").unwrap();
     assert_eq!(
         r.rows,
         vec![
@@ -210,10 +202,7 @@ fn lateral_unnest_chains() {
 fn get_attr_udf_in_sql() {
     let d = db("getattr");
     d.execute("CREATE TABLE t (x XADT)").unwrap();
-    d.execute(
-        "INSERT INTO t VALUES ('<author AuthorPosition=\"2\">B. Field</author>')",
-    )
-    .unwrap();
+    d.execute("INSERT INTO t VALUES ('<author AuthorPosition=\"2\">B. Field</author>')").unwrap();
     let r = d.query("SELECT getAttr(x, 'author', 'AuthorPosition') FROM t").unwrap();
     assert_eq!(r.scalar(), Some(&Value::str("2")));
 }
@@ -274,10 +263,7 @@ fn global_aggregate_over_empty_result() {
     let d = db("emptyagg");
     setup_nums(&d);
     let r = d.query("SELECT COUNT(*), SUM(n), MIN(n) FROM nums WHERE n > 999").unwrap();
-    assert_eq!(
-        r.rows,
-        vec![vec![Value::Int(0), Value::Null, Value::Null]]
-    );
+    assert_eq!(r.rows, vec![vec![Value::Int(0), Value::Null, Value::Null]]);
 }
 
 #[test]
@@ -290,9 +276,7 @@ fn in_and_between_desugar() {
     assert_eq!(ints(&r), [1, 5]);
     let r = d.query("SELECT n FROM nums WHERE n BETWEEN 3 AND 5 ORDER BY n").unwrap();
     assert_eq!(ints(&r), [3, 4, 5]);
-    let r = d
-        .query("SELECT COUNT(*) FROM nums WHERE n NOT BETWEEN 3 AND 5")
-        .unwrap();
+    let r = d.query("SELECT COUNT(*) FROM nums WHERE n NOT BETWEEN 3 AND 5").unwrap();
     assert_eq!(r.scalar(), Some(&Value::Int(7)));
     let r = d.query("SELECT COUNT(*) FROM nums WHERE n NOT IN (1, 2)").unwrap();
     assert_eq!(r.scalar(), Some(&Value::Int(8)));

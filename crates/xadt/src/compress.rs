@@ -43,9 +43,7 @@ fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, FragmentError> {
     let mut v: u64 = 0;
     let mut shift = 0;
     loop {
-        let b = *bytes
-            .get(*pos)
-            .ok_or_else(|| FragmentError("truncated varint".into()))?;
+        let b = *bytes.get(*pos).ok_or_else(|| FragmentError("truncated varint".into()))?;
         *pos += 1;
         v |= u64::from(b & 0x7f) << shift;
         if b & 0x80 == 0 {
@@ -123,9 +121,8 @@ impl<'a> CompressedReader<'a> {
     /// Open a compressed fragment. Fails on version or header corruption.
     pub fn new(bytes: &'a [u8]) -> Result<Self, FragmentError> {
         let mut pos = 0;
-        let version = *bytes
-            .first()
-            .ok_or_else(|| FragmentError("empty compressed fragment".into()))?;
+        let version =
+            *bytes.first().ok_or_else(|| FragmentError("empty compressed fragment".into()))?;
         pos += 1;
         if version != VERSION {
             return Err(FragmentError(format!("unsupported version {version}")));
@@ -209,8 +206,8 @@ impl<'a> CompressedReader<'a> {
                     .get(self.pos..self.pos + len)
                     .ok_or_else(|| FragmentError("truncated text".into()))?;
                 self.pos += len;
-                let t = std::str::from_utf8(t)
-                    .map_err(|_| FragmentError("text not utf-8".into()))?;
+                let t =
+                    std::str::from_utf8(t).map_err(|_| FragmentError("text not utf-8".into()))?;
                 Ok(Some(Event::Text(std::borrow::Cow::Borrowed(t))))
             }
             other => Err(FragmentError(format!("unknown opcode {other:#x}"))),

@@ -54,10 +54,8 @@ pub fn get_elm(
                             if search_key.is_empty() {
                                 cap.matched = true;
                             } else {
-                                cap.key_scopes.push(KeyScope {
-                                    end_depth: depth,
-                                    text: String::new(),
-                                });
+                                cap.key_scopes
+                                    .push(KeyScope { end_depth: depth, text: String::new() });
                             }
                         }
                     }
@@ -69,11 +67,7 @@ pub fn get_elm(
                 depth -= 1;
                 if let Some(cap) = &mut capture {
                     write_event(&ev, &mut cap.buf);
-                    while cap
-                        .key_scopes
-                        .last()
-                        .is_some_and(|s| s.end_depth == depth)
-                    {
+                    while cap.key_scopes.last().is_some_and(|s| s.end_depth == depth) {
                         let scope = cap.key_scopes.pop().expect("checked non-empty");
                         if scope.text.contains(search_key) {
                             cap.matched = true;
@@ -221,9 +215,7 @@ pub fn get_elm_index(
                 if capture_until.is_some() {
                     write_event(&ev, &mut out);
                 } else {
-                    if *name == child_elm
-                        && scopes.last().is_some_and(|s| s.child_depth == depth)
-                    {
+                    if *name == child_elm && scopes.last().is_some_and(|s| s.child_depth == depth) {
                         let scope = scopes.last_mut().expect("checked non-empty");
                         scope.count += 1;
                         if scope.count >= start_pos && scope.count <= end_pos {
@@ -280,11 +272,7 @@ pub fn count_elm(input: &XadtValue, elm: &str) -> Result<i64, FragmentError> {
 /// The value of attribute `attr` on the first `elm` element, if any.
 /// Another §3.4.2-style specialized method (e.g. reading
 /// `AuthorPosition` without leaving the fragment).
-pub fn get_attr(
-    input: &XadtValue,
-    elm: &str,
-    attr: &str,
-) -> Result<Option<String>, FragmentError> {
+pub fn get_attr(input: &XadtValue, elm: &str, attr: &str) -> Result<Option<String>, FragmentError> {
     if elm.is_empty() || attr.is_empty() {
         return Err(FragmentError("getAttr: elm and attr must be non-empty".into()));
     }
@@ -353,10 +341,7 @@ mod tests {
     fn get_elm_nested_search() {
         let frag = "<SPEECH><SPEAKER>A</SPEAKER><LINE>hello</LINE></SPEECH><SPEECH><SPEAKER>B</SPEAKER></SPEECH>";
         let r = get_elm(&plain(frag), "SPEECH", "LINE", "", None).unwrap();
-        assert_eq!(
-            r.to_plain(),
-            "<SPEECH><SPEAKER>A</SPEAKER><LINE>hello</LINE></SPEECH>"
-        );
+        assert_eq!(r.to_plain(), "<SPEECH><SPEAKER>A</SPEAKER><LINE>hello</LINE></SPEECH>");
     }
 
     #[test]
@@ -425,10 +410,7 @@ mod tests {
     fn get_elm_index_top_level() {
         for v in [plain(LINES), compressed(LINES)] {
             let second = get_elm_index(&v, "", "LINE", 2, 2).unwrap();
-            assert_eq!(
-                second.to_plain(),
-                "<LINE>farewell <STAGEDIR>Rising</STAGEDIR></LINE>"
-            );
+            assert_eq!(second.to_plain(), "<LINE>farewell <STAGEDIR>Rising</STAGEDIR></LINE>");
             let range = get_elm_index(&v, "", "LINE", 2, 3).unwrap();
             assert!(range.to_plain().ends_with("<LINE>to arms</LINE>"));
         }
@@ -462,10 +444,7 @@ mod tests {
 
     #[test]
     fn text_content_concatenates() {
-        assert_eq!(
-            text_content(&plain(LINES)).unwrap(),
-            "O my friendfarewell Risingto arms"
-        );
+        assert_eq!(text_content(&plain(LINES)).unwrap(), "O my friendfarewell Risingto arms");
     }
 
     #[test]
@@ -483,10 +462,7 @@ mod tests {
     fn get_attr_returns_first_match() {
         let frag = r#"<author AuthorPosition="1">A</author><author AuthorPosition="2">B</author>"#;
         for v in [plain(frag), compressed(frag)] {
-            assert_eq!(
-                get_attr(&v, "author", "AuthorPosition").unwrap(),
-                Some("1".to_string())
-            );
+            assert_eq!(get_attr(&v, "author", "AuthorPosition").unwrap(), Some("1".to_string()));
             assert_eq!(get_attr(&v, "author", "nope").unwrap(), None);
             assert_eq!(get_attr(&v, "title", "x").unwrap(), None);
         }

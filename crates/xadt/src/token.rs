@@ -94,9 +94,9 @@ impl<'a> PlainTokenizer<'a> {
                 self.pos = start + end + 1;
                 match self.stack.pop() {
                     Some(open) if open == name => Ok(Some(Event::End { name })),
-                    Some(open) => Err(FragmentError(format!(
-                        "close </{name}> does not match open <{open}>"
-                    ))),
+                    Some(open) => {
+                        Err(FragmentError(format!("close </{name}> does not match open <{open}>")))
+                    }
                     None => Err(FragmentError(format!("close </{name}> with no open tag"))),
                 }
             } else {
@@ -149,7 +149,7 @@ impl<'a> PlainTokenizer<'a> {
                 _ => {
                     // attribute name = value
                     let an_start = p;
-                    while p < bytes.len() && !matches!(bytes[p], b'=' | b' ' | b'\t' | b'>' ) {
+                    while p < bytes.len() && !matches!(bytes[p], b'=' | b' ' | b'\t' | b'>') {
                         p += 1;
                     }
                     let an = &self.input[an_start..p];

@@ -75,11 +75,7 @@ mod tests {
         }
         assert_eq!(
             all,
-            [
-                "<speaker>s1</speaker>",
-                "<speaker>s2</speaker>",
-                "<speaker>s1</speaker>"
-            ]
+            ["<speaker>s1</speaker>", "<speaker>s2</speaker>", "<speaker>s1</speaker>"]
         );
         // DISTINCT over the unnested rows gives two speakers (Fig. 9b).
         all.sort();
@@ -94,10 +90,7 @@ mod tests {
         );
         let rows = unnest(&v, "sListTuple").unwrap();
         assert_eq!(rows.len(), 2);
-        assert_eq!(
-            rows[0].to_plain(),
-            "<sListTuple><sectionName>A</sectionName></sListTuple>"
-        );
+        assert_eq!(rows[0].to_plain(), "<sListTuple><sectionName>A</sectionName></sListTuple>");
     }
 
     #[test]

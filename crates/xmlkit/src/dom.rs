@@ -94,10 +94,7 @@ impl Document {
 
     /// Append a child element under `parent` and return its id.
     pub fn add_element(&mut self, parent: NodeId, name: impl Into<String>) -> NodeId {
-        self.push_node(
-            parent,
-            NodeKind::Element { name: name.into(), attributes: Vec::new() },
-        )
+        self.push_node(parent, NodeKind::Element { name: name.into(), attributes: Vec::new() })
     }
 
     /// Append a text child under `parent`. Merges with a trailing text
@@ -218,10 +215,7 @@ impl Document {
 
     /// Count of element nodes in the document.
     pub fn element_count(&self) -> usize {
-        self.nodes
-            .iter()
-            .filter(|n| matches!(n.kind, NodeKind::Element { .. }))
-            .count()
+        self.nodes.iter().filter(|n| matches!(n.kind, NodeKind::Element { .. })).count()
     }
 }
 
@@ -276,8 +270,7 @@ mod tests {
     #[test]
     fn descendants_are_preorder() {
         let d = sample();
-        let tags: Vec<_> =
-            d.descendants(d.root()).filter_map(|n| d.tag(n)).collect();
+        let tags: Vec<_> = d.descendants(d.root()).filter_map(|n| d.tag(n)).collect();
         assert_eq!(tags, ["PLAY", "ACT", "TITLE", "SPEECH", "SPEAKER"]);
     }
 

@@ -272,10 +272,7 @@ mod tests {
     #[test]
     fn infer_root_picks_unreferenced() {
         let mut dtd = Dtd::default();
-        dtd.elements.push(ElementDecl {
-            name: "CHILD".into(),
-            content: ContentModel::PcData,
-        });
+        dtd.elements.push(ElementDecl { name: "CHILD".into(), content: ContentModel::PcData });
         dtd.elements.push(ElementDecl {
             name: "ROOT".into(),
             content: ContentModel::Children(Particle::name("CHILD")),

@@ -6,8 +6,7 @@ mod parser;
 pub mod validate;
 
 pub use ast::{
-    AttDef, AttDefault, AttType, ContentModel, Dtd, ElementDecl, Occurrence, Particle,
-    ParticleKind,
+    AttDef, AttDefault, AttType, ContentModel, Dtd, ElementDecl, Occurrence, Particle, ParticleKind,
 };
 pub use parser::{parse_content_model, parse_dtd};
 pub use validate::{validate, ValidationError};

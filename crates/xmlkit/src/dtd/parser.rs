@@ -10,8 +10,7 @@ use std::collections::HashMap;
 
 use crate::cursor::Cursor;
 use crate::dtd::ast::{
-    AttDef, AttDefault, AttType, ContentModel, Dtd, ElementDecl, Occurrence, Particle,
-    ParticleKind,
+    AttDef, AttDefault, AttType, ContentModel, Dtd, ElementDecl, Occurrence, Particle, ParticleKind,
 };
 use crate::error::{ErrorKind, Result};
 
@@ -58,9 +57,7 @@ impl<'a> DtdParser<'a> {
                 let sub = parse_dtd_with(&body, &self.dtd.parameter_entities)?;
                 self.merge(sub);
             } else {
-                return Err(self
-                    .c
-                    .error(ErrorKind::MalformedDtd("unexpected content".into())));
+                return Err(self.c.error(ErrorKind::MalformedDtd("unexpected content".into())));
             }
         }
     }
@@ -357,9 +354,7 @@ impl<'a> CmParser<'a> {
             self.pos += 1;
         }
         if self.pos == start {
-            return Err(format!(
-                "expected a name at byte {start} of content model"
-            ));
+            return Err(format!("expected a name at byte {start} of content model"));
         }
         Ok(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap().to_string())
     }
@@ -514,10 +509,7 @@ mod tests {
 
     #[test]
     fn parses_pcdata_empty_any() {
-        let dtd = parse_dtd(
-            "<!ELEMENT A (#PCDATA)><!ELEMENT B EMPTY><!ELEMENT C ANY>",
-        )
-        .unwrap();
+        let dtd = parse_dtd("<!ELEMENT A (#PCDATA)><!ELEMENT B EMPTY><!ELEMENT C ANY>").unwrap();
         assert_eq!(dtd.element("A").unwrap().content, ContentModel::PcData);
         assert_eq!(dtd.element("B").unwrap().content, ContentModel::Empty);
         assert_eq!(dtd.element("C").unwrap().content, ContentModel::Any);
@@ -536,10 +528,7 @@ mod tests {
         assert_eq!(atts[0].name, "articleCode");
         assert_eq!(atts[0].ty, AttType::CData);
         assert_eq!(atts[0].default, AttDefault::Implied);
-        assert_eq!(
-            atts[1].ty,
-            AttType::Enumerated(vec!["long".into(), "short".into()])
-        );
+        assert_eq!(atts[1].ty, AttType::Enumerated(vec!["long".into(), "short".into()]));
         assert_eq!(atts[1].default, AttDefault::Value("long".into()));
     }
 
@@ -564,10 +553,9 @@ mod tests {
 
     #[test]
     fn nested_groups_parse() {
-        let dtd = parse_dtd(
-            "<!ELEMENT INDUCT (TITLE,SUBTITLE*,(SCENE+ | (SPEECH|STAGEDIR|SUBHEAD)+))>",
-        )
-        .unwrap();
+        let dtd =
+            parse_dtd("<!ELEMENT INDUCT (TITLE,SUBTITLE*,(SCENE+ | (SPEECH|STAGEDIR|SUBHEAD)+))>")
+                .unwrap();
         let names = dtd.element("INDUCT").unwrap().content.child_names();
         assert_eq!(names, ["TITLE", "SUBTITLE", "SCENE", "SPEECH", "STAGEDIR", "SUBHEAD"]);
     }

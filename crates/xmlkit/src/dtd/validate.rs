@@ -41,10 +41,8 @@ fn validate_node(doc: &Document, id: NodeId, dtd: &Dtd, errors: &mut Vec<Validat
     let decl = match dtd.element(&name) {
         Some(d) => d,
         None => {
-            errors.push(ValidationError {
-                element: name,
-                message: "element is not declared".into(),
-            });
+            errors
+                .push(ValidationError { element: name, message: "element is not declared".into() });
             return;
         }
     };
@@ -73,14 +71,11 @@ fn validate_node(doc: &Document, id: NodeId, dtd: &Dtd, errors: &mut Vec<Validat
     }
 
     // Content checks.
-    let child_tags: Vec<&str> = doc
+    let child_tags: Vec<&str> = doc.children(id).iter().filter_map(|&c| doc.tag(c)).collect();
+    let has_text = doc
         .children(id)
         .iter()
-        .filter_map(|&c| doc.tag(c))
-        .collect();
-    let has_text = doc.children(id).iter().any(|&c| {
-        matches!(&doc.node(c).kind, NodeKind::Text(t) if !t.trim().is_empty())
-    });
+        .any(|&c| matches!(&doc.node(c).kind, NodeKind::Text(t) if !t.trim().is_empty()));
 
     match &decl.content {
         ContentModel::Empty => {
@@ -96,9 +91,7 @@ fn validate_node(doc: &Document, id: NodeId, dtd: &Dtd, errors: &mut Vec<Validat
             if !child_tags.is_empty() {
                 errors.push(ValidationError {
                     element: name.clone(),
-                    message: format!(
-                        "declared (#PCDATA) but contains elements {child_tags:?}"
-                    ),
+                    message: format!("declared (#PCDATA) but contains elements {child_tags:?}"),
                 });
             }
         }
@@ -122,9 +115,7 @@ fn validate_node(doc: &Document, id: NodeId, dtd: &Dtd, errors: &mut Vec<Validat
             if !matches_particle(p, &child_tags) {
                 errors.push(ValidationError {
                     element: name.clone(),
-                    message: format!(
-                        "children {child_tags:?} do not match content model {p}"
-                    ),
+                    message: format!("children {child_tags:?} do not match content model {p}"),
                 });
             }
         }
@@ -292,10 +283,8 @@ mod tests {
     #[test]
     fn matcher_handles_ambiguous_choice() {
         // (a | (a, b)) over [a, b]: requires trying both branches.
-        let dtd = parse_dtd(
-            "<!ELEMENT r (a | (a, b))><!ELEMENT a EMPTY><!ELEMENT b EMPTY>",
-        )
-        .unwrap();
+        let dtd =
+            parse_dtd("<!ELEMENT r (a | (a, b))><!ELEMENT a EMPTY><!ELEMENT b EMPTY>").unwrap();
         let doc = parse_document("<r><a/><b/></r>").unwrap();
         assert_eq!(validate(&doc, &dtd), Vec::new());
         let doc2 = parse_document("<r><a/></r>").unwrap();
@@ -306,8 +295,7 @@ mod tests {
 
     #[test]
     fn star_group_matches_empty_and_many() {
-        let dtd =
-            parse_dtd("<!ELEMENT r (a, b)*><!ELEMENT a EMPTY><!ELEMENT b EMPTY>").unwrap();
+        let dtd = parse_dtd("<!ELEMENT r (a, b)*><!ELEMENT a EMPTY><!ELEMENT b EMPTY>").unwrap();
         for (body, ok) in [
             ("", true),
             ("<a/><b/>", true),

@@ -77,11 +77,9 @@ impl fmt::Display for XmlError {
                 write!(f, "unexpected character {c:?} at {}", self.pos)
             }
             ErrorKind::Expected(tok) => write!(f, "expected {tok} at {}", self.pos),
-            ErrorKind::MismatchedTag { open, close } => write!(
-                f,
-                "close tag </{close}> does not match open tag <{open}> at {}",
-                self.pos
-            ),
+            ErrorKind::MismatchedTag { open, close } => {
+                write!(f, "close tag </{close}> does not match open tag <{open}> at {}", self.pos)
+            }
             ErrorKind::InvalidName(n) => write!(f, "invalid name {n:?} at {}", self.pos),
             ErrorKind::UnknownEntity(e) => write!(f, "unknown entity &{e}; at {}", self.pos),
             ErrorKind::InvalidCharRef(r) => {

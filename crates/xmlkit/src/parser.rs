@@ -38,9 +38,7 @@ impl<'a> Parser<'a> {
         let doctype = self.prolog()?;
         self.c.skip_ws();
         if !self.c.starts_with("<") {
-            return Err(self
-                .c
-                .error(ErrorKind::MalformedDocument("expected root element".into())));
+            return Err(self.c.error(ErrorKind::MalformedDocument("expected root element".into())));
         }
         let mut doc = self.root_element()?;
         doc.doctype = doctype;
@@ -55,9 +53,9 @@ impl<'a> Parser<'a> {
             } else if self.c.starts_with("<?") {
                 self.processing_instruction()?;
             } else {
-                return Err(self.c.error(ErrorKind::MalformedDocument(
-                    "content after root element".into(),
-                )));
+                return Err(self
+                    .c
+                    .error(ErrorKind::MalformedDocument("content after root element".into())));
             }
         }
         Ok(doc)
@@ -342,8 +340,7 @@ mod tests {
 
     #[test]
     fn parses_attributes() {
-        let doc =
-            parse_document(r#"<e a="1" b='two &amp; three'/>"#).unwrap();
+        let doc = parse_document(r#"<e a="1" b='two &amp; three'/>"#).unwrap();
         assert_eq!(doc.attribute(doc.root(), "a"), Some("1"));
         assert_eq!(doc.attribute(doc.root(), "b"), Some("two & three"));
     }
@@ -379,10 +376,8 @@ mod tests {
 
     #[test]
     fn custom_entity_from_internal_subset() {
-        let doc = parse_document(
-            r#"<!DOCTYPE t [<!ENTITY who "world">]><t>hello &who;</t>"#,
-        )
-        .unwrap();
+        let doc =
+            parse_document(r#"<!DOCTYPE t [<!ENTITY who "world">]><t>hello &who;</t>"#).unwrap();
         assert_eq!(doc.doctype.as_deref(), Some("t"));
         assert_eq!(doc.text_content(doc.root()), "hello world");
     }

@@ -33,10 +33,7 @@ fn attribute_escaping_round_trips() {
     assert_eq!(doc.attribute(doc.root(), "a"), Some("<tag> & \"quote\""));
     let out = serialize::to_string(&doc);
     let doc2 = parse_document(&out).unwrap();
-    assert_eq!(
-        doc.attribute(doc.root(), "a"),
-        doc2.attribute(doc2.root(), "a")
-    );
+    assert_eq!(doc.attribute(doc.root(), "a"), doc2.attribute(doc2.root(), "a"));
     assert_eq!(doc.text_content(doc.root()), doc2.text_content(doc2.root()));
 }
 
@@ -46,7 +43,10 @@ fn unicode_content_round_trips() {
     let doc = parse_document(src).unwrap();
     assert_eq!(doc.text_content(doc.root()), "Ðe wæs on burgum — 古詩 §¶");
     let out = serialize::to_string(&doc);
-    assert_eq!(parse_document(&out).unwrap().text_content(doc.root()), doc.text_content(doc.root()));
+    assert_eq!(
+        parse_document(&out).unwrap().text_content(doc.root()),
+        doc.text_content(doc.root())
+    );
 }
 
 #[test]
@@ -87,15 +87,9 @@ fn validator_catches_every_error_not_just_first() {
 
 #[test]
 fn doctype_external_ids_are_tolerated() {
-    let doc = parse_document(
-        r#"<!DOCTYPE PLAY SYSTEM "play.dtd"><PLAY>x</PLAY>"#,
-    )
-    .unwrap();
+    let doc = parse_document(r#"<!DOCTYPE PLAY SYSTEM "play.dtd"><PLAY>x</PLAY>"#).unwrap();
     assert_eq!(doc.doctype.as_deref(), Some("PLAY"));
-    let doc = parse_document(
-        r#"<!DOCTYPE PP PUBLIC "-//ACM//DTD PP//EN" "pp.dtd"><PP/>"#,
-    )
-    .unwrap();
+    let doc = parse_document(r#"<!DOCTYPE PP PUBLIC "-//ACM//DTD PP//EN" "pp.dtd"><PP/>"#).unwrap();
     assert_eq!(doc.doctype.as_deref(), Some("PP"));
 }
 
@@ -122,10 +116,7 @@ fn pretty_printer_is_reparseable() {
     let pretty = serialize::to_pretty_string(&doc);
     let re = parse_document(&pretty).unwrap();
     // Pretty-printing only adds ignorable whitespace between elements.
-    assert_eq!(
-        doc.elements_named("LINE").count(),
-        re.elements_named("LINE").count()
-    );
+    assert_eq!(doc.elements_named("LINE").count(), re.elements_named("LINE").count());
     let line = re.elements_named("LINE").next().unwrap();
     assert_eq!(re.text_content(line), "mixed dir tail");
 }

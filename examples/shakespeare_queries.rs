@@ -52,9 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let _ = std::fs::remove_dir_all(&dir);
 
     let mut dbs = Vec::new();
-    for (name, mapping) in
-        [("hybrid", map_hybrid(&simple)), ("xorator", map_xorator(&simple))]
-    {
+    for (name, mapping) in [("hybrid", map_hybrid(&simple)), ("xorator", map_xorator(&simple))] {
         let db = ordb::Database::open(dir.join(name))?;
         let report = load_corpus(&db, &mapping, &docs, LoadOptions::default())?;
         let n_idx = advise_and_apply(&db, &mapping, &workload)?;

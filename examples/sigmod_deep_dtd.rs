@@ -34,8 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Load once compressed (the sampled choice) and once plain (ablation).
     let mut dbs = Vec::new();
-    for (name, policy) in
-        [("compressed", FormatPolicy::Compressed), ("plain", FormatPolicy::Plain)]
+    for (name, policy) in [("compressed", FormatPolicy::Compressed), ("plain", FormatPolicy::Plain)]
     {
         let db = ordb::Database::open(dir.join(name))?;
         let report = load_corpus(&db, &mapping, &docs, LoadOptions { policy, sample_docs: 0 })?;

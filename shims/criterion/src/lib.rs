@@ -1,0 +1,291 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! The bench targets in `crates/bench` use a small slice of criterion's
+//! API: `Criterion::benchmark_group`, group knobs (`warm_up_time`,
+//! `measurement_time`, `sample_size`), `bench_function` /
+//! `bench_with_input`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros. This shim implements that surface with a
+//! plain calibrated-loop timer: it warms up, sizes an iteration batch to
+//! the measurement window, and prints per-benchmark mean / min / max.
+//! No statistics, HTML reports, or regression baselines — enough to run
+//! `cargo bench` offline and eyeball relative costs.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub use std::hint::black_box;
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter rendering.
+    pub fn new<S: fmt::Display, P: fmt::Display>(function_id: S, parameter: P) -> BenchmarkId {
+        BenchmarkId { id: format!("{function_id}/{parameter}") }
+    }
+
+    /// Build an id from a parameter alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Conversion accepted wherever criterion takes `impl Into<BenchmarkId>`.
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The timing context handed to benchmark closures.
+pub struct Bencher<'a> {
+    cfg: &'a GroupConfig,
+    /// Filled in by [`Bencher::iter`]; read by the group printer.
+    result: Option<Sample>,
+}
+
+struct Sample {
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+    iters: u64,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, warming up first and then measuring batches until
+    /// the configured measurement window is filled.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run until the warm-up window elapses, tracking the
+        // iteration rate to size measurement batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.cfg.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        // Measurement: `sample_size` batches spread over the window.
+        let samples = self.cfg.sample_size.max(2) as u64;
+        let window = self.cfg.measurement.as_secs_f64();
+        let batch = ((window / samples as f64 / per_iter.max(1e-9)) as u64).max(1);
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            let per = elapsed / batch as u32;
+            min = min.min(per);
+            max = max.max(per);
+            total += elapsed;
+            iters += batch;
+        }
+        self.result = Some(Sample { mean: total / iters.max(1) as u32, min, max, iters });
+    }
+}
+
+#[derive(Clone)]
+struct GroupConfig {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for GroupConfig {
+    fn default() -> GroupConfig {
+        GroupConfig {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    cfg: GroupConfig,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the warm-up window.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.warm_up = d;
+        self
+    }
+
+    /// Set the measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.measurement = d;
+        self
+    }
+
+    /// Set the number of timed batches.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cfg.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into_id();
+        let mut b = Bencher { cfg: &self.cfg, result: None };
+        f(&mut b);
+        report(&self.name, &id, b.result);
+        self
+    }
+
+    /// Run one benchmark with a borrowed input value.
+    pub fn bench_with_input<I, In, F>(&mut self, id: I, input: &In, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        In: ?Sized,
+        F: FnMut(&mut Bencher<'_>, &In),
+    {
+        let id = id.into_id();
+        let mut b = Bencher { cfg: &self.cfg, result: None };
+        f(&mut b, input);
+        report(&self.name, &id, b.result);
+        self
+    }
+
+    /// End the group (prints nothing extra; provided for API parity).
+    pub fn finish(self) {}
+}
+
+fn report(group: &str, id: &str, sample: Option<Sample>) {
+    match sample {
+        Some(s) => println!(
+            "{group}/{id}: mean {} (min {}, max {}, {} iters)",
+            fmt_dur(s.mean),
+            fmt_dur(s.min),
+            fmt_dur(s.max),
+            s.iters
+        ),
+        None => println!("{group}/{id}: no measurement (closure never called iter)"),
+    }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Accept (and ignore) command-line configuration — `cargo bench`
+    /// passes harness flags the shim has no use for.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), cfg: GroupConfig::default(), _criterion: self }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let cfg = GroupConfig::default();
+        let mut b = Bencher { cfg: &cfg, result: None };
+        f(&mut b);
+        report("bench", id, b.result);
+        self
+    }
+
+    /// Print the run's closing summary (no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declare a group function running each target against one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let cfg = GroupConfig {
+            warm_up: Duration::from_millis(5),
+            measurement: Duration::from_millis(20),
+            sample_size: 3,
+        };
+        let mut b = Bencher { cfg: &cfg, result: None };
+        b.iter(|| std::hint::black_box(41) + 1);
+        let s = b.result.expect("sample recorded");
+        assert!(s.iters > 0);
+        assert!(s.min <= s.mean && s.mean <= s.max.max(s.mean));
+    }
+
+    #[test]
+    fn id_rendering() {
+        assert_eq!(BenchmarkId::new("getElm", "plain").into_id(), "getElm/plain");
+        assert_eq!("compress".into_id(), "compress");
+    }
+}

@@ -1,0 +1,62 @@
+//! Offline shim for the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope` is used (by the parallel shredder in
+//! `xorator::load`), and since Rust 1.63 the standard library provides
+//! scoped threads natively, so the shim is a thin adapter that preserves
+//! crossbeam's call shape: the closure and each spawned task receive a
+//! `&Scope`, and `scope` returns a `Result` (always `Ok`; a panicking
+//! worker propagates on join, exactly how the one call site's
+//! `.expect("worker thread panicked")` treats the error arm).
+
+pub mod thread {
+    //! Scoped threads (mirrors `crossbeam::thread`).
+
+    /// Error payload of a panicked scope (never constructed by this shim;
+    /// panics propagate on join instead).
+    pub type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+    /// A scope handle passed to the closure and to spawned tasks.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a task borrowing from the enclosing scope. The task
+        /// receives a `&Scope` so it can spawn further tasks, matching
+        /// crossbeam's signature (call sites typically ignore it).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope; all spawned tasks are joined before `scope`
+    /// returns. A panicking task re-raises the panic at join time.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_workers_see_borrowed_state() {
+        let counter = AtomicUsize::new(0);
+        super::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.into_inner(), 4);
+    }
+}

@@ -1,0 +1,159 @@
+//! Offline shim for the `rand` crate.
+//!
+//! Provides the subset of the rand 0.8 API the corpus generators use:
+//! `rngs::SmallRng`, `SeedableRng::seed_from_u64`, and the [`Rng`] trait
+//! with `gen_range` (half-open and inclusive integer ranges) and
+//! `gen_bool`. The generator is a splitmix64-seeded xorshift64*, which is
+//! plenty for synthetic-corpus generation and fully deterministic for a
+//! given seed (the datagen crate's contract).
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod rngs {
+    //! Named RNG types (mirrors `rand::rngs`).
+
+    /// A small, fast, seedable, non-cryptographic RNG (xorshift64*).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        pub(crate) state: u64,
+    }
+}
+
+use rngs::SmallRng;
+
+/// Seedable construction (mirrors `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Build an RNG from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> SmallRng {
+        // splitmix64 expansion of the seed so 0/1/2… give well-mixed
+        // starting states (xorshift must not start at 0).
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        SmallRng { state: z | 1 }
+    }
+}
+
+/// Types an integer range can sample (mirrors `rand`'s `SampleUniform`).
+pub trait SampleUniform: Copy {
+    /// Sample uniformly from `[lo, hi)`; `hi > lo` is the caller's duty.
+    fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Successor value, for inclusive-range sampling.
+    fn successor(self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u128;
+                debug_assert!(span > 0, "gen_range called with an empty range");
+                // Modulo bias is negligible for the tiny spans datagen uses.
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+            fn successor(self) -> Self {
+                self + 1
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+/// A range usable with [`Rng::gen_range`] (mirrors `rand`'s `SampleRange`).
+pub trait SampleRange<T> {
+    /// Draw one sample from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_half_open(rng, lo, hi.successor())
+    }
+}
+
+/// The user-facing RNG trait (mirrors `rand::Rng`).
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from an integer range (`0..n` or `1..=n`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p));
+        // 53 uniform mantissa bits → [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl Rng for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64* (Vigna): passes BigCrush on the high bits.
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: i64 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        let heads = (0..2000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((800..1200).contains(&heads), "suspicious coin: {heads}/2000");
+    }
+}

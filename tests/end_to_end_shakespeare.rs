@@ -13,10 +13,7 @@ struct Env {
 }
 
 fn setup() -> Env {
-    let docs = datagen::generate_shakespeare(&ShakespeareConfig {
-        plays: 4,
-        ..Default::default()
-    });
+    let docs = datagen::generate_shakespeare(&ShakespeareConfig { plays: 4, ..Default::default() });
     let simple = simplify(&parse_dtd(xorator::dtds::SHAKESPEARE_DTD).unwrap());
     let queries = shakespeare_queries();
     let workload: Vec<&str> = queries.iter().flat_map(|q| [q.hybrid, q.xorator]).collect();
@@ -24,9 +21,7 @@ fn setup() -> Env {
     let _ = std::fs::remove_dir_all(&dir);
 
     let mut dbs = Vec::new();
-    for (name, mapping) in
-        [("hybrid", map_hybrid(&simple)), ("xorator", map_xorator(&simple))]
-    {
+    for (name, mapping) in [("hybrid", map_hybrid(&simple)), ("xorator", map_xorator(&simple))] {
         let db = Database::open(dir.join(name)).unwrap();
         load_corpus(&db, &mapping, &docs, LoadOptions::default()).unwrap();
         advise_and_apply(&db, &mapping, &workload).unwrap();
@@ -91,8 +86,7 @@ fn qs5_line_contents_identical() {
     let x = env.xorator.query(q.xorator).unwrap();
     // Hybrid returns the line text; XORator the <LINE> fragments. Compare
     // the multisets of text contents.
-    let mut hv: Vec<String> =
-        h.rows.iter().map(|r| r[0].as_str().unwrap().to_string()).collect();
+    let mut hv: Vec<String> = h.rows.iter().map(|r| r[0].as_str().unwrap().to_string()).collect();
     let mut xv: Vec<String> = Vec::new();
     for row in &x.rows {
         let frag = row[0].as_xadt().unwrap();
@@ -137,27 +131,19 @@ fn qe_examples_round_trip() {
              WHERE line_parentID = speechID AND line_childOrder = 2",
         )
         .unwrap();
-    let x = env
-        .xorator
-        .query("SELECT getElmIndex(speech_line, '', 'LINE', 2, 2) FROM speech")
-        .unwrap();
+    let x =
+        env.xorator.query("SELECT getElmIndex(speech_line, '', 'LINE', 2, 2) FROM speech").unwrap();
     // Every XORator row is one speech; non-empty fragments must equal the
     // Hybrid row count.
-    let nonempty = x
-        .rows
-        .iter()
-        .filter(|r| matches!(&r[0], Value::Xadt(f) if !f.is_empty()))
-        .count();
+    let nonempty =
+        x.rows.iter().filter(|r| matches!(&r[0], Value::Xadt(f) if !f.is_empty())).count();
     assert_eq!(nonempty, h.len());
 }
 
 #[test]
 fn distinct_speakers_via_unnest_matches_value_table() {
     let env = setup();
-    let h = env
-        .hybrid
-        .query("SELECT DISTINCT speaker_value FROM speaker")
-        .unwrap();
+    let h = env.hybrid.query("SELECT DISTINCT speaker_value FROM speaker").unwrap();
     let x = env
         .xorator
         .query(

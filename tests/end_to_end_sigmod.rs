@@ -64,9 +64,7 @@ fn qg_flattening_and_aggregates_agree() {
         let mut v: Vec<(String, i64)> = r
             .rows
             .iter()
-            .map(|row| {
-                (row[0].as_str().unwrap().to_string(), row[1].as_int().unwrap())
-            })
+            .map(|row| (row[0].as_str().unwrap().to_string(), row[1].as_int().unwrap()))
             .collect();
         v.sort();
         v
@@ -104,8 +102,7 @@ fn qg6_second_authors_match() {
     let q6 = sigmod_queries().into_iter().find(|q| q.id == "QG6").unwrap();
     let h = env.hybrid.query(q6.hybrid).unwrap();
     let x = env.xorator.query(q6.xorator).unwrap();
-    let mut hv: Vec<String> =
-        h.rows.iter().map(|r| r[0].as_str().unwrap().to_string()).collect();
+    let mut hv: Vec<String> = h.rows.iter().map(|r| r[0].as_str().unwrap().to_string()).collect();
     let mut xv: Vec<String> = Vec::new();
     for row in &x.rows {
         if let Some(frag) = row[0].as_xadt() {
@@ -127,8 +124,7 @@ fn compressed_and_plain_loads_give_identical_answers() {
     let dir = std::env::temp_dir().join(format!("xorator-it-fmt-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let mut results = Vec::new();
-    for (name, policy) in
-        [("plain", FormatPolicy::Plain), ("compressed", FormatPolicy::Compressed)]
+    for (name, policy) in [("plain", FormatPolicy::Plain), ("compressed", FormatPolicy::Compressed)]
     {
         let db = Database::open(dir.join(name)).unwrap();
         load_corpus(&db, &xmap, &docs, LoadOptions { policy, sample_docs: 0 }).unwrap();
@@ -139,9 +135,7 @@ fn compressed_and_plain_loads_give_identical_answers() {
             let rows: Vec<String> = r
                 .rows
                 .iter()
-                .map(|row| {
-                    row.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("|")
-                })
+                .map(|row| row.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("|"))
                 .collect();
             per_query.push((q.id, rows));
         }

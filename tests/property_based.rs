@@ -1,13 +1,20 @@
-//! Property-based tests over the core data structures and invariants:
+//! Randomized model tests over the core data structures and invariants:
 //!
 //! * XML serialize → parse round-trips;
 //! * XADT compression round-trips and method agreement across formats;
 //! * B+Tree behaves like a sorted map (model test);
 //! * tuple codec round-trips;
 //! * SQL LIKE matches a reference implementation.
+//!
+//! These were originally written against `proptest`; the offline build
+//! cannot vendor it, so the same invariants are exercised with a seeded
+//! [`SmallRng`] generator — fully deterministic per seed, with the seed
+//! printed in every assertion message for replay.
 
-use proptest::prelude::*;
 use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 use ordb::index::btree::BTree;
 use ordb::index::key::encode_key;
@@ -18,18 +25,35 @@ use ordb::types::Value;
 use xadt::XadtValue;
 use xmlkit::{parse_document, serialize, Document, NodeId};
 
+const CASES: usize = 64;
+
 // ---- generators --------------------------------------------------------
 
-/// Element names from a small pool (keeps trees join-friendly).
-fn arb_name() -> impl Strategy<Value = String> {
-    prop::sample::select(vec!["a", "b", "LINE", "SPEAKER", "aTuple", "x1"])
-        .prop_map(str::to_string)
+const NAMES: &[&str] = &["a", "b", "LINE", "SPEAKER", "aTuple", "x1"];
+
+fn arb_name(rng: &mut SmallRng) -> String {
+    NAMES[rng.gen_range(0..NAMES.len())].to_string()
 }
 
 /// Text without XML-significant characters (escaping is covered by
 /// dedicated cases; here we stress structure).
-fn arb_text() -> impl Strategy<Value = String> {
-    "[ -;=?-~]{0,20}".prop_map(|s| s.replace(['<', '&', '>'], " "))
+fn arb_text(rng: &mut SmallRng) -> String {
+    let n = rng.gen_range(0..20usize);
+    (0..n)
+        .map(|_| {
+            let c = rng.gen_range(b' '..b'~') as char;
+            if matches!(c, '<' | '&' | '>') {
+                ' '
+            } else {
+                c
+            }
+        })
+        .collect()
+}
+
+fn arb_attr_name(rng: &mut SmallRng) -> String {
+    let n = rng.gen_range(1..5usize);
+    (0..n).map(|_| rng.gen_range(b'a'..=b'z') as char).collect()
 }
 
 #[derive(Debug, Clone)]
@@ -38,21 +62,22 @@ enum Tree {
     Elem { name: String, attrs: Vec<(String, String)>, children: Vec<Tree> },
 }
 
-fn arb_tree() -> impl Strategy<Value = Tree> {
-    let leaf = prop_oneof![
-        arb_text().prop_map(Tree::Text),
-        (arb_name(), prop::collection::vec(("[a-z]{1,4}", arb_text()), 0..2)).prop_map(
-            |(name, attrs)| Tree::Elem { name, attrs, children: vec![] }
-        ),
-    ];
-    leaf.prop_recursive(4, 24, 4, |inner| {
-        (
-            arb_name(),
-            prop::collection::vec(("[a-z]{1,4}", arb_text()), 0..2),
-            prop::collection::vec(inner, 0..4),
-        )
-            .prop_map(|(name, attrs, children)| Tree::Elem { name, attrs, children })
-    })
+fn arb_attrs(rng: &mut SmallRng) -> Vec<(String, String)> {
+    (0..rng.gen_range(0..2usize)).map(|_| (arb_attr_name(rng), arb_text(rng))).collect()
+}
+
+/// A random tree of bounded depth and fanout.
+fn arb_tree(rng: &mut SmallRng, depth: usize) -> Tree {
+    if depth == 0 || rng.gen_bool(0.3) {
+        if rng.gen_bool(0.5) {
+            Tree::Text(arb_text(rng))
+        } else {
+            Tree::Elem { name: arb_name(rng), attrs: arb_attrs(rng), children: vec![] }
+        }
+    } else {
+        let children = (0..rng.gen_range(0..4usize)).map(|_| arb_tree(rng, depth - 1)).collect();
+        Tree::Elem { name: arb_name(rng), attrs: arb_attrs(rng), children }
+    }
 }
 
 fn build(doc: &mut Document, parent: NodeId, t: &Tree) {
@@ -81,77 +106,107 @@ fn tree_to_doc(t: &Tree) -> Document {
     doc
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn root_fragment(doc: &Document) -> String {
+    let mut frag = String::new();
+    for &c in doc.children(doc.root()) {
+        serialize::write_subtree(doc, c, &mut frag);
+    }
+    frag
+}
 
-    #[test]
-    fn xml_serialize_parse_round_trip(t in arb_tree()) {
-        let doc = tree_to_doc(&t);
+// ---- invariants --------------------------------------------------------
+
+#[test]
+fn xml_serialize_parse_round_trip() {
+    for seed in 0..CASES as u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let doc = tree_to_doc(&arb_tree(&mut rng, 4));
         let text = serialize::to_string(&doc);
         let back = parse_document(&text).unwrap();
-        prop_assert_eq!(serialize::to_string(&back), text);
-    }
-
-    #[test]
-    fn xadt_compression_round_trip(t in arb_tree()) {
-        let doc = tree_to_doc(&t);
-        // Serialize the children of root as a fragment.
-        let mut frag = String::new();
-        for &c in doc.children(doc.root()) {
-            serialize::write_subtree(&doc, c, &mut frag);
-        }
-        let bytes = xadt::compress(&frag).unwrap();
-        // Decompression renders the canonical form (e.g. `<a></a>` rather
-        // than `<a/>`): compare canonicalized event streams.
-        prop_assert_eq!(xadt::decompress(&bytes).unwrap(), canon(&frag));
-    }
-
-    #[test]
-    fn xadt_methods_agree_across_formats(t in arb_tree(), key in "[a-z]{1,3}") {
-        let doc = tree_to_doc(&t);
-        let mut frag = String::new();
-        for &c in doc.children(doc.root()) {
-            serialize::write_subtree(&doc, c, &mut frag);
-        }
-        let plain = XadtValue::plain(frag.clone());
-        let comp = XadtValue::compressed(&frag).unwrap();
-        for elm in ["a", "LINE", ""] {
-            if elm.is_empty() && key.is_empty() { continue; }
-            let fp = xadt::find_key_in_elm(&plain, elm, &key).unwrap();
-            let fc = xadt::find_key_in_elm(&comp, elm, &key).unwrap();
-            prop_assert_eq!(fp, fc, "findKeyInElm({}, {})", elm, &key);
-        }
-        let gp = xadt::get_elm(&plain, "a", "b", &key, None).unwrap();
-        let gc = xadt::get_elm(&comp, "a", "b", &key, None).unwrap();
-        prop_assert_eq!(gp.to_plain(), gc.to_plain());
-        let up = xadt::unnest(&plain, "a").unwrap().len();
-        let uc = xadt::unnest(&comp, "a").unwrap().len();
-        prop_assert_eq!(up, uc);
-    }
-
-    #[test]
-    fn tuple_codec_round_trips(values in prop::collection::vec(arb_value(), 0..6)) {
-        let mut buf = Vec::new();
-        encode_row(&values, &mut buf);
-        let back = decode_row(&buf, values.len()).unwrap();
-        prop_assert_eq!(back, values);
-    }
-
-    #[test]
-    fn like_matches_reference(pattern in "[ab%_]{0,8}", text in "[ab]{0,8}") {
-        let got = ordb::expr::like_match(pattern.as_bytes(), text.as_bytes());
-        let want = like_reference(pattern.as_bytes(), text.as_bytes());
-        prop_assert_eq!(got, want, "pattern={:?} text={:?}", &pattern, &text);
+        assert_eq!(serialize::to_string(&back), text, "seed {seed}");
     }
 }
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        any::<i64>().prop_map(Value::Int),
-        "[ -~]{0,12}".prop_map(Value::Str),
-        "[a-z]{1,6}".prop_map(|s| Value::Xadt(XadtValue::plain(format!("<e>{s}</e>")))),
-    ]
+#[test]
+fn xadt_compression_round_trip() {
+    for seed in 0..CASES as u64 {
+        let mut rng = SmallRng::seed_from_u64(1000 + seed);
+        let doc = tree_to_doc(&arb_tree(&mut rng, 4));
+        let frag = root_fragment(&doc);
+        let bytes = xadt::compress(&frag).unwrap();
+        // Decompression renders the canonical form (e.g. `<a></a>` rather
+        // than `<a/>`): compare canonicalized event streams.
+        assert_eq!(xadt::decompress(&bytes).unwrap(), canon(&frag), "seed {seed}");
+    }
+}
+
+#[test]
+fn xadt_methods_agree_across_formats() {
+    for seed in 0..CASES as u64 {
+        let mut rng = SmallRng::seed_from_u64(2000 + seed);
+        let doc = tree_to_doc(&arb_tree(&mut rng, 4));
+        let frag = root_fragment(&doc);
+        let key: String =
+            (0..rng.gen_range(1..4usize)).map(|_| rng.gen_range(b'a'..=b'z') as char).collect();
+        let plain = XadtValue::plain(frag.clone());
+        let comp = XadtValue::compressed(&frag).unwrap();
+        for elm in ["a", "LINE", ""] {
+            if elm.is_empty() && key.is_empty() {
+                continue;
+            }
+            let fp = xadt::find_key_in_elm(&plain, elm, &key).unwrap();
+            let fc = xadt::find_key_in_elm(&comp, elm, &key).unwrap();
+            assert_eq!(fp, fc, "seed {seed}: findKeyInElm({elm}, {key})");
+        }
+        let gp = xadt::get_elm(&plain, "a", "b", &key, None).unwrap();
+        let gc = xadt::get_elm(&comp, "a", "b", &key, None).unwrap();
+        assert_eq!(gp.to_plain(), gc.to_plain(), "seed {seed}");
+        let up = xadt::unnest(&plain, "a").unwrap().len();
+        let uc = xadt::unnest(&comp, "a").unwrap().len();
+        assert_eq!(up, uc, "seed {seed}");
+    }
+}
+
+fn arb_value(rng: &mut SmallRng) -> Value {
+    match rng.gen_range(0..4u32) {
+        0 => Value::Null,
+        1 => Value::Int(rng.next_u64() as i64),
+        2 => Value::Str(arb_text(rng)),
+        _ => {
+            let s: String =
+                (0..rng.gen_range(1..7usize)).map(|_| rng.gen_range(b'a'..=b'z') as char).collect();
+            Value::Xadt(XadtValue::plain(format!("<e>{s}</e>")))
+        }
+    }
+}
+
+#[test]
+fn tuple_codec_round_trips() {
+    for seed in 0..CASES as u64 {
+        let mut rng = SmallRng::seed_from_u64(3000 + seed);
+        let values: Vec<Value> =
+            (0..rng.gen_range(0..6usize)).map(|_| arb_value(&mut rng)).collect();
+        let mut buf = Vec::new();
+        encode_row(&values, &mut buf);
+        let back = decode_row(&buf, values.len()).unwrap();
+        assert_eq!(back, values, "seed {seed}");
+    }
+}
+
+#[test]
+fn like_matches_reference() {
+    let pat_alphabet = [b'a', b'b', b'%', b'_'];
+    for seed in 0..(CASES * 4) as u64 {
+        let mut rng = SmallRng::seed_from_u64(4000 + seed);
+        let pattern: String = (0..rng.gen_range(0..8usize))
+            .map(|_| pat_alphabet[rng.gen_range(0..pat_alphabet.len())] as char)
+            .collect();
+        let text: String =
+            (0..rng.gen_range(0..8usize)).map(|_| rng.gen_range(b'a'..=b'b') as char).collect();
+        let got = ordb::expr::like_match(pattern.as_bytes(), text.as_bytes());
+        let want = like_reference(pattern.as_bytes(), text.as_bytes());
+        assert_eq!(got, want, "seed {seed}: pattern={pattern:?} text={text:?}");
+    }
 }
 
 /// Canonical plain rendering of a fragment: tokenize and re-render every
@@ -181,16 +236,38 @@ fn like_reference(p: &[u8], t: &[u8]) -> bool {
 
 // ---- B+Tree model test -------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Value, u64),
+    Delete(Value, u64),
+    Lookup(Value),
+}
 
-    #[test]
-    fn btree_behaves_like_sorted_map(ops in prop::collection::vec(arb_op(), 1..150)) {
-        let dir = std::env::temp_dir().join(format!(
-            "xorator-prop-btree-{}-{:x}",
-            std::process::id(),
-            std::collections::hash_map::DefaultHasher::new_with(&ops)
-        ));
+fn arb_key(rng: &mut SmallRng) -> Value {
+    if rng.gen_bool(0.5) {
+        Value::Int(rng.gen_range(0..40i64))
+    } else {
+        let s: String =
+            (0..rng.gen_range(0..4usize)).map(|_| rng.gen_range(b'a'..=b'c') as char).collect();
+        Value::Str(s)
+    }
+}
+
+fn arb_op(rng: &mut SmallRng) -> Op {
+    match rng.gen_range(0..3u32) {
+        0 => Op::Insert(arb_key(rng), rng.gen_range(0..8u64)),
+        1 => Op::Delete(arb_key(rng), rng.gen_range(0..8u64)),
+        _ => Op::Lookup(arb_key(rng)),
+    }
+}
+
+#[test]
+fn btree_behaves_like_sorted_map() {
+    for seed in 0..32u64 {
+        let mut rng = SmallRng::seed_from_u64(5000 + seed);
+        let ops: Vec<Op> = (0..rng.gen_range(1..150usize)).map(|_| arb_op(&mut rng)).collect();
+        let dir =
+            std::env::temp_dir().join(format!("xorator-prop-btree-{}-{seed}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         let pool = Arc::new(BufferPool::new(16));
@@ -208,7 +285,7 @@ proptest! {
                 Op::Delete(k, r) => {
                     let key = encode_key(std::slice::from_ref(k));
                     let existed = tree.delete(&key, Rid::from_u64(*r)).unwrap();
-                    prop_assert_eq!(existed, model.remove(&(key, *r)));
+                    assert_eq!(existed, model.remove(&(key, *r)), "seed {seed}");
                 }
                 Op::Lookup(k) => {
                     let key = encode_key(std::slice::from_ref(k));
@@ -220,53 +297,17 @@ proptest! {
                         .map(|(_, r)| Rid::from_u64(*r))
                         .collect();
                     want.sort();
-                    prop_assert_eq!(got, want);
+                    assert_eq!(got, want, "seed {seed}");
                 }
             }
         }
-        prop_assert_eq!(tree.len().unwrap(), model.len() as u64);
+        assert_eq!(tree.len().unwrap(), model.len() as u64, "seed {seed}");
         // Full scan is sorted and complete.
         let all = tree.scan_range(None, None, true).unwrap();
-        prop_assert_eq!(all.len(), model.len());
+        assert_eq!(all.len(), model.len(), "seed {seed}");
         for w in all.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0);
+            assert!(w[0].0 <= w[1].0, "seed {seed}");
         }
         let _ = std::fs::remove_dir_all(&dir);
-    }
-}
-
-#[derive(Debug, Clone, Hash)]
-enum Op {
-    Insert(Value, u64),
-    Delete(Value, u64),
-    Lookup(Value),
-}
-
-fn arb_key() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        (0i64..40).prop_map(Value::Int),
-        "[a-c]{0,3}".prop_map(Value::Str),
-    ]
-}
-
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (arb_key(), 0u64..8).prop_map(|(k, r)| Op::Insert(k, r)),
-        (arb_key(), 0u64..8).prop_map(|(k, r)| Op::Delete(k, r)),
-        arb_key().prop_map(Op::Lookup),
-    ]
-}
-
-/// Helper trait to build a hasher seeded from data (stable temp dirs).
-trait HasherExt {
-    fn new_with<T: std::hash::Hash>(t: &T) -> u64;
-}
-
-impl HasherExt for std::collections::hash_map::DefaultHasher {
-    fn new_with<T: std::hash::Hash>(t: &T) -> u64 {
-        use std::hash::Hasher;
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        t.hash(&mut h);
-        h.finish()
     }
 }

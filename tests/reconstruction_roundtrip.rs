@@ -9,9 +9,7 @@ use xorator::prelude::*;
 
 fn check(tag: &str, dtd_src: &str, docs: &[String], policy: FormatPolicy) {
     let simple = simplify(&parse_dtd(dtd_src).unwrap());
-    for (name, mapping) in
-        [("hybrid", map_hybrid(&simple)), ("xorator", map_xorator(&simple))]
-    {
+    for (name, mapping) in [("hybrid", map_hybrid(&simple)), ("xorator", map_xorator(&simple))] {
         let dir = std::env::temp_dir().join(format!(
             "xorator-rt-{tag}-{name}-{:?}-{}",
             policy,

@@ -71,8 +71,12 @@ fn same_xpath_same_answers() {
     for (path, tag) in cases {
         let ch = compile_xpath(&env.hmap, path).unwrap();
         let cx = compile_xpath(&env.xmap, path).unwrap();
-        let h = env.hybrid.query(&ch.sql).unwrap_or_else(|e| panic!("{path} hybrid: {e}\n{}", ch.sql));
-        let x = env.xorator.query(&cx.sql).unwrap_or_else(|e| panic!("{path} xorator: {e}\n{}", cx.sql));
+        let h =
+            env.hybrid.query(&ch.sql).unwrap_or_else(|e| panic!("{path} hybrid: {e}\n{}", ch.sql));
+        let x = env
+            .xorator
+            .query(&cx.sql)
+            .unwrap_or_else(|e| panic!("{path} xorator: {e}\n{}", cx.sql));
         let (hn, xn) = (logical_count(&h, tag), logical_count(&x, tag));
         assert_eq!(hn, xn, "{path}\nhybrid SQL: {}\nxorator SQL: {}", ch.sql, cx.sql);
         assert!(hn > 0, "{path} should match something");
