@@ -54,6 +54,14 @@ pub struct Database {
     trace: RwLock<Option<Arc<dyn TraceSink>>>,
 }
 
+// A `Database` is shared across client threads by reference (see the
+// concurrent tests and the bench throughput harness); this fails to
+// compile if any field regresses to a single-threaded type.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Database>();
+};
+
 /// The result of a SELECT.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryResult {
@@ -1156,5 +1164,75 @@ mod tests {
         db.insert_rows("t", (0..10).map(|i| vec![Value::Int(i)]).collect()).unwrap();
         let r = db.query("SELECT a FROM t ORDER BY a DESC LIMIT 3").unwrap();
         assert_eq!(r.rows, vec![vec![Value::Int(9)], vec![Value::Int(8)], vec![Value::Int(7)]]);
+    }
+
+    #[test]
+    fn explain_performs_zero_pool_fetches() {
+        // Regression: operator builds used to run at construction time,
+        // so EXPLAIN did real heap scans and hash-table builds just to
+        // print the plan.
+        let db = db("explainnofetch");
+        setup_speech(&db);
+        db.execute("CREATE INDEX idx_parent ON speech (speech_parentID)").unwrap();
+        db.flush().unwrap();
+        db.drop_cache().unwrap();
+        db.take_io_stats();
+        for sql in [
+            "EXPLAIN SELECT speechID FROM speech WHERE speech_parentID = 1",
+            "EXPLAIN SELECT s.speechID, a.act_title FROM speech s, act a \
+             WHERE s.speech_parentID = a.actID",
+            "EXPLAIN SELECT COUNT(*) FROM speech s, act a \
+             WHERE s.speech_parentID = a.actID AND a.act_title = 'Act I'",
+        ] {
+            let plan = db.query(sql).unwrap();
+            assert!(!plan.rows.is_empty(), "plan rows for {sql}");
+        }
+        let window = db.take_io_stats();
+        assert_eq!(window.fetches(), 0, "EXPLAIN must touch zero pages: {window:?}");
+    }
+
+    #[test]
+    fn concurrent_queries_match_single_threaded_baseline() {
+        // N threads fire the same mixed read-only workload at one shared
+        // Database; every thread must see exactly the single-threaded
+        // results. Run with a tiny pool so eviction churn is constant.
+        let dir = std::env::temp_dir().join(format!("ordb-db-concurrent-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let db = Database::open_with(&dir, DbOptions { pool_frames: 16 }).unwrap();
+        setup_speech(&db);
+        db.execute("CREATE INDEX idx_parent ON speech (speech_parentID)").unwrap();
+        let workload = [
+            "SELECT speechID FROM speech WHERE speech_parentID = 1",
+            "SELECT COUNT(*) FROM speech",
+            "SELECT s.speechID, a.act_title FROM speech s, act a \
+             WHERE s.speech_parentID = a.actID",
+            "SELECT speechID FROM speech \
+             WHERE xtext(speech_line) LIKE '%friend%'",
+            "SELECT a.act_title, COUNT(*) FROM speech s, act a \
+             WHERE s.speech_parentID = a.actID GROUP BY a.act_title",
+        ];
+        let baseline: Vec<_> = workload.iter().map(|sql| db.query(sql).unwrap()).collect();
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let db = &db;
+                let baseline = &baseline;
+                s.spawn(move || {
+                    for round in 0..10 {
+                        // Stagger thread start points so different queries
+                        // overlap in the pool and the btree latches.
+                        let shift = (t + round) % workload.len();
+                        for i in 0..workload.len() {
+                            let idx = (i + shift) % workload.len();
+                            let got = db.query(workload[idx]).unwrap();
+                            let mut got_rows = got.rows;
+                            let mut want_rows = baseline[idx].rows.clone();
+                            got_rows.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+                            want_rows.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+                            assert_eq!(got_rows, want_rows, "query {idx} diverged on thread {t}");
+                        }
+                    }
+                });
+            }
+        });
     }
 }

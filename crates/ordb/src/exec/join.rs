@@ -1,6 +1,11 @@
 //! Join operators: block nested-loop, index nested-loop, hash, and
 //! sort-merge — the three cost regimes the paper discusses in §4.4
 //! (O(n²) nested loop, O(n log n) merge, O(n) hash probe).
+//!
+//! All builds are **lazy**: constructing an operator does no I/O. The
+//! build side (materialized inner, hash table, sorted runs) is produced
+//! on the first `next()` call, so `EXPLAIN` — which constructs a plan
+//! only to print it — touches zero pages.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -18,6 +23,8 @@ use crate::types::{Row, Value};
 /// to the concatenated row. With no predicate this is a cross product.
 pub struct NestedLoopJoin {
     outer: BoxOp,
+    /// Unconsumed inner child; taken and collected on first `next()`.
+    inner: Option<BoxOp>,
     inner_rows: Vec<Row>,
     predicate: Option<Expr>,
     current_outer: Option<Row>,
@@ -25,15 +32,24 @@ pub struct NestedLoopJoin {
 }
 
 impl NestedLoopJoin {
-    /// Join `outer` with the fully-materialized `inner` child.
-    pub fn new(outer: BoxOp, inner: BoxOp, predicate: Option<Expr>) -> Result<NestedLoopJoin> {
-        let inner_rows = crate::exec::collect(inner)?;
-        Ok(NestedLoopJoin { outer, inner_rows, predicate, current_outer: None, inner_pos: 0 })
+    /// Join `outer` with `inner` (materialized on first `next()`).
+    pub fn new(outer: BoxOp, inner: BoxOp, predicate: Option<Expr>) -> NestedLoopJoin {
+        NestedLoopJoin {
+            outer,
+            inner: Some(inner),
+            inner_rows: Vec::new(),
+            predicate,
+            current_outer: None,
+            inner_pos: 0,
+        }
     }
 }
 
 impl Operator for NestedLoopJoin {
     fn next(&mut self) -> Result<Option<Row>> {
+        if let Some(inner) = self.inner.take() {
+            self.inner_rows = crate::exec::collect(inner)?;
+        }
         loop {
             if self.current_outer.is_none() {
                 self.current_outer = self.outer.next()?;
@@ -150,19 +166,30 @@ impl Operator for IndexNestedLoopJoin {
 /// Hash join: build a hash table on the build side's keys, stream the
 /// probe side. Output rows are `probe ++ build` or `build ++ probe`
 /// depending on `probe_is_left`.
+///
+/// Build rows live in a contiguous arena (`entries`); the table maps each
+/// key to its arena range, and a probe match iterates that range by
+/// index — no per-probe clone of the matched row group.
 pub struct HashJoin {
     probe: BoxOp,
-    table: HashMap<Vec<Value>, Vec<Row>>,
+    /// Unconsumed build child; taken and hashed on first `next()`.
+    build: Option<BoxOp>,
+    build_keys: Vec<Expr>,
+    /// Arena of build rows, grouped so each key's rows are contiguous.
+    entries: Vec<Row>,
+    /// Key → contiguous range in `entries`.
+    table: HashMap<Vec<Value>, std::ops::Range<usize>>,
     probe_keys: Vec<Expr>,
     residual: Option<Expr>,
     probe_is_left: bool,
     current_probe: Option<Row>,
-    pending: std::vec::IntoIter<Row>,
+    /// Arena indices of the current probe row's matches.
+    pending: std::ops::Range<usize>,
 }
 
 impl HashJoin {
-    /// Materialize `build` into a hash table keyed by `build_keys`; stream
-    /// `probe` with `probe_keys`.
+    /// Join `probe` against `build` (hashed by `build_keys` on first
+    /// `next()`), streaming `probe` with `probe_keys`.
     pub fn new(
         probe: BoxOp,
         build: BoxOp,
@@ -170,44 +197,62 @@ impl HashJoin {
         build_keys: Vec<Expr>,
         residual: Option<Expr>,
         probe_is_left: bool,
-    ) -> Result<HashJoin> {
-        let mut table: HashMap<Vec<Value>, Vec<Row>> = HashMap::new();
+    ) -> HashJoin {
+        HashJoin {
+            probe,
+            build: Some(build),
+            build_keys,
+            entries: Vec::new(),
+            table: HashMap::new(),
+            probe_keys,
+            residual,
+            probe_is_left,
+            current_probe: None,
+            pending: 0..0,
+        }
+    }
+
+    /// Drain the build child into the arena + range table.
+    fn build_table(&mut self, build: BoxOp) -> Result<()> {
+        let mut groups: HashMap<Vec<Value>, Vec<Row>> = HashMap::new();
         let rows = crate::exec::collect(build)?;
         for row in rows {
-            let mut key = Vec::with_capacity(build_keys.len());
+            let mut key = Vec::with_capacity(self.build_keys.len());
             let mut has_null = false;
-            for e in &build_keys {
+            for e in &self.build_keys {
                 let v = e.eval(&row)?;
                 has_null |= v.is_null();
                 key.push(v);
             }
             if !has_null {
-                table.entry(key).or_default().push(row);
+                groups.entry(key).or_default().push(row);
             }
         }
-        Ok(HashJoin {
-            probe,
-            table,
-            probe_keys,
-            residual,
-            probe_is_left,
-            current_probe: None,
-            pending: Vec::new().into_iter(),
-        })
+        self.entries.reserve(groups.values().map(Vec::len).sum());
+        for (key, rows) in groups {
+            let start = self.entries.len();
+            self.entries.extend(rows);
+            self.table.insert(key, start..self.entries.len());
+        }
+        Ok(())
     }
 }
 
 impl Operator for HashJoin {
     fn next(&mut self) -> Result<Option<Row>> {
+        if let Some(build) = self.build.take() {
+            self.build_table(build)?;
+        }
         loop {
-            if let Some(build_row) = self.pending.next() {
+            if let Some(idx) = self.pending.next() {
+                let build_row = &self.entries[idx];
                 let probe_row = self.current_probe.as_ref().expect("probe set");
                 let joined = if self.probe_is_left {
                     let mut j = probe_row.clone();
-                    j.extend(build_row);
+                    j.extend_from_slice(build_row);
                     j
                 } else {
-                    let mut j = build_row;
+                    let mut j = build_row.clone();
                     j.extend_from_slice(probe_row);
                     j
                 };
@@ -226,13 +271,9 @@ impl Operator for HashJoin {
                 has_null |= v.is_null();
                 key.push(v);
             }
-            let matches = if has_null {
-                Vec::new()
-            } else {
-                self.table.get(&key).cloned().unwrap_or_default()
-            };
+            self.pending =
+                if has_null { 0..0 } else { self.table.get(&key).cloned().unwrap_or(0..0) };
             self.current_probe = Some(probe_row);
-            self.pending = matches.into_iter();
         }
     }
 
@@ -243,19 +284,39 @@ impl Operator for HashJoin {
 
 /// Sort-merge join on equi-keys: both inputs are materialized and sorted
 /// by their key expressions, then merged with duplicate-group handling.
+/// The sort-and-merge runs on the first `next()` call.
 pub struct MergeJoin {
+    /// Unconsumed children and keys; taken and merged on first `next()`.
+    inputs: Option<MergeInputs>,
     output: std::vec::IntoIter<Row>,
 }
 
+struct MergeInputs {
+    left: BoxOp,
+    right: BoxOp,
+    left_keys: Vec<Expr>,
+    right_keys: Vec<Expr>,
+    residual: Option<Expr>,
+}
+
 impl MergeJoin {
-    /// Build (eagerly) from two children and their key expressions.
+    /// Join `left` and `right` on their key expressions (work deferred to
+    /// first `next()`).
     pub fn new(
         left: BoxOp,
         right: BoxOp,
         left_keys: Vec<Expr>,
         right_keys: Vec<Expr>,
         residual: Option<Expr>,
-    ) -> Result<MergeJoin> {
+    ) -> MergeJoin {
+        MergeJoin {
+            inputs: Some(MergeInputs { left, right, left_keys, right_keys, residual }),
+            output: Vec::new().into_iter(),
+        }
+    }
+
+    fn run(inputs: MergeInputs) -> Result<Vec<Row>> {
+        let MergeInputs { left, right, left_keys, right_keys, residual } = inputs;
         let sort_side = |op: BoxOp, keys: &[Expr]| -> Result<Vec<(Vec<Value>, Row)>> {
             let rows = crate::exec::collect(op)?;
             let mut keyed = Vec::with_capacity(rows.len());
@@ -303,12 +364,15 @@ impl MergeJoin {
                 }
             }
         }
-        Ok(MergeJoin { output: out.into_iter() })
+        Ok(out)
     }
 }
 
 impl Operator for MergeJoin {
     fn next(&mut self) -> Result<Option<Row>> {
+        if let Some(inputs) = self.inputs.take() {
+            self.output = MergeJoin::run(inputs)?.into_iter();
+        }
         Ok(self.output.next())
     }
 
@@ -373,27 +437,25 @@ mod tests {
     #[test]
     fn nested_loop_equi() {
         let pred = Expr::cmp(CmpOp::Eq, Expr::col(0), Expr::col(2));
-        let j = NestedLoopJoin::new(left(), right(), Some(pred)).unwrap();
+        let j = NestedLoopJoin::new(left(), right(), Some(pred));
         assert_eq!(normalize(collect(Box::new(j)).unwrap()), expected_pairs());
     }
 
     #[test]
     fn hash_join_matches_nested_loop() {
-        let j = HashJoin::new(left(), right(), vec![Expr::col(0)], vec![Expr::col(0)], None, true)
-            .unwrap();
+        let j = HashJoin::new(left(), right(), vec![Expr::col(0)], vec![Expr::col(0)], None, true);
         assert_eq!(normalize(collect(Box::new(j)).unwrap()), expected_pairs());
     }
 
     #[test]
     fn merge_join_matches_nested_loop() {
-        let j =
-            MergeJoin::new(left(), right(), vec![Expr::col(0)], vec![Expr::col(0)], None).unwrap();
+        let j = MergeJoin::new(left(), right(), vec![Expr::col(0)], vec![Expr::col(0)], None);
         assert_eq!(normalize(collect(Box::new(j)).unwrap()), expected_pairs());
     }
 
     #[test]
     fn cross_product_without_predicate() {
-        let j = NestedLoopJoin::new(left(), right(), None).unwrap();
+        let j = NestedLoopJoin::new(left(), right(), None);
         assert_eq!(collect(Box::new(j)).unwrap().len(), 25);
     }
 
@@ -408,8 +470,7 @@ mod tests {
             vec![Expr::col(0)],
             Some(residual),
             true,
-        )
-        .unwrap();
+        );
         let rows = collect(Box::new(j)).unwrap();
         assert_eq!(rows.len(), 2); // b-y and b2-y
     }

@@ -36,43 +36,77 @@ impl Operator for SeqScan {
 }
 
 /// Index scan: probe a B+Tree for a key range, then fetch matching heap
-/// rows. RIDs are materialized up front (the paper's workloads probe with
-/// selective predicates, so RID lists are short relative to the table).
+/// rows. The probe runs on the first `next()` call (so `EXPLAIN` does no
+/// I/O); the RID list is then materialized (the paper's workloads probe
+/// with selective predicates, so RID lists are short relative to the
+/// table).
 pub struct IndexScan {
     heap: Arc<HeapFile>,
     arity: usize,
+    /// Deferred probe; taken and resolved on first `next()`.
+    probe: Option<IndexProbe>,
     rids: std::vec::IntoIter<Rid>,
+}
+
+/// A deferred B+Tree probe.
+struct IndexProbe {
+    index: Arc<BTree>,
+    kind: ProbeKind,
+}
+
+enum ProbeKind {
+    Prefix(Vec<u8>),
+    Range { lo: Option<Vec<u8>>, hi: Option<Vec<u8>>, hi_inclusive: bool },
 }
 
 impl IndexScan {
     /// Scan `index` for logical keys starting with `prefix`.
     pub fn prefix(
         heap: Arc<HeapFile>,
-        index: &BTree,
+        index: Arc<BTree>,
         prefix: &[u8],
         arity: usize,
-    ) -> Result<IndexScan> {
-        let rids = index.scan_prefix(prefix)?;
-        Ok(IndexScan { heap, arity, rids: rids.into_iter() })
+    ) -> IndexScan {
+        let probe = IndexProbe { index, kind: ProbeKind::Prefix(prefix.to_vec()) };
+        IndexScan { heap, arity, probe: Some(probe), rids: Vec::new().into_iter() }
     }
 
     /// Scan `index` for keys in `[lo, hi]` (see [`BTree::scan_range`]).
     pub fn range(
         heap: Arc<HeapFile>,
-        index: &BTree,
+        index: Arc<BTree>,
         lo: Option<&[u8]>,
         hi: Option<&[u8]>,
         hi_inclusive: bool,
         arity: usize,
-    ) -> Result<IndexScan> {
-        let pairs = index.scan_range(lo, hi, hi_inclusive)?;
-        let rids: Vec<Rid> = pairs.into_iter().map(|(_, rid)| rid).collect();
-        Ok(IndexScan { heap, arity, rids: rids.into_iter() })
+    ) -> IndexScan {
+        let kind = ProbeKind::Range {
+            lo: lo.map(<[u8]>::to_vec),
+            hi: hi.map(<[u8]>::to_vec),
+            hi_inclusive,
+        };
+        IndexScan {
+            heap,
+            arity,
+            probe: Some(IndexProbe { index, kind }),
+            rids: Vec::new().into_iter(),
+        }
     }
 }
 
 impl Operator for IndexScan {
     fn next(&mut self) -> Result<Option<Row>> {
+        if let Some(IndexProbe { index, kind }) = self.probe.take() {
+            let rids: Vec<Rid> = match kind {
+                ProbeKind::Prefix(prefix) => index.scan_prefix(&prefix)?,
+                ProbeKind::Range { lo, hi, hi_inclusive } => index
+                    .scan_range(lo.as_deref(), hi.as_deref(), hi_inclusive)?
+                    .into_iter()
+                    .map(|(_, rid)| rid)
+                    .collect(),
+            };
+            self.rids = rids.into_iter();
+        }
         match self.rids.next() {
             Some(rid) => {
                 let bytes = self.heap.get(rid)?;

@@ -19,11 +19,19 @@
 //! new root. Deletes remove leaf entries without rebalancing (the paper's
 //! workloads are load-then-query; space from deletions is reclaimed by
 //! page compaction only).
+//!
+//! Concurrency: a tree-level reader/writer latch. Scans and lookups share
+//! a read latch; structural mutation (`insert`, `delete`) takes the write
+//! latch, so readers never observe a half-split node. The latch is taken
+//! once at each public entry point — internal helpers are unlatched to
+//! avoid recursive read-lock acquisition (unsafe with a queued writer).
 
 use std::sync::Arc;
 
+use parking_lot::RwLock;
+
 use crate::error::{DbError, Result};
-use crate::storage::buffer::{BufferPool, FileId, Frame};
+use crate::storage::buffer::{BufferPool, FileId, FrameRef};
 use crate::storage::heap::Rid;
 use crate::storage::page::Page;
 
@@ -43,12 +51,14 @@ type InsertOutcome = (Option<(Vec<u8>, u32)>, bool);
 pub struct BTree {
     pool: Arc<BufferPool>,
     file: FileId,
+    /// Tree-level reader/writer latch (see module docs).
+    latch: RwLock<()>,
 }
 
 impl BTree {
     /// Create a fresh tree in an empty registered file.
     pub fn create(pool: Arc<BufferPool>, file: FileId) -> Result<BTree> {
-        let tree = BTree { pool, file };
+        let tree = BTree { pool, file, latch: RwLock::new(()) };
         let (meta_pid, meta) = tree.pool.allocate(file)?;
         debug_assert_eq!(meta_pid, 0);
         let (root_pid, root) = tree.pool.allocate(file)?;
@@ -70,7 +80,7 @@ impl BTree {
 
     /// Open an existing tree.
     pub fn open(pool: Arc<BufferPool>, file: FileId) -> Result<BTree> {
-        let tree = BTree { pool, file };
+        let tree = BTree { pool, file, latch: RwLock::new(()) };
         let meta = tree.pool.fetch(file, 0)?;
         let kind = meta.page.lock().special0();
         if kind != KIND_META {
@@ -91,6 +101,7 @@ impl BTree {
 
     /// Number of live entries.
     pub fn len(&self) -> Result<u64> {
+        let _r = self.latch.read();
         let meta = self.pool.fetch(self.file, 0)?;
         let n = meta.page.lock().special2();
         Ok(u64::from(n))
@@ -133,6 +144,7 @@ impl BTree {
             )));
         }
         let stored = stored_key(key, rid);
+        let _w = self.latch.write();
         let root = self.root()?;
         let (split, inserted) = self.insert_rec(root, &stored)?;
         if let Some((sep, new_pid)) = split {
@@ -179,7 +191,7 @@ impl BTree {
         }
     }
 
-    fn insert_leaf(&self, frame: &Arc<Frame>, _pid: u32, stored: &[u8]) -> Result<InsertOutcome> {
+    fn insert_leaf(&self, frame: &FrameRef, _pid: u32, stored: &[u8]) -> Result<InsertOutcome> {
         let mut p = frame.page.lock();
         let pos = match leaf_position(&p, stored) {
             Ok(_) => return Ok((None, false)), // exact (key, rid) already present
@@ -226,7 +238,7 @@ impl BTree {
 
     fn insert_internal(
         &self,
-        frame: &Arc<Frame>,
+        frame: &FrameRef,
         sep: &[u8],
         new_child: u32,
     ) -> Result<Option<(Vec<u8>, u32)>> {
@@ -284,6 +296,7 @@ impl BTree {
     /// Remove the exact `(key, rid)` entry. Returns whether it existed.
     pub fn delete(&self, key: &[u8], rid: Rid) -> Result<bool> {
         let stored = stored_key(key, rid);
+        let _w = self.latch.write();
         let (pid, _) = self.find_leaf(&stored)?;
         let frame = self.pool.fetch(self.file, pid)?;
         let mut p = frame.page.lock();
@@ -329,7 +342,13 @@ impl BTree {
     /// Scan logical keys in `[lo, ..)`, calling `f(logical_key, rid)` until
     /// it returns `false` or keys are exhausted. The caller terminates the
     /// scan through the callback (e.g. when past an upper bound).
-    pub fn scan_from(
+    pub fn scan_from(&self, lo: &[u8], f: impl FnMut(&[u8], Rid) -> Result<bool>) -> Result<()> {
+        let _r = self.latch.read();
+        self.scan_from_inner(lo, f)
+    }
+
+    /// `scan_from` without the latch, for latched callers.
+    fn scan_from_inner(
         &self,
         lo: &[u8],
         mut f: impl FnMut(&[u8], Rid) -> Result<bool>,
@@ -361,8 +380,9 @@ impl BTree {
 
     /// All rids whose logical key starts with `prefix`, in key order.
     pub fn scan_prefix(&self, prefix: &[u8]) -> Result<Vec<Rid>> {
+        let _r = self.latch.read();
         let mut out = Vec::new();
-        self.scan_from(prefix, |key, rid| {
+        self.scan_from_inner(prefix, |key, rid| {
             if key.starts_with(prefix) {
                 out.push(rid);
                 Ok(true)
@@ -381,9 +401,10 @@ impl BTree {
         hi: Option<&[u8]>,
         hi_inclusive: bool,
     ) -> Result<Vec<(Vec<u8>, Rid)>> {
+        let _r = self.latch.read();
         let lo = lo.unwrap_or(&[]);
         let mut out = Vec::new();
-        self.scan_from(lo, |key, rid| {
+        self.scan_from_inner(lo, |key, rid| {
             if let Some(hi) = hi {
                 let within = if hi_inclusive { key <= hi || key.starts_with(hi) } else { key < hi };
                 if !within {
@@ -398,6 +419,7 @@ impl BTree {
 
     /// Tree height (1 = a single leaf). Diagnostic.
     pub fn height(&self) -> Result<u32> {
+        let _r = self.latch.read();
         let mut pid = self.root()?;
         let mut h = 1;
         loop {

@@ -279,7 +279,7 @@ pub fn plan_select_profiled(
                     build_scan(ctx, &bases[cand], local.get(&bases[cand].alias), prof)?;
                 explain.push(format!("cross join {}", bases[cand].alias));
                 (root, root_id) = prof.wrap(
-                    Box::new(NestedLoopJoin::new(root, inner, None)?),
+                    Box::new(NestedLoopJoin::new(root, inner, None)),
                     format!("NestedLoopJoin (cross) {}", bases[cand].alias),
                     vec![root_id, inner_id],
                 );
@@ -381,7 +381,7 @@ pub fn plan_select_profiled(
                         vec![inner_key],
                         None,
                         true,
-                    )?),
+                    )),
                     format!("HashJoin {}", inner_base.alias),
                     vec![root_id, inner_id],
                 );
@@ -400,7 +400,7 @@ pub fn plan_select_profiled(
                         vec![outer_key],
                         None,
                         false,
-                    )?),
+                    )),
                     format!("HashJoin {}", inner_base.alias),
                     vec![inner_id, root_id],
                 );
@@ -662,12 +662,12 @@ fn build_scan(
         Some((tree, value, cmp)) => {
             let key = encode_key(std::slice::from_ref(&value));
             let scan = match cmp {
-                CmpOp::Eq => IndexScan::prefix(heap, &tree, &key, base.arity)?,
-                CmpOp::Lt => IndexScan::range(heap, &tree, None, Some(&key), false, base.arity)?,
-                CmpOp::Le => IndexScan::range(heap, &tree, None, Some(&key), true, base.arity)?,
+                CmpOp::Eq => IndexScan::prefix(heap, tree, &key, base.arity),
+                CmpOp::Lt => IndexScan::range(heap, tree, None, Some(&key), false, base.arity),
+                CmpOp::Le => IndexScan::range(heap, tree, None, Some(&key), true, base.arity),
                 CmpOp::Gt | CmpOp::Ge => {
                     // Gt: skip equal keys via the residual filter below.
-                    IndexScan::range(heap, &tree, Some(&key), None, true, base.arity)?
+                    IndexScan::range(heap, tree, Some(&key), None, true, base.arity)
                 }
                 CmpOp::Ne => unreachable!("filtered above"),
             };

@@ -1,15 +1,48 @@
-//! Buffer pool: a bounded cache of page frames over the registered page
-//! files, with LRU replacement and write-back of dirty frames.
+//! Buffer pool: a bounded, **thread-safe** cache of page frames over the
+//! registered page files, with second-chance (clock) replacement and
+//! write-back of dirty frames.
 //!
 //! The pool is the reason the DSx1→DSx8 scaling experiments show genuine
 //! locality effects: once the working set exceeds the pool, scans and
 //! index probes pay real file I/O, as on the paper's 256 MB testbed.
+//!
+//! # Concurrency design
+//!
+//! The pool is sharded: each `(file, page)` key hashes to one of
+//! [`POOL_SHARDS`] shards, each with its own latch. The hot path (a cache
+//! hit) takes exactly one shard latch, does two hash-map/atomic
+//! operations, and releases — no O(n) LRU list scan (replacement is a
+//! clock/second-chance queue whose per-hit cost is a single relaxed
+//! atomic store of the frame's reference bit).
+//!
+//! Pinning is an explicit per-frame count maintained by the [`FrameRef`]
+//! guard: minting a new guard from the shard map happens under the shard
+//! latch, cloning an existing guard only ever moves the count from n > 0
+//! to n + 1, so a frame observed at zero pins under the latch can never
+//! gain a reference once it has been unmapped — the racy
+//! `Arc::strong_count` eviction test is gone.
+//!
+//! Slow-path I/O — disk reads, dirty-victim write-backs, and the optional
+//! [`IoSimulation`] sleeps — happens **outside** the shard latch. An
+//! in-flight table per shard makes that safe: a miss claims the key with
+//! an [`Inflight`] marker before releasing the latch, concurrent fetches
+//! of the same page wait on the marker and then retry (so a page is never
+//! read from disk twice concurrently), and a dirty eviction victim is
+//! marked in-flight until its write-back lands (so a re-fetch can never
+//! read the stale on-disk image — the lost-update hazard of the old
+//! single-lock pool).
+//!
+//! Lock order: a page lock may be taken before the file-table lock
+//! (write-backs do); the shard latch is never held across page locks,
+//! file I/O, or sleeps.
 
 use std::collections::{HashMap, VecDeque};
+use std::ops::Deref;
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, Weak};
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::error::{DbError, Result};
 use crate::storage::disk::PageFile;
@@ -21,12 +54,20 @@ pub type FileId = u32;
 /// Default pool capacity in frames (256 × 8 KiB = 2 MiB).
 pub const DEFAULT_POOL_FRAMES: usize = 256;
 
-/// One cached page. Obtained from [`BufferPool::fetch`]; holding the `Arc`
-/// pins the frame (it will not be evicted while any handle is alive).
+/// Number of lock-striped shards. Keys hash across shards, so concurrent
+/// fetches of different pages rarely contend on the same latch.
+pub const POOL_SHARDS: usize = 8;
+
+/// One cached page. Obtained (pinned) from [`BufferPool::fetch`] as a
+/// [`FrameRef`]; the frame cannot be evicted while any ref is alive.
 pub struct Frame {
     /// The page image. Lock, mutate, then call [`Frame::mark_dirty`].
     pub page: Mutex<Page>,
-    dirty: Mutex<bool>,
+    dirty: AtomicBool,
+    /// Live [`FrameRef`] count. Non-zero pins veto eviction.
+    pins: AtomicU32,
+    /// Clock reference bit: set on every hit, cleared by the sweep hand.
+    referenced: AtomicBool,
     file: FileId,
     pid: u32,
 }
@@ -34,12 +75,53 @@ pub struct Frame {
 impl Frame {
     /// Record that the page image was modified.
     pub fn mark_dirty(&self) {
-        *self.dirty.lock() = true;
+        self.dirty.store(true, Ordering::Release);
     }
 
     /// The (file, page) this frame caches.
     pub fn location(&self) -> (FileId, u32) {
         (self.file, self.pid)
+    }
+}
+
+/// A pinned reference to a cached frame. Dropping the ref unpins the
+/// frame; cloning pins it again. Derefs to [`Frame`], so call sites use
+/// `frame.page.lock()` / `frame.mark_dirty()` exactly as before.
+pub struct FrameRef {
+    frame: Arc<Frame>,
+}
+
+impl FrameRef {
+    /// Pin `frame` (called under the owning shard's latch, or from an
+    /// existing ref via `clone`).
+    fn pin(frame: &Arc<Frame>) -> FrameRef {
+        frame.pins.fetch_add(1, Ordering::AcqRel);
+        FrameRef { frame: frame.clone() }
+    }
+
+    /// Whether two refs pin the same frame object.
+    pub fn same_frame(a: &FrameRef, b: &FrameRef) -> bool {
+        Arc::ptr_eq(&a.frame, &b.frame)
+    }
+}
+
+impl Clone for FrameRef {
+    fn clone(&self) -> FrameRef {
+        FrameRef::pin(&self.frame)
+    }
+}
+
+impl Deref for FrameRef {
+    type Target = Frame;
+
+    fn deref(&self) -> &Frame {
+        &self.frame
+    }
+}
+
+impl Drop for FrameRef {
+    fn drop(&mut self) {
+        self.frame.pins.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
@@ -86,12 +168,34 @@ impl PoolStats {
     }
 }
 
+/// Cumulative pool counters as relaxed atomics (shared by all shards).
+#[derive(Default)]
+struct AtomicStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    writebacks: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            writebacks: self.writebacks.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Optional storage-latency simulation. The paper's testbed (550 MHz
 /// Pentium III, year-2000 IDE disk) was I/O-bound; on modern hardware the
 /// same page reads come from the OS page cache in microseconds. Setting
 /// these delays re-creates the paper's regime: every buffer-pool *miss*
 /// sleeps for `seq_read` when it continues the previous read (prefetch
-/// window) or `rand_read` otherwise.
+/// window) or `rand_read` otherwise. The sleep happens outside every pool
+/// latch, so concurrent queries overlap their simulated seeks exactly as
+/// real concurrent disk requests would overlap in a request queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IoSimulation {
     /// Delay per sequential page read (prefetch-amortized).
@@ -111,90 +215,153 @@ impl IoSimulation {
     }
 }
 
-struct Inner {
-    files: HashMap<FileId, PageFile>,
-    frames: HashMap<(FileId, u32), Arc<Frame>>,
-    /// LRU order: front = least recently used.
-    lru: VecDeque<(FileId, u32)>,
-    capacity: usize,
-    /// Cumulative counters since pool creation (never reset).
-    stats: PoolStats,
-    /// Watermark of `stats` at the last `take_stats` call; the window
-    /// returned by `take_stats` is `stats - taken`.
-    taken: PoolStats,
-    io_sim: Option<IoSimulation>,
-    last_read: Option<(FileId, u32)>,
+/// Completion marker for an in-flight disk read or victim write-back.
+/// Waiters block until `finish`, then retry their fetch from the top.
+struct Inflight {
+    done: StdMutex<bool>,
+    cv: Condvar,
 }
 
-/// The buffer pool. All storage structures (heaps, B+Trees) go through it.
+impl Inflight {
+    fn new() -> Inflight {
+        Inflight { done: StdMutex::new(false), cv: Condvar::new() }
+    }
+
+    fn wait(&self) {
+        let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        while !*done {
+            done = self.cv.wait(done).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn finish(&self) {
+        *self.done.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        self.cv.notify_all();
+    }
+}
+
+/// RAII completion of an [`Inflight`] marker — waiters are released even
+/// if the I/O path errors or panics.
+struct FinishOnDrop(Arc<Inflight>);
+
+impl Drop for FinishOnDrop {
+    fn drop(&mut self) {
+        self.0.finish();
+    }
+}
+
+/// One lock stripe: its slice of the frame map, the clock queue, and the
+/// in-flight table.
+struct Shard {
+    frames: HashMap<(FileId, u32), Arc<Frame>>,
+    /// Second-chance queue, oldest at the front. Entries are weak so a
+    /// frame removed by `drop_cache`/`unregister_file` leaves only a
+    /// cheap tombstone that the sweep hand discards.
+    clock: VecDeque<Weak<Frame>>,
+    /// Keys with a disk read or dirty-victim write-back in progress.
+    inflight: HashMap<(FileId, u32), Arc<Inflight>>,
+    capacity: usize,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Shard {
+        Shard { frames: HashMap::new(), clock: VecDeque::new(), inflight: HashMap::new(), capacity }
+    }
+}
+
+/// Sentinel for "no previous read" in the sequential-read detector.
+const NO_LAST_READ: u64 = u64::MAX;
+
+fn encode_loc(file: FileId, pid: u32) -> u64 {
+    (u64::from(file) << 32) | u64::from(pid)
+}
+
+thread_local! {
+    /// Per-thread sequential-read detector: the last (file, page) this
+    /// thread read from disk. Per-thread (not pool-global) because OS
+    /// readahead tracks each client *stream* — with a global detector,
+    /// concurrent scans interleave and every read looks random, charging
+    /// N well-behaved sequential clients the full seek penalty.
+    static LAST_READ: std::cell::Cell<u64> = const { std::cell::Cell::new(NO_LAST_READ) };
+}
+
+/// The buffer pool. All storage structures (heaps, B+Trees) go through
+/// it; it is safe to share across threads (`&BufferPool` is `Sync`).
 pub struct BufferPool {
-    inner: Mutex<Inner>,
+    shards: Vec<Mutex<Shard>>,
+    files: RwLock<HashMap<FileId, PageFile>>,
+    stats: AtomicStats,
+    /// Watermark of `stats` at the last `take_stats` call.
+    taken: Mutex<PoolStats>,
+    io_sim: Mutex<Option<IoSimulation>>,
 }
 
 impl BufferPool {
-    /// A pool holding at most `capacity` frames.
+    /// A pool holding at most ~`capacity` frames (split evenly across
+    /// [`POOL_SHARDS`] shards; pinned frames can over-subscribe a shard).
     pub fn new(capacity: usize) -> BufferPool {
+        let capacity = capacity.max(8);
+        let per_shard = capacity.div_ceil(POOL_SHARDS).max(1);
         BufferPool {
-            inner: Mutex::new(Inner {
-                files: HashMap::new(),
-                frames: HashMap::new(),
-                lru: VecDeque::new(),
-                capacity: capacity.max(8),
-                stats: PoolStats::default(),
-                taken: PoolStats::default(),
-                io_sim: None,
-                last_read: None,
-            }),
+            shards: (0..POOL_SHARDS).map(|_| Mutex::new(Shard::new(per_shard))).collect(),
+            files: RwLock::new(HashMap::new()),
+            stats: AtomicStats::default(),
+            taken: Mutex::new(PoolStats::default()),
+            io_sim: Mutex::new(None),
         }
+    }
+
+    fn shard(&self, file: FileId, pid: u32) -> &Mutex<Shard> {
+        // Fibonacci hash of the packed key; pages of one file spread
+        // across shards so a sequential scan does not hammer one latch.
+        let h = encode_loc(file, pid).wrapping_mul(0x9E3779B97F4A7C15);
+        &self.shards[(h >> 56) as usize % self.shards.len()]
     }
 
     /// Enable or disable the storage-latency simulation.
     pub fn set_io_simulation(&self, sim: Option<IoSimulation>) {
-        self.inner.lock().io_sim = sim;
+        *self.io_sim.lock() = sim;
     }
 
     /// Register (open or create) a page file under `id`.
     pub fn register_file(&self, id: FileId, path: PathBuf) -> Result<()> {
-        let mut inner = self.inner.lock();
-        if inner.files.contains_key(&id) {
+        let mut files = self.files.write();
+        if files.contains_key(&id) {
             return Err(DbError::Catalog(format!("file id {id} already registered")));
         }
-        inner.files.insert(id, PageFile::open(path)?);
+        files.insert(id, PageFile::open(path)?);
         Ok(())
     }
 
     /// Forget a file (flushing its frames first).
     pub fn unregister_file(&self, id: FileId) -> Result<()> {
         self.flush_file(id)?;
-        let mut inner = self.inner.lock();
-        inner.frames.retain(|(f, _), _| *f != id);
-        inner.lru.retain(|(f, _)| *f != id);
-        inner.files.remove(&id);
+        for shard in &self.shards {
+            shard.lock().frames.retain(|(f, _), _| *f != id);
+            // Clock entries for the dropped frames become dead weak
+            // tombstones; the sweep hand discards them.
+        }
+        self.files.write().remove(&id);
         Ok(())
     }
 
     /// Number of pages in file `id`.
     pub fn page_count(&self, id: FileId) -> Result<u32> {
-        let inner = self.inner.lock();
-        Ok(self.file(&inner, id)?.page_count())
+        let files = self.files.read();
+        Ok(file_of(&files, id)?.page_count())
     }
 
     /// On-disk size of file `id` in bytes.
     pub fn file_size(&self, id: FileId) -> Result<u64> {
-        let inner = self.inner.lock();
-        Ok(self.file(&inner, id)?.size_bytes())
-    }
-
-    fn file<'a>(&self, inner: &'a Inner, id: FileId) -> Result<&'a PageFile> {
-        inner.files.get(&id).ok_or_else(|| DbError::Catalog(format!("file id {id} not registered")))
+        let files = self.files.read();
+        Ok(file_of(&files, id)?.size_bytes())
     }
 
     /// Allocate a fresh page in file `id`, returning a pinned frame for it.
-    pub fn allocate(&self, id: FileId) -> Result<(u32, Arc<Frame>)> {
+    pub fn allocate(&self, id: FileId) -> Result<(u32, FrameRef)> {
         let pid = {
-            let mut inner = self.inner.lock();
-            let f = inner
-                .files
+            let mut files = self.files.write();
+            let f = files
                 .get_mut(&id)
                 .ok_or_else(|| DbError::Catalog(format!("file id {id} not registered")))?;
             f.allocate()?
@@ -204,111 +371,215 @@ impl BufferPool {
     }
 
     /// Fetch page `pid` of file `id`, reading it from disk on a miss.
-    pub fn fetch(&self, id: FileId, pid: u32) -> Result<Arc<Frame>> {
-        let mut inner = self.inner.lock();
-        if let Some(frame) = inner.frames.get(&(id, pid)).cloned() {
-            inner.stats.hits += 1;
-            // Move to MRU position.
-            if let Some(ix) = inner.lru.iter().position(|k| *k == (id, pid)) {
-                inner.lru.remove(ix);
-            }
-            inner.lru.push_back((id, pid));
-            return Ok(frame);
+    ///
+    /// Hits take one shard latch. Misses claim the key in the shard's
+    /// in-flight table, then read (and optionally sleep, under
+    /// [`IoSimulation`]) with no latch held; concurrent fetches of the
+    /// same page wait for that one read instead of issuing their own.
+    pub fn fetch(&self, id: FileId, pid: u32) -> Result<FrameRef> {
+        let key = (id, pid);
+        let shard = self.shard(id, pid);
+        loop {
+            let inflight = {
+                let mut guard = shard.lock();
+                if let Some(frame) = guard.frames.get(&key) {
+                    self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                    frame.referenced.store(true, Ordering::Relaxed);
+                    return Ok(FrameRef::pin(frame));
+                }
+                match guard.inflight.get(&key) {
+                    Some(marker) => marker.clone(),
+                    None => {
+                        // Claim the read and proceed to the miss path.
+                        let marker = Arc::new(Inflight::new());
+                        guard.inflight.insert(key, marker.clone());
+                        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                        drop(guard);
+                        return self.read_and_install(shard, key, marker);
+                    }
+                }
+            };
+            // Someone else is reading (or writing back) this page: wait
+            // without any latch, then retry from the top.
+            inflight.wait();
         }
-        inner.stats.misses += 1;
-        if let Some(sim) = inner.io_sim {
-            let sequential =
-                matches!(inner.last_read, Some((f, p)) if f == id && pid == p.wrapping_add(1));
+    }
+
+    /// Miss path: disk read + simulated latency outside the latch, then
+    /// insert (evicting to capacity) and release waiters.
+    fn read_and_install(
+        &self,
+        shard: &Mutex<Shard>,
+        key: (FileId, u32),
+        marker: Arc<Inflight>,
+    ) -> Result<FrameRef> {
+        // Release waiters no matter how this path exits; on error they
+        // retry, find no frame and no marker, and issue their own read.
+        let release = FinishOnDrop(marker);
+        let unclaim = |e: DbError| {
+            shard.lock().inflight.remove(&key);
+            e
+        };
+
+        let cur = encode_loc(key.0, key.1);
+        if let Some(sim) = *self.io_sim.lock() {
+            let prev = LAST_READ.with(std::cell::Cell::get);
+            // Same page (head already there) or the next page (readahead
+            // window) counts as sequential; anything else pays a seek.
+            let sequential = prev != NO_LAST_READ && (cur == prev || cur == prev.wrapping_add(1));
             let delay = if sequential { sim.seq_read } else { sim.rand_read };
             std::thread::sleep(delay);
         }
-        inner.last_read = Some((id, pid));
-        self.evict_if_full(&mut inner)?;
+        LAST_READ.with(|c| c.set(cur));
+
         let mut buf = [0u8; PAGE_SIZE];
-        self.file(&inner, id)?.read_page(pid, &mut buf)?;
+        {
+            let files = self.files.read();
+            file_of(&files, key.0).map_err(unclaim)?.read_page(key.1, &mut buf).map_err(unclaim)?;
+        }
         let frame = Arc::new(Frame {
             page: Mutex::new(Page::from_bytes(buf)),
-            dirty: Mutex::new(false),
-            file: id,
-            pid,
+            dirty: AtomicBool::new(false),
+            pins: AtomicU32::new(0),
+            referenced: AtomicBool::new(false),
+            file: key.0,
+            pid: key.1,
         });
-        inner.frames.insert((id, pid), frame.clone());
-        inner.lru.push_back((id, pid));
-        Ok(frame)
+
+        let (handle, victims) = {
+            let mut guard = shard.lock();
+            let victims = self.evict_to_capacity(&mut guard);
+            let handle = FrameRef::pin(&frame);
+            guard.frames.insert(key, frame.clone());
+            guard.clock.push_back(Arc::downgrade(&frame));
+            guard.inflight.remove(&key);
+            (handle, victims)
+        };
+        drop(release); // frame is visible; release waiters into the hit path
+
+        self.write_back_victims(shard, victims)?;
+        Ok(handle)
     }
 
-    fn evict_if_full(&self, inner: &mut Inner) -> Result<()> {
-        while inner.frames.len() >= inner.capacity {
-            // Find the least-recently-used unpinned frame.
-            let victim = inner
-                .lru
-                .iter()
-                .position(|k| inner.frames.get(k).is_some_and(|f| Arc::strong_count(f) == 1));
-            let Some(ix) = victim else {
-                // Everything is pinned; allow temporary over-subscription.
-                return Ok(());
-            };
-            let key = inner.lru.remove(ix).expect("index valid");
-            let frame = inner.frames.remove(&key).expect("frame present");
-            inner.stats.evictions += 1;
-            let dirty = *frame.dirty.lock();
-            if dirty {
-                let page = frame.page.lock();
-                self.file(inner, key.0)?.write_page(key.1, page.bytes())?;
-                inner.stats.writebacks += 1;
+    /// Evict unpinned frames until the shard is below capacity, using the
+    /// second-chance clock. Victims are unmapped here (under the latch);
+    /// dirty ones get an in-flight marker and are written back by the
+    /// caller *after* the latch drops. Returns the dirty victims.
+    ///
+    /// A frame is only selected at zero pins, and once unmapped no new
+    /// pin can be minted, so a victim is guaranteed unreferenced: nothing
+    /// can re-dirty it between the dirty-flag read and the write-back.
+    fn evict_to_capacity(&self, shard: &mut Shard) -> Vec<(Arc<Frame>, Arc<Inflight>)> {
+        let mut dirty_victims = Vec::new();
+        let mut passes = 0usize;
+        while shard.frames.len() >= shard.capacity {
+            let Some(weak) = shard.clock.pop_front() else { break };
+            let Some(frame) = weak.upgrade() else { continue }; // tombstone
+            let key = frame.location();
+            // Stale entry (frame was dropped and the page re-fetched)?
+            match shard.frames.get(&key) {
+                Some(cur) if Arc::ptr_eq(cur, &frame) => {}
+                _ => continue,
+            }
+            if frame.pins.load(Ordering::Acquire) > 0
+                || frame.referenced.swap(false, Ordering::AcqRel)
+            {
+                shard.clock.push_back(weak);
+                passes += 1;
+                if passes > 2 * shard.clock.len() + 2 {
+                    // Everything pinned; allow temporary over-subscription.
+                    break;
+                }
+                continue;
+            }
+            shard.frames.remove(&key);
+            self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            if frame.dirty.load(Ordering::Acquire) {
+                let marker = Arc::new(Inflight::new());
+                shard.inflight.insert(key, marker.clone());
+                dirty_victims.push((frame, marker));
             }
         }
-        Ok(())
+        dirty_victims
+    }
+
+    /// Write dirty eviction victims back to disk (no shard latch held)
+    /// and release any fetches waiting on their in-flight markers.
+    fn write_back_victims(
+        &self,
+        shard: &Mutex<Shard>,
+        victims: Vec<(Arc<Frame>, Arc<Inflight>)>,
+    ) -> Result<()> {
+        let mut first_err = None;
+        for (frame, marker) in victims {
+            let release = FinishOnDrop(marker);
+            let key = frame.location();
+            let res = (|| -> Result<()> {
+                let page = frame.page.lock();
+                let files = self.files.read();
+                file_of(&files, key.0)?.write_page(key.1, page.bytes())?;
+                self.stats.writebacks.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            })();
+            shard.lock().inflight.remove(&key);
+            drop(release);
+            if let Err(e) = res {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Write back every dirty frame of file `id` (frames stay cached).
     pub fn flush_file(&self, id: FileId) -> Result<()> {
-        let mut inner = self.inner.lock();
-        let mut wb = 0;
-        for ((f, pid), frame) in &inner.frames {
-            if *f == id {
-                let mut dirty = frame.dirty.lock();
-                if *dirty {
-                    let page = frame.page.lock();
-                    self.file(&inner, *f)?.write_page(*pid, page.bytes())?;
-                    *dirty = false;
-                    wb += 1;
-                }
-            }
-        }
-        inner.stats.writebacks += wb;
-        self.file(&inner, id)?.sync()?;
-        Ok(())
-    }
-
-    /// Write back every dirty frame of every file. `count` controls
-    /// whether the writebacks land in the I/O stats; cache-teardown
-    /// flushes (from [`BufferPool::drop_cache`]) pass `false` so they do
-    /// not pollute the next measurement window.
-    fn flush_all_inner(&self, inner: &mut Inner, count: bool) -> Result<()> {
-        let mut wb = 0;
-        for ((f, pid), frame) in &inner.frames {
-            let mut dirty = frame.dirty.lock();
-            if *dirty {
-                let page = frame.page.lock();
-                self.file(inner, *f)?.write_page(*pid, page.bytes())?;
-                *dirty = false;
-                wb += 1;
-            }
-        }
-        if count {
-            inner.stats.writebacks += wb;
-        }
-        for f in inner.files.values() {
-            f.sync()?;
-        }
+        let frames = self.collect_frames(|k| k.0 == id);
+        self.flush_frames(&frames, true)?;
+        let files = self.files.read();
+        file_of(&files, id)?.sync()?;
         Ok(())
     }
 
     /// Write back every dirty frame of every file.
     pub fn flush_all(&self) -> Result<()> {
-        let mut inner = self.inner.lock();
-        self.flush_all_inner(&mut inner, true)
+        let frames = self.collect_frames(|_| true);
+        self.flush_frames(&frames, true)?;
+        for f in self.files.read().values() {
+            f.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Snapshot matching frames from every shard (latches held only
+    /// briefly, never across page locks or I/O).
+    fn collect_frames(&self, keep: impl Fn(&(FileId, u32)) -> bool) -> Vec<Arc<Frame>> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let guard = shard.lock();
+            out.extend(guard.frames.iter().filter(|(k, _)| keep(k)).map(|(_, f)| f.clone()));
+        }
+        out
+    }
+
+    /// Write back each dirty frame in `frames`. The page lock is held
+    /// across the dirty-flag clear and the write, so a concurrent
+    /// mutation is either fully included in the write or re-dirties the
+    /// frame for the next flush — never lost.
+    fn flush_frames(&self, frames: &[Arc<Frame>], count: bool) -> Result<()> {
+        for frame in frames {
+            let page = frame.page.lock();
+            if frame.dirty.swap(false, Ordering::AcqRel) {
+                let (file, pid) = frame.location();
+                let files = self.files.read();
+                file_of(&files, file)?.write_page(pid, page.bytes())?;
+                if count {
+                    self.stats.writebacks.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Flush and drop every cached frame — the harness's "cold run" switch
@@ -316,15 +587,21 @@ impl BufferPool {
     ///
     /// The flush's writebacks are **not** counted in the I/O stats: they
     /// belong to whatever workload dirtied the pages, not to the cold
-    /// query measured next. The sequential-read detector is also reset so
-    /// the first post-drop read is charged as a random read under
-    /// [`IoSimulation`].
+    /// query measured next. The calling thread's sequential-read detector
+    /// is also reset so its first post-drop read is charged as a random
+    /// read under [`IoSimulation`].
     pub fn drop_cache(&self) -> Result<()> {
-        let mut inner = self.inner.lock();
-        self.flush_all_inner(&mut inner, false)?;
-        inner.frames.clear();
-        inner.lru.clear();
-        inner.last_read = None;
+        let frames = self.collect_frames(|_| true);
+        self.flush_frames(&frames, false)?;
+        for f in self.files.read().values() {
+            f.sync()?;
+        }
+        for shard in &self.shards {
+            let mut guard = shard.lock();
+            guard.frames.clear();
+            guard.clock.clear();
+        }
+        LAST_READ.with(|c| c.set(NO_LAST_READ));
         Ok(())
     }
 
@@ -333,9 +610,10 @@ impl BufferPool {
     /// available from [`BufferPool::stats_total`], which does not disturb
     /// these windows.
     pub fn take_stats(&self) -> PoolStats {
-        let mut inner = self.inner.lock();
-        let window = inner.stats.since(&inner.taken);
-        inner.taken = inner.stats;
+        let mut taken = self.taken.lock();
+        let now = self.stats.snapshot();
+        let window = now.since(&taken);
+        *taken = now;
         window
     }
 
@@ -343,13 +621,17 @@ impl BufferPool {
     /// affect [`BufferPool::take_stats`] windows — safe for
     /// `explain_analyze` to bracket a query with.
     pub fn stats_total(&self) -> PoolStats {
-        self.inner.lock().stats
+        self.stats.snapshot()
     }
 
     /// Currently cached frame count.
     pub fn cached_frames(&self) -> usize {
-        self.inner.lock().frames.len()
+        self.shards.iter().map(|s| s.lock().frames.len()).sum()
     }
+}
+
+fn file_of(files: &HashMap<FileId, PageFile>, id: FileId) -> Result<&PageFile> {
+    files.get(&id).ok_or_else(|| DbError::Catalog(format!("file id {id} not registered")))
 }
 
 #[cfg(test)]
@@ -391,7 +673,7 @@ mod tests {
             frame.mark_dirty();
             pids.push(pid);
         }
-        assert!(pool.cached_frames() <= 9);
+        assert!(pool.cached_frames() <= 16, "capacity ~8 split across shards");
         // Everything still readable despite evictions.
         for (i, pid) in pids.iter().enumerate() {
             let frame = pool.fetch(1, *pid).unwrap();
@@ -415,7 +697,7 @@ mod tests {
         }
         // The pinned frame must still be the same object.
         let again = pool.fetch(1, pid0).unwrap();
-        assert!(Arc::ptr_eq(&pinned, &again));
+        assert!(FrameRef::same_frame(&pinned, &again));
         assert_eq!(again.page.lock().get(0), Some(b"pinned" as &[u8]));
     }
 
@@ -436,5 +718,122 @@ mod tests {
         pool.allocate(1).unwrap();
         pool.allocate(1).unwrap();
         assert_eq!(pool.file_size(1).unwrap(), 2 * PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn concurrent_fetches_of_one_cold_page_read_disk_once() {
+        let dir = temp_dir("inflight");
+        let pool = Arc::new(BufferPool::new(64));
+        pool.register_file(1, dir.join("f.db")).unwrap();
+        let (pid, frame) = pool.allocate(1).unwrap();
+        frame.page.lock().insert(b"shared").unwrap();
+        frame.mark_dirty();
+        drop(frame);
+        pool.drop_cache().unwrap();
+        pool.take_stats();
+        // Make the single read slow enough that every thread arrives
+        // while it is still in flight.
+        pool.set_io_simulation(Some(IoSimulation {
+            seq_read: std::time::Duration::from_millis(20),
+            rand_read: std::time::Duration::from_millis(20),
+        }));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let pool = pool.clone();
+                s.spawn(move || {
+                    let f = pool.fetch(1, pid).unwrap();
+                    assert_eq!(f.page.lock().get(0), Some(b"shared" as &[u8]));
+                });
+            }
+        });
+        pool.set_io_simulation(None);
+        let stats = pool.take_stats();
+        assert_eq!(stats.misses, 1, "in-flight table must dedupe the read: {stats:?}");
+        assert_eq!(stats.hits, 7, "waiters retry into the hit path: {stats:?}");
+    }
+
+    #[test]
+    fn concurrent_writers_lose_no_updates_under_eviction() {
+        // Tiny pool + many writer threads: evictions and write-backs run
+        // constantly while records are still being inserted. Every record
+        // must survive with its exact contents (the old pool could drop a
+        // frame between its dirty-flag snapshot and the write-back).
+        let dir = temp_dir("stress");
+        let pool = Arc::new(BufferPool::new(8));
+        pool.register_file(1, dir.join("g.db")).unwrap();
+        const THREADS: u32 = 4;
+        const PAGES_PER_THREAD: u32 = 24;
+        let mut all: Vec<(u32, Vec<u8>)> = Vec::new();
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for t in 0..THREADS {
+                let pool = pool.clone();
+                handles.push(s.spawn(move || {
+                    let mut written = Vec::new();
+                    for i in 0..PAGES_PER_THREAD {
+                        let payload = format!("thread{t}-rec{i}").into_bytes();
+                        let (pid, frame) = pool.allocate(1).unwrap();
+                        frame.page.lock().insert(&payload).unwrap();
+                        frame.mark_dirty();
+                        written.push((pid, payload));
+                        // Re-read an earlier page to mix reads into the
+                        // eviction pressure.
+                        if let Some((old_pid, old_payload)) = written.first() {
+                            let f = pool.fetch(1, *old_pid).unwrap();
+                            assert_eq!(f.page.lock().get(0), Some(&old_payload[..]));
+                        }
+                    }
+                    written
+                }));
+            }
+            for h in handles {
+                all.extend(h.join().unwrap());
+            }
+        });
+        pool.flush_all().unwrap();
+        pool.drop_cache().unwrap();
+        for (pid, payload) in &all {
+            let f = pool.fetch(1, *pid).unwrap();
+            assert_eq!(f.page.lock().get(0), Some(&payload[..]), "page {pid} lost its update");
+        }
+    }
+
+    #[test]
+    fn clock_prefers_unreferenced_frames() {
+        let dir = temp_dir("clock");
+        // Capacity 64 over 8 shards = 8 frames per shard; the working set
+        // below exceeds that, so every shard sees steady eviction.
+        let pool = BufferPool::new(64);
+        pool.register_file(1, dir.join("h.db")).unwrap();
+        let mut pids = Vec::new();
+        for i in 0..88u32 {
+            let (pid, frame) = pool.allocate(1).unwrap();
+            frame.page.lock().insert(&i.to_le_bytes()).unwrap();
+            frame.mark_dirty();
+            pids.push(pid);
+        }
+        let hot = &pids[..8];
+        for pid in hot {
+            pool.fetch(1, *pid).unwrap();
+        }
+        // Stream the cold pages through while re-touching the hot set
+        // after every cold fetch: hot reference bits stay set, cold
+        // frames (untouched since insertion) are the eviction victims.
+        for pass in 0..2 {
+            let _ = pass;
+            for pid in &pids[8..] {
+                pool.fetch(1, *pid).unwrap();
+                for h in hot {
+                    pool.fetch(1, *h).unwrap();
+                }
+            }
+        }
+        let before = pool.stats_total();
+        for (i, pid) in hot.iter().enumerate() {
+            let f = pool.fetch(1, *pid).unwrap();
+            assert_eq!(f.page.lock().get(0), Some(&(i as u32).to_le_bytes()[..]));
+        }
+        let after = pool.stats_total();
+        assert_eq!(after.misses, before.misses, "hot pages must all still be cached");
     }
 }
