@@ -2,7 +2,7 @@
 //! evaluation section (§4).
 //!
 //! ```text
-//! experiments [table1|table2|fig11|fig13|fig14|examples|throughput|all]
+//! experiments [table1|table2|fig11|fig13|fig14|examples|throughput|durability|all]
 //!             [--full] [--scales 1,2,4,8] [--reps 5] [--threads 1,2,4,8]
 //! ```
 //!
@@ -100,6 +100,9 @@ fn main() {
     if run("throughput") {
         throughput_figure(&args);
     }
+    if run("durability") {
+        durability_figure(&args, &mut mlog);
+    }
     if let Some(path) = mlog.write().expect("write metrics.json") {
         println!("\n(per-query metrics written to {})", path.display());
     }
@@ -123,6 +126,12 @@ impl MetricsLog {
             t.mean.as_nanos(),
             t.rows
         ));
+    }
+
+    /// Record an already-formatted JSON object (used by experiments whose
+    /// shape doesn't fit the per-query schema, e.g. the durability rows).
+    fn push_raw(&mut self, json: String) {
+        self.entries.push(json);
     }
 
     fn write(&self) -> std::io::Result<Option<std::path::PathBuf>> {
@@ -361,7 +370,7 @@ fn throughput_figure(args: &Args) {
         drop(loaded.db);
         let db = ordb::Database::open_with(
             scratch_dir(&format!("throughput-{tag}")),
-            ordb::DbOptions { pool_frames: 16 },
+            ordb::DbOptions { pool_frames: 16, ..Default::default() },
         )
         .expect("reopen for serving");
         let workload = serving_workload(&db);
@@ -389,6 +398,58 @@ fn throughput_figure(args: &Args) {
         );
     }
     println!("\n(speedup is qps relative to 1 client thread; scaling on a single core comes from overlapping simulated I/O waits.)");
+}
+
+/// Load cost of durability: the Shakespeare corpus loaded under the
+/// XORator mapping with the WAL on (default) vs off, reporting load
+/// time, WAL volume, and the commit/checkpoint counters. Rows land in
+/// `target/experiments/metrics.json` alongside the per-query metrics.
+fn durability_figure(args: &Args, mlog: &mut MetricsLog) {
+    let docs = shakespeare_docs(args);
+    let queries = shakespeare_queries();
+    let wl = workload_sql(&queries);
+    let simple = simplify(&parse_dtd(xorator::dtds::SHAKESPEARE_DTD).unwrap());
+    println!("\n## Durability — load cost with the write-ahead log on vs off\n");
+    println!("| WAL | load (s) | tuples | WAL bytes | appends | fsyncs |");
+    println!("|---|---|---|---|---|---|");
+    for durability in [true, false] {
+        let tag = if durability { "wal-on" } else { "wal-off" };
+        let opts = ordb::DbOptions { durability, ..xorator_bench::experiment_opts() };
+        let loaded = xorator_bench::setup_opts(
+            &scratch_dir(&format!("durability-{tag}")),
+            map_xorator(&simple),
+            &docs,
+            FormatPolicy::Auto,
+            &wl,
+            opts,
+        )
+        .expect("durability load");
+        // Checkpoint so the WAL counters include the full load's logging
+        // work, then read them before the handle closes.
+        loaded.db.checkpoint().expect("checkpoint");
+        let stats = loaded.db.wal_stats().unwrap_or_default();
+        println!(
+            "| {} | {:.2} | {} | {} | {} | {} |",
+            if durability { "on" } else { "off" },
+            loaded.load.elapsed.as_secs_f64(),
+            loaded.load.tuples,
+            stats.bytes,
+            stats.appends,
+            stats.fsyncs,
+        );
+        mlog.push_raw(format!(
+            "{{\"figure\":\"durability\",\"variant\":\"{tag}\",\"load_ns\":{},\
+             \"tuples\":{},\"wal_bytes\":{},\"wal_appends\":{},\"wal_fsyncs\":{},\
+             \"wal_checkpoints\":{}}}",
+            loaded.load.elapsed.as_nanos(),
+            loaded.load.tuples,
+            stats.bytes,
+            stats.appends,
+            stats.fsyncs,
+            stats.checkpoints,
+        ));
+    }
+    println!("\n(WAL on logs every dirty page once per commit; the delta in load time is the durability tax.)");
 }
 
 /// A serving-style read-only mix over tables both mappings share: point

@@ -44,9 +44,28 @@ pub fn setup(
     policy: FormatPolicy,
     workload: &[&str],
 ) -> xorator::Result<LoadedDb> {
+    setup_opts(dir, mapping, docs, policy, workload, experiment_opts())
+}
+
+/// Database options used by [`setup`]: the experiment pool size with
+/// durability on (the engine default).
+pub fn experiment_opts() -> DbOptions {
+    DbOptions { pool_frames: EXPERIMENT_POOL_FRAMES, ..Default::default() }
+}
+
+/// [`setup`] with explicit [`DbOptions`] — used by the durability
+/// experiment (WAL on vs off) and the crash-matrix harness (fault
+/// injection).
+pub fn setup_opts(
+    dir: &Path,
+    mapping: Mapping,
+    docs: &[String],
+    policy: FormatPolicy,
+    workload: &[&str],
+    opts: DbOptions,
+) -> xorator::Result<LoadedDb> {
     let _ = std::fs::remove_dir_all(dir);
-    let db = Database::open_with(dir, DbOptions { pool_frames: EXPERIMENT_POOL_FRAMES })
-        .map_err(xorator::CoreError::Db)?;
+    let db = Database::open_with(dir, opts).map_err(xorator::CoreError::Db)?;
     let load = load_corpus(&db, &mapping, docs, LoadOptions { policy, sample_docs: 10 })?;
     let indexes = advise_and_apply(&db, &mapping, workload)?;
     db.runstats_all().map_err(xorator::CoreError::Db)?;

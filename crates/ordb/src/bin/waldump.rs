@@ -1,0 +1,19 @@
+//! `waldump <wal.log>` — print a one-line-per-record summary of a
+//! write-ahead log, including any torn tail. The crash-matrix CI job
+//! attaches this output to failure artifacts.
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: waldump <wal.log>");
+        std::process::exit(2);
+    };
+    match ordb::storage::wal::dump(std::path::Path::new(&path)) {
+        Ok(out) if out.is_empty() => println!("(empty log)"),
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("waldump: {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

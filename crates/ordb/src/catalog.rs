@@ -264,9 +264,13 @@ impl Catalog {
         dir.join("catalog.txt")
     }
 
-    /// Write the catalog to its file in `dir`.
+    /// Write the catalog to its file in `dir`, atomically: a crash mid-
+    /// save leaves either the old catalog or the new one, never a torn
+    /// half-file (the rename is the commit point).
     pub fn save(&self, dir: &Path) -> Result<()> {
-        std::fs::write(Self::file_path(dir), self.serialize())?;
+        let tmp = dir.join("catalog.txt.tmp");
+        std::fs::write(&tmp, self.serialize())?;
+        std::fs::rename(&tmp, Self::file_path(dir))?;
         Ok(())
     }
 

@@ -4,6 +4,7 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -16,25 +17,45 @@ use crate::index::btree::BTree;
 use crate::index::key::encode_key;
 use crate::metrics::{udf_delta, Profiler, QueryMetrics, ENGINE};
 use crate::plan::{plan_select, plan_select_profiled, PlanContext};
+use crate::recovery::RecoveryReport;
 use crate::sql::ast::{AstExpr, Statement};
 use crate::sql::parser::parse_statement;
 use crate::stats::{StatsBuilder, TableStats};
 use crate::storage::buffer::{BufferPool, PoolStats, DEFAULT_POOL_FRAMES};
+use crate::storage::fault::FaultInjector;
 use crate::storage::heap::HeapFile;
+use crate::storage::wal::{Wal, WalStats};
 use crate::trace::{TraceEvent, TraceSink};
 use crate::tuple::{encode_row, encoded_len};
 use crate::types::{DataType, Row, Value};
 
 /// Tuning knobs for [`Database::open_with`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Clone)]
 pub struct DbOptions {
     /// Buffer pool capacity in frames (default 256 = 2 MiB).
     pub pool_frames: usize,
+    /// Write-ahead logging + crash recovery (default on). With it off,
+    /// pages are still checksummed (corruption is detected) but a crash
+    /// loses un-flushed work and a torn page cannot be repaired.
+    pub durability: bool,
+    /// Deterministic disk-fault injector routed under every page file
+    /// and the WAL (crash-matrix tests only; `None` in production).
+    pub fault: Option<Arc<FaultInjector>>,
+}
+
+impl fmt::Debug for DbOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DbOptions")
+            .field("pool_frames", &self.pool_frames)
+            .field("durability", &self.durability)
+            .field("fault", &self.fault.is_some())
+            .finish()
+    }
 }
 
 impl Default for DbOptions {
     fn default() -> Self {
-        DbOptions { pool_frames: DEFAULT_POOL_FRAMES }
+        DbOptions { pool_frames: DEFAULT_POOL_FRAMES, durability: true, fault: None }
     }
 }
 
@@ -45,13 +66,18 @@ struct DbInner {
     stats: HashMap<String, TableStats>,
 }
 
-/// A database rooted at a directory of page files plus `catalog.txt`.
+/// A database rooted at a directory of page files plus `catalog.txt`
+/// (and, with durability on, `wal.log`).
 pub struct Database {
     dir: PathBuf,
     pool: Arc<BufferPool>,
     inner: RwLock<DbInner>,
     functions: crate::functions::FunctionRegistry,
     trace: RwLock<Option<Arc<dyn TraceSink>>>,
+    /// What the open-time redo pass did (None: no WAL existed).
+    recovery: Option<RecoveryReport>,
+    /// Set by `close`/`abandon`; makes `Drop` a no-op.
+    closed: AtomicBool,
 }
 
 // A `Database` is shared across client threads by reference (see the
@@ -126,11 +152,24 @@ impl Database {
     }
 
     /// Open (or create) with explicit options.
+    ///
+    /// When a `wal.log` exists, the redo pass runs *first* — before any
+    /// file is registered with the pool — so torn or lost data-page
+    /// writes from a crash are repaired before anything reads them.
     pub fn open_with(dir: impl AsRef<Path>, opts: DbOptions) -> Result<Database> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
+        let recovery = crate::recovery::recover(&dir)?;
         let catalog = Catalog::load(&dir)?;
-        let pool = Arc::new(BufferPool::new(opts.pool_frames));
+        let pool = Arc::new(BufferPool::with_fault(opts.pool_frames, opts.fault.clone()));
+        if opts.durability {
+            let wal = Arc::new(Wal::open(&dir, opts.fault.clone())?);
+            // Everything the log held is on disk now (recovery fsync'd
+            // it), so reset to a checkpoint record that carries the LSN
+            // cursor forward.
+            wal.checkpoint_truncate()?;
+            pool.set_wal(Some(wal));
+        }
         let mut heaps = HashMap::new();
         let mut indexes = HashMap::new();
         for t in catalog.tables() {
@@ -149,6 +188,8 @@ impl Database {
             inner: RwLock::new(DbInner { catalog, heaps, indexes, stats: HashMap::new() }),
             functions: crate::functions::FunctionRegistry::with_builtins(),
             trace: RwLock::new(None),
+            recovery,
+            closed: AtomicBool::new(false),
         })
     }
 
@@ -378,6 +419,7 @@ impl Database {
         self.emit(|| TraceEvent::Planned { elapsed: plan_time, explain: plan.explain.clone() });
 
         let pool0 = self.pool.stats_total();
+        let wal0 = self.wal_stats().unwrap_or_default();
         let engine0 = ENGINE.snapshot();
         let udf0 = self.functions.counters();
         let t = Instant::now();
@@ -391,6 +433,7 @@ impl Database {
             wall: wall.elapsed(),
             rows: rows.len() as u64,
             pool: self.pool.stats_total().since(&pool0),
+            wal: self.wal_stats().unwrap_or_default().since(&wal0),
             engine: ENGINE.snapshot().since(&engine0),
             udfs: udf_delta(&udf0, &self.functions.counters()),
             root: prof.finish(),
@@ -632,6 +675,72 @@ impl Database {
         self.pool.flush_all()
     }
 
+    /// Make all work so far durable: log every dirty page's image to the
+    /// WAL and fsync it — **one** fsync, zero data-page writes, so this
+    /// is the cheap durability point for bulk loads. Returns the number
+    /// of page images logged. With durability off this is a no-op
+    /// returning 0 (use [`Database::flush`] to push pages out).
+    ///
+    /// After `commit` returns, a crash at *any* point loses nothing: the
+    /// redo pass on the next open rebuilds every page from the log.
+    pub fn commit(&self) -> Result<u64> {
+        let logged = self.pool.log_dirty_frames()?;
+        if let Some(wal) = self.pool.wal() {
+            wal.sync()?;
+        }
+        Ok(logged)
+    }
+
+    /// Checkpoint: commit, write every dirty page to its data file,
+    /// fsync the data files, then truncate the WAL to a single
+    /// checkpoint record. Bounds both recovery time and log size.
+    pub fn checkpoint(&self) -> Result<()> {
+        self.commit()?;
+        self.pool.flush_all()?;
+        if let Some(wal) = self.pool.wal() {
+            wal.checkpoint_truncate()?;
+        }
+        Ok(())
+    }
+
+    /// Orderly shutdown: checkpoint (or, with durability off, flush) so
+    /// nothing is left only in memory, then mark the handle closed so
+    /// `Drop` does no further I/O. Prefer this over relying on `Drop`,
+    /// which cannot report errors.
+    pub fn close(self) -> Result<()> {
+        self.close_inner()
+    }
+
+    fn close_inner(&self) -> Result<()> {
+        if self.closed.swap(true, Ordering::SeqCst) {
+            return Ok(());
+        }
+        self.checkpoint()
+    }
+
+    /// Drop this handle *without* flushing anything — simulates losing
+    /// the process image mid-run. In-memory state vanishes; whatever the
+    /// WAL and data files already hold is what the next open recovers.
+    /// Test/fault-injection use only.
+    pub fn abandon(self) {
+        self.closed.store(true, Ordering::SeqCst);
+    }
+
+    /// Cumulative WAL counters since open (`None` with durability off).
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.pool.wal().map(|w| w.stats())
+    }
+
+    /// Current WAL size in bytes (0 with durability off).
+    pub fn wal_bytes(&self) -> u64 {
+        self.pool.wal().map(|w| w.len_bytes()).unwrap_or(0)
+    }
+
+    /// What the open-time redo pass did; `None` when no WAL existed.
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.recovery
+    }
+
     /// Flush and empty the buffer pool — makes the next query run cold,
     /// as in the paper's methodology (§4.2). The flush's writebacks are
     /// *excluded* from the I/O stats (they belong to the workload that
@@ -668,6 +777,18 @@ impl Database {
     /// The database directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+}
+
+impl Drop for Database {
+    /// Best-effort shutdown: checkpoint + flush unless [`Database::close`]
+    /// or [`Database::abandon`] already ran. Errors (e.g. an injected
+    /// crash) are swallowed — `Drop` cannot report them; callers who care
+    /// use `close()`.
+    fn drop(&mut self) {
+        if !self.closed.load(Ordering::SeqCst) {
+            let _ = self.close_inner();
+        }
     }
 }
 
@@ -1192,13 +1313,180 @@ mod tests {
     }
 
     #[test]
+    fn commit_then_crash_recovers_everything() {
+        // Load + commit, then "crash" (abandon the handle so nothing
+        // flushes): the data files never saw the committed pages. Reopen
+        // must replay them all from the WAL.
+        let dir = std::env::temp_dir().join(format!("ordb-db-crashrec-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let db = Database::open(&dir).unwrap();
+            db.execute("CREATE TABLE t (a INTEGER, b VARCHAR)").unwrap();
+            db.execute("CREATE INDEX t_a ON t (a)").unwrap();
+            db.insert_rows(
+                "t",
+                (0..500).map(|i| vec![Value::Int(i), Value::str(format!("row {i}"))]).collect(),
+            )
+            .unwrap();
+            let logged = db.commit().unwrap();
+            assert!(logged > 0, "dirty pages must be logged at commit");
+            db.abandon();
+        }
+        {
+            let db = Database::open(&dir).unwrap();
+            let rec = db.recovery_report().expect("wal existed");
+            assert!(rec.replayed_pages > 0, "crash lost data pages: {rec:?}");
+            assert_eq!(
+                db.query("SELECT COUNT(*) FROM t").unwrap().scalar(),
+                Some(&Value::Int(500))
+            );
+            db.runstats("t").unwrap();
+            let r = db.query("SELECT b FROM t WHERE a = 123").unwrap();
+            assert_eq!(r.rows, vec![vec![Value::str("row 123")]]);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_page_repaired_from_wal_not_served_as_garbage() {
+        // Corrupt a data page on disk after a clean close. Because the
+        // close checkpoint truncated the WAL, re-log the pages first by
+        // committing without checkpointing — then tear. Reopen must
+        // restore the page from the log, and the query result must be
+        // exactly the pre-corruption answer.
+        let dir = std::env::temp_dir().join(format!("ordb-db-torn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let file_id;
+        {
+            let db = Database::open(&dir).unwrap();
+            db.execute("CREATE TABLE t (a INTEGER)").unwrap();
+            db.insert_rows("t", (0..300).map(|i| vec![Value::Int(i)]).collect()).unwrap();
+            file_id = db.table_def("t").unwrap().file;
+            db.commit().unwrap(); // WAL holds every page image
+            db.flush().unwrap(); // data file holds them too
+            db.abandon(); // no checkpoint: the WAL survives
+        }
+        // Tear the first data page: garbage second half.
+        let path = file_path(&dir, file_id);
+        let mut raw = std::fs::read(&path).unwrap();
+        for b in raw.iter_mut().take(crate::storage::page::PAGE_SIZE).skip(2048) {
+            *b = 0xA5;
+        }
+        std::fs::write(&path, &raw).unwrap();
+        {
+            let db = Database::open(&dir).unwrap();
+            let rec = db.recovery_report().expect("wal existed");
+            assert!(rec.replayed_pages >= 1, "torn page must be replayed: {rec:?}");
+            assert_eq!(
+                db.query("SELECT COUNT(*) FROM t").unwrap().scalar(),
+                Some(&Value::Int(300))
+            );
+            let r = db.query("SELECT COUNT(*) FROM t WHERE a < 10").unwrap();
+            assert_eq!(r.scalar(), Some(&Value::Int(10)));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_without_wal_is_detected_not_served() {
+        // Durability off: no WAL to repair from, but the page checksum
+        // still turns silent corruption into a hard error.
+        let dir = std::env::temp_dir().join(format!("ordb-db-nowal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = DbOptions { durability: false, ..Default::default() };
+        let file_id;
+        {
+            let db = Database::open_with(&dir, opts.clone()).unwrap();
+            db.execute("CREATE TABLE t (a INTEGER)").unwrap();
+            db.insert_rows("t", (0..300).map(|i| vec![Value::Int(i)]).collect()).unwrap();
+            file_id = db.table_def("t").unwrap().file;
+            db.close().unwrap();
+            assert!(!dir.join("wal.log").exists(), "durability off must not write a log");
+        }
+        let path = file_path(&dir, file_id);
+        let mut raw = std::fs::read(&path).unwrap();
+        raw[777] ^= 0x20;
+        std::fs::write(&path, &raw).unwrap();
+        {
+            let db = Database::open_with(&dir, opts).unwrap();
+            match db.query("SELECT COUNT(*) FROM t") {
+                Err(DbError::Corrupt(_)) => {}
+                other => panic!("bit flip must surface as Corrupt, got {other:?}"),
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn close_is_idempotent_and_drop_after_close_does_nothing() {
+        let dir = std::env::temp_dir().join(format!("ordb-db-close-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let db = Database::open(&dir).unwrap();
+            db.execute("CREATE TABLE t (a INTEGER)").unwrap();
+            db.insert_rows("t", (0..50).map(|i| vec![Value::Int(i)]).collect()).unwrap();
+            db.close().unwrap();
+            // `close` consumed the handle; `Drop` already saw the closed
+            // flag. A clean close leaves a checkpoint-only WAL.
+        }
+        let wal_len = std::fs::metadata(dir.join("wal.log")).unwrap().len();
+        assert_eq!(
+            wal_len,
+            crate::storage::wal::record_size(0) as u64,
+            "clean close leaves a single checkpoint record"
+        );
+        {
+            // Reopen after a clean close: nothing to replay.
+            let db = Database::open(&dir).unwrap();
+            let rec = db.recovery_report().expect("wal existed");
+            assert_eq!(rec.replayed_pages, 0, "{rec:?}");
+            assert_eq!(db.query("SELECT COUNT(*) FROM t").unwrap().scalar(), Some(&Value::Int(50)));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drop_flushes_dirty_pages_best_effort() {
+        // No explicit flush/close: Drop's checkpoint must still land the
+        // rows (the drop_cache-teardown loss mode from the issue).
+        let dir = std::env::temp_dir().join(format!("ordb-db-dropflush-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let db = Database::open(&dir).unwrap();
+            db.execute("CREATE TABLE t (a INTEGER)").unwrap();
+            db.insert_rows("t", (0..200).map(|i| vec![Value::Int(i)]).collect()).unwrap();
+            // db dropped here without flush().
+        }
+        {
+            let db = Database::open(&dir).unwrap();
+            assert_eq!(
+                db.query("SELECT COUNT(*) FROM t").unwrap().scalar(),
+                Some(&Value::Int(200))
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn explain_analyze_reports_wal_delta_zero_for_reads() {
+        let db = db("walmetrics");
+        setup_speech(&db);
+        db.commit().unwrap();
+        let report = db.explain_analyze("SELECT COUNT(*) FROM speech").unwrap();
+        assert_eq!(report.metrics.wal.appends, 0, "read-only query logs nothing");
+        let j = report.metrics.to_json();
+        assert!(j.contains("\"wal\":{"), "{j}");
+    }
+
+    #[test]
     fn concurrent_queries_match_single_threaded_baseline() {
         // N threads fire the same mixed read-only workload at one shared
         // Database; every thread must see exactly the single-threaded
         // results. Run with a tiny pool so eviction churn is constant.
         let dir = std::env::temp_dir().join(format!("ordb-db-concurrent-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        let db = Database::open_with(&dir, DbOptions { pool_frames: 16 }).unwrap();
+        let db =
+            Database::open_with(&dir, DbOptions { pool_frames: 16, ..Default::default() }).unwrap();
         setup_speech(&db);
         db.execute("CREATE INDEX idx_parent ON speech (speech_parentID)").unwrap();
         let workload = [

@@ -15,12 +15,17 @@
 //!   algorithms, hash aggregation, and lateral table functions (`unnest`);
 //! * a SQL subset frontend ([`sql`]) and a statistics-driven planner
 //!   ([`plan`]);
+//! * durable storage: a physical write-ahead log with page checksums and
+//!   LSNs ([`storage::wal`]), redo recovery on open ([`recovery`]), and a
+//!   deterministic fault-injection harness ([`storage::fault`]) that the
+//!   crash-matrix CI job drives;
 //! * the [`Database`] facade ([`db`]) tying it together, including
-//!   `runstats`, size accounting, and cold-cache control for experiments.
+//!   `runstats`, size accounting, commit/checkpoint/close, and cold-cache
+//!   control for experiments.
 //!
-//! Intentionally out of scope (documented in DESIGN.md): transactions,
-//! WAL/recovery, and concurrency control — the paper's experiments are
-//! single-stream load-then-query workloads.
+//! Intentionally out of scope (documented in DESIGN.md): multi-statement
+//! transactions with rollback, and MVCC — the paper's experiments are
+//! load-then-query workloads, so durability is commit-grained.
 
 #![warn(missing_docs)]
 
@@ -33,6 +38,7 @@ pub mod functions;
 pub mod index;
 pub mod metrics;
 pub mod plan;
+pub mod recovery;
 pub mod sql;
 pub mod stats;
 pub mod storage;
@@ -44,5 +50,8 @@ pub use catalog::{ColumnDef, IndexDef, TableDef};
 pub use db::{AnalyzeReport, Database, DbOptions, QueryResult};
 pub use error::{DbError, Result};
 pub use metrics::QueryMetrics;
+pub use recovery::RecoveryReport;
+pub use storage::fault::{CrashMode, FaultInjector, FaultPlan, FaultScope};
+pub use storage::wal::WalStats;
 pub use trace::{MemorySink, TraceEvent, TraceSink};
 pub use types::{DataType, Row, Value};

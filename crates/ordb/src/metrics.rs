@@ -6,7 +6,7 @@
 //! provides the measurement layer those arguments need:
 //!
 //! * [`NodeMetrics`] — per-operator atomics filled in by the
-//!   [`Instrumented`](crate::exec::Instrumented) wrapper (`next()` calls,
+//!   [`Instrumented`] wrapper (`next()` calls,
 //!   rows out, inclusive wall time);
 //! * [`Profiler`] — collects wrapped plan nodes during planning and
 //!   produces a nested [`OperatorProfile`] tree afterwards;
@@ -30,11 +30,12 @@ use std::time::Duration;
 
 use crate::exec::{BoxOp, Instrumented};
 use crate::storage::buffer::PoolStats;
+use crate::storage::wal::WalStats;
 
 // ---- per-operator metrics ----------------------------------------------
 
 /// Counters for one instrumented plan node. Shared between the executing
-/// [`Instrumented`](crate::exec::Instrumented) wrapper and the
+/// [`Instrumented`] wrapper and the
 /// [`Profiler`] that reads them after execution.
 #[derive(Debug, Default)]
 pub struct NodeMetrics {
@@ -103,7 +104,7 @@ impl Profiler {
         self.nodes.is_some()
     }
 
-    /// Wrap `op` in an [`Instrumented`](crate::exec::Instrumented) node
+    /// Wrap `op` in an [`Instrumented`] node
     /// labelled `label`, registering `children` (ids returned by earlier
     /// `wrap` calls) as its plan children. Returns the (possibly wrapped)
     /// operator and this node's id.
@@ -261,6 +262,9 @@ pub struct QueryMetrics {
     pub rows: u64,
     /// Buffer-pool activity during execution (delta, not cumulative).
     pub pool: PoolStats,
+    /// WAL activity during execution (delta; all-zero with durability
+    /// off or for read-only queries).
+    pub wal: WalStats,
     /// Engine counter deltas (index probes, sort volume, unnest).
     pub engine: EngineSnapshot,
     /// Per-function call/marshalling deltas, functions actually called.
@@ -295,6 +299,12 @@ impl QueryMetrics {
             self.pool.misses,
             self.pool.writebacks,
         ));
+        if self.wal != WalStats::default() {
+            out.push_str(&format!(
+                "wal: {} appends, {} B, {} fsyncs, {} checkpoints\n",
+                self.wal.appends, self.wal.bytes, self.wal.fsyncs, self.wal.checkpoints,
+            ));
+        }
         out.push_str(&format!(
             "index probes: {} · sort rows: {} (spills: {}) · unnest: {} calls, {} B\n",
             self.engine.index_probes,
@@ -328,6 +338,11 @@ impl QueryMetrics {
         push_kv(&mut s, "reads", self.pool.misses);
         push_kv(&mut s, "writes", self.pool.writebacks);
         s.push_str(&format!("\"hit_ratio\":{:.4}}},", self.pool.hit_ratio()));
+        s.push_str("\"wal\":{");
+        push_kv(&mut s, "appends", self.wal.appends);
+        push_kv(&mut s, "bytes", self.wal.bytes);
+        push_kv(&mut s, "fsyncs", self.wal.fsyncs);
+        s.push_str(&format!("\"checkpoints\":{}}},", self.wal.checkpoints));
         push_kv(&mut s, "index_probes", self.engine.index_probes);
         push_kv(&mut s, "sort_rows", self.engine.sort_rows);
         push_kv(&mut s, "sort_spills", self.engine.sort_spills);
@@ -478,6 +493,7 @@ mod tests {
             wall: Duration::from_millis(2),
             rows: 3,
             pool: PoolStats { hits: 8, misses: 2, writebacks: 0, evictions: 0 },
+            wal: WalStats { appends: 2, bytes: 16448, fsyncs: 1, checkpoints: 0 },
             engine: EngineSnapshot { index_probes: 1, ..Default::default() },
             udfs: vec![UdfCounters { name: "findKeyInElm".into(), calls: 3, marshalled_bytes: 99 }],
             root: Some(OperatorProfile {

@@ -25,16 +25,27 @@
 //! Slow-path I/O — disk reads, dirty-victim write-backs, and the optional
 //! [`IoSimulation`] sleeps — happens **outside** the shard latch. An
 //! in-flight table per shard makes that safe: a miss claims the key with
-//! an [`Inflight`] marker before releasing the latch, concurrent fetches
+//! an `Inflight` marker before releasing the latch, concurrent fetches
 //! of the same page wait on the marker and then retry (so a page is never
 //! read from disk twice concurrently), and a dirty eviction victim is
 //! marked in-flight until its write-back lands (so a re-fetch can never
 //! read the stale on-disk image — the lost-update hazard of the old
 //! single-lock pool).
 //!
-//! Lock order: a page lock may be taken before the file-table lock
-//! (write-backs do); the shard latch is never held across page locks,
-//! file I/O, or sleeps.
+//! Lock order: a page lock may be taken before the WAL mutex and the
+//! file-table lock (write-backs do); the shard latch is never held
+//! across page locks, file I/O, or sleeps.
+//!
+//! # Durability hooks
+//!
+//! When a [`Wal`] is attached, the pool enforces **WAL-before-data**: a
+//! dirty frame whose image has not been logged since its last mutation
+//! (the `unlogged` bit, set by [`Frame::mark_dirty`]) is logged at
+//! write-back time, and [`Wal::ensure_durable`] forces the log to disk
+//! before the data page goes out. Whether or not a WAL is attached,
+//! every image is checksum-stamped before it is written and verified
+//! when it is read back, so torn or bit-flipped on-disk pages surface
+//! as [`DbError::Corrupt`] instead of garbage rows.
 
 use std::collections::{HashMap, VecDeque};
 use std::ops::Deref;
@@ -46,7 +57,9 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::error::{DbError, Result};
 use crate::storage::disk::PageFile;
-use crate::storage::page::{Page, PAGE_SIZE};
+use crate::storage::fault::FaultInjector;
+use crate::storage::page::{verify_checksum, Page, PAGE_SIZE};
+use crate::storage::wal::Wal;
 
 /// Identifies a registered page file.
 pub type FileId = u32;
@@ -64,6 +77,10 @@ pub struct Frame {
     /// The page image. Lock, mutate, then call [`Frame::mark_dirty`].
     pub page: Mutex<Page>,
     dirty: AtomicBool,
+    /// Set by `mark_dirty`, cleared when the image is logged to the WAL.
+    /// A dirty frame with this bit set must be logged before its page
+    /// can be written to a data file (WAL-before-data).
+    unlogged: AtomicBool,
     /// Live [`FrameRef`] count. Non-zero pins veto eviction.
     pins: AtomicU32,
     /// Clock reference bit: set on every hit, cleared by the sweep hand.
@@ -76,6 +93,7 @@ impl Frame {
     /// Record that the page image was modified.
     pub fn mark_dirty(&self) {
         self.dirty.store(true, Ordering::Release);
+        self.unlogged.store(true, Ordering::Release);
     }
 
     /// The (file, page) this frame caches.
@@ -240,7 +258,7 @@ impl Inflight {
     }
 }
 
-/// RAII completion of an [`Inflight`] marker — waiters are released even
+/// RAII completion of an `Inflight` marker — waiters are released even
 /// if the I/O path errors or panics.
 struct FinishOnDrop(Arc<Inflight>);
 
@@ -294,12 +312,23 @@ pub struct BufferPool {
     /// Watermark of `stats` at the last `take_stats` call.
     taken: Mutex<PoolStats>,
     io_sim: Mutex<Option<IoSimulation>>,
+    /// Attached write-ahead log; when present, write-backs enforce
+    /// WAL-before-data.
+    wal: RwLock<Option<Arc<Wal>>>,
+    /// Fault injector handed to every [`PageFile`] this pool opens.
+    fault: Option<Arc<FaultInjector>>,
 }
 
 impl BufferPool {
     /// A pool holding at most ~`capacity` frames (split evenly across
     /// [`POOL_SHARDS`] shards; pinned frames can over-subscribe a shard).
     pub fn new(capacity: usize) -> BufferPool {
+        BufferPool::with_fault(capacity, None)
+    }
+
+    /// A pool whose page files route writes through `fault` (tests only;
+    /// production opens pass `None`).
+    pub fn with_fault(capacity: usize, fault: Option<Arc<FaultInjector>>) -> BufferPool {
         let capacity = capacity.max(8);
         let per_shard = capacity.div_ceil(POOL_SHARDS).max(1);
         BufferPool {
@@ -308,7 +337,20 @@ impl BufferPool {
             stats: AtomicStats::default(),
             taken: Mutex::new(PoolStats::default()),
             io_sim: Mutex::new(None),
+            wal: RwLock::new(None),
+            fault,
         }
+    }
+
+    /// Attach (or detach) the write-ahead log used for WAL-before-data
+    /// enforcement on write-backs.
+    pub fn set_wal(&self, wal: Option<Arc<Wal>>) {
+        *self.wal.write() = wal;
+    }
+
+    /// The attached write-ahead log, if any.
+    pub fn wal(&self) -> Option<Arc<Wal>> {
+        self.wal.read().clone()
     }
 
     fn shard(&self, file: FileId, pid: u32) -> &Mutex<Shard> {
@@ -329,7 +371,7 @@ impl BufferPool {
         if files.contains_key(&id) {
             return Err(DbError::Catalog(format!("file id {id} already registered")));
         }
-        files.insert(id, PageFile::open(path)?);
+        files.insert(id, PageFile::open_faulted(path, self.fault.clone())?);
         Ok(())
     }
 
@@ -437,9 +479,16 @@ impl BufferPool {
             let files = self.files.read();
             file_of(&files, key.0).map_err(unclaim)?.read_page(key.1, &mut buf).map_err(unclaim)?;
         }
+        if !verify_checksum(&buf) {
+            return Err(unclaim(DbError::Corrupt(format!(
+                "page checksum mismatch: file {} page {} (torn write or media corruption)",
+                key.0, key.1
+            ))));
+        }
         let frame = Arc::new(Frame {
             page: Mutex::new(Page::from_bytes(buf)),
             dirty: AtomicBool::new(false),
+            unlogged: AtomicBool::new(false),
             pins: AtomicU32::new(0),
             referenced: AtomicBool::new(false),
             file: key.0,
@@ -503,6 +552,26 @@ impl BufferPool {
         dirty_victims
     }
 
+    /// Write one frame's current image to its data file, honouring the
+    /// durability protocol: log the image first if it is dirty-unlogged,
+    /// force the WAL through the frame's LSN, and (always) stamp the
+    /// trailer checksum. Caller holds the page lock (`page` is the
+    /// guard's target) and has already claimed/cleared the dirty flag.
+    fn prepare_and_write(&self, frame: &Frame, page: &mut Page) -> Result<()> {
+        let (file, pid) = frame.location();
+        if let Some(wal) = self.wal.read().clone() {
+            if frame.unlogged.swap(false, Ordering::AcqRel) {
+                wal.log_page(file, pid, page);
+            }
+            wal.ensure_durable(page.lsn())?;
+        } else {
+            page.stamp_checksum();
+        }
+        let files = self.files.read();
+        file_of(&files, file)?.write_page(pid, page.bytes())?;
+        Ok(())
+    }
+
     /// Write dirty eviction victims back to disk (no shard latch held)
     /// and release any fetches waiting on their in-flight markers.
     fn write_back_victims(
@@ -515,9 +584,8 @@ impl BufferPool {
             let release = FinishOnDrop(marker);
             let key = frame.location();
             let res = (|| -> Result<()> {
-                let page = frame.page.lock();
-                let files = self.files.read();
-                file_of(&files, key.0)?.write_page(key.1, page.bytes())?;
+                let mut page = frame.page.lock();
+                self.prepare_and_write(&frame, &mut page)?;
                 self.stats.writebacks.fetch_add(1, Ordering::Relaxed);
                 Ok(())
             })();
@@ -569,17 +637,40 @@ impl BufferPool {
     /// frame for the next flush — never lost.
     fn flush_frames(&self, frames: &[Arc<Frame>], count: bool) -> Result<()> {
         for frame in frames {
-            let page = frame.page.lock();
+            let mut page = frame.page.lock();
             if frame.dirty.swap(false, Ordering::AcqRel) {
-                let (file, pid) = frame.location();
-                let files = self.files.read();
-                file_of(&files, file)?.write_page(pid, page.bytes())?;
+                if let Err(e) = self.prepare_and_write(frame, &mut page) {
+                    // The update is still in memory; restore the flag so
+                    // a later flush retries instead of losing it.
+                    frame.dirty.store(true, Ordering::Release);
+                    return Err(e);
+                }
                 if count {
                     self.stats.writebacks.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
         Ok(())
+    }
+
+    /// Log the current image of every dirty-unlogged frame to the WAL
+    /// without writing any data page. Returns the number of images
+    /// logged. The caller makes them durable with [`Wal::sync`] — this
+    /// is the cheap half of `commit` (one batched fsync, zero data-page
+    /// I/O).
+    pub fn log_dirty_frames(&self) -> Result<u64> {
+        let Some(wal) = self.wal.read().clone() else { return Ok(0) };
+        let frames = self.collect_frames(|_| true);
+        let mut logged = 0u64;
+        for frame in &frames {
+            let mut page = frame.page.lock();
+            if frame.dirty.load(Ordering::Acquire) && frame.unlogged.swap(false, Ordering::AcqRel) {
+                let (file, pid) = frame.location();
+                wal.log_page(file, pid, &mut page);
+                logged += 1;
+            }
+        }
+        Ok(logged)
     }
 
     /// Flush and drop every cached frame — the harness's "cold run" switch
@@ -796,6 +887,68 @@ mod tests {
             let f = pool.fetch(1, *pid).unwrap();
             assert_eq!(f.page.lock().get(0), Some(&payload[..]), "page {pid} lost its update");
         }
+    }
+
+    #[test]
+    fn checksum_mismatch_surfaces_as_corrupt() {
+        let dir = temp_dir("crc");
+        let path = dir.join("crc.db");
+        let _ = std::fs::remove_file(&path);
+        let pool = BufferPool::new(16);
+        pool.register_file(1, path.clone()).unwrap();
+        let (pid, frame) = pool.allocate(1).unwrap();
+        frame.page.lock().insert(b"soon garbage").unwrap();
+        frame.mark_dirty();
+        drop(frame);
+        pool.drop_cache().unwrap();
+        // Flip a bit in the on-disk image behind the pool's back.
+        let mut raw = std::fs::read(&path).unwrap();
+        raw[pid as usize * PAGE_SIZE + 40] ^= 0x01;
+        std::fs::write(&path, &raw).unwrap();
+        match pool.fetch(1, pid) {
+            Err(DbError::Corrupt(_)) => {}
+            Err(other) => panic!("expected Corrupt, got {other:?}"),
+            Ok(_) => panic!("corrupt page served as a valid frame"),
+        }
+    }
+
+    #[test]
+    fn wal_before_data_under_concurrent_eviction() {
+        // Tiny pool + attached WAL + concurrent writers: evictions force
+        // write-backs mid-workload, each of which must log its image and
+        // make the log durable first. Afterwards every on-disk page
+        // carries a valid checksum and an LSN the log actually contains.
+        let dir = temp_dir("walconc");
+        let pool = Arc::new(BufferPool::new(8));
+        pool.register_file(1, dir.join("w.db")).unwrap();
+        let wal = Arc::new(crate::storage::wal::Wal::open(&dir, None).unwrap());
+        pool.set_wal(Some(wal.clone()));
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let pool = pool.clone();
+                s.spawn(move || {
+                    for i in 0..24u32 {
+                        let (pid, frame) = pool.allocate(1).unwrap();
+                        frame.page.lock().insert(format!("t{t}p{i}").as_bytes()).unwrap();
+                        frame.mark_dirty();
+                        let _ = pid;
+                    }
+                });
+            }
+        });
+        pool.flush_all().unwrap();
+        wal.sync().unwrap();
+        let appends = wal.stats().appends;
+        assert!(appends >= 96, "every dirty page logged once: {appends}");
+        // All on-disk images verify.
+        pool.drop_cache().unwrap();
+        let n = pool.page_count(1).unwrap();
+        for pid in 0..n {
+            let f = pool.fetch(1, pid).unwrap();
+            assert!(f.page.lock().checksum_ok() || f.page.lock().lsn() == 0);
+        }
+        pool.set_wal(None);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,282 @@
+//! Deterministic disk-fault injection.
+//!
+//! A [`FaultInjector`] sits under every [`PageFile`](crate::storage::disk)
+//! and WAL file of a database opened with
+//! [`DbOptions::fault`](crate::db::DbOptions). While disarmed it only
+//! counts writes; once [`armed`](FaultInjector::arm) with a [`FaultPlan`]
+//! it simulates a process crash at the Nth matching write:
+//!
+//! * **Drop** — the write never happens; every subsequent write and fsync
+//!   fails (the process image is "dead").
+//! * **Tear** — a seeded-random prefix of the write lands on disk, the
+//!   rest does not (a torn page), then the process is dead.
+//! * **BitFlip** — the write lands in full but with one seeded-random bit
+//!   flipped (silent media corruption), then the process is dead.
+//!
+//! Everything is driven by a seeded xorshift RNG, so a failing crash
+//! point is replayable from its `(seed, plan)` pair alone — the
+//! crash-matrix CI job prints exactly that on failure.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Which I/O stream a write belongs to (chooses which writes a plan
+/// counts toward its crash point).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoKind {
+    /// A data-page write (heap or index file).
+    Data,
+    /// A write-ahead-log write.
+    Wal,
+}
+
+/// What the injected crash does to the write it lands on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashMode {
+    /// The write is dropped entirely.
+    Drop,
+    /// A random prefix of the write lands (torn page).
+    Tear,
+    /// The full write lands with one random bit flipped, *then* the
+    /// process dies on the next write.
+    BitFlip,
+}
+
+/// Which writes count toward (and are affected by) the crash point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultScope {
+    /// Only data-page writes.
+    Data,
+    /// Only WAL writes.
+    Wal,
+    /// Every write.
+    All,
+}
+
+impl FaultScope {
+    fn matches(self, kind: IoKind) -> bool {
+        match self {
+            FaultScope::Data => kind == IoKind::Data,
+            FaultScope::Wal => kind == IoKind::Wal,
+            FaultScope::All => true,
+        }
+    }
+}
+
+/// One replayable crash: kill the process image at the `crash_after`-th
+/// in-scope write (0 = the very next one), in the given mode, with tear
+/// offsets / flipped bits drawn from `seed`.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// In-scope writes to let through before the crash.
+    pub crash_after: u64,
+    /// What happens to the crashing write.
+    pub mode: CrashMode,
+    /// Which writes count.
+    pub scope: FaultScope,
+    /// Seed for the tear-point / bit-position draw.
+    pub seed: u64,
+}
+
+/// The action the I/O layer must take for one write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteAction {
+    /// Perform the write normally.
+    Proceed,
+    /// Write only the first `n` bytes, then fail (the process is dead).
+    Tear(usize),
+    /// Write the full buffer with bit `bit` of byte `byte` flipped, and
+    /// report success; the *next* write fails.
+    Corrupt {
+        /// Byte index to corrupt (modulo the buffer length).
+        byte: usize,
+        /// Bit mask to XOR into that byte.
+        mask: u8,
+    },
+    /// The process is dead: fail without writing.
+    Dead,
+}
+
+struct Armed {
+    plan: FaultPlan,
+    remaining: u64,
+    rng: u64,
+}
+
+/// Deterministic write-fault state shared by every file of one database.
+#[derive(Default)]
+pub struct FaultInjector {
+    data_writes: AtomicU64,
+    wal_writes: AtomicU64,
+    crashed: AtomicBool,
+    armed: Mutex<Option<Armed>>,
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state | 1;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+impl FaultInjector {
+    /// A fresh injector: disarmed, counting writes.
+    pub fn new() -> Arc<FaultInjector> {
+        Arc::new(FaultInjector::default())
+    }
+
+    /// Arm a crash plan. Replaces any previous plan and clears a previous
+    /// simulated crash.
+    pub fn arm(&self, plan: FaultPlan) {
+        self.crashed.store(false, Ordering::SeqCst);
+        *self.armed.lock() =
+            Some(Armed { plan, remaining: plan.crash_after, rng: plan.seed.wrapping_add(1) });
+    }
+
+    /// Remove the plan and clear the crashed state (the next open gets a
+    /// healthy disk).
+    pub fn disarm(&self) {
+        *self.armed.lock() = None;
+        self.crashed.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether the simulated crash has happened.
+    pub fn crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
+    }
+
+    /// Data-page writes observed since creation (armed or not).
+    pub fn data_writes(&self) -> u64 {
+        self.data_writes.load(Ordering::SeqCst)
+    }
+
+    /// WAL writes observed since creation (armed or not).
+    pub fn wal_writes(&self) -> u64 {
+        self.wal_writes.load(Ordering::SeqCst)
+    }
+
+    /// Decide the fate of one write of `len` bytes. Called by the disk
+    /// layer before every write.
+    pub fn on_write(&self, kind: IoKind, len: usize) -> WriteAction {
+        if self.crashed.load(Ordering::SeqCst) {
+            return WriteAction::Dead;
+        }
+        let counter = match kind {
+            IoKind::Data => &self.data_writes,
+            IoKind::Wal => &self.wal_writes,
+        };
+        counter.fetch_add(1, Ordering::SeqCst);
+        let mut armed = self.armed.lock();
+        let Some(state) = armed.as_mut() else { return WriteAction::Proceed };
+        if !state.plan.scope.matches(kind) {
+            return WriteAction::Proceed;
+        }
+        if state.remaining > 0 {
+            state.remaining -= 1;
+            return WriteAction::Proceed;
+        }
+        // This is the crashing write.
+        self.crashed.store(true, Ordering::SeqCst);
+        match state.plan.mode {
+            CrashMode::Drop => WriteAction::Dead,
+            CrashMode::Tear => {
+                // Keep a strict prefix: at least 1 byte short, possibly 0.
+                let keep = (xorshift(&mut state.rng) as usize) % len.max(1);
+                WriteAction::Tear(keep)
+            }
+            CrashMode::BitFlip => {
+                let byte = (xorshift(&mut state.rng) as usize) % len.max(1);
+                let mask = 1u8 << (xorshift(&mut state.rng) % 8) as u8;
+                WriteAction::Corrupt { byte, mask }
+            }
+        }
+    }
+
+    /// Whether an fsync may succeed (false once crashed).
+    pub fn allow_sync(&self) -> bool {
+        !self.crashed.load(Ordering::SeqCst)
+    }
+}
+
+/// The error every I/O operation returns after the simulated crash.
+pub fn crash_error() -> std::io::Error {
+    std::io::Error::other("simulated crash (fault injection)")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_injector_only_counts() {
+        let inj = FaultInjector::new();
+        for _ in 0..5 {
+            assert_eq!(inj.on_write(IoKind::Data, 100), WriteAction::Proceed);
+        }
+        assert_eq!(inj.on_write(IoKind::Wal, 10), WriteAction::Proceed);
+        assert_eq!(inj.data_writes(), 5);
+        assert_eq!(inj.wal_writes(), 1);
+        assert!(!inj.crashed());
+    }
+
+    #[test]
+    fn crash_lands_on_the_nth_write_and_is_sticky() {
+        let inj = FaultInjector::new();
+        inj.arm(FaultPlan {
+            crash_after: 2,
+            mode: CrashMode::Drop,
+            scope: FaultScope::Data,
+            seed: 9,
+        });
+        assert_eq!(inj.on_write(IoKind::Data, 8), WriteAction::Proceed);
+        // Out-of-scope writes do not advance the countdown.
+        assert_eq!(inj.on_write(IoKind::Wal, 8), WriteAction::Proceed);
+        assert_eq!(inj.on_write(IoKind::Data, 8), WriteAction::Proceed);
+        assert_eq!(inj.on_write(IoKind::Data, 8), WriteAction::Dead);
+        assert!(inj.crashed());
+        assert_eq!(inj.on_write(IoKind::Data, 8), WriteAction::Dead);
+        assert_eq!(inj.on_write(IoKind::Wal, 8), WriteAction::Dead);
+        assert!(!inj.allow_sync());
+        inj.disarm();
+        assert!(!inj.crashed());
+        assert_eq!(inj.on_write(IoKind::Data, 8), WriteAction::Proceed);
+    }
+
+    #[test]
+    fn tear_is_deterministic_per_seed() {
+        let run = |seed| {
+            let inj = FaultInjector::new();
+            inj.arm(FaultPlan {
+                crash_after: 0,
+                mode: CrashMode::Tear,
+                scope: FaultScope::All,
+                seed,
+            });
+            inj.on_write(IoKind::Data, 8192)
+        };
+        let a = run(42);
+        assert_eq!(a, run(42), "same seed, same tear point");
+        let WriteAction::Tear(keep) = a else { panic!("expected tear, got {a:?}") };
+        assert!(keep < 8192);
+    }
+
+    #[test]
+    fn bitflip_targets_a_real_byte() {
+        let inj = FaultInjector::new();
+        inj.arm(FaultPlan {
+            crash_after: 0,
+            mode: CrashMode::BitFlip,
+            scope: FaultScope::All,
+            seed: 3,
+        });
+        let WriteAction::Corrupt { byte, mask } = inj.on_write(IoKind::Data, 4096) else {
+            panic!("expected corrupt");
+        };
+        assert!(byte < 4096);
+        assert_eq!(mask.count_ones(), 1);
+    }
+}

@@ -11,7 +11,7 @@ use parking_lot::Mutex;
 
 use crate::error::{DbError, Result};
 use crate::storage::buffer::{BufferPool, FileId};
-use crate::storage::page::{Page, PAGE_SIZE};
+use crate::storage::page::{Page, PAGE_SIZE, PAGE_TRAILER};
 
 /// Records above this size go to an overflow chain.
 pub const OVERFLOW_THRESHOLD: usize = PAGE_SIZE / 2;
@@ -26,8 +26,8 @@ const STUB_LEN: usize = 1 + 4 + 4;
 /// + payload bytes.
 const OVF_HEADER: usize = 6;
 /// Payload bytes per overflow page: the page body (after the 16-byte page
-/// header) minus the chain header.
-const OVF_CAPACITY: usize = PAGE_SIZE - 16 - OVF_HEADER;
+/// header, before the durability trailer) minus the chain header.
+const OVF_CAPACITY: usize = PAGE_SIZE - 16 - OVF_HEADER - PAGE_TRAILER;
 const OVF_END: u32 = u32::MAX;
 
 /// Identifies a record in a heap file.
@@ -332,14 +332,15 @@ fn is_overflow_page(p: &Page) -> bool {
     p.special0() == 2
 }
 
-/// Overflow pages store raw bytes after the 16-byte page header; slots are
-/// unused. These helpers expose that region.
+/// Overflow pages store raw bytes after the 16-byte page header and before
+/// the durability trailer; slots are unused. These helpers expose that
+/// region.
 fn overflow_body(p: &Page) -> &[u8] {
-    &p.bytes()[16..]
+    &p.bytes()[16..PAGE_SIZE - PAGE_TRAILER]
 }
 
 fn overflow_body_mut(p: &mut Page) -> &mut [u8] {
-    &mut p.bytes_mut()[16..]
+    &mut p.bytes_mut()[16..PAGE_SIZE - PAGE_TRAILER]
 }
 
 #[cfg(test)]

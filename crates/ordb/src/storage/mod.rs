@@ -1,6 +1,9 @@
-//! Physical storage: page files, buffer pool, slotted pages, heap files.
+//! Physical storage: page files, buffer pool, slotted pages, heap files,
+//! write-ahead log, and deterministic fault injection.
 
 pub mod buffer;
 pub mod disk;
+pub mod fault;
 pub mod heap;
 pub mod page;
+pub mod wal;

@@ -10,18 +10,32 @@
 //! 12..16 special2 (u32)  — owner-defined
 //! 16..   slot array, 4 bytes per slot: offset u16, len u16
 //! ...    free space
-//! ...    records, packed at the end of the page
+//! ...    records, packed at the end of the record area
+//! -12..-4  page LSN (u64) — WAL record that last logged this page
+//! -4..     CRC32 of bytes [0, PAGE_SIZE-4) — stamped on every disk write
 //! ```
 //!
 //! A slot length of `DEAD` (`u16::MAX`) marks a deleted record. The slot *array order*
 //! is logical order — the B+Tree keeps entries sorted by inserting slots in
 //! the middle of the array, without moving record bytes.
+//!
+//! The last [`PAGE_TRAILER`] bytes are the durability trailer: a page LSN
+//! linking the image to the WAL record that last captured it, and a CRC32
+//! over the rest of the page. The buffer pool stamps the trailer on every
+//! write-back and verifies the checksum on every read, so a torn or
+//! bit-flipped on-disk page is *detected* (never served as garbage rows)
+//! and, when its image is still in the WAL, repaired by the redo pass.
 
 /// Size of every page, matching the paper's 8 KiB DB2 configuration.
 pub const PAGE_SIZE: usize = 8192;
 
+/// Bytes reserved at the end of every page: LSN (u64) + CRC32 (u32).
+pub const PAGE_TRAILER: usize = 12;
+
 const HEADER: usize = 16;
 const SLOT_SIZE: usize = 4;
+const LSN_OFF: usize = PAGE_SIZE - PAGE_TRAILER;
+const CRC_OFF: usize = PAGE_SIZE - 4;
 
 /// Slot length marking a deleted record.
 const DEAD: u16 = u16::MAX;
@@ -41,7 +55,7 @@ impl Page {
     /// A zeroed page with an empty slot array.
     pub fn new() -> Page {
         let mut p = Page { data: vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().unwrap() };
-        p.set_free_off(PAGE_SIZE as u16);
+        p.set_free_off((PAGE_SIZE - PAGE_TRAILER) as u16);
         p
     }
 
@@ -52,7 +66,7 @@ impl Page {
     pub fn from_bytes(bytes: [u8; PAGE_SIZE]) -> Page {
         let mut p = Page { data: Box::new(bytes) };
         if p.free_off() == 0 {
-            p.set_free_off(PAGE_SIZE as u16);
+            p.set_free_off((PAGE_SIZE - PAGE_TRAILER) as u16);
         }
         p
     }
@@ -130,6 +144,29 @@ impl Page {
     /// Set owner-defined header word 2.
     pub fn set_special2(&mut self, v: u32) {
         self.write_u32(12, v);
+    }
+
+    /// The LSN of the WAL record that last logged this page image (0 =
+    /// never logged).
+    pub fn lsn(&self) -> u64 {
+        u64::from_le_bytes(self.data[LSN_OFF..LSN_OFF + 8].try_into().unwrap())
+    }
+
+    /// Set the page LSN (done by the WAL when the image is logged).
+    pub fn set_lsn(&mut self, lsn: u64) {
+        self.data[LSN_OFF..LSN_OFF + 8].copy_from_slice(&lsn.to_le_bytes());
+    }
+
+    /// Compute and store the trailer CRC32. Must be the last mutation
+    /// before the image goes to disk (or into a WAL record).
+    pub fn stamp_checksum(&mut self) {
+        let crc = crc32(&self.data[..CRC_OFF]);
+        self.data[CRC_OFF..].copy_from_slice(&crc.to_le_bytes());
+    }
+
+    /// Whether this in-memory image carries a valid trailer checksum.
+    pub fn checksum_ok(&self) -> bool {
+        verify_checksum(&self.data)
     }
 
     fn slot(&self, idx: usize) -> (usize, u16) {
@@ -222,7 +259,7 @@ impl Page {
                 records.push((i, r.to_vec()));
             }
         }
-        let mut off = PAGE_SIZE;
+        let mut off = PAGE_SIZE - PAGE_TRAILER;
         for (i, r) in &records {
             off -= r.len();
             self.data[off..off + r.len()].copy_from_slice(r);
@@ -258,8 +295,48 @@ impl Page {
 
     /// Maximum record size a fresh page can hold.
     pub fn max_record_len() -> usize {
-        PAGE_SIZE - HEADER - SLOT_SIZE
+        PAGE_SIZE - HEADER - SLOT_SIZE - PAGE_TRAILER
     }
+}
+
+// ---- checksums ----------------------------------------------------------
+
+/// CRC32 (IEEE) lookup table, built at compile time.
+static CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 (IEEE 802.3) of `bytes`. Used for both page trailers and WAL
+/// record checksums — no external dependency.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Verify the trailer checksum of a raw on-disk image. An all-zero page
+/// (freshly allocated, never written) is valid by definition — it decodes
+/// as an empty slotted page.
+pub fn verify_checksum(bytes: &[u8; PAGE_SIZE]) -> bool {
+    let stored = u32::from_le_bytes(bytes[CRC_OFF..].try_into().unwrap());
+    if crc32(&bytes[..CRC_OFF]) == stored {
+        return true;
+    }
+    stored == 0 && bytes.iter().all(|&b| b == 0)
 }
 
 #[cfg(test)]
@@ -351,5 +428,57 @@ mod tests {
         p.insert(b"persisted").unwrap();
         let q = Page::from_bytes(*p.bytes());
         assert_eq!(q.get(0), Some(b"persisted" as &[u8]));
+    }
+
+    #[test]
+    fn lsn_round_trips_and_survives_compaction() {
+        let mut p = Page::new();
+        p.set_lsn(0xDEAD_BEEF_0042);
+        let a = p.insert(&[1u8; 700]).unwrap();
+        p.insert(&[2u8; 700]).unwrap();
+        p.delete(a);
+        p.compact();
+        assert_eq!(p.lsn(), 0xDEAD_BEEF_0042);
+        assert_eq!(p.get(1), Some(&[2u8; 700][..]));
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let mut p = Page::new();
+        p.insert(b"guarded").unwrap();
+        p.set_lsn(7);
+        p.stamp_checksum();
+        assert!(p.checksum_ok());
+        // Any flipped bit in the body invalidates the stamp.
+        let mut torn = *p.bytes();
+        torn[100] ^= 0x40;
+        assert!(!verify_checksum(&torn));
+        // A fresh (all-zero) on-disk page is valid without a stamp.
+        assert!(verify_checksum(&[0u8; PAGE_SIZE]));
+        let mut zeros = [0u8; PAGE_SIZE];
+        zeros[9] = 1;
+        assert!(!verify_checksum(&zeros), "non-zero unstamped page must fail");
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // IEEE CRC32 of "123456789" is 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn records_never_overlap_trailer() {
+        let mut p = Page::new();
+        p.set_lsn(u64::MAX);
+        p.stamp_checksum();
+        let trailer = p.bytes()[PAGE_SIZE - PAGE_TRAILER..].to_vec();
+        while p.insert(&[3u8; 64]).is_some() {}
+        p.compact();
+        assert_eq!(
+            &p.bytes()[PAGE_SIZE - PAGE_TRAILER..],
+            &trailer[..],
+            "records clobbered trailer"
+        );
     }
 }
