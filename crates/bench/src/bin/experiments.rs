@@ -2,8 +2,9 @@
 //! evaluation section (§4).
 //!
 //! ```text
-//! experiments [table1|table2|fig11|fig13|fig14|examples|throughput|durability|all]
+//! experiments [table1|table2|fig11|fig13|fig14|examples|throughput|durability|spill|all]
 //!             [--full] [--scales 1,2,4,8] [--reps 5] [--threads 1,2,4,8]
+//!             [--budget BYTES]
 //! ```
 //!
 //! * `--full`  — use the paper-sized corpora (37 plays ≈ 7.5 MB,
@@ -14,6 +15,8 @@
 //! * `--io-sim` — simulate year-2000 disk latency on buffer-pool misses
 //!   (0.2 ms sequential / 2 ms random), re-creating the paper's I/O-bound
 //!   regime; see `ordb::storage::buffer::IoSimulation`.
+//! * `--budget` — per-operator memory budget in bytes for the `spill`
+//!   experiment (default 4 MiB with `--full`, 256 KiB otherwise).
 
 use std::time::Duration;
 
@@ -32,6 +35,7 @@ struct Args {
     reps: usize,
     io_sim: bool,
     threads: Vec<usize>,
+    budget: Option<usize>,
 }
 
 fn parse_args() -> Args {
@@ -42,6 +46,7 @@ fn parse_args() -> Args {
         reps: 5,
         io_sim: false,
         threads: vec![1, 2, 4, 8],
+        budget: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -64,6 +69,10 @@ fn parse_args() -> Args {
             }
             "--reps" => {
                 args.reps = it.next().expect("--reps needs a value").parse().expect("int");
+            }
+            "--budget" => {
+                args.budget =
+                    Some(it.next().expect("--budget needs a value").parse().expect("bytes"));
             }
             cmd if !cmd.starts_with('-') => args.command = cmd.to_string(),
             other => {
@@ -102,6 +111,9 @@ fn main() {
     }
     if run("durability") {
         durability_figure(&args, &mut mlog);
+    }
+    if run("spill") {
+        spill_figure(&args, &mut mlog);
     }
     if let Some(path) = mlog.write().expect("write metrics.json") {
         println!("\n(per-query metrics written to {})", path.display());
@@ -450,6 +462,99 @@ fn durability_figure(args: &Args, mlog: &mut MetricsLog) {
         ));
     }
     println!("\n(WAL on logs every dirty page once per commit; the delta in load time is the durability tax.)");
+}
+
+/// Memory-bounded execution: a QS1-style 3-way join + ORDER BY and a
+/// grouped aggregation over the Hybrid mapping, run unbounded and then
+/// under a per-operator memory budget. The budgeted run must return
+/// exactly the unbounded rows while EXPLAIN ANALYZE shows external sort
+/// runs, Grace join partitions, and aggregation overflow — the paper's
+/// multi-way-join cost argument demonstrated at corpus scales that no
+/// longer fit in RAM.
+///
+/// The corpus is replicated (DSx2 reduced, DSx4 with `--full`) so the
+/// join build sides genuinely exceed the default budget.
+fn spill_figure(args: &Args, mlog: &mut MetricsLog) {
+    let scale = if args.full { 4 } else { 2 };
+    let docs = replicate(&shakespeare_docs(args), scale);
+    let budget = args.budget.unwrap_or(if args.full { 4 << 20 } else { 256 << 10 });
+    let queries = shakespeare_queries();
+    let wl = workload_sql(&queries);
+    let simple = simplify(&parse_dtd(xorator::dtds::SHAKESPEARE_DTD).unwrap());
+    let dir = scratch_dir("spill");
+    let loaded = setup(&dir, map_hybrid(&simple), &docs, FormatPolicy::Auto, &wl).expect("load");
+    drop(loaded.db);
+
+    let spill_queries: [(&str, &str); 2] = [
+        (
+            "join3",
+            "SELECT speechID, speakerID, lineID, speaker_value, line_value \
+             FROM speech, speaker, line \
+             WHERE speaker_parentID = speechID AND line_parentID = speechID \
+             ORDER BY lineID, speakerID",
+        ),
+        (
+            "group-agg",
+            "SELECT line_parentID, COUNT(*), MIN(line_value), MAX(line_value), SUM(lineID) \
+             FROM line GROUP BY line_parentID ORDER BY line_parentID",
+        ),
+    ];
+    println!(
+        "\n## Spill — memory-bounded execution at DSx{scale} ({} budget vs unbounded)\n",
+        human(budget as u64)
+    );
+    println!("| query | budget | rows | exec | sort spills | join parts | agg spills | spilled |");
+    println!("|---|---|---|---|---|---|---|---|");
+    let mut baseline: Vec<Vec<ordb::Row>> = Vec::new();
+    for mem_budget in [None, Some(budget)] {
+        let db = ordb::Database::open_with(
+            &dir,
+            ordb::DbOptions { mem_budget, ..xorator_bench::experiment_opts() },
+        )
+        .expect("reopen for spill run");
+        for (i, (id, sql)) in spill_queries.iter().enumerate() {
+            db.drop_cache().expect("drop cache");
+            let report = db.explain_analyze(sql).expect("spill query");
+            let e = &report.metrics.engine;
+            println!(
+                "| {id} | {} | {} | {:.2} ms | {} | {} | {} | {} |",
+                mem_budget.map_or("∞".to_string(), |b| human(b as u64)),
+                report.result.len(),
+                ms(report.metrics.exec),
+                e.sort_spills,
+                e.join_partitions,
+                e.agg_spills,
+                human(e.spill_bytes),
+            );
+            mlog.push_raw(format!(
+                "{{\"figure\":\"spill\",\"scale\":{scale},\"query\":\"{id}\",\
+                 \"budget\":{},\"rows\":{},\"metrics\":{}}}",
+                mem_budget.map_or("null".to_string(), |b| b.to_string()),
+                report.result.len(),
+                report.metrics.to_json(),
+            ));
+            match mem_budget {
+                None => baseline.push(report.result.rows),
+                Some(b) => {
+                    assert_eq!(
+                        report.result.rows, baseline[i],
+                        "{id} under a {b} B budget diverged from the unbounded run"
+                    );
+                    assert!(e.sort_spills > 0, "{id}: expected external sort runs at {b} B");
+                    if *id == "join3" {
+                        assert!(e.join_partitions > 0, "join3: expected Grace partitions at {b} B");
+                    } else {
+                        assert!(e.agg_spills > 0, "{id}: expected aggregation overflow at {b} B");
+                    }
+                }
+            }
+        }
+        assert_eq!(db.spill_files_live(), 0, "spill temp files must not outlive the queries");
+    }
+    println!(
+        "\n(Budgeted rows are asserted byte-identical to the unbounded run; \
+         spill temp files are asserted gone after each pass.)"
+    );
 }
 
 /// A serving-style read-only mix over tables both mappings share: point

@@ -1,0 +1,183 @@
+//! The spill matrix: differential testing of memory-bounded execution.
+//!
+//! The same query set runs over one Shakespeare corpus with
+//! `mem_budget = None` (the historical all-in-memory engine) and again
+//! under tight budgets. Results must match exactly — byte-identical for
+//! ORDER BY queries on unique keys, multiset-identical otherwise — and
+//! no spill temp files may survive a query, success or failure.
+//!
+//! `SPILL_BUDGET=<bytes>` restricts the run to one budget (the CI
+//! `spill-matrix` job fans the three levels out across jobs); without it
+//! every budget level runs in-process.
+
+use ordb::{Database, DbOptions, Value};
+use xmlkit::dtd::parse_dtd;
+use xorator::prelude::*;
+use xorator_bench::{scratch_dir, setup, workload_sql};
+
+/// The differential query set, over the Hybrid mapping (real multi-way
+/// joins). `exact` marks queries whose ORDER BY pins a total order, so
+/// the spilled run must reproduce the unbounded row order byte for byte.
+struct SpillQuery {
+    id: &'static str,
+    sql: &'static str,
+    exact: bool,
+}
+
+fn spill_queries() -> Vec<SpillQuery> {
+    vec![
+        // The acceptance query: a QS1-style 3-way join + ORDER BY on a
+        // unique key pair, so output order is fully determined.
+        SpillQuery {
+            id: "join3",
+            sql: "SELECT speechID, speakerID, lineID, speaker_value, line_value \
+                  FROM speech, speaker, line \
+                  WHERE speaker_parentID = speechID AND line_parentID = speechID \
+                  ORDER BY lineID, speakerID",
+            exact: true,
+        },
+        SpillQuery {
+            id: "group-agg",
+            sql: "SELECT line_parentID, COUNT(*), MIN(line_value), MAX(line_value), SUM(lineID) \
+                  FROM line GROUP BY line_parentID ORDER BY line_parentID",
+            exact: true,
+        },
+        SpillQuery {
+            id: "distinct-ordered",
+            sql: "SELECT DISTINCT speaker_value FROM speaker ORDER BY speaker_value",
+            exact: true,
+        },
+        SpillQuery {
+            id: "distinct-unordered",
+            sql: "SELECT DISTINCT speaker_value, speaker_parentID FROM speaker",
+            exact: false,
+        },
+        SpillQuery {
+            id: "sort-desc-2key",
+            sql: "SELECT lineID, line_parentID, line_value FROM line \
+                  ORDER BY line_parentID DESC, lineID",
+            exact: true,
+        },
+    ]
+}
+
+/// Budgets the differential covers without `SPILL_BUDGET`: tight enough
+/// that every blocking operator spills, loose enough that some don't.
+const BUDGETS: [usize; 3] = [64 * 1024, 1024 * 1024, 4 * 1024 * 1024];
+
+fn budgets_under_test() -> Vec<usize> {
+    match std::env::var("SPILL_BUDGET") {
+        Ok(v) => vec![v.parse().expect("SPILL_BUDGET must be bytes")],
+        Err(_) => BUDGETS.to_vec(),
+    }
+}
+
+/// Load the corpus once; reopens per budget share the directory.
+fn load_corpus(dir: &std::path::Path) {
+    let docs = datagen::generate_shakespeare(&datagen::ShakespeareConfig {
+        plays: 4,
+        acts: 4,
+        scenes_per_act: 4,
+        speeches_per_scene: 14,
+        ..Default::default()
+    });
+    let queries = shakespeare_queries();
+    let wl = workload_sql(&queries);
+    let simple = simplify(&parse_dtd(xorator::dtds::SHAKESPEARE_DTD).unwrap());
+    let loaded =
+        setup(dir, map_hybrid(&simple), &docs, FormatPolicy::Auto, &wl).expect("corpus load");
+    drop(loaded.db);
+}
+
+fn reopen(dir: &std::path::Path, mem_budget: Option<usize>) -> Database {
+    Database::open_with(dir, DbOptions { mem_budget, ..xorator_bench::experiment_opts() })
+        .expect("reopen")
+}
+
+fn sorted(mut rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
+    rows.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+    rows
+}
+
+#[test]
+fn spilled_queries_match_the_unbounded_baseline() {
+    let dir = scratch_dir("spill-matrix");
+    load_corpus(&dir);
+    let queries = spill_queries();
+
+    let db = reopen(&dir, None);
+    let baseline: Vec<Vec<Vec<Value>>> =
+        queries.iter().map(|q| db.query(q.sql).expect(q.id).rows).collect();
+    assert!(baseline[0].len() > 1000, "corpus too small to exercise spilling");
+    drop(db);
+
+    for budget in budgets_under_test() {
+        let db = reopen(&dir, Some(budget));
+        for (q, base) in queries.iter().zip(&baseline) {
+            let got = db.query(q.sql).unwrap_or_else(|e| panic!("{} @ {budget}: {e}", q.id)).rows;
+            if q.exact {
+                assert_eq!(
+                    &got, base,
+                    "{} under a {budget} B budget must be byte-identical to unbounded",
+                    q.id
+                );
+            } else {
+                assert_eq!(
+                    sorted(got),
+                    sorted(base.clone()),
+                    "{} under a {budget} B budget must be multiset-identical to unbounded",
+                    q.id
+                );
+            }
+            assert_eq!(
+                db.spill_files_live(),
+                0,
+                "{} @ {budget}: spill temp files must not outlive the query",
+                q.id
+            );
+        }
+    }
+}
+
+#[test]
+fn tight_budget_actually_spills_and_reports_counters() {
+    let dir = scratch_dir("spill-matrix-counters");
+    load_corpus(&dir);
+
+    // 16 KiB: far below the smallest build side, so the 3-way join must
+    // Grace-partition, the ORDER BY must run externally, and the
+    // aggregation must overflow — all visible in EXPLAIN ANALYZE.
+    let db = reopen(&dir, Some(16 * 1024));
+    let join = db.explain_analyze(spill_queries()[0].sql).expect("join3");
+    assert!(join.metrics.engine.sort_spills > 0, "expected external sort runs");
+    assert!(join.metrics.engine.join_partitions > 0, "expected Grace join partitions");
+    assert!(join.metrics.engine.spill_bytes > 0, "expected spill volume");
+    let rendered = join.metrics.render();
+    assert!(rendered.contains("join partitions"), "{rendered}");
+
+    let agg = db.explain_analyze(spill_queries()[1].sql).expect("group-agg");
+    assert!(agg.metrics.engine.agg_spills > 0, "expected aggregation overflow");
+
+    assert_eq!(db.spill_files_live(), 0, "counter run must clean its temp files");
+}
+
+#[test]
+fn failed_query_leaves_no_spill_files() {
+    let dir = scratch_dir("spill-matrix-errpath");
+    let _ = std::fs::remove_dir_all(&dir);
+    let db =
+        Database::open_with(&dir, DbOptions { mem_budget: Some(8 * 1024), ..DbOptions::default() })
+            .expect("open");
+    db.execute("CREATE TABLE nums (g INTEGER, v INTEGER)").expect("create");
+    // Thousands of groups so the aggregation overflows its 8 KiB budget
+    // and starts spilling partitions, then one poisoned row in an early
+    // (resident) group blows up SUM mid-build — the error path with
+    // spill writers still open.
+    let mut rows: Vec<Vec<Value>> = (0..4000).map(|g| vec![Value::Int(g), Value::Int(1)]).collect();
+    rows.push(vec![Value::Int(0), Value::Int(i64::MAX)]);
+    db.insert_rows("nums", rows).expect("insert");
+    let err = db.query("SELECT g, SUM(v) FROM nums GROUP BY g").expect_err("SUM must overflow");
+    assert!(err.to_string().contains("SUM overflow"), "{err}");
+    assert_eq!(db.spill_files_live(), 0, "error path must delete every spill temp file");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -24,6 +24,7 @@ use crate::stats::{StatsBuilder, TableStats};
 use crate::storage::buffer::{BufferPool, PoolStats, DEFAULT_POOL_FRAMES};
 use crate::storage::fault::FaultInjector;
 use crate::storage::heap::HeapFile;
+use crate::storage::spill::{SpillConfig, SpillManager};
 use crate::storage::wal::{Wal, WalStats};
 use crate::trace::{TraceEvent, TraceSink};
 use crate::tuple::{encode_row, encoded_len};
@@ -41,6 +42,12 @@ pub struct DbOptions {
     /// Deterministic disk-fault injector routed under every page file
     /// and the WAL (crash-matrix tests only; `None` in production).
     pub fault: Option<Arc<FaultInjector>>,
+    /// Per-operator memory budget in bytes for blocking operators
+    /// (sort, hash join, aggregation, DISTINCT). When a build side or
+    /// working set exceeds it, the operator spills to temp files under
+    /// `<dir>/spill/` instead of growing. `None` (the default) keeps
+    /// the historical unbounded all-in-memory behaviour.
+    pub mem_budget: Option<usize>,
 }
 
 impl fmt::Debug for DbOptions {
@@ -49,13 +56,19 @@ impl fmt::Debug for DbOptions {
             .field("pool_frames", &self.pool_frames)
             .field("durability", &self.durability)
             .field("fault", &self.fault.is_some())
+            .field("mem_budget", &self.mem_budget)
             .finish()
     }
 }
 
 impl Default for DbOptions {
     fn default() -> Self {
-        DbOptions { pool_frames: DEFAULT_POOL_FRAMES, durability: true, fault: None }
+        DbOptions {
+            pool_frames: DEFAULT_POOL_FRAMES,
+            durability: true,
+            fault: None,
+            mem_budget: None,
+        }
     }
 }
 
@@ -76,6 +89,8 @@ pub struct Database {
     trace: RwLock<Option<Arc<dyn TraceSink>>>,
     /// What the open-time redo pass did (None: no WAL existed).
     recovery: Option<RecoveryReport>,
+    /// Memory budget + temp-file manager handed to blocking operators.
+    spill: SpillConfig,
     /// Set by `close`/`abandon`; makes `Drop` a no-op.
     closed: AtomicBool,
 }
@@ -182,6 +197,10 @@ impl Database {
             indexes
                 .insert(i.name.to_ascii_lowercase(), Arc::new(BTree::open(pool.clone(), i.file)?));
         }
+        let spill = SpillConfig {
+            budget: opts.mem_budget,
+            manager: Arc::new(SpillManager::new(dir.join("spill"))),
+        };
         Ok(Database {
             dir,
             pool,
@@ -189,6 +208,7 @@ impl Database {
             functions: crate::functions::FunctionRegistry::with_builtins(),
             trace: RwLock::new(None),
             recovery,
+            spill,
             closed: AtomicBool::new(false),
         })
     }
@@ -350,6 +370,7 @@ impl Database {
                         indexes: &inner.indexes,
                         stats: &inner.stats,
                         functions: &self.functions,
+                        spill: &self.spill,
                     };
                     let plan = plan_select(&ctx, &q)?;
                     Ok(QueryResult {
@@ -367,6 +388,7 @@ impl Database {
                     indexes: &inner.indexes,
                     stats: &inner.stats,
                     functions: &self.functions,
+                    spill: &self.spill,
                 };
                 let t = Instant::now();
                 let plan = plan_select(&ctx, &q)?;
@@ -411,6 +433,7 @@ impl Database {
             indexes: &inner.indexes,
             stats: &inner.stats,
             functions: &self.functions,
+            spill: &self.spill,
         };
         let mut prof = Profiler::enabled();
         let t = Instant::now();
@@ -453,6 +476,7 @@ impl Database {
                     indexes: &inner.indexes,
                     stats: &inner.stats,
                     functions: &self.functions,
+                    spill: &self.spill,
                 };
                 Ok(plan_select(&ctx, &q)?.explain)
             }
@@ -734,6 +758,13 @@ impl Database {
     /// Current WAL size in bytes (0 with durability off).
     pub fn wal_bytes(&self) -> u64 {
         self.pool.wal().map(|w| w.len_bytes()).unwrap_or(0)
+    }
+
+    /// Spill temp files currently on disk. Zero between queries: spill
+    /// data is owned by operators and deleted when the query's plan is
+    /// dropped, on success and on error alike.
+    pub fn spill_files_live(&self) -> usize {
+        self.spill.manager.live_files()
     }
 
     /// What the open-time redo pass did; `None` when no WAL existed.

@@ -154,10 +154,18 @@ pub struct EngineCounters {
     pub index_probes: AtomicU64,
     /// Rows materialized by `Sort` operators.
     pub sort_rows: AtomicU64,
-    /// Sort runs spilled to disk. The current `Sort` is fully in-memory,
-    /// so this stays 0; it is reported so the metrics schema is stable
-    /// when an external sort lands.
+    /// Sorted runs spilled to disk by the external merge sort (0 when
+    /// every sort fit its memory budget).
     pub sort_spills: AtomicU64,
+    /// Framed bytes written to spill files by any operator (sort runs,
+    /// join partitions, aggregation partitions).
+    pub spill_bytes: AtomicU64,
+    /// Partition files created by Grace hash joins whose build side
+    /// exceeded the memory budget.
+    pub join_partitions: AtomicU64,
+    /// Hash aggregation / DISTINCT overflows that switched to
+    /// partition-and-retry.
+    pub agg_spills: AtomicU64,
     /// `unnest` table-function expansions (one per outer row unnested).
     pub unnest_calls: AtomicU64,
     /// Bytes of XADT fragment content fed through `unnest` (the table-UDF
@@ -170,6 +178,9 @@ pub static ENGINE: EngineCounters = EngineCounters {
     index_probes: AtomicU64::new(0),
     sort_rows: AtomicU64::new(0),
     sort_spills: AtomicU64::new(0),
+    spill_bytes: AtomicU64::new(0),
+    join_partitions: AtomicU64::new(0),
+    agg_spills: AtomicU64::new(0),
     unnest_calls: AtomicU64::new(0),
     unnest_bytes: AtomicU64::new(0),
 };
@@ -183,6 +194,12 @@ pub struct EngineSnapshot {
     pub sort_rows: u64,
     /// See [`EngineCounters::sort_spills`].
     pub sort_spills: u64,
+    /// See [`EngineCounters::spill_bytes`].
+    pub spill_bytes: u64,
+    /// See [`EngineCounters::join_partitions`].
+    pub join_partitions: u64,
+    /// See [`EngineCounters::agg_spills`].
+    pub agg_spills: u64,
     /// See [`EngineCounters::unnest_calls`].
     pub unnest_calls: u64,
     /// See [`EngineCounters::unnest_bytes`].
@@ -196,6 +213,9 @@ impl EngineCounters {
             index_probes: self.index_probes.load(Ordering::Relaxed),
             sort_rows: self.sort_rows.load(Ordering::Relaxed),
             sort_spills: self.sort_spills.load(Ordering::Relaxed),
+            spill_bytes: self.spill_bytes.load(Ordering::Relaxed),
+            join_partitions: self.join_partitions.load(Ordering::Relaxed),
+            agg_spills: self.agg_spills.load(Ordering::Relaxed),
             unnest_calls: self.unnest_calls.load(Ordering::Relaxed),
             unnest_bytes: self.unnest_bytes.load(Ordering::Relaxed),
         }
@@ -209,6 +229,9 @@ impl EngineSnapshot {
             index_probes: self.index_probes.saturating_sub(earlier.index_probes),
             sort_rows: self.sort_rows.saturating_sub(earlier.sort_rows),
             sort_spills: self.sort_spills.saturating_sub(earlier.sort_spills),
+            spill_bytes: self.spill_bytes.saturating_sub(earlier.spill_bytes),
+            join_partitions: self.join_partitions.saturating_sub(earlier.join_partitions),
+            agg_spills: self.agg_spills.saturating_sub(earlier.agg_spills),
             unnest_calls: self.unnest_calls.saturating_sub(earlier.unnest_calls),
             unnest_bytes: self.unnest_bytes.saturating_sub(earlier.unnest_bytes),
         }
@@ -313,6 +336,12 @@ impl QueryMetrics {
             self.engine.unnest_calls,
             self.engine.unnest_bytes,
         ));
+        if self.engine.spill_bytes > 0 {
+            out.push_str(&format!(
+                "spill: {} B · join partitions: {} · agg spills: {}\n",
+                self.engine.spill_bytes, self.engine.join_partitions, self.engine.agg_spills,
+            ));
+        }
         for u in &self.udfs {
             out.push_str(&format!(
                 "udf {}: {} calls, {} B marshalled\n",
@@ -346,6 +375,9 @@ impl QueryMetrics {
         push_kv(&mut s, "index_probes", self.engine.index_probes);
         push_kv(&mut s, "sort_rows", self.engine.sort_rows);
         push_kv(&mut s, "sort_spills", self.engine.sort_spills);
+        push_kv(&mut s, "spill_bytes", self.engine.spill_bytes);
+        push_kv(&mut s, "join_partitions", self.engine.join_partitions);
+        push_kv(&mut s, "agg_spills", self.engine.agg_spills);
         push_kv(&mut s, "unnest_calls", self.engine.unnest_calls);
         push_kv(&mut s, "unnest_bytes", self.engine.unnest_bytes);
         s.push_str("\"udfs\":[");
@@ -494,7 +526,14 @@ mod tests {
             rows: 3,
             pool: PoolStats { hits: 8, misses: 2, writebacks: 0, evictions: 0 },
             wal: WalStats { appends: 2, bytes: 16448, fsyncs: 1, checkpoints: 0 },
-            engine: EngineSnapshot { index_probes: 1, ..Default::default() },
+            engine: EngineSnapshot {
+                index_probes: 1,
+                sort_spills: 2,
+                spill_bytes: 4096,
+                join_partitions: 8,
+                agg_spills: 1,
+                ..Default::default()
+            },
             udfs: vec![UdfCounters { name: "findKeyInElm".into(), calls: 3, marshalled_bytes: 99 }],
             root: Some(OperatorProfile {
                 label: "SeqScan \"t\"".into(),
@@ -509,6 +548,16 @@ mod tests {
         assert!(j.contains("\"hit_ratio\":0.8000"), "{j}");
         assert!(j.contains("\"label\":\"SeqScan \\\"t\\\"\""), "{j}");
         assert!(j.contains("\"udfs\":[{\"name\":\"findKeyInElm\""), "{j}");
+        // The spill counters must survive the JSON round into
+        // metrics.json, where the CI parse check reads them.
+        for kv in [
+            "\"sort_spills\":2",
+            "\"spill_bytes\":4096",
+            "\"join_partitions\":8",
+            "\"agg_spills\":1",
+        ] {
+            assert!(j.contains(kv), "missing {kv} in {j}");
+        }
         // Balanced braces/brackets (cheap well-formedness check).
         let balance = |open: char, close: char| {
             j.chars().filter(|&c| c == open).count() == j.chars().filter(|&c| c == close).count()

@@ -34,6 +34,7 @@ use crate::metrics::Profiler;
 use crate::sql::ast::{AstExpr, FromItem, Select, SelectItem};
 use crate::stats::TableStats;
 use crate::storage::heap::HeapFile;
+use crate::storage::spill::SpillConfig;
 use crate::types::{DataType, Value};
 
 /// Everything the planner needs from the database.
@@ -48,6 +49,8 @@ pub struct PlanContext<'a> {
     pub stats: &'a HashMap<String, TableStats>,
     /// Scalar function registry.
     pub functions: &'a FunctionRegistry,
+    /// Memory budget + spill manager handed to blocking operators.
+    pub spill: &'a SpillConfig,
 }
 
 /// A compiled physical plan.
@@ -335,7 +338,18 @@ pub fn plan_select_profiled(
         // fetches per probe plus one per fetched row; a hash join scans
         // the inner once and materializes every inner row.
         let index_cost = current_rows * 3.0 + join_rows;
-        let hash_cost = inner_pages + inner_rows / 10.0;
+        let mut hash_cost = inner_pages + inner_rows / 10.0;
+        // Under a memory budget, a build side that will not fit pays a
+        // Grace partitioning pass: both sides written to spill files and
+        // read back once (~2× the build pages of extra I/O).
+        if let Some(budget) = ctx.spill.budget {
+            let build_rows = est[cand].min(current_rows).max(1.0);
+            let build_bytes =
+                build_rows * inner_stats.map_or(64.0, |s| s.avg_row_bytes.max(16) as f64);
+            if build_bytes > budget as f64 {
+                hash_cost += 2.0 * (build_bytes / 8192.0).max(1.0);
+            }
+        }
         let use_index_nlj = inner_index.is_some() && index_cost < hash_cost;
 
         if let (true, Some(index)) = (use_index_nlj, inner_index) {
@@ -374,13 +388,14 @@ pub fn plan_select_profiled(
                     inner_base.alias, est[cand], current_rows
                 ));
                 (root, root_id) = prof.wrap(
-                    Box::new(HashJoin::new(
+                    Box::new(HashJoin::with_spill(
                         root,
                         inner_plan,
                         vec![outer_key],
                         vec![inner_key],
                         None,
                         true,
+                        ctx.spill.clone(),
                     )),
                     format!("HashJoin {}", inner_base.alias),
                     vec![root_id, inner_id],
@@ -393,13 +408,14 @@ pub fn plan_select_profiled(
                     inner_base.alias, current_rows, est[cand]
                 ));
                 (root, root_id) = prof.wrap(
-                    Box::new(HashJoin::new(
+                    Box::new(HashJoin::with_spill(
                         inner_plan,
                         root,
                         vec![inner_key],
                         vec![outer_key],
                         None,
                         false,
+                        ctx.spill.clone(),
                     )),
                     format!("HashJoin {}", inner_base.alias),
                     vec![inner_id, root_id],
@@ -502,13 +518,16 @@ pub fn plan_select_profiled(
             aggs.len()
         ));
         (root, root_id) = prof.wrap(
-            Box::new(HashAggregate::new(root, group_exprs, aggs)),
+            Box::new(HashAggregate::with_spill(root, group_exprs, aggs, ctx.spill.clone())),
             "HashAggregate",
             vec![root_id],
         );
         if !sort_keys.is_empty() {
-            (root, root_id) =
-                prof.wrap(Box::new(Sort::new(root, sort_keys)), "Sort", vec![root_id]);
+            (root, root_id) = prof.wrap(
+                Box::new(Sort::with_spill(root, sort_keys, ctx.spill.clone())),
+                "Sort",
+                vec![root_id],
+            );
         }
         (root, root_id) =
             prof.wrap(Box::new(Project::new(root, out_exprs)), "Project", vec![root_id]);
@@ -534,15 +553,27 @@ pub fn plan_select_profiled(
             for (e, asc) in &q.order_by {
                 sort_keys.push(SortKey { expr: compile(e, &schema, ctx.functions)?, asc: *asc });
             }
-            (root, root_id) =
-                prof.wrap(Box::new(Sort::new(root, sort_keys)), "Sort", vec![root_id]);
+            (root, root_id) = prof.wrap(
+                Box::new(Sort::with_spill(root, sort_keys, ctx.spill.clone())),
+                "Sort",
+                vec![root_id],
+            );
         }
         (root, root_id) =
             prof.wrap(Box::new(Project::new(root, out_exprs)), "Project", vec![root_id]);
     }
 
     if q.distinct {
-        (root, root_id) = prof.wrap(Box::new(Distinct::new(root)), "Distinct", vec![root_id]);
+        // Distinct sits above the Sort, so when the query has an ORDER BY
+        // it must preserve its input order — the spill path re-emits
+        // partitioned keys out of order, so only an unordered DISTINCT
+        // gets the budget-bounded variant.
+        let distinct: BoxOp = if q.order_by.is_empty() {
+            Box::new(Distinct::with_spill(root, ctx.spill.clone()))
+        } else {
+            Box::new(Distinct::new(root))
+        };
+        (root, root_id) = prof.wrap(distinct, "Distinct", vec![root_id]);
     }
     if let Some(n) = q.limit {
         (root, root_id) =

@@ -29,13 +29,22 @@ impl TableStats {
     }
 }
 
+/// Bits per linear-counting bitmap (32 KiB per column): large enough to
+/// estimate NDV well past [`StatsBuilder`]'s exact-set cap.
+const LC_BITS: usize = 1 << 18;
+
 /// Incremental builder used while scanning a table.
 pub struct StatsBuilder {
     rows: u64,
     bytes: u64,
     /// Per-column sets of value hashes, capped to bound memory; when the
-    /// cap is hit the estimate switches to a linear-counting style guess.
+    /// cap is hit the estimate switches to linear counting over
+    /// `bitmaps`.
     distinct: Vec<HashMap<u64, ()>>,
+    /// Per-column linear-counting bitmaps (bit `hash % LC_BITS`),
+    /// maintained from row zero so a column that caps mid-scan still has
+    /// a full-table estimate.
+    bitmaps: Vec<Vec<u64>>,
     capped: Vec<bool>,
     cap: usize,
 }
@@ -47,6 +56,7 @@ impl StatsBuilder {
             rows: 0,
             bytes: 0,
             distinct: (0..arity).map(|_| HashMap::new()).collect(),
+            bitmaps: (0..arity).map(|_| vec![0u64; LC_BITS / 64]).collect(),
             capped: vec![false; arity],
             cap: 100_000,
         }
@@ -57,13 +67,16 @@ impl StatsBuilder {
         self.rows += 1;
         self.bytes += encoded_len as u64;
         for (i, v) in row.iter().enumerate() {
-            if self.capped[i] {
-                continue;
-            }
             use std::hash::{Hash, Hasher};
             let mut h = std::collections::hash_map::DefaultHasher::new();
             v.hash(&mut h);
-            self.distinct[i].insert(h.finish(), ());
+            let hash = h.finish();
+            let bit = hash as usize % LC_BITS;
+            self.bitmaps[i][bit / 64] |= 1u64 << (bit % 64);
+            if self.capped[i] {
+                continue;
+            }
+            self.distinct[i].insert(hash, ());
             if self.distinct[i].len() >= self.cap {
                 self.capped[i] = true;
             }
@@ -76,10 +89,21 @@ impl StatsBuilder {
             .distinct
             .iter()
             .zip(&self.capped)
-            .map(|(set, capped)| {
+            .zip(&self.bitmaps)
+            .map(|((set, capped), bitmap)| {
                 if *capped {
-                    // Beyond the cap assume near-unique.
-                    self.rows.max(set.len() as u64)
+                    // Linear counting: with `z` of `m` bits still zero
+                    // after hashing every value, NDV ≈ m·ln(m/z). Clamped
+                    // to [cap, rows] — we saw at least `cap` distinct
+                    // values, and there can't be more than one per row.
+                    let zeros: u64 = bitmap.iter().map(|w| w.count_zeros() as u64).sum();
+                    let m = LC_BITS as f64;
+                    let est = if zeros == 0 {
+                        self.rows
+                    } else {
+                        (m * (m / zeros as f64).ln()).round() as u64
+                    };
+                    est.clamp(set.len() as u64, self.rows.max(1))
                 } else {
                     set.len() as u64
                 }
@@ -123,5 +147,27 @@ mod tests {
     fn ndv_of_out_of_range_column() {
         let s = StatsBuilder::new(1).finish();
         assert_eq!(s.ndv_of(99), 1);
+    }
+
+    #[test]
+    fn capped_column_estimates_ndv_instead_of_row_count() {
+        // Regression: a column past the exact-set cap used to report
+        // NDV = row_count ("assume near-unique"). With 200k distinct
+        // values repeated 3× each, that overestimated 3-fold and made
+        // `col = literal` selectivities three times too optimistic.
+        let truth = 200_000u64; // ~2× the 100k cap
+        let mut b = StatsBuilder::new(1);
+        for _ in 0..3 {
+            for i in 0..truth as i64 {
+                b.add(&[Value::Int(i)], 8);
+            }
+        }
+        let s = b.finish();
+        assert_eq!(s.row_count, 3 * truth);
+        let est = s.ndv_of(0);
+        assert!(
+            est > truth * 9 / 10 && est < truth * 11 / 10,
+            "linear-counting estimate {est} should be within 10% of {truth}"
+        );
     }
 }

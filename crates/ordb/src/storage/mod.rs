@@ -1,9 +1,11 @@
 //! Physical storage: page files, buffer pool, slotted pages, heap files,
-//! write-ahead log, and deterministic fault injection.
+//! write-ahead log, operator spill files, and deterministic fault
+//! injection.
 
 pub mod buffer;
 pub mod disk;
 pub mod fault;
 pub mod heap;
 pub mod page;
+pub mod spill;
 pub mod wal;

@@ -45,6 +45,12 @@ impl<'a> Cursor<'a> {
         &self.input[self.offset..]
     }
 
+    /// The input between a saved offset (from [`Cursor::pos`]) and the
+    /// current position.
+    pub(crate) fn slice_from(&self, start: usize) -> &'a str {
+        &self.input[start..self.offset]
+    }
+
     /// Consume and return one byte. Errors at EOF.
     pub(crate) fn bump(&mut self) -> Result<u8> {
         match self.peek() {

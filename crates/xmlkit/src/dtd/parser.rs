@@ -17,14 +17,21 @@ use crate::error::{ErrorKind, Result};
 /// Parse the text of a DTD (the markup declarations only, *not* wrapped in
 /// `<!DOCTYPE ... [...]>`).
 pub fn parse_dtd(input: &str) -> Result<Dtd> {
-    let mut p = DtdParser { c: Cursor::new(input), dtd: Dtd::default() };
+    let mut p = DtdParser { c: Cursor::new(input), dtd: Dtd::default(), depth: 0 };
     p.run()?;
     Ok(p.dtd)
 }
 
+/// Cap on declaration-level parameter-entity nesting (mirrors the cap in
+/// [`expand_parameter_entities`]). A self-referential `%pe;` would
+/// otherwise recurse until the stack overflows — an abort, not an error.
+const MAX_PE_DEPTH: usize = 32;
+
 struct DtdParser<'a> {
     c: Cursor<'a>,
     dtd: Dtd,
+    /// Current declaration-level parameter-entity expansion depth.
+    depth: usize,
 }
 
 impl<'a> DtdParser<'a> {
@@ -54,7 +61,12 @@ impl<'a> DtdParser<'a> {
                 let name = self.c.name()?.to_string();
                 self.c.expect(";", "; after parameter entity")?;
                 let body = self.lookup_pe(&name)?;
-                let sub = parse_dtd_with(&body, &self.dtd.parameter_entities)?;
+                if self.depth >= MAX_PE_DEPTH {
+                    return Err(self.c.error(ErrorKind::MalformedDtd(format!(
+                        "parameter entity %{name}; nested too deeply"
+                    ))));
+                }
+                let sub = parse_dtd_with(&body, &self.dtd.parameter_entities, self.depth + 1)?;
                 self.merge(sub);
             } else {
                 return Err(self.c.error(ErrorKind::MalformedDtd("unexpected content".into())));
@@ -142,9 +154,12 @@ impl<'a> DtdParser<'a> {
     }
 
     /// Take the raw body of the current declaration up to its closing `>`
-    /// (quote-aware, so defaults containing `>` survive).
+    /// (quote-aware, so defaults containing `>` survive). Returned as a
+    /// slice of the original input, so multi-byte UTF-8 names come
+    /// through intact (a byte-at-a-time `push(b as char)` would have
+    /// mojibake'd them into Latin-1).
     fn take_decl_body(&mut self) -> Result<String> {
-        let mut out = String::new();
+        let start = self.c.pos().offset;
         let mut quote: Option<u8> = None;
         loop {
             let b = match self.c.peek() {
@@ -160,20 +175,20 @@ impl<'a> DtdParser<'a> {
                 None => match b {
                     b'"' | b'\'' => quote = Some(b),
                     b'>' => {
+                        let body = self.c.slice_from(start).to_string();
                         self.c.advance(1);
-                        return Ok(out);
+                        return Ok(body);
                     }
                     _ => {}
                 },
             }
-            out.push(b as char);
             self.c.advance(1);
         }
     }
 }
 
-fn parse_dtd_with(input: &str, pes: &HashMap<String, String>) -> Result<Dtd> {
-    let mut p = DtdParser { c: Cursor::new(input), dtd: Dtd::default() };
+fn parse_dtd_with(input: &str, pes: &HashMap<String, String>, depth: usize) -> Result<Dtd> {
+    let mut p = DtdParser { c: Cursor::new(input), dtd: Dtd::default(), depth };
     p.dtd.parameter_entities = pes.clone();
     p.run()?;
     // The inherited parameter entities are bookkeeping, not declarations of
@@ -182,17 +197,30 @@ fn parse_dtd_with(input: &str, pes: &HashMap<String, String>) -> Result<Dtd> {
     Ok(p.dtd)
 }
 
-/// Expand `%name;` references (non-recursively nested expansions supported).
+/// Expand `%name;` references, nested expansions included.
 pub(crate) fn expand_parameter_entities(
     raw: &str,
     pes: &HashMap<String, String>,
 ) -> std::result::Result<String, String> {
+    expand_pes_at_depth(raw, pes, 0)
+}
+
+/// Recursive worker for [`expand_parameter_entities`]. The depth travels
+/// *through* the recursion (a fresh counter per call would let mutually
+/// recursive entities `%a; → %b; → %a;` overflow the stack).
+fn expand_pes_at_depth(
+    raw: &str,
+    pes: &HashMap<String, String>,
+    depth: usize,
+) -> std::result::Result<String, String> {
     if !raw.contains('%') {
         return Ok(raw.to_string());
     }
+    if depth > MAX_PE_DEPTH {
+        return Err("parameter entity nesting too deep".to_string());
+    }
     let mut out = String::with_capacity(raw.len());
     let mut rest = raw;
-    let mut depth = 0;
     while let Some(idx) = rest.find('%') {
         out.push_str(&rest[..idx]);
         rest = &rest[idx + 1..];
@@ -211,11 +239,7 @@ pub(crate) fn expand_parameter_entities(
         }
         rest = &rest[end + 1..];
         let body = pes.get(name).ok_or_else(|| name.to_string())?;
-        depth += 1;
-        if depth > 32 {
-            return Err(format!("parameter entity nesting too deep at %{name};"));
-        }
-        let expanded = expand_parameter_entities(body, pes)?;
+        let expanded = expand_pes_at_depth(body, pes, depth + 1)?;
         out.push_str(&expanded);
     }
     out.push_str(rest);
@@ -356,7 +380,9 @@ impl<'a> CmParser<'a> {
         if self.pos == start {
             return Err(format!("expected a name at byte {start} of content model"));
         }
-        Ok(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap().to_string())
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map(str::to_string)
+            .map_err(|_| format!("invalid utf-8 in name at byte {start} of content model"))
     }
 
     fn eat(&mut self, b: u8) -> bool {
@@ -455,7 +481,9 @@ fn quoted(p: &mut CmParser<'_>) -> std::result::Result<String, String> {
     if p.pos == p.bytes.len() {
         return Err("unterminated default value".into());
     }
-    let s = std::str::from_utf8(&p.bytes[start..p.pos]).unwrap().to_string();
+    let s = std::str::from_utf8(&p.bytes[start..p.pos])
+        .map(str::to_string)
+        .map_err(|_| "invalid utf-8 in default value".to_string())?;
     p.pos += 1;
     Ok(s)
 }

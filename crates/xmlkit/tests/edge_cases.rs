@@ -110,6 +110,62 @@ fn self_closing_with_attributes() {
 }
 
 #[test]
+fn truncated_dtds_error_instead_of_panicking() {
+    // Every prefix of a valid DTD must come back as Err, never a panic.
+    let full = r#"<!ELEMENT PLAY (TITLE, ACT+)><!ATTLIST ACT n CDATA #REQUIRED><!ENTITY % pe "x">"#;
+    for end in 0..full.len() {
+        if !full.is_char_boundary(end) {
+            continue;
+        }
+        let prefix = &full[..end];
+        if let Err(e) = parse_dtd(prefix) {
+            let _ = e.to_string(); // errors must render too
+        }
+    }
+    // A few specific truncations that used to reach unwrap/EOF paths.
+    assert!(parse_dtd("<!ELEMENT FOO (A,").is_err());
+    assert!(parse_dtd("<!ELEMENT FOO").is_err());
+    assert!(parse_dtd("<!ENTITY % x \"abc").is_err());
+    assert!(parse_dtd("<!ATTLIST A b CDATA \"unterminated").is_err());
+}
+
+#[test]
+fn garbage_dtds_error_instead_of_panicking() {
+    for garbage in [
+        "<!ELEMENT 1bad (#PCDATA)>",
+        "<!ELEMENT A (#PCDATA | )>",
+        "<!ATTLIST A b BOGUS #IMPLIED>",
+        "<!WHATEVER>",
+        "%% ;;",
+        "\u{0}\u{1}\u{2}",
+        "<!ELEMENT A ((B,C)|(D)",
+    ] {
+        assert!(parse_dtd(garbage).is_err(), "{garbage:?} should be rejected");
+    }
+}
+
+#[test]
+fn self_referential_parameter_entity_is_an_error_not_a_stack_overflow() {
+    // `%a;` at declaration level expands to itself: the parser must cap
+    // the recursion and report malformed input instead of aborting.
+    let err = parse_dtd(r#"<!ENTITY % a "%a;"> %a;"#).unwrap_err();
+    assert!(matches!(err.kind, ErrorKind::MalformedDtd(_)), "{err}");
+    // Mutual recursion through declaration bodies likewise.
+    let err = parse_dtd(r#"<!ENTITY % a "%b;"><!ENTITY % b "%a;"><!ELEMENT r (%a;)>"#).unwrap_err();
+    let _ = err.to_string();
+}
+
+#[test]
+fn multibyte_names_in_dtd_bodies_survive() {
+    // Regression: the declaration-body scanner pushed raw bytes as
+    // chars, so multi-byte UTF-8 names arrived mojibake'd in the
+    // content model.
+    let dtd = parse_dtd("<!ELEMENT поэма (строка+)><!ELEMENT строка (#PCDATA)>").unwrap();
+    let names = dtd.element("поэма").unwrap().content.child_names();
+    assert_eq!(names, ["строка"]);
+}
+
+#[test]
 fn pretty_printer_is_reparseable() {
     let src = "<PLAY><ACT n=\"1\"><TITLE>T &amp; U</TITLE><SPEECH><SPEAKER>A</SPEAKER><LINE>mixed <STAGEDIR>dir</STAGEDIR> tail</LINE></SPEECH></ACT></PLAY>";
     let doc = parse_document(src).unwrap();
