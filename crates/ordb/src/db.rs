@@ -16,7 +16,7 @@ use crate::exec::collect;
 use crate::index::btree::BTree;
 use crate::index::key::encode_key;
 use crate::metrics::{udf_delta, Profiler, QueryMetrics, ENGINE};
-use crate::plan::{plan_select, plan_select_profiled, PlanContext};
+use crate::plan::{plan_select, plan_select_profiled, PlanContext, PlanForcing};
 use crate::recovery::RecoveryReport;
 use crate::sql::ast::{AstExpr, Statement};
 use crate::sql::parser::parse_statement;
@@ -48,6 +48,11 @@ pub struct DbOptions {
     /// `<dir>/spill/` instead of growing. `None` (the default) keeps
     /// the historical unbounded all-in-memory behaviour.
     pub mem_budget: Option<usize>,
+    /// Plan-space forcing knobs (join algorithm / join order / access
+    /// path). Default: all cost-based. Can be changed at runtime with
+    /// [`Database::set_forcing`] — the differential-testing harness pins
+    /// one query to every plan shape this way.
+    pub forcing: PlanForcing,
 }
 
 impl fmt::Debug for DbOptions {
@@ -57,6 +62,7 @@ impl fmt::Debug for DbOptions {
             .field("durability", &self.durability)
             .field("fault", &self.fault.is_some())
             .field("mem_budget", &self.mem_budget)
+            .field("forcing", &self.forcing)
             .finish()
     }
 }
@@ -68,6 +74,7 @@ impl Default for DbOptions {
             durability: true,
             fault: None,
             mem_budget: None,
+            forcing: PlanForcing::default(),
         }
     }
 }
@@ -91,6 +98,8 @@ pub struct Database {
     recovery: Option<RecoveryReport>,
     /// Memory budget + temp-file manager handed to blocking operators.
     spill: SpillConfig,
+    /// Plan-space forcing knobs applied to every planned query.
+    forcing: RwLock<PlanForcing>,
     /// Set by `close`/`abandon`; makes `Drop` a no-op.
     closed: AtomicBool,
 }
@@ -209,8 +218,20 @@ impl Database {
             trace: RwLock::new(None),
             recovery,
             spill,
+            forcing: RwLock::new(opts.forcing),
             closed: AtomicBool::new(false),
         })
+    }
+
+    /// Replace the plan-space forcing knobs for every subsequent query.
+    /// Pass [`PlanForcing::default()`] to restore cost-based planning.
+    pub fn set_forcing(&self, forcing: PlanForcing) {
+        *self.forcing.write() = forcing;
+    }
+
+    /// The currently active plan-space forcing knobs.
+    pub fn forcing(&self) -> PlanForcing {
+        *self.forcing.read()
     }
 
     /// Install (or clear, with `None`) the query-lifecycle trace sink.
@@ -371,6 +392,7 @@ impl Database {
                         stats: &inner.stats,
                         functions: &self.functions,
                         spill: &self.spill,
+                        forcing: *self.forcing.read(),
                     };
                     let plan = plan_select(&ctx, &q)?;
                     Ok(QueryResult {
@@ -389,6 +411,7 @@ impl Database {
                     stats: &inner.stats,
                     functions: &self.functions,
                     spill: &self.spill,
+                    forcing: *self.forcing.read(),
                 };
                 let t = Instant::now();
                 let plan = plan_select(&ctx, &q)?;
@@ -434,6 +457,7 @@ impl Database {
             stats: &inner.stats,
             functions: &self.functions,
             spill: &self.spill,
+            forcing: *self.forcing.read(),
         };
         let mut prof = Profiler::enabled();
         let t = Instant::now();
@@ -477,6 +501,7 @@ impl Database {
                     stats: &inner.stats,
                     functions: &self.functions,
                     spill: &self.spill,
+                    forcing: *self.forcing.read(),
                 };
                 Ok(plan_select(&ctx, &q)?.explain)
             }

@@ -459,7 +459,7 @@ impl Operator for HashJoin {
     }
 }
 
-/// Sort-merge join on equi-keys: each side is routed through a [`Sort`]
+/// Sort-merge join on equi-keys: each side is routed through a [`Sort`](super::sort::Sort)
 /// on its key expressions (the external merge sort when a
 /// [`SpillConfig`] budget is set), then merged streaming. Only the
 /// current right-side duplicate group is buffered, so peak memory is

@@ -50,6 +50,7 @@ pub use catalog::{ColumnDef, IndexDef, TableDef};
 pub use db::{AnalyzeReport, Database, DbOptions, QueryResult};
 pub use error::{DbError, Result};
 pub use metrics::QueryMetrics;
+pub use plan::{ForcedAccess, ForcedJoin, PlanForcing};
 pub use recovery::RecoveryReport;
 pub use storage::fault::{CrashMode, FaultInjector, FaultPlan, FaultScope};
 pub use storage::wal::WalStats;

@@ -24,7 +24,7 @@ use crate::catalog::Catalog;
 use crate::error::{DbError, Result};
 use crate::exec::{
     AggCall, AggFunc, BoxOp, Distinct, Filter, HashAggregate, HashJoin, IndexNestedLoopJoin,
-    IndexScan, Limit, NestedLoopJoin, Project, SeqScan, Sort, SortKey, UnnestScan,
+    IndexScan, Limit, MergeJoin, NestedLoopJoin, Project, SeqScan, Sort, SortKey, UnnestScan,
 };
 use crate::expr::{CmpOp, Expr};
 use crate::functions::FunctionRegistry;
@@ -36,6 +36,69 @@ use crate::stats::TableStats;
 use crate::storage::heap::HeapFile;
 use crate::storage::spill::SpillConfig;
 use crate::types::{DataType, Value};
+
+/// Join algorithm pinned by a [`PlanForcing`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForcedJoin {
+    /// Materializing nested-loop join; the equi-join predicate is applied
+    /// to the concatenated row instead of driving a hash table or index.
+    NestedLoop,
+    /// Hash join on the equi-keys (build side still picked by estimate).
+    Hash,
+    /// Sort-merge join on the equi-keys.
+    Merge,
+}
+
+/// Base-table access path pinned by a [`PlanForcing`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForcedAccess {
+    /// Always `SeqScan` + `Filter`, even when an index matches a sargable
+    /// predicate.
+    SeqScan,
+    /// Use an `IndexScan` whenever an index matches a sargable predicate
+    /// (today's default policy, pinned against future cost gating).
+    IndexScan,
+}
+
+/// Plan-space forcing: pins planner decisions so a test harness can run
+/// one query under every plan shape and compare results. The default
+/// (`None` everywhere) is the normal cost-based planner.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanForcing {
+    /// Pin every equi-join edge to one algorithm (cross joins stay
+    /// nested-loop). `None`: cost-based choice.
+    pub join: Option<ForcedJoin>,
+    /// Join base tables in FROM-declaration order instead of greedily by
+    /// estimated cardinality.
+    pub declared_order: bool,
+    /// Pin the base-table access path. `None`: current default policy.
+    pub access: Option<ForcedAccess>,
+}
+
+impl PlanForcing {
+    /// True when no knob is pinned (the normal planner).
+    pub fn is_default(&self) -> bool {
+        *self == PlanForcing::default()
+    }
+
+    /// Compact rendering for EXPLAIN lines and repro files, e.g.
+    /// `join=merge order=declared access=seq`.
+    pub fn describe(&self) -> String {
+        let join = match self.join {
+            None => "cost",
+            Some(ForcedJoin::NestedLoop) => "nested-loop",
+            Some(ForcedJoin::Hash) => "hash",
+            Some(ForcedJoin::Merge) => "merge",
+        };
+        let order = if self.declared_order { "declared" } else { "greedy" };
+        let access = match self.access {
+            None => "cost",
+            Some(ForcedAccess::SeqScan) => "seq",
+            Some(ForcedAccess::IndexScan) => "index",
+        };
+        format!("join={join} order={order} access={access}")
+    }
+}
 
 /// Everything the planner needs from the database.
 pub struct PlanContext<'a> {
@@ -51,6 +114,8 @@ pub struct PlanContext<'a> {
     pub functions: &'a FunctionRegistry,
     /// Memory budget + spill manager handed to blocking operators.
     pub spill: &'a SpillConfig,
+    /// Plan-space forcing knobs (default: cost-based planning).
+    pub forcing: PlanForcing,
 }
 
 /// A compiled physical plan.
@@ -240,10 +305,17 @@ pub fn plan_select_profiled(
         })
         .collect();
 
+    if !ctx.forcing.is_default() {
+        explain.push(format!("forcing: {}", ctx.forcing.describe()));
+    }
+
     let n = bases.len();
     let mut joined = vec![false; n];
-    let start =
-        (0..n).min_by(|&a, &b| est[a].partial_cmp(&est[b]).expect("finite")).expect("nonempty");
+    let start = if ctx.forcing.declared_order {
+        0
+    } else {
+        (0..n).min_by(|&a, &b| est[a].partial_cmp(&est[b]).expect("finite")).expect("nonempty")
+    };
     joined[start] = true;
 
     let mut schema = Schema::default();
@@ -258,11 +330,15 @@ pub fn plan_select_profiled(
 
     let mut edges_left = edges;
     for _ in 1..n {
-        // Find a joinable (connected) table, smallest estimate first.
+        // Find a joinable (connected) table, smallest estimate first —
+        // or, under forced declared order, the next table as written.
         let mut order: Vec<usize> = (0..n).filter(|&i| !joined[i]).collect();
-        order.sort_by(|&a, &b| est[a].partial_cmp(&est[b]).expect("finite"));
+        if !ctx.forcing.declared_order {
+            order.sort_by(|&a, &b| est[a].partial_cmp(&est[b]).expect("finite"));
+        }
+        let candidates = if ctx.forcing.declared_order { &order[..1] } else { &order[..] };
         let mut picked = None;
-        'outer: for &cand in &order {
+        'outer: for &cand in candidates {
             for (ei, (a1, _, a2, _)) in edges_left.iter().enumerate() {
                 let cand_alias = &bases[cand].alias;
                 let in_cur =
@@ -350,9 +426,46 @@ pub fn plan_select_profiled(
                 hash_cost += 2.0 * (build_bytes / 8192.0).max(1.0);
             }
         }
-        let use_index_nlj = inner_index.is_some() && index_cost < hash_cost;
+        let use_index_nlj = ctx.forcing.join.is_none()
+            && inner_index.is_some()
+            && (index_cost < hash_cost || ctx.forcing.access == Some(ForcedAccess::IndexScan));
 
-        if let (true, Some(index)) = (use_index_nlj, inner_index) {
+        if let Some(ForcedJoin::NestedLoop) = ctx.forcing.join {
+            // Forced nested loop: materialize the inner side and apply the
+            // equi-join predicate to the concatenated row.
+            let (inner_plan, _, inner_id) = build_scan(ctx, inner_base, inner_local, prof)?;
+            schema.0.extend(inner_base.columns.iter().cloned());
+            let pred_ast = AstExpr::Cmp {
+                op: CmpOp::Eq,
+                lhs: Box::new(outer_ast.clone()),
+                rhs: Box::new(inner_ast.clone()),
+            };
+            let pred = compile(&pred_ast, &schema, ctx.functions)?;
+            explain.push(format!("nested-loop join {} (forced)", inner_base.alias));
+            (root, root_id) = prof.wrap(
+                Box::new(NestedLoopJoin::new(root, inner_plan, Some(pred))),
+                format!("NestedLoopJoin {}", inner_base.alias),
+                vec![root_id, inner_id],
+            );
+        } else if let Some(ForcedJoin::Merge) = ctx.forcing.join {
+            let (inner_plan, _, inner_id) = build_scan(ctx, inner_base, inner_local, prof)?;
+            let inner_schema = Schema(inner_base.columns.clone());
+            let inner_key = compile(&inner_ast, &inner_schema, ctx.functions)?;
+            schema.0.extend(inner_base.columns.iter().cloned());
+            explain.push(format!("merge join {} (forced)", inner_base.alias));
+            (root, root_id) = prof.wrap(
+                Box::new(MergeJoin::with_spill(
+                    root,
+                    inner_plan,
+                    vec![outer_key],
+                    vec![inner_key],
+                    None,
+                    ctx.spill.clone(),
+                )),
+                format!("MergeJoin {}", inner_base.alias),
+                vec![root_id, inner_id],
+            );
+        } else if let (true, Some(index)) = (use_index_nlj, inner_index) {
             // Residual = inner local predicates, compiled against the
             // concatenated schema.
             let offset = schema.0.len();
@@ -601,6 +714,30 @@ pub fn compile_single_table(
     compile(ast, &schema, functions)
 }
 
+/// Compile an expression against an explicit `(alias, column)` binding
+/// list — one entry per visible column, in row order. This is the entry
+/// point external test oracles use to share the engine's expression
+/// semantics (NULL propagation, overflow checks, LIKE matching, UDF call
+/// paths) without building a full plan.
+pub fn compile_expr(
+    ast: &AstExpr,
+    bindings: &[(String, String)],
+    functions: &FunctionRegistry,
+) -> Result<Expr> {
+    let schema = Schema(
+        bindings
+            .iter()
+            .map(|(alias, column)| Binding {
+                alias: alias.clone(),
+                column: column.clone(),
+                // Types are not used for resolution; Integer is a stand-in.
+                ty: DataType::Integer,
+            })
+            .collect(),
+    );
+    compile(ast, &schema, functions)
+}
+
 impl PlanContext<'_> {
     fn heap_of(&self, table_lower: &str) -> Result<Arc<HeapFile>> {
         self.heaps
@@ -664,10 +801,13 @@ fn build_scan(
     let preds = preds.unwrap_or(&empty);
 
     // Look for `col = literal` (preferred) or a range predicate on an
-    // indexed first column.
+    // indexed first column. Under forced SeqScan access the search is
+    // skipped entirely, so every local predicate stays a residual filter.
     let mut chosen: Option<(Arc<BTree>, Value, CmpOp)> = None;
     let mut chosen_pred_idx = usize::MAX;
-    for (i, p) in preds.iter().enumerate() {
+    let scannable =
+        if ctx.forcing.access == Some(ForcedAccess::SeqScan) { &[] } else { preds.as_slice() };
+    for (i, p) in scannable.iter().enumerate() {
         if let AstExpr::Cmp { op, lhs, rhs } = p {
             let (col, lit, op) = match (&**lhs, &**rhs) {
                 (AstExpr::Column { name, .. }, lit) if is_literal(lit) => (name, lit, *op),

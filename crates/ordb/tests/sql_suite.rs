@@ -118,9 +118,15 @@ fn three_way_join_with_aliases() {
              WHERE y.b_a = x.aid AND z.c_b = y.bid ORDER BY z.cid",
         )
         .unwrap();
-    assert_eq!(r.len(), 4);
-    assert_eq!(r.rows[0], vec![Value::Int(1), Value::Int(100)]);
-    assert_eq!(r.rows[3], vec![Value::Int(2), Value::Int(103)]);
+    assert_eq!(
+        r.rows,
+        vec![
+            vec![Value::Int(1), Value::Int(100)],
+            vec![Value::Int(1), Value::Int(101)],
+            vec![Value::Int(2), Value::Int(102)],
+            vec![Value::Int(2), Value::Int(103)],
+        ]
+    );
 }
 
 #[test]
@@ -131,7 +137,13 @@ fn cross_join_without_predicate() {
     d.execute("INSERT INTO a VALUES (1), (2), (3)").unwrap();
     d.execute("INSERT INTO b VALUES (10), (20)").unwrap();
     let r = d.query("SELECT x, y FROM a, b").unwrap();
-    assert_eq!(r.len(), 6);
+    let mut rows = r.rows.clone();
+    rows.sort();
+    let expected: Vec<Vec<Value>> = [(1, 10), (1, 20), (2, 10), (2, 20), (3, 10), (3, 20)]
+        .iter()
+        .map(|&(x, y)| vec![Value::Int(x), Value::Int(y)])
+        .collect();
+    assert_eq!(rows, expected);
 }
 
 #[test]
@@ -145,8 +157,15 @@ fn self_join_via_aliases() {
              WHERE sub.boss = sup.id ORDER BY sub.id",
         )
         .unwrap();
-    assert_eq!(r.len(), 3);
-    assert_eq!(r.rows[2], vec![Value::Int(4), Value::Int(2)]);
+    // NULL boss joins nothing; full ordered comparison.
+    assert_eq!(
+        r.rows,
+        vec![
+            vec![Value::Int(2), Value::Int(1)],
+            vec![Value::Int(3), Value::Int(1)],
+            vec![Value::Int(4), Value::Int(2)],
+        ]
+    );
 }
 
 #[test]
@@ -167,7 +186,16 @@ fn distinct_over_multiple_columns() {
     d.execute("CREATE TABLE t (a INTEGER, b VARCHAR)").unwrap();
     d.execute("INSERT INTO t VALUES (1,'x'), (1,'x'), (1,'y'), (2,'x')").unwrap();
     let r = d.query("SELECT DISTINCT a, b FROM t").unwrap();
-    assert_eq!(r.len(), 3);
+    let mut rows = r.rows.clone();
+    rows.sort();
+    assert_eq!(
+        rows,
+        vec![
+            vec![Value::Int(1), Value::Str("x".into())],
+            vec![Value::Int(1), Value::Str("y".into())],
+            vec![Value::Int(2), Value::Str("x".into())],
+        ]
+    );
 }
 
 #[test]

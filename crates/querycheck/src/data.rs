@@ -1,0 +1,181 @@
+//! Corpora, mapped schemas, and the oracle's ground-truth tables.
+//!
+//! The oracle's input rows come from [`xorator::shred::Shredder`] directly
+//! — the same shredding code `load_corpus` uses, but *without* going
+//! through the engine's storage, indexes, or executor. The differential
+//! check therefore exercises the whole query path (parse → plan → execute
+//! → spill) against plain in-memory vectors of rows.
+
+use std::collections::BTreeSet;
+
+use ordb::types::DataType;
+use ordb::Row;
+use xmlkit::dtd::parse_dtd;
+use xorator::prelude::*;
+use xorator::schema::ColumnKind;
+
+/// Which generated corpus a harness runs against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Corpus {
+    /// The Figure 10 Shakespeare DTD (`datagen::shakespeare`).
+    Shakespeare,
+    /// The Figure 12 SIGMOD proceedings DTD (`datagen::sigmod`).
+    Sigmod,
+}
+
+impl Corpus {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Corpus::Shakespeare => "shakespeare",
+            Corpus::Sigmod => "sigmod",
+        }
+    }
+
+    /// The DTD text this corpus conforms to.
+    pub fn dtd(self) -> &'static str {
+        match self {
+            Corpus::Shakespeare => xorator::dtds::SHAKESPEARE_DTD,
+            Corpus::Sigmod => xorator::dtds::SIGMOD_DTD,
+        }
+    }
+
+    /// Generate a small deterministic corpus. The sizes are deliberately
+    /// tiny: the oracle enumerates full cross products, so per-table row
+    /// counts must stay in the tens for a 3-way join to finish instantly.
+    pub fn generate(self, seed: u64) -> Vec<String> {
+        match self {
+            Corpus::Shakespeare => datagen::generate_shakespeare(&datagen::ShakespeareConfig {
+                plays: 2,
+                seed,
+                acts: 2,
+                scenes_per_act: 2,
+                speeches_per_scene: 3,
+                max_lines_per_speech: 3,
+            }),
+            Corpus::Sigmod => datagen::generate_sigmod(&datagen::SigmodConfig {
+                documents: 3,
+                seed,
+                max_sections: 2,
+                max_articles: 3,
+                max_authors: 3,
+            }),
+        }
+    }
+
+    /// Build the mapping for one algorithm over this corpus's DTD.
+    pub fn mapping(self, algorithm: Algorithm) -> Mapping {
+        let simple = simplify(&parse_dtd(self.dtd()).expect("repo DTDs parse"));
+        match algorithm {
+            Algorithm::Hybrid => map_hybrid(&simple),
+            Algorithm::Xorator => map_xorator(&simple),
+        }
+    }
+}
+
+/// Shred `docs` into per-table row vectors — the oracle's ground truth.
+///
+/// Uses one [`Shredder`] across all documents and
+/// [`xadt::StorageFormat::Plain`], matching a serial
+/// [`load_corpus`] with
+/// [`FormatPolicy::Plain`] bit for bit (ids continue across documents).
+pub fn shred_ground_truth(mapping: &Mapping, docs: &[String]) -> xorator::Result<Vec<Vec<Row>>> {
+    let mut tables: Vec<Vec<Row>> = vec![Vec::new(); mapping.tables.len()];
+    let mut shredder = Shredder::new(mapping, xadt::StorageFormat::Plain);
+    for text in docs {
+        let doc = xmlkit::parse_document(text)?;
+        for (table, row) in shredder.shred_document(&doc)? {
+            tables[table].push(row);
+        }
+    }
+    Ok(tables)
+}
+
+/// What the generator knows about one XADT column: which element the
+/// fragments store, which element names occur inside them, and a sample
+/// of keywords from their text content (for `findKeyInElm` etc.).
+#[derive(Debug, Clone)]
+pub struct XadtColInfo {
+    /// Table index in the mapping.
+    pub table: usize,
+    /// Column index in that table.
+    pub col: usize,
+    /// The fragment's root element name (`ColumnKind::Xadt { child }`).
+    pub child: String,
+    /// Element names observed inside fragments (always includes `child`).
+    pub elements: Vec<String>,
+    /// Keywords harvested from fragment text content.
+    pub words: Vec<String>,
+}
+
+/// Generator-facing view of a schema instance: the mapping plus value
+/// samples drawn from the ground truth.
+pub struct SchemaInfo {
+    /// The mapping.
+    pub mapping: Mapping,
+    /// Ground-truth rows per table (aligned with `mapping.tables`).
+    pub tables: Vec<Vec<Row>>,
+    /// All XADT columns with harvested element names and keywords.
+    pub xadt_cols: Vec<XadtColInfo>,
+}
+
+impl SchemaInfo {
+    /// Build the generator view: shred the docs and harvest XADT samples.
+    pub fn build(mapping: Mapping, docs: &[String]) -> xorator::Result<SchemaInfo> {
+        let tables = shred_ground_truth(&mapping, docs)?;
+        let mut xadt_cols = Vec::new();
+        for (ti, t) in mapping.tables.iter().enumerate() {
+            for (ci, c) in t.columns.iter().enumerate() {
+                let ColumnKind::Xadt { child } = &c.kind else { continue };
+                let (elements, words) = harvest(&tables[ti], ci, child);
+                xadt_cols.push(XadtColInfo {
+                    table: ti,
+                    col: ci,
+                    child: child.clone(),
+                    elements,
+                    words,
+                });
+            }
+        }
+        Ok(SchemaInfo { mapping, tables, xadt_cols })
+    }
+
+    /// Columns of `table` with a given type, as `(index, name)` pairs.
+    pub fn cols_of_type(&self, table: usize, ty: DataType) -> Vec<(usize, String)> {
+        self.mapping.tables[table]
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.ty == ty)
+            .map(|(i, c)| (i, c.name.clone()))
+            .collect()
+    }
+}
+
+/// Scan up to a few dozen fragments of one XADT column for element names
+/// and text keywords. Deterministic (BTreeSet ordering, fixed caps).
+fn harvest(rows: &[Row], col: usize, child: &str) -> (Vec<String>, Vec<String>) {
+    let mut elements: BTreeSet<String> = BTreeSet::new();
+    elements.insert(child.to_string());
+    let mut words: BTreeSet<String> = BTreeSet::new();
+    for row in rows.iter().take(32) {
+        let ordb::Value::Xadt(frag) = &row[col] else { continue };
+        let Ok(mut events) = frag.events() else { continue };
+        while let Ok(Some(ev)) = events.next() {
+            match ev {
+                xadt::Event::Start { name, .. } => {
+                    elements.insert(name.to_string());
+                }
+                xadt::Event::Text(t) => {
+                    for w in t.split(|c: char| !c.is_ascii_alphanumeric()) {
+                        if w.len() >= 3 && words.len() < 64 {
+                            words.insert(w.to_string());
+                        }
+                    }
+                }
+                xadt::Event::End { .. } => {}
+            }
+        }
+    }
+    (elements.into_iter().collect(), words.into_iter().collect())
+}

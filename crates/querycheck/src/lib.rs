@@ -1,0 +1,23 @@
+//! # querycheck — deterministic differential query fuzzing
+//!
+//! The correctness harness behind every perf PR (DESIGN.md §11): a seeded
+//! generator emits random-but-valid SQL against the Hybrid and XORator
+//! schemas, a naive in-memory relational oracle ([`oracle`]) computes the
+//! expected answer tuple-at-a-time with no indexes and no spill, and the
+//! engine executes the same query under every forced plan shape
+//! ([`ordb::PlanForcing`]) × configuration (memory budget × pool size).
+//! All results are compared bytewise ([`ordb::tuple::encode_row`]) to the
+//! oracle; any mismatch is greedily minimized by [`shrink`] and written
+//! as a self-contained repro under `target/querycheck/`.
+//!
+//! The pipeline is deterministic per seed: corpus generation (`datagen`),
+//! query generation ([`gen`]), and execution order all derive from the
+//! one `--seed` value, so every failure replays exactly.
+
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod gen;
+pub mod oracle;
+pub mod runner;
+pub mod shrink;

@@ -1,0 +1,147 @@
+//! Differential fuzzer driver.
+//!
+//! ```text
+//! cargo run -p querycheck --release -- --seed 1 [--queries 40] [--minutes 5] [--corpus shakespeare|sigmod|all]
+//! ```
+//!
+//! For each corpus × mapping algorithm, generates `--queries` random
+//! queries (stopping early at the `--minutes` wall-clock budget) and runs
+//! every one under the full plan-forcing × engine-config matrix against
+//! the in-memory oracle. On a mismatch, the failing pair is shrunk and
+//! written to `target/querycheck/`; the process exits non-zero.
+
+use std::time::{Duration, Instant};
+
+use querycheck::data::Corpus;
+use querycheck::gen;
+use querycheck::runner::Harness;
+use querycheck::shrink;
+use rand::{rngs::SmallRng, SeedableRng};
+use xorator::prelude::Algorithm;
+
+struct Args {
+    seed: u64,
+    queries: usize,
+    minutes: Option<u64>,
+    corpus: Option<Corpus>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { seed: 1, queries: 40, minutes: None, corpus: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val =
+            |name: &str| it.next().unwrap_or_else(|| die(&format!("{name} needs a value")));
+        match a.as_str() {
+            "--seed" => args.seed = parse(&val("--seed")),
+            "--queries" => args.queries = parse(&val("--queries")),
+            "--minutes" => args.minutes = Some(parse(&val("--minutes"))),
+            "--corpus" => {
+                args.corpus = match val("--corpus").as_str() {
+                    "shakespeare" => Some(Corpus::Shakespeare),
+                    "sigmod" => Some(Corpus::Sigmod),
+                    "all" => None,
+                    other => die(&format!("unknown corpus {other:?}")),
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: querycheck [--seed N] [--queries K] [--minutes M] \
+                     [--corpus shakespeare|sigmod|all]"
+                );
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown flag {other:?}")),
+        }
+    }
+    args
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> T {
+    s.parse().unwrap_or_else(|_| die(&format!("bad number {s:?}")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("querycheck: {msg}");
+    std::process::exit(2)
+}
+
+fn main() {
+    let args = parse_args();
+    let deadline = args.minutes.map(|m| Instant::now() + Duration::from_secs(m * 60));
+    let corpora: Vec<Corpus> = match args.corpus {
+        Some(c) => vec![c],
+        None => vec![Corpus::Shakespeare, Corpus::Sigmod],
+    };
+    let mut total_queries = 0usize;
+    let mut failures = 0usize;
+
+    'outer: for corpus in corpora {
+        for algorithm in [Algorithm::Hybrid, Algorithm::Xorator] {
+            let t = Instant::now();
+            let harness = match Harness::new(corpus, algorithm, args.seed, "cli") {
+                Ok(h) => h,
+                Err(e) => {
+                    die(&format!("harness setup failed for {}/{algorithm:?}: {e}", corpus.name()))
+                }
+            };
+            println!(
+                "[{}/{:?}] loaded {} docs, {} tables in {:?}",
+                corpus.name(),
+                algorithm,
+                harness.docs.len(),
+                harness.info.tables.len(),
+                t.elapsed(),
+            );
+            let mut rng = SmallRng::seed_from_u64(args.seed);
+            for qi in 0..args.queries {
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        println!("time budget reached after {total_queries} queries");
+                        break 'outer;
+                    }
+                }
+                let q = gen::generate(&mut rng, &harness.info);
+                total_queries += 1;
+                let mismatches = harness.check_query(&q, None);
+                if let Some(m) = mismatches.first() {
+                    failures += 1;
+                    eprintln!(
+                        "MISMATCH [{}/{:?}] query {qi} ({} cells): {} | {} | {}",
+                        corpus.name(),
+                        algorithm,
+                        mismatches.len(),
+                        m.config,
+                        m.forcing,
+                        m.detail,
+                    );
+                    eprintln!("  sql: {}", m.sql);
+                    match shrink::shrink_and_report(
+                        corpus,
+                        algorithm,
+                        args.seed,
+                        harness.docs.clone(),
+                        q,
+                        m,
+                        None,
+                    ) {
+                        Ok(repro) => eprintln!("  minimized repro: {}", repro.path.display()),
+                        Err(e) => eprintln!("  repro write failed: {e}"),
+                    }
+                }
+            }
+        }
+    }
+
+    println!(
+        "querycheck: seed {} — {} queries checked across oracle × {} forcing modes × {} configs, {} mismatch(es)",
+        args.seed,
+        total_queries,
+        querycheck::runner::forcing_modes().len(),
+        querycheck::runner::CONFIGS.len(),
+        failures,
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

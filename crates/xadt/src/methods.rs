@@ -223,7 +223,11 @@ pub fn get_elm_index(
                             write_event(&ev, &mut out);
                         }
                     }
-                    if !parent_elm.is_empty() && *name == parent_elm {
+                    // A captured subtree is copied verbatim: elements inside
+                    // it are never counted, so a captured element must not
+                    // open a scope either (its End is consumed by the
+                    // capture branch and would leak the scope).
+                    if capture_until.is_none() && !parent_elm.is_empty() && *name == parent_elm {
                         scopes.push(Scope { child_depth: depth + 1, count: 0 });
                     }
                 }
