@@ -5,7 +5,14 @@
 //! experiments [table1|table2|fig11|fig13|fig14|examples|throughput|durability|spill|all]
 //!             [--full] [--scales 1,2,4,8] [--reps 5] [--threads 1,2,4,8]
 //!             [--budget BYTES]
+//! experiments trajectory [--quick] [--out PATH]
+//! experiments compare OLD.json NEW.json [--threshold 0.15]
 //! ```
+//!
+//! `trajectory` runs the pinned perf-trajectory set (fig11/fig13 queries,
+//! loads, throughput mix) and writes `BENCH_PR6.json`; `compare` diffs two
+//! BENCH files on deterministic counters and exits non-zero on a >15 %
+//! regression. See `xorator_bench::trajectory`.
 //!
 //! * `--full`  — use the paper-sized corpora (37 plays ≈ 7.5 MB,
 //!   3000 proceedings ≈ 12 MB); default is a reduced corpus that keeps
@@ -36,6 +43,12 @@ struct Args {
     io_sim: bool,
     threads: Vec<usize>,
     budget: Option<usize>,
+    quick: bool,
+    out: Option<String>,
+    threshold: f64,
+    /// Positional arguments after the command (the two files of
+    /// `compare OLD NEW`).
+    positional: Vec<String>,
 }
 
 fn parse_args() -> Args {
@@ -47,12 +60,23 @@ fn parse_args() -> Args {
         io_sim: false,
         threads: vec![1, 2, 4, 8],
         budget: None,
+        quick: false,
+        out: None,
+        threshold: xorator_bench::trajectory::DEFAULT_THRESHOLD,
+        positional: Vec::new(),
     };
+    let mut have_command = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--full" => args.full = true,
             "--io-sim" => args.io_sim = true,
+            "--quick" => args.quick = true,
+            "--out" => args.out = Some(it.next().expect("--out needs a path")),
+            "--threshold" => {
+                args.threshold =
+                    it.next().expect("--threshold needs a value").parse().expect("float");
+            }
             "--scales" => {
                 let v = it.next().expect("--scales needs a value");
                 args.scales = v
@@ -74,7 +98,14 @@ fn parse_args() -> Args {
                 args.budget =
                     Some(it.next().expect("--budget needs a value").parse().expect("bytes"));
             }
-            cmd if !cmd.starts_with('-') => args.command = cmd.to_string(),
+            cmd if !cmd.starts_with('-') => {
+                if have_command {
+                    args.positional.push(cmd.to_string());
+                } else {
+                    args.command = cmd.to_string();
+                    have_command = true;
+                }
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -86,6 +117,17 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    // The trajectory gate commands run alone, never as part of "all":
+    // `trajectory` re-runs a pinned benchmark set and writes a BENCH
+    // file; `compare` just diffs two files and sets the exit code.
+    if args.command == "compare" {
+        compare_command(&args);
+        return;
+    }
+    if args.command == "trajectory" {
+        trajectory_command(&args);
+        return;
+    }
     let run = |name: &str| args.command == name || args.command == "all";
     let mut mlog = MetricsLog::default();
     if run("table1") {
@@ -296,6 +338,17 @@ fn ratio_figure(
         }
         let load_ratio = h.load.elapsed.as_secs_f64() / x.load.elapsed.as_secs_f64().max(1e-9);
         println!("| DSx{scale} | {} | {load_ratio:.2} |", cells.join(" | "));
+        // One unified registry snapshot per database per scale: query
+        // count, the latency histogram (p50..p999), pool/WAL/engine
+        // counters — metrics.json carries the whole observability view,
+        // not just per-query deltas.
+        for (variant, loaded) in [("hybrid", &h), ("xorator", &x)] {
+            mlog.push_raw(format!(
+                "{{\"figure\":\"{tag}\",\"scale\":{scale},\"variant\":\"{variant}\",\
+                 \"registry\":{}}}",
+                loaded.db.metrics_snapshot().to_json()
+            ));
+        }
     }
     println!("\n(Values are Hybrid/XORator response-time ratios; > 1 means XORator is faster, matching the paper's log-scale figures.)");
 }
@@ -550,11 +603,196 @@ fn spill_figure(args: &Args, mlog: &mut MetricsLog) {
             }
         }
         assert_eq!(db.spill_files_live(), 0, "spill temp files must not outlive the queries");
+        mlog.push_raw(format!(
+            "{{\"figure\":\"spill\",\"scale\":{scale},\"variant\":\"registry\",\"budget\":{},\
+             \"registry\":{}}}",
+            mem_budget.map_or("null".to_string(), |b| b.to_string()),
+            db.metrics_snapshot().to_json()
+        ));
     }
     println!(
         "\n(Budgeted rows are asserted byte-identical to the unbounded run; \
          spill temp files are asserted gone after each pass.)"
     );
+}
+
+/// The perf-trajectory run (ROADMAP item 3): fig11 + fig13 queries and
+/// loads plus a throughput mix, under a configuration pinned hard enough
+/// that the counter columns are bit-identical run to run. Writes
+/// `BENCH_PR6.json` (or `--out`). `--quick` runs the DSx1 subset for CI;
+/// its entry ids are a subset of the full file's, so the comparator still
+/// gates on the intersection.
+fn trajectory_command(args: &Args) {
+    use xorator_bench::trajectory::{BenchEntry, BenchFile, SCHEMA_VERSION};
+    let scales: &[usize] = if args.quick { &[1] } else { &[1, 2] };
+    const TRAJECTORY_REPS: usize = 3;
+    let mut entries: Vec<BenchEntry> = Vec::new();
+
+    let shakespeare = datagen::generate_shakespeare(&ShakespeareConfig::default());
+    let sigmod = datagen::generate_sigmod(&SigmodConfig::default());
+    trajectory_figure(
+        "fig11",
+        xorator::dtds::SHAKESPEARE_DTD,
+        &shakespeare,
+        &shakespeare_queries(),
+        scales,
+        TRAJECTORY_REPS,
+        &mut entries,
+    );
+    trajectory_figure(
+        "fig13",
+        xorator::dtds::SIGMOD_DTD,
+        &sigmod,
+        &sigmod_queries(),
+        scales,
+        TRAJECTORY_REPS,
+        &mut entries,
+    );
+    trajectory_throughput(args, &shakespeare, &mut entries);
+
+    let mut config = std::collections::BTreeMap::new();
+    config.insert("mode".to_string(), if args.quick { "quick" } else { "full" }.to_string());
+    config.insert("corpus".to_string(), "reduced-default".to_string());
+    config.insert("reps".to_string(), TRAJECTORY_REPS.to_string());
+    config.insert(
+        "scales".to_string(),
+        scales.iter().map(usize::to_string).collect::<Vec<_>>().join(","),
+    );
+    config.insert("pool_frames".to_string(), xorator_bench::EXPERIMENT_POOL_FRAMES.to_string());
+    let file = BenchFile { schema_version: SCHEMA_VERSION, pr: 6, config, entries };
+    let out = args.out.clone().unwrap_or_else(|| "BENCH_PR6.json".to_string());
+    std::fs::write(&out, file.to_json()).expect("write BENCH file");
+    println!("\nwrote {out} ({} entries, schema v{SCHEMA_VERSION})", file.entries.len());
+}
+
+/// One figure's trajectory entries: per-scale loads (tuples, sizes, WAL
+/// volume) and per-query counters from an instrumented cold run.
+fn trajectory_figure(
+    tag: &str,
+    dtd_src: &str,
+    base: &[String],
+    queries: &[xorator::queries::QueryPair],
+    scales: &[usize],
+    reps: usize,
+    entries: &mut Vec<xorator_bench::trajectory::BenchEntry>,
+) {
+    use xorator_bench::trajectory::BenchEntry;
+    let wl = workload_sql(queries);
+    for &scale in scales {
+        let docs = replicate(base, scale);
+        let (h, x) = load_pair(&format!("traj-{tag}-x{scale}"), dtd_src, &docs, &wl);
+        for (variant, loaded) in [("hybrid", &h), ("xorator", &x)] {
+            let s = sizes(loaded).expect("sizes");
+            let wal = loaded.db.wal_stats().unwrap_or_default();
+            let mut counters = std::collections::BTreeMap::new();
+            counters.insert("tuples".to_string(), loaded.load.tuples);
+            counters.insert("tables".to_string(), s.tables as u64);
+            counters.insert("indexes".to_string(), loaded.indexes as u64);
+            counters.insert("data_bytes".to_string(), s.data_bytes);
+            counters.insert("index_bytes".to_string(), s.index_bytes);
+            counters.insert("wal_bytes".to_string(), wal.bytes);
+            let mut gauges = std::collections::BTreeMap::new();
+            gauges.insert("load_ns".to_string(), loaded.load.elapsed.as_nanos() as f64);
+            entries.push(BenchEntry {
+                id: format!("{tag}/x{scale}/load/{variant}"),
+                kind: "load".to_string(),
+                rows: loaded.load.tuples,
+                counters,
+                gauges,
+            });
+        }
+        for q in queries {
+            for (variant, db, sql) in [("hybrid", &h.db, q.hybrid), ("xorator", &x.db, q.xorator)] {
+                let t = time_query_opts(db, sql, reps, true).expect("trajectory query");
+                let m = t.metrics.as_ref().expect("instrumented run");
+                let mut counters = std::collections::BTreeMap::new();
+                counters.insert("pool_fetches".to_string(), m.pool.fetches());
+                counters.insert("pool_misses".to_string(), m.pool.misses);
+                counters.insert("wal_bytes".to_string(), m.wal.bytes);
+                counters.insert("index_probes".to_string(), m.engine.index_probes);
+                counters.insert("sort_rows".to_string(), m.engine.sort_rows);
+                counters.insert("sort_spills".to_string(), m.engine.sort_spills);
+                counters.insert("spill_bytes".to_string(), m.engine.spill_bytes);
+                counters.insert("join_partitions".to_string(), m.engine.join_partitions);
+                counters.insert("agg_spills".to_string(), m.engine.agg_spills);
+                counters.insert("unnest_calls".to_string(), m.engine.unnest_calls);
+                let mut gauges = std::collections::BTreeMap::new();
+                gauges.insert("mean_ns".to_string(), t.mean.as_nanos() as f64);
+                entries.push(BenchEntry {
+                    id: format!("{tag}/x{scale}/{}/{variant}", q.id),
+                    kind: "query".to_string(),
+                    rows: t.rows as u64,
+                    counters,
+                    gauges,
+                });
+                eprintln!(
+                    "  [trajectory {tag} DSx{scale}] {} {variant}: {} rows, {} fetches",
+                    q.id,
+                    t.rows,
+                    m.pool.fetches()
+                );
+            }
+        }
+    }
+}
+
+/// The trajectory's multi-threaded cell: the Shakespeare query mix served
+/// from N client threads against each mapping. Pure wall-clock (qps), so
+/// every value lands in the ungated gauges.
+fn trajectory_throughput(
+    args: &Args,
+    base: &[String],
+    entries: &mut Vec<xorator_bench::trajectory::BenchEntry>,
+) {
+    use xorator_bench::trajectory::BenchEntry;
+    let queries = shakespeare_queries();
+    let wl = workload_sql(&queries);
+    let (h, x) = load_pair("traj-tput", xorator::dtds::SHAKESPEARE_DTD, base, &wl);
+    let per_cell = Duration::from_millis(if args.quick { 300 } else { 1000 });
+    let threads: &[usize] = if args.quick { &[4] } else { &[1, 4] };
+    for (variant, db, mix) in [
+        ("hybrid", &h.db, queries.iter().map(|q| q.hybrid).collect::<Vec<_>>()),
+        ("xorator", &x.db, queries.iter().map(|q| q.xorator).collect::<Vec<_>>()),
+    ] {
+        for &n in threads {
+            let row = throughput(db, &mix, n, per_cell).expect("trajectory throughput");
+            let mut gauges = std::collections::BTreeMap::new();
+            gauges.insert("qps".to_string(), row.qps());
+            gauges.insert("elapsed_ns".to_string(), row.elapsed.as_nanos() as f64);
+            entries.push(BenchEntry {
+                id: format!("throughput/t{n}/{variant}"),
+                kind: "throughput".to_string(),
+                rows: 0,
+                counters: std::collections::BTreeMap::new(),
+                gauges,
+            });
+        }
+    }
+}
+
+/// `experiments compare OLD NEW`: diff two BENCH files on deterministic
+/// counters; exit 1 on regression, 2 on usage/parse errors.
+fn compare_command(args: &Args) {
+    use xorator_bench::trajectory::{compare, BenchFile, DEFAULT_ABS_SLACK};
+    let [old_path, new_path] = args.positional.as_slice() else {
+        eprintln!("usage: experiments compare OLD.json NEW.json [--threshold 0.15]");
+        std::process::exit(2);
+    };
+    let load = |path: &str| -> BenchFile {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        BenchFile::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let old = load(old_path);
+    let new = load(new_path);
+    let report = compare(&old, &new, args.threshold, DEFAULT_ABS_SLACK);
+    print!("{}", report.render());
+    std::process::exit(if report.ok() { 0 } else { 1 });
 }
 
 /// A serving-style read-only mix over tables both mappings share: point

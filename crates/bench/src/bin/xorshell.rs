@@ -16,6 +16,8 @@
 //! .explain SELECT ...       show the planner's decisions
 //! .analyze SELECT ...       EXPLAIN ANALYZE: run + per-operator rows/time
 //! .metrics                  session buffer-pool / engine / UDF counters
+//! .spans [chrome|folded F]  last query's span tree (or export a trace)
+//! .hist                     session query-latency histogram
 //! .stats                    run runstats on every table
 //! .quit
 //! ```
@@ -55,6 +57,9 @@ fn main() {
         }
     };
     println!("xorshell — {} table(s) in {dir}. Type .help for commands.", db.table_count());
+    // Span tracing stays on for the whole session so `\spans` can show
+    // the last query's phase + operator tree.
+    ordb::trace::spans_enable(ordb::trace::DEFAULT_SPAN_CAPACITY);
     let mut shell = Shell { db, mapping: None };
 
     let stdin = std::io::stdin();
@@ -136,9 +141,33 @@ impl Shell {
                     if sql.is_empty() {
                         return Err("usage: \\analyze SELECT ...".into());
                     }
+                    ordb::trace::spans_clear();
                     let report = self.db.explain_analyze(sql)?;
                     print!("{report}");
                     println!("({} rows)", report.result.len());
+                }
+                "spans" => {
+                    let spans = ordb::trace::spans_snapshot();
+                    if spans.is_empty() {
+                        println!("(no spans yet — run a query first)");
+                        return Ok(());
+                    }
+                    match (parts.next(), parts.next()) {
+                        (Some("chrome"), Some(path)) => {
+                            std::fs::write(path, ordb::trace::chrome_trace_json(&spans))?;
+                            println!("wrote Chrome trace ({} spans) to {path}", spans.len());
+                        }
+                        (Some("folded"), Some(path)) => {
+                            std::fs::write(path, ordb::trace::folded_stacks(&spans))?;
+                            println!("wrote folded stacks ({} spans) to {path}", spans.len());
+                        }
+                        (None, _) => print!("{}", ordb::trace::render_span_tree(&spans)),
+                        _ => return Err("usage: \\spans [chrome FILE | folded FILE]".into()),
+                    }
+                }
+                "hist" => {
+                    let reg = self.db.metrics();
+                    println!("queries={} latency: {}", reg.queries(), reg.latency().summary());
                 }
                 "metrics" => {
                     let pool = self.db.io_stats_total();
@@ -182,6 +211,7 @@ impl Shell {
         // SQL.
         let upper = input.trim_start().to_ascii_uppercase();
         if upper.starts_with("SELECT") || upper.starts_with("EXPLAIN") {
+            ordb::trace::spans_clear();
             let start = std::time::Instant::now();
             let r = self.db.query(input)?;
             print!("{r}");
@@ -243,6 +273,10 @@ const HELP: &str = "\
 .explain SELECT ...       show the planner's decisions
 .analyze SELECT ...       EXPLAIN ANALYZE: run + per-operator rows/time
 .metrics                  session buffer-pool / engine / UDF counters
+.spans                    last query's span tree (self/total times)
+.spans chrome FILE        export last query as Chrome trace_event JSON
+.spans folded FILE        export last query as folded flamegraph stacks
+.hist                     session query-latency histogram (p50..p999)
 .stats                    run runstats on every table
 .quit                     exit
 meta commands also accept a backslash prefix (\\analyze, \\metrics, ...)

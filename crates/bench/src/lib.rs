@@ -11,6 +11,8 @@
 
 #![warn(missing_docs)]
 
+pub mod trajectory;
+
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 

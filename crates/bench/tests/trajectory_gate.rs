@@ -1,0 +1,92 @@
+//! End-to-end test of the `experiments compare` gate: the binary must
+//! exit 0 on a clean diff and non-zero on an injected 2× pool-fetch
+//! counter regression (ISSUE 6 acceptance criterion).
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::Command;
+
+use xorator_bench::trajectory::{BenchEntry, BenchFile, SCHEMA_VERSION};
+
+fn sample_file(pool_fetches: u64) -> BenchFile {
+    let mut counters = BTreeMap::new();
+    counters.insert("pool_fetches".to_string(), pool_fetches);
+    counters.insert("wal_bytes".to_string(), 0);
+    counters.insert("index_probes".to_string(), 181);
+    let mut gauges = BTreeMap::new();
+    gauges.insert("mean_ns".to_string(), 1_445_063.0);
+    BenchFile {
+        schema_version: SCHEMA_VERSION,
+        pr: 6,
+        config: BTreeMap::new(),
+        entries: vec![BenchEntry {
+            id: "fig11/x1/QS4/hybrid".to_string(),
+            kind: "query".to_string(),
+            rows: 18,
+            counters,
+            gauges,
+        }],
+    }
+}
+
+fn write_bench(dir: &std::path::Path, name: &str, file: &BenchFile) -> PathBuf {
+    let path = dir.join(name);
+    std::fs::write(&path, file.to_json()).expect("write bench file");
+    path
+}
+
+fn run_compare(old: &std::path::Path, new: &std::path::Path) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(["compare", old.to_str().unwrap(), new.to_str().unwrap()])
+        .output()
+        .expect("run experiments compare")
+}
+
+#[test]
+fn compare_binary_gates_on_pool_fetch_regression() {
+    let dir = xorator_bench::scratch_dir("trajectory-gate");
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+
+    // Identical files: the gate passes with exit code 0.
+    let base = write_bench(&dir, "base.json", &sample_file(1137));
+    let same = write_bench(&dir, "same.json", &sample_file(1137));
+    let out = run_compare(&base, &same);
+    assert!(out.status.success(), "clean compare must exit 0: {out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("PASS"));
+
+    // Injected 2× pool-fetch regression: non-zero exit, named counter.
+    let doubled = write_bench(&dir, "doubled.json", &sample_file(2274));
+    let out = run_compare(&base, &doubled);
+    assert!(!out.status.success(), "2x pool fetches must fail the gate: {out:?}");
+    assert_eq!(out.status.code(), Some(1), "regression is exit 1, not a crash");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("REGRESSION") && stdout.contains("pool_fetches 1137 -> 2274"),
+        "report must name the regressed counter:\n{stdout}"
+    );
+
+    // Unreadable input is a usage error (exit 2), distinct from a
+    // regression so CI failures are diagnosable from the code alone.
+    let out = run_compare(&dir.join("missing.json"), &base);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn committed_bench_pr6_parses_and_gates_itself() {
+    // The committed trajectory baseline must stay parseable and
+    // self-consistent (comparing a file to itself can never regress).
+    let repo_root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let committed = repo_root.join("BENCH_PR6.json");
+    let text = std::fs::read_to_string(&committed).expect("committed BENCH_PR6.json");
+    let file = BenchFile::from_json(&text).expect("committed file parses");
+    assert_eq!(file.schema_version, SCHEMA_VERSION);
+    assert_eq!(file.pr, 6);
+    assert!(
+        file.entries.iter().any(|e| e.kind == "query")
+            && file.entries.iter().any(|e| e.kind == "load")
+            && file.entries.iter().any(|e| e.kind == "throughput"),
+        "trajectory covers queries, loads, and throughput"
+    );
+    let out = run_compare(&committed, &committed);
+    assert!(out.status.success(), "self-compare must pass: {out:?}");
+}

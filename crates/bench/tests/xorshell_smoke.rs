@@ -18,6 +18,8 @@ SELECT k, v FROM kv
 .tables
 \\analyze SELECT COUNT(*) FROM speech
 .metrics
+\\spans
+\\hist
 .quit
 ";
 
@@ -49,4 +51,14 @@ SELECT k, v FROM kv
     assert!(stdout.contains("(1 rows)"), "COUNT(*) returns one row:\n{stdout}");
     // .metrics reports buffer-pool counters.
     assert!(stdout.contains("buffer pool:"), "metrics output missing:\n{stdout}");
+    // \spans shows the last query's phase tree (with an operator under
+    // exec — the COUNT aggregate) and per-span total/self times.
+    assert!(stdout.contains("query"), "span tree missing query phase:\n{stdout}");
+    for phase in ["parse", "plan", "exec"] {
+        assert!(stdout.contains(phase), "span tree missing {phase} phase:\n{stdout}");
+    }
+    assert!(stdout.contains("total") && stdout.contains("self"), "span times:\n{stdout}");
+    // \hist summarizes the session latency histogram.
+    assert!(stdout.contains("latency: count="), "histogram summary missing:\n{stdout}");
+    assert!(stdout.contains("p999="), "histogram quantiles missing:\n{stdout}");
 }

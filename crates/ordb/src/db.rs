@@ -100,6 +100,9 @@ pub struct Database {
     spill: SpillConfig,
     /// Plan-space forcing knobs applied to every planned query.
     forcing: RwLock<PlanForcing>,
+    /// Per-database query count + wall-latency histogram; unified with
+    /// pool/WAL/engine counters by [`Database::metrics_snapshot`].
+    registry: crate::metrics::MetricsRegistry,
     /// Set by `close`/`abandon`; makes `Drop` a no-op.
     closed: AtomicBool,
 }
@@ -219,6 +222,7 @@ impl Database {
             recovery,
             spill,
             forcing: RwLock::new(opts.forcing),
+            registry: crate::metrics::MetricsRegistry::new(),
             closed: AtomicBool::new(false),
         })
     }
@@ -376,9 +380,12 @@ impl Database {
     /// Run a SELECT (or EXPLAIN SELECT).
     pub fn query(&self, sql: &str) -> Result<QueryResult> {
         let wall = Instant::now();
+        let _query_span = crate::trace::span("query");
         self.emit(|| TraceEvent::QueryStart { sql: sql.to_string() });
         let t = Instant::now();
+        let parse_span = crate::trace::span("parse");
         let stmt = parse_statement(sql)?;
+        drop(parse_span);
         let parse_time = t.elapsed();
         self.emit(|| TraceEvent::Parsed { elapsed: parse_time });
         match stmt {
@@ -413,14 +420,31 @@ impl Database {
                     spill: &self.spill,
                     forcing: *self.forcing.read(),
                 };
+                // With span tracing on, plan with a recording profiler so
+                // the span tree gets one operator span per plan node (the
+                // wrapper cost is paid only in traced sessions; the
+                // default path does a single atomic load).
+                let spans_on = crate::trace::spans_enabled();
+                let mut prof = if spans_on { Profiler::enabled() } else { Profiler::disabled() };
                 let t = Instant::now();
-                let plan = plan_select(&ctx, &q)?;
+                let plan_span = crate::trace::span("plan");
+                let plan = plan_select_profiled(&ctx, &q, &mut prof)?;
+                drop(plan_span);
                 let plan_time = t.elapsed();
                 self.emit(|| TraceEvent::Planned {
                     elapsed: plan_time,
                     explain: plan.explain.clone(),
                 });
+                let exec_span = crate::trace::span("exec");
+                let exec_id = exec_span.id();
                 let rows = collect(plan.root)?;
+                drop(exec_span);
+                if spans_on {
+                    if let Some(root) = prof.finish() {
+                        crate::metrics::record_operator_spans(&root, exec_id);
+                    }
+                }
+                self.registry.record_query(wall.elapsed());
                 self.emit(|| TraceEvent::QueryEnd {
                     rows: rows.len() as u64,
                     wall: wall.elapsed(),
@@ -441,9 +465,12 @@ impl Database {
     /// attributed to this one's window.
     pub fn explain_analyze(&self, sql: &str) -> Result<AnalyzeReport> {
         let wall = Instant::now();
+        let _query_span = crate::trace::span("query");
         self.emit(|| TraceEvent::QueryStart { sql: sql.to_string() });
         let t = Instant::now();
+        let parse_span = crate::trace::span("parse");
         let stmt = parse_statement(sql)?;
+        drop(parse_span);
         let parse_time = t.elapsed();
         self.emit(|| TraceEvent::Parsed { elapsed: parse_time });
         let Statement::Select(q) = stmt else {
@@ -461,7 +488,9 @@ impl Database {
         };
         let mut prof = Profiler::enabled();
         let t = Instant::now();
+        let plan_span = crate::trace::span("plan");
         let plan = plan_select_profiled(&ctx, &q, &mut prof)?;
+        drop(plan_span);
         let plan_time = t.elapsed();
         self.emit(|| TraceEvent::Planned { elapsed: plan_time, explain: plan.explain.clone() });
 
@@ -470,7 +499,10 @@ impl Database {
         let engine0 = ENGINE.snapshot();
         let udf0 = self.functions.counters();
         let t = Instant::now();
+        let exec_span = crate::trace::span("exec");
+        let exec_id = exec_span.id();
         let rows = collect(plan.root)?;
+        drop(exec_span);
         let exec_time = t.elapsed();
 
         let metrics = QueryMetrics {
@@ -485,6 +517,10 @@ impl Database {
             udfs: udf_delta(&udf0, &self.functions.counters()),
             root: prof.finish(),
         };
+        if let Some(root) = metrics.root.as_ref() {
+            crate::metrics::record_operator_spans(root, exec_id);
+        }
+        self.registry.record_query(metrics.wall);
         self.emit(|| TraceEvent::QueryEnd { rows: metrics.rows, wall: metrics.wall });
         Ok(AnalyzeReport { result: QueryResult { columns: plan.columns, rows }, metrics })
     }
@@ -733,6 +769,7 @@ impl Database {
     /// After `commit` returns, a crash at *any* point loses nothing: the
     /// redo pass on the next open rebuilds every page from the log.
     pub fn commit(&self) -> Result<u64> {
+        let _span = crate::trace::span("commit");
         let logged = self.pool.log_dirty_frames()?;
         if let Some(wal) = self.pool.wal() {
             wal.sync()?;
@@ -773,6 +810,28 @@ impl Database {
     /// Test/fault-injection use only.
     pub fn abandon(self) {
         self.closed.store(true, Ordering::SeqCst);
+    }
+
+    /// The per-database metrics registry: queries completed and the
+    /// wall-latency histogram they recorded into.
+    pub fn metrics(&self) -> &crate::metrics::MetricsRegistry {
+        &self.registry
+    }
+
+    /// One unified snapshot of everything this process can measure:
+    /// query count + latency histogram (registry), buffer-pool and WAL
+    /// counters, engine counters, and live spill files. Two snapshots
+    /// taken around a workload diff with
+    /// [`RegistrySnapshot::since`](crate::metrics::RegistrySnapshot::since).
+    pub fn metrics_snapshot(&self) -> crate::metrics::RegistrySnapshot {
+        crate::metrics::RegistrySnapshot {
+            queries: self.registry.queries(),
+            latency: self.registry.latency(),
+            pool: self.pool.stats_total(),
+            wal: self.wal_stats().unwrap_or_default(),
+            engine: ENGINE.snapshot(),
+            spill_files_live: self.spill_files_live() as u64,
+        }
     }
 
     /// Cumulative WAL counters since open (`None` with durability off).
@@ -1578,5 +1637,53 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn query_emits_phase_and_operator_spans() {
+        let _guard = crate::trace::span_test_lock();
+        crate::trace::spans_enable(crate::trace::DEFAULT_SPAN_CAPACITY);
+        crate::trace::spans_clear();
+        let db = db("spans");
+        setup_speech(&db);
+        db.query("SELECT speechID FROM speech WHERE speech_parentID = 1").unwrap();
+        db.commit().unwrap();
+        let spans = crate::trace::spans_snapshot();
+        crate::trace::spans_disable();
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        for phase in ["query", "parse", "plan", "exec", "commit"] {
+            assert!(names.contains(&phase), "missing {phase} span in {names:?}");
+        }
+        // parse/plan/exec are children of the root query span.
+        let query = spans.iter().find(|s| s.name == "query").unwrap();
+        let kids = spans.iter().filter(|s| s.parent == Some(query.id)).count();
+        assert!(kids >= 3, "query span has {kids} children, expected parse/plan/exec");
+        // The plain query path still produced operator spans (scan at
+        // least), parented into the span tree with a real timestamp.
+        let scan = spans
+            .iter()
+            .find(|s| s.name.contains("Scan"))
+            .unwrap_or_else(|| panic!("no operator span in {names:?}"));
+        assert!(scan.parent.is_some(), "operator span must hang off the tree");
+        assert!(scan.start_ns >= query.start_ns, "operator span uses the shared epoch");
+    }
+
+    #[test]
+    fn metrics_snapshot_diff_counts_queries_and_latency() {
+        let db = db("registry");
+        setup_speech(&db);
+        let before = db.metrics_snapshot();
+        db.query("SELECT COUNT(*) FROM speech").unwrap();
+        db.query("SELECT speechID FROM speech WHERE speech_parentID = 1").unwrap();
+        db.explain_analyze("SELECT COUNT(*) FROM act").unwrap();
+        let delta = db.metrics_snapshot().since(&before);
+        assert_eq!(delta.queries, 3, "plain and instrumented paths both count");
+        assert_eq!(delta.latency.count(), 3);
+        assert!(delta.latency.p50() > 0, "latencies are non-zero nanoseconds");
+        assert!(delta.latency.p999() >= delta.latency.p50());
+        // The unified snapshot carries pool counters from the same window.
+        assert!(delta.pool.fetches() > 0, "queries touch the buffer pool");
+        let json = delta.to_json();
+        assert!(json.contains("\"queries\":3"), "snapshot JSON: {json}");
     }
 }

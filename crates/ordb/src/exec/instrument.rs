@@ -23,17 +23,24 @@ use crate::types::Row;
 pub struct Instrumented {
     inner: BoxOp,
     metrics: Arc<NodeMetrics>,
+    /// Whether the first pull's timestamp has been taken (kept local so
+    /// the steady-state path does one boolean test, not an atomic RMW).
+    pulled: bool,
 }
 
 impl Instrumented {
     /// Wrap `inner`, recording into `metrics`.
     pub fn new(inner: BoxOp, metrics: Arc<NodeMetrics>) -> Instrumented {
-        Instrumented { inner, metrics }
+        Instrumented { inner, metrics, pulled: false }
     }
 }
 
 impl Operator for Instrumented {
     fn next(&mut self) -> Result<Option<Row>> {
+        if !self.pulled {
+            self.pulled = true;
+            self.metrics.record_first_pull(crate::trace::now_ns());
+        }
         let start = Instant::now();
         let out = self.inner.next();
         self.metrics.record(start.elapsed(), matches!(out, Ok(Some(_))));

@@ -37,7 +37,7 @@ use crate::storage::wal::WalStats;
 /// Counters for one instrumented plan node. Shared between the executing
 /// [`Instrumented`] wrapper and the
 /// [`Profiler`] that reads them after execution.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct NodeMetrics {
     /// Number of `next()` calls (including the final `None`).
     pub next_calls: AtomicU64,
@@ -45,6 +45,21 @@ pub struct NodeMetrics {
     pub rows_out: AtomicU64,
     /// Wall time spent inside `next()`, *inclusive* of children.
     pub elapsed_nanos: AtomicU64,
+    /// When the first `next()` call happened, in [`crate::trace::now_ns`]
+    /// epoch nanoseconds — anchors the operator's span on the shared
+    /// trace timeline. `u64::MAX` until the operator is first pulled.
+    pub first_ns: AtomicU64,
+}
+
+impl Default for NodeMetrics {
+    fn default() -> NodeMetrics {
+        NodeMetrics {
+            next_calls: AtomicU64::new(0),
+            rows_out: AtomicU64::new(0),
+            elapsed_nanos: AtomicU64::new(0),
+            first_ns: AtomicU64::new(u64::MAX),
+        }
+    }
 }
 
 impl NodeMetrics {
@@ -55,6 +70,12 @@ impl NodeMetrics {
         if produced_row {
             self.rows_out.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Note the trace-epoch time of the first pull (later calls keep the
+    /// earliest value).
+    pub fn record_first_pull(&self, now_ns: u64) {
+        self.first_ns.fetch_min(now_ns, Ordering::Relaxed);
     }
 }
 
@@ -70,6 +91,10 @@ pub struct OperatorProfile {
     pub rows_out: u64,
     /// Inclusive wall time.
     pub elapsed: Duration,
+    /// Trace-epoch nanoseconds of the first `next()` call; `None` when
+    /// the operator was never pulled (see
+    /// [`NodeMetrics::record_first_pull`]).
+    pub start_ns: Option<u64>,
     /// Child operators.
     pub children: Vec<OperatorProfile>,
 }
@@ -134,12 +159,33 @@ impl Profiler {
 
 fn build_profile(nodes: &[ProfNode], ix: usize) -> OperatorProfile {
     let n = &nodes[ix];
+    let first = n.metrics.first_ns.load(Ordering::Relaxed);
     OperatorProfile {
         label: n.label.clone(),
         next_calls: n.metrics.next_calls.load(Ordering::Relaxed),
         rows_out: n.metrics.rows_out.load(Ordering::Relaxed),
         elapsed: Duration::from_nanos(n.metrics.elapsed_nanos.load(Ordering::Relaxed)),
+        start_ns: (first != u64::MAX).then_some(first),
         children: n.children.iter().map(|&c| build_profile(nodes, c)).collect(),
+    }
+}
+
+/// Record one span per executed operator from a finished profile tree,
+/// preserving the plan hierarchy under `parent` (0 ⇒ root). Spans carry
+/// the operator's real first-pull timestamp and inclusive duration, so a
+/// Chrome trace shows them nested inside the query's `exec` phase.
+/// No-op when span collection is off; operators never pulled (and their
+/// subtrees) are skipped.
+pub fn record_operator_spans(profile: &OperatorProfile, parent: u64) {
+    let Some(start_ns) = profile.start_ns else { return };
+    let id = crate::trace::record_span(
+        profile.label.clone(),
+        (parent != 0).then_some(parent),
+        start_ns,
+        profile.elapsed.as_nanos() as u64,
+    );
+    for c in &profile.children {
+        record_operator_spans(c, id);
     }
 }
 
@@ -235,6 +281,351 @@ impl EngineSnapshot {
             unnest_calls: self.unnest_calls.saturating_sub(earlier.unnest_calls),
             unnest_bytes: self.unnest_bytes.saturating_sub(earlier.unnest_bytes),
         }
+    }
+}
+
+// ---- latency histograms -------------------------------------------------
+
+/// Sub-buckets per power-of-two segment: each bucket's width is at most
+/// 1/16 of its lower bound, so any quantile read is within ~6.25 % of the
+/// true value.
+const HIST_SUB: usize = 16;
+/// Highest bit tracked exactly: values need `msb ≤ HIST_MAX_MSB`. With
+/// nanosecond recordings that is < 2^41 ns ≈ 36.6 minutes; anything
+/// above lands in the single overflow bucket.
+const HIST_MAX_MSB: u32 = 40;
+/// Bucket count: 16 exact unit buckets (values 0–15), one 16-wide
+/// segment per msb in 4..=HIST_MAX_MSB (37 segments), plus the overflow
+/// bucket.
+const HIST_BUCKETS: usize = (HIST_MAX_MSB as usize - 2) * HIST_SUB + 1;
+
+/// Largest value the bucket grid resolves; recordings above it are
+/// counted in the overflow bucket.
+pub const HIST_MAX_TRACKED: u64 = (1u64 << (HIST_MAX_MSB + 1)) - 1;
+
+/// A fixed-bucket log-linear latency histogram — hand-rolled (like the
+/// WAL's CRC table), no dependencies, `O(1)` record, mergeable, and
+/// diffable for snapshot windows.
+///
+/// Layout: values 0–15 get exact unit buckets; above that, every
+/// power-of-two segment is split into [`HIST_SUB`] linear sub-buckets,
+/// so relative quantile error is bounded by 1/16 at every magnitude.
+/// Values above [`HIST_MAX_TRACKED`] (~36 min in nanoseconds) share one
+/// overflow bucket. Quantiles report a bucket's *upper* bound, so they
+/// never understate a latency.
+#[derive(Clone)]
+pub struct Histogram {
+    counts: Box<[u64; HIST_BUCKETS]>,
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("p50", &self.p50())
+            .field("p99", &self.p99())
+            .finish()
+    }
+}
+
+impl PartialEq for Histogram {
+    fn eq(&self, other: &Histogram) -> bool {
+        self.count == other.count && self.sum == other.sum && self.counts[..] == other.counts[..]
+    }
+}
+
+fn hist_bucket(v: u64) -> usize {
+    if v < HIST_SUB as u64 {
+        return v as usize;
+    }
+    if v > HIST_MAX_TRACKED {
+        return HIST_BUCKETS - 1;
+    }
+    let msb = 63 - v.leading_zeros();
+    let sub = ((v >> (msb - 4)) & 0xF) as usize;
+    (msb as usize - 3) * HIST_SUB + sub
+}
+
+/// Inclusive upper bound of a bucket (what quantiles report).
+fn hist_bucket_upper(ix: usize) -> u64 {
+    if ix < HIST_SUB {
+        return ix as u64;
+    }
+    if ix >= HIST_BUCKETS - 1 {
+        return u64::MAX;
+    }
+    let seg = ix / HIST_SUB; // = msb − 3 ≥ 1
+    let sub = (ix % HIST_SUB) as u64;
+    let shift = (seg - 1) as u32;
+    ((HIST_SUB as u64 + sub + 1) << shift) - 1
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram { counts: Box::new([0; HIST_BUCKETS]), count: 0, sum: 0 }
+    }
+
+    /// Record one value (typically nanoseconds).
+    pub fn record(&mut self, v: u64) {
+        self.counts[hist_bucket(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Record a duration in nanoseconds.
+    pub fn record_duration(&mut self, d: Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Total recordings.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean of recorded values; 0 when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Recordings that exceeded [`HIST_MAX_TRACKED`].
+    pub fn overflow_count(&self) -> u64 {
+        self.counts[HIST_BUCKETS - 1]
+    }
+
+    /// The value at quantile `q` ∈ [0, 1]: the upper bound of the bucket
+    /// holding the ⌈q·count⌉-th smallest recording (within 1/16 of the
+    /// true value; `u64::MAX` if that recording overflowed the grid).
+    /// Returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (ix, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return hist_bucket_upper(ix);
+            }
+        }
+        hist_bucket_upper(HIST_BUCKETS - 1)
+    }
+
+    /// Median (see [`Histogram::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// Largest recorded bucket bound (0 when empty); exact for values
+    /// < 16, otherwise the containing bucket's upper bound.
+    pub fn max(&self) -> u64 {
+        self.quantile(1.0)
+    }
+
+    /// Fold another histogram into this one (bucket-wise).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// The recordings added since `earlier` was captured (bucket-wise
+    /// saturating difference) — the histogram analogue of the counter
+    /// snapshots' `since`. `earlier` must be an older snapshot of the
+    /// same histogram for the result to be meaningful.
+    pub fn since(&self, earlier: &Histogram) -> Histogram {
+        let mut out = Histogram::new();
+        for (ix, (a, b)) in self.counts.iter().zip(earlier.counts.iter()).enumerate() {
+            out.counts[ix] = a.saturating_sub(*b);
+        }
+        out.count = self.count.saturating_sub(earlier.count);
+        out.sum = self.sum.saturating_sub(earlier.sum);
+        out
+    }
+
+    /// Serialize the summary (not the raw buckets) as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"sum\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{},\
+             \"p999\":{},\"max\":{},\"overflow\":{}}}",
+            self.count,
+            self.sum,
+            self.mean(),
+            self.p50(),
+            self.p90(),
+            self.p99(),
+            self.p999(),
+            self.max(),
+            self.overflow_count(),
+        )
+    }
+
+    /// One-line human summary (the shell's `\hist` row body).
+    pub fn summary(&self) -> String {
+        if self.count == 0 {
+            return "(no recordings)".to_string();
+        }
+        let f = |ns: u64| {
+            if ns == u64::MAX {
+                ">36min".to_string()
+            } else if ns >= 1_000_000_000 {
+                format!("{:.2}s", ns as f64 / 1e9)
+            } else if ns >= 1_000_000 {
+                format!("{:.2}ms", ns as f64 / 1e6)
+            } else if ns >= 1_000 {
+                format!("{:.1}µs", ns as f64 / 1e3)
+            } else {
+                format!("{ns}ns")
+            }
+        };
+        format!(
+            "count={} mean={} p50={} p90={} p99={} p999={} max={}",
+            self.count,
+            f(self.mean()),
+            f(self.p50()),
+            f(self.p90()),
+            f(self.p99()),
+            f(self.p999()),
+            f(self.max()),
+        )
+    }
+}
+
+// ---- the metrics registry -----------------------------------------------
+
+/// One registry per [`Database`](crate::db::Database): unifies the
+/// process-wide [`ENGINE`] counters, the instance's buffer-pool / WAL /
+/// spill stats, and a per-query latency histogram behind a single
+/// snapshot-diff API. Bracket a workload with two
+/// [`RegistrySnapshot`]s and [`RegistrySnapshot::since`] to get exactly
+/// what it did — the pattern `EXPLAIN ANALYZE`, `metrics.json`, and the
+/// trajectory bench all share.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    latency: parking_lot::Mutex<Histogram>,
+    queries: AtomicU64,
+}
+
+impl MetricsRegistry {
+    /// A fresh registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Record one finished query's end-to-end wall time.
+    pub fn record_query(&self, wall: Duration) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.latency.lock().record_duration(wall);
+    }
+
+    /// Queries recorded so far.
+    pub fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// A copy of the latency histogram.
+    pub fn latency(&self) -> Histogram {
+        self.latency.lock().clone()
+    }
+}
+
+/// A point-in-time capture of every metric surface the engine exposes.
+/// Produced by `Database::metrics_snapshot`; subtract two with
+/// [`RegistrySnapshot::since`] to scope to a workload window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegistrySnapshot {
+    /// Queries completed (plain and instrumented paths).
+    pub queries: u64,
+    /// Per-query wall-time latency histogram.
+    pub latency: Histogram,
+    /// Cumulative buffer-pool counters.
+    pub pool: PoolStats,
+    /// Cumulative WAL counters (all-zero with durability off).
+    pub wal: WalStats,
+    /// Process-wide engine counters (see [`EngineCounters`]).
+    pub engine: EngineSnapshot,
+    /// Spill temp files on disk at capture time (a gauge, not a counter:
+    /// `since` keeps the later value).
+    pub spill_files_live: u64,
+}
+
+impl RegistrySnapshot {
+    /// Growth since `earlier` (counters subtract; gauges keep the later
+    /// value).
+    pub fn since(&self, earlier: &RegistrySnapshot) -> RegistrySnapshot {
+        RegistrySnapshot {
+            queries: self.queries.saturating_sub(earlier.queries),
+            latency: self.latency.since(&earlier.latency),
+            pool: self.pool.since(&earlier.pool),
+            wal: self.wal.since(&earlier.wal),
+            engine: self.engine.since(&earlier.engine),
+            spill_files_live: self.spill_files_live,
+        }
+    }
+
+    /// Serialize as a JSON object (hand-rolled, like
+    /// [`QueryMetrics::to_json`]).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        push_kv(&mut s, "queries", self.queries);
+        s.push_str(&format!("\"latency\":{},", self.latency.to_json()));
+        s.push_str("\"pool\":{");
+        push_kv(&mut s, "fetches", self.pool.fetches());
+        push_kv(&mut s, "hits", self.pool.hits);
+        push_kv(&mut s, "misses", self.pool.misses);
+        push_kv(&mut s, "evictions", self.pool.evictions);
+        s.push_str(&format!("\"writebacks\":{}}},", self.pool.writebacks));
+        s.push_str("\"wal\":{");
+        push_kv(&mut s, "appends", self.wal.appends);
+        push_kv(&mut s, "bytes", self.wal.bytes);
+        push_kv(&mut s, "fsyncs", self.wal.fsyncs);
+        s.push_str(&format!("\"checkpoints\":{}}},", self.wal.checkpoints));
+        s.push_str("\"engine\":{");
+        push_kv(&mut s, "index_probes", self.engine.index_probes);
+        push_kv(&mut s, "sort_rows", self.engine.sort_rows);
+        push_kv(&mut s, "sort_spills", self.engine.sort_spills);
+        push_kv(&mut s, "spill_bytes", self.engine.spill_bytes);
+        push_kv(&mut s, "join_partitions", self.engine.join_partitions);
+        push_kv(&mut s, "agg_spills", self.engine.agg_spills);
+        push_kv(&mut s, "unnest_calls", self.engine.unnest_calls);
+        s.push_str(&format!("\"unnest_bytes\":{}}},", self.engine.unnest_bytes));
+        s.push_str(&format!("\"spill_files_live\":{}", self.spill_files_live));
+        s.push('}');
+        s
     }
 }
 
@@ -540,6 +931,7 @@ mod tests {
                 next_calls: 4,
                 rows_out: 3,
                 elapsed: Duration::from_micros(500),
+                start_ns: Some(1),
                 children: vec![],
             }),
         };
@@ -559,6 +951,207 @@ mod tests {
             assert!(j.contains(kv), "missing {kv} in {j}");
         }
         // Balanced braces/brackets (cheap well-formedness check).
+        let balance = |open: char, close: char| {
+            j.chars().filter(|&c| c == open).count() == j.chars().filter(|&c| c == close).count()
+        };
+        assert!(balance('{', '}') && balance('[', ']'));
+    }
+
+    // ---- histogram ------------------------------------------------------
+
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Exact quantile on a sorted vector with the same convention the
+    /// histogram uses: the ⌈q·n⌉-th smallest value.
+    fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+        assert!(!sorted.is_empty());
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// The histogram's bound: a reported quantile never understates the
+    /// true value and overstates it by at most one sub-bucket (≤ 1/16
+    /// relative) — checked at every magnitude the workloads hit.
+    fn assert_quantiles_close(h: &Histogram, sorted: &[u64], tag: &str) {
+        for q in [0.0, 0.01, 0.25, 0.50, 0.90, 0.99, 0.999, 1.0] {
+            let got = h.quantile(q);
+            let want = oracle_quantile(sorted, q);
+            assert!(got >= want, "{tag} q={q}: histogram {got} understates oracle {want}");
+            // Upper bound: the oracle value's own bucket upper bound.
+            let bound = super::hist_bucket_upper(super::hist_bucket(want));
+            assert!(got <= bound, "{tag} q={q}: histogram {got} > bucket bound {bound} of {want}");
+            if want > 0 && want <= HIST_MAX_TRACKED {
+                let rel = (got as f64 - want as f64) / want as f64;
+                assert!(rel <= 1.0 / 16.0 + 1e-9, "{tag} q={q}: relative error {rel} > 1/16");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_bucket_mapping_is_monotonic_and_bounded() {
+        // Exhaustive near the exact range, then spot checks per segment.
+        let mut prev = 0;
+        for v in 0..4096u64 {
+            let b = super::hist_bucket(v);
+            assert!(b >= prev, "bucket index must be monotone at v={v}");
+            assert!(v <= super::hist_bucket_upper(b), "v={v} above its bucket bound");
+            prev = b;
+        }
+        for shift in 4..=40u32 {
+            for v in [1u64 << shift, (1u64 << shift) + 1, (1u64 << (shift + 1)) - 1] {
+                if v > HIST_MAX_TRACKED {
+                    continue;
+                }
+                let b = super::hist_bucket(v);
+                let upper = super::hist_bucket_upper(b);
+                assert!(v <= upper, "v={v} bucket={b} upper={upper}");
+                assert!(upper.saturating_sub(v) <= v / 16 + 1, "bucket too wide at {v}");
+            }
+        }
+        assert_eq!(super::hist_bucket(15), 15);
+        assert_eq!(super::hist_bucket(16), 16, "first log-linear bucket follows the exact ones");
+        assert_eq!(super::hist_bucket(HIST_MAX_TRACKED), HIST_BUCKETS - 2);
+        assert_eq!(super::hist_bucket(HIST_MAX_TRACKED + 1), HIST_BUCKETS - 1);
+        assert_eq!(super::hist_bucket(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_vs_sorted_oracle_uniform() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut h = Histogram::new();
+        let mut values = Vec::new();
+        for _ in 0..10_000 {
+            let v = rng.gen_range(0..5_000_000u64);
+            h.record(v);
+            values.push(v);
+        }
+        values.sort_unstable();
+        assert_eq!(h.count(), 10_000);
+        assert_eq!(h.sum(), values.iter().sum::<u64>());
+        assert_quantiles_close(&h, &values, "uniform");
+    }
+
+    #[test]
+    fn histogram_quantiles_vs_sorted_oracle_long_tail() {
+        // Latency-shaped: mostly fast, a heavy tail across 6 decades.
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut h = Histogram::new();
+        let mut values = Vec::new();
+        for _ in 0..10_000 {
+            let magnitude = rng.gen_range(10..36u32);
+            let v = (1u64 << magnitude) + rng.gen_range(0..(1u64 << magnitude));
+            h.record(v);
+            values.push(v);
+        }
+        values.sort_unstable();
+        assert_quantiles_close(&h, &values, "long-tail");
+        let mean = h.mean();
+        let true_mean = values.iter().sum::<u64>() / values.len() as u64;
+        assert_eq!(mean, true_mean, "mean is exact (sum and count are)");
+    }
+
+    #[test]
+    fn histogram_merge_equals_recording_everything_in_one() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut all = Histogram::new();
+        let mut parts = vec![Histogram::new(), Histogram::new(), Histogram::new()];
+        for i in 0..3000 {
+            let v = rng.gen_range(0..10_000_000u64);
+            all.record(v);
+            parts[i % 3].record(v);
+        }
+        let mut merged = Histogram::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        assert_eq!(merged, all, "merge must be exactly bucket-wise addition");
+        assert_eq!(merged.p99(), all.p99());
+    }
+
+    #[test]
+    fn histogram_since_isolates_a_window() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        let snap = h.clone();
+        for v in [1_000u64, 2_000, 4_000] {
+            h.record(v);
+        }
+        let window = h.since(&snap);
+        assert_eq!(window.count(), 3);
+        assert_eq!(window.sum(), 7_000);
+        assert!(window.p50() >= 2_000 && window.p50() <= 2_125, "{}", window.p50());
+        // The full histogram still sees all six.
+        assert_eq!(h.count(), 6);
+    }
+
+    #[test]
+    fn histogram_empty_and_overflow_edges() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.summary(), "(no recordings)");
+
+        let mut h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.p50(), 0, "zero is representable exactly");
+        h.record(HIST_MAX_TRACKED + 1);
+        h.record(u64::MAX);
+        assert_eq!(h.overflow_count(), 2);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), u64::MAX, "overflow bucket reports u64::MAX");
+        assert!(h.summary().contains(">36min"), "{}", h.summary());
+        // Sum saturates instead of wrapping.
+        assert_eq!(h.sum(), u64::MAX);
+    }
+
+    #[test]
+    fn registry_snapshot_diff_and_json() {
+        let reg = MetricsRegistry::new();
+        reg.record_query(Duration::from_micros(100));
+        reg.record_query(Duration::from_micros(200));
+        assert_eq!(reg.queries(), 2);
+        let before = RegistrySnapshot {
+            queries: reg.queries(),
+            latency: reg.latency(),
+            pool: PoolStats { hits: 10, misses: 5, writebacks: 1, evictions: 0 },
+            wal: WalStats { appends: 3, bytes: 100, fsyncs: 1, checkpoints: 0 },
+            engine: EngineSnapshot { index_probes: 7, ..Default::default() },
+            spill_files_live: 0,
+        };
+        reg.record_query(Duration::from_millis(5));
+        let after = RegistrySnapshot {
+            queries: reg.queries(),
+            latency: reg.latency(),
+            pool: PoolStats { hits: 30, misses: 6, writebacks: 1, evictions: 0 },
+            wal: WalStats { appends: 3, bytes: 100, fsyncs: 1, checkpoints: 0 },
+            engine: EngineSnapshot { index_probes: 9, ..Default::default() },
+            spill_files_live: 2,
+        };
+        let d = after.since(&before);
+        assert_eq!(d.queries, 1);
+        assert_eq!(d.latency.count(), 1);
+        assert!(d.latency.p50() >= 5_000_000, "the window holds only the 5 ms query");
+        assert_eq!(d.pool.hits, 20);
+        assert_eq!(d.engine.index_probes, 2);
+        assert_eq!(d.spill_files_live, 2, "gauge keeps the later value");
+
+        let j = after.to_json();
+        for needle in [
+            "\"queries\":3",
+            "\"latency\":{\"count\":3",
+            "\"p50\":",
+            "\"p999\":",
+            "\"pool\":{\"fetches\":36",
+            "\"engine\":{\"index_probes\":9",
+            "\"spill_files_live\":2",
+        ] {
+            assert!(j.contains(needle), "missing {needle} in {j}");
+        }
         let balance = |open: char, close: char| {
             j.chars().filter(|&c| c == open).count() == j.chars().filter(|&c| c == close).count()
         };
