@@ -7,6 +7,7 @@
 //!             [--budget BYTES]
 //! experiments trajectory [--quick] [--out PATH]
 //! experiments compare OLD.json NEW.json [--threshold 0.15]
+//! experiments serve [--clients 4] [--secs 2]
 //! ```
 //!
 //! `trajectory` runs the pinned perf-trajectory set (fig11/fig13 queries,
@@ -46,6 +47,8 @@ struct Args {
     quick: bool,
     out: Option<String>,
     threshold: f64,
+    clients: usize,
+    secs: f64,
     /// Positional arguments after the command (the two files of
     /// `compare OLD NEW`).
     positional: Vec<String>,
@@ -63,6 +66,8 @@ fn parse_args() -> Args {
         quick: false,
         out: None,
         threshold: xorator_bench::trajectory::DEFAULT_THRESHOLD,
+        clients: 4,
+        secs: 2.0,
         positional: Vec::new(),
     };
     let mut have_command = false;
@@ -98,6 +103,12 @@ fn parse_args() -> Args {
                 args.budget =
                     Some(it.next().expect("--budget needs a value").parse().expect("bytes"));
             }
+            "--clients" => {
+                args.clients = it.next().expect("--clients needs a value").parse().expect("int");
+            }
+            "--secs" => {
+                args.secs = it.next().expect("--secs needs a value").parse().expect("seconds");
+            }
             cmd if !cmd.starts_with('-') => {
                 if have_command {
                     args.positional.push(cmd.to_string());
@@ -126,6 +137,10 @@ fn main() {
     }
     if args.command == "trajectory" {
         trajectory_command(&args);
+        return;
+    }
+    if args.command == "serve" {
+        serve_command(&args);
         return;
     }
     let run = |name: &str| args.command == name || args.command == "all";
@@ -793,6 +808,125 @@ fn compare_command(args: &Args) {
     let report = compare(&old, &new, args.threshold, DEFAULT_ABS_SLACK);
     print!("{}", report.render());
     std::process::exit(if report.ok() { 0 } else { 1 });
+}
+
+/// `experiments serve`: the wire-protocol saturation cell (ROADMAP
+/// item 1). Loads the Shakespeare corpus under the Hybrid mapping,
+/// starts a real `xord` TCP server on an ephemeral loopback port, then:
+///
+/// 1. **verifies transparency** — every statement in the mix must return
+///    byte-identical results over the wire and on the embedded handle;
+/// 2. **saturates** — `--clients N` (default 4) remote connections loop
+///    the point-lookup/join mix for `--secs` (default 2), each timing
+///    round-trips into its own `Histogram`;
+/// 3. **reports** — merged qps + p50/p99/p999 plus the server's
+///    `net` counter delta (connections, frames, bytes, protocol errors).
+fn serve_command(args: &Args) {
+    use ordb::metrics::Histogram;
+    use ordb::net::{Client, Server};
+    use std::time::Instant;
+
+    let docs = shakespeare_docs(args);
+    let queries = shakespeare_queries();
+    let wl = workload_sql(&queries);
+    let simple = simplify(&parse_dtd(xorator::dtds::SHAKESPEARE_DTD).unwrap());
+    let loaded = setup(&scratch_dir("serve"), map_hybrid(&simple), &docs, FormatPolicy::Auto, &wl)
+        .expect("serve load");
+    let mut mix = serving_workload(&loaded.db);
+    // Point-joins alongside the point lookups: speech ⋈ speaker on the
+    // parent edge, pinned to one speech ID so each statement stays a
+    // short indexed probe (a serving mix, not an analytics scan).
+    let minmax =
+        loaded.db.query("SELECT MIN(speechID), MAX(speechID) FROM speech").expect("id range");
+    let lo = minmax.rows[0][0].as_int().unwrap_or(0);
+    let hi = minmax.rows[0][1].as_int().unwrap_or(lo);
+    let span = (hi - lo).max(1);
+    for i in 0..8 {
+        let id = lo + span * i / 8;
+        mix.push(format!(
+            "SELECT speechID, speaker_value FROM speech, speaker \
+             WHERE speaker_parentID = speechID AND speechID = {id}"
+        ));
+    }
+
+    let db = std::sync::Arc::new(loaded.db);
+    let server = Server::bind(db.clone(), "127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+    println!("\n## Serve — remote clients over the wire protocol\n");
+    println!("server on {addr}; mix of {} statements", mix.len());
+
+    // Transparency gate before any timing: remote == embedded, bytewise.
+    {
+        let mut c = Client::connect(addr).expect("verification connect");
+        for sql in &mix {
+            let remote = c.query(sql).expect("wire query");
+            let local = db.query(sql).expect("embedded query");
+            assert_eq!(remote, local, "wire/embedded mismatch for {sql}");
+        }
+        c.close().expect("close");
+    }
+    println!("verification: all {} statements byte-identical over the wire", mix.len());
+
+    let before = db.metrics_snapshot();
+    let deadline = Duration::from_secs_f64(args.secs);
+    let clients = args.clients.max(1);
+    let mut merged = Histogram::new();
+    let mut total = 0u64;
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        let workers: Vec<_> = (0..clients)
+            .map(|ci| {
+                let mix = &mix;
+                s.spawn(move || {
+                    let mut c = Client::connect(addr).expect("client connect");
+                    let mut hist = Histogram::new();
+                    let start = Instant::now();
+                    // Stagger starting offsets so clients don't run the
+                    // mix in lockstep against the same pages.
+                    let mut i = ci * mix.len() / clients.max(1);
+                    while start.elapsed() < deadline {
+                        let q0 = Instant::now();
+                        c.query(&mix[i % mix.len()]).expect("wire query");
+                        hist.record_duration(q0.elapsed());
+                        i += 1;
+                    }
+                    let _ = c.close();
+                    hist
+                })
+            })
+            .collect();
+        for w in workers {
+            let hist = w.join().expect("client thread");
+            total += hist.count();
+            merged.merge(&hist);
+        }
+    });
+    let elapsed = t0.elapsed();
+    let qps = total as f64 / elapsed.as_secs_f64().max(1e-9);
+    println!("\n| clients | queries | wall (s) | qps | p50 | p99 | p999 |");
+    println!("|---|---|---|---|---|---|---|");
+    println!(
+        "| {clients} | {total} | {:.2} | {qps:.1} | {:.2} ms | {:.2} ms | {:.2} ms |",
+        elapsed.as_secs_f64(),
+        merged.p50() as f64 / 1e6,
+        merged.p99() as f64 / 1e6,
+        merged.p999() as f64 / 1e6,
+    );
+    println!("latency: {}", merged.summary());
+    let d = db.metrics_snapshot().since(&before);
+    println!(
+        "server: {} connections, {} frames in / {} out, {} B in / {} B out, {} protocol errors",
+        d.net.connections,
+        d.net.frames_in,
+        d.net.frames_out,
+        d.net.bytes_in,
+        d.net.bytes_out,
+        d.net.protocol_errors
+    );
+    assert_eq!(d.net.protocol_errors, 0, "a clean saturation run sends no malformed frames");
+    assert!(total > 0, "the burst must complete at least one query");
+    handle.stop();
 }
 
 /// A serving-style read-only mix over tables both mappings share: point

@@ -379,6 +379,20 @@ impl Database {
 
     /// Run a SELECT (or EXPLAIN SELECT).
     pub fn query(&self, sql: &str) -> Result<QueryResult> {
+        self.query_with_forcing(sql, None)
+    }
+
+    /// [`Database::query`] with a per-call forcing override. `None` uses
+    /// the database-wide knobs from [`Database::set_forcing`]; `Some`
+    /// plans this one statement under the given knobs without touching
+    /// shared state — the wire server maps per-session `SET` options
+    /// here so concurrent sessions cannot perturb each other's plans.
+    pub fn query_with_forcing(
+        &self,
+        sql: &str,
+        forcing: Option<PlanForcing>,
+    ) -> Result<QueryResult> {
+        let forcing = forcing.unwrap_or_else(|| *self.forcing.read());
         let wall = Instant::now();
         let _query_span = crate::trace::span("query");
         self.emit(|| TraceEvent::QueryStart { sql: sql.to_string() });
@@ -399,7 +413,7 @@ impl Database {
                         stats: &inner.stats,
                         functions: &self.functions,
                         spill: &self.spill,
-                        forcing: *self.forcing.read(),
+                        forcing,
                     };
                     let plan = plan_select(&ctx, &q)?;
                     Ok(QueryResult {
@@ -418,7 +432,7 @@ impl Database {
                     stats: &inner.stats,
                     functions: &self.functions,
                     spill: &self.spill,
-                    forcing: *self.forcing.read(),
+                    forcing,
                 };
                 // With span tracing on, plan with a recording profiler so
                 // the span tree gets one operator span per plan node (the
@@ -527,6 +541,16 @@ impl Database {
 
     /// Planner decisions for a SELECT, without executing it.
     pub fn explain(&self, sql: &str) -> Result<Vec<String>> {
+        self.explain_with_forcing(sql, None)
+    }
+
+    /// [`Database::explain`] with a per-call forcing override (see
+    /// [`Database::query_with_forcing`]).
+    pub fn explain_with_forcing(
+        &self,
+        sql: &str,
+        forcing: Option<PlanForcing>,
+    ) -> Result<Vec<String>> {
         match parse_statement(sql)? {
             Statement::Select(q) => {
                 let inner = self.inner.read();
@@ -537,7 +561,7 @@ impl Database {
                     stats: &inner.stats,
                     functions: &self.functions,
                     spill: &self.spill,
-                    forcing: *self.forcing.read(),
+                    forcing: forcing.unwrap_or_else(|| *self.forcing.read()),
                 };
                 Ok(plan_select(&ctx, &q)?.explain)
             }
@@ -830,6 +854,7 @@ impl Database {
             pool: self.pool.stats_total(),
             wal: self.wal_stats().unwrap_or_default(),
             engine: ENGINE.snapshot(),
+            net: self.registry.net().snapshot(),
             spill_files_live: self.spill_files_live() as u64,
         }
     }
@@ -988,6 +1013,25 @@ mod tests {
         setup_speech(&db);
         let r = db.query("SELECT speechID FROM speech WHERE speech_parentID = 1").unwrap();
         assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn i64_extreme_literals_round_trip() {
+        // Regression: `-9223372036854775808` used to fail with `bad
+        // number` because the magnitude was parsed as i64 before the
+        // unary minus was folded in.
+        let db = db("i64min");
+        db.execute("CREATE TABLE t (a INTEGER)").unwrap();
+        db.execute(&format!("INSERT INTO t VALUES ({}), ({}), (0)", i64::MIN, i64::MAX)).unwrap();
+        let r = db.query(&format!("SELECT a FROM t WHERE a = {}", i64::MIN)).unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(i64::MIN)]]);
+        let r = db.query("SELECT a FROM t WHERE a < 0").unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(i64::MIN)]]);
+        let r = db.query(&format!("SELECT a FROM t WHERE a = {}", i64::MAX)).unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(i64::MAX)]]);
+        // One past either end is a parse error, not a panic or wrap.
+        assert!(db.query("SELECT a FROM t WHERE a = 9223372036854775808").is_err());
+        assert!(db.query("SELECT a FROM t WHERE a = -9223372036854775809").is_err());
     }
 
     #[test]

@@ -19,6 +19,9 @@ pub enum DbError {
     Corrupt(String),
     /// An XADT fragment was malformed.
     Fragment(xadt::FragmentError),
+    /// A wire-protocol frame was malformed (bad magic, oversized length,
+    /// truncated body, unknown tag…). Raised by `ordb::net` on both ends.
+    Protocol(String),
 }
 
 impl fmt::Display for DbError {
@@ -31,6 +34,7 @@ impl fmt::Display for DbError {
             DbError::Catalog(m) => write!(f, "catalog error: {m}"),
             DbError::Corrupt(m) => write!(f, "corrupt data: {m}"),
             DbError::Fragment(e) => write!(f, "{e}"),
+            DbError::Protocol(m) => write!(f, "protocol error: {m}"),
         }
     }
 }

@@ -21,7 +21,10 @@
 //!   crash-matrix CI job drives;
 //! * the [`Database`] facade ([`db`]) tying it together, including
 //!   `runstats`, size accounting, commit/checkpoint/close, and cold-cache
-//!   control for experiments.
+//!   control for experiments;
+//! * a TCP serving layer ([`net`]): a hand-rolled length-prefixed wire
+//!   protocol, a thread-per-connection [`Server`], and a blocking
+//!   [`Client`] — the `xord-server` / `xord-client` binaries.
 //!
 //! Intentionally out of scope (documented in DESIGN.md): multi-statement
 //! transactions with rollback, and MVCC — the paper's experiments are
@@ -37,6 +40,7 @@ pub mod expr;
 pub mod functions;
 pub mod index;
 pub mod metrics;
+pub mod net;
 pub mod plan;
 pub mod recovery;
 pub mod sql;
@@ -50,6 +54,7 @@ pub use catalog::{ColumnDef, IndexDef, TableDef};
 pub use db::{AnalyzeReport, Database, DbOptions, QueryResult};
 pub use error::{DbError, Result};
 pub use metrics::QueryMetrics;
+pub use net::{Client, Server, ServerHandle};
 pub use plan::{ForcedAccess, ForcedJoin, PlanForcing};
 pub use recovery::RecoveryReport;
 pub use storage::fault::{CrashMode, FaultInjector, FaultPlan, FaultScope};

@@ -308,9 +308,9 @@ pub const HIST_MAX_TRACKED: u64 = (1u64 << (HIST_MAX_MSB + 1)) - 1;
 /// diffable for snapshot windows.
 ///
 /// Layout: values 0–15 get exact unit buckets; above that, every
-/// power-of-two segment is split into [`HIST_SUB`] linear sub-buckets,
+/// power-of-two segment is split into `HIST_SUB` linear sub-buckets,
 /// so relative quantile error is bounded by 1/16 at every magnitude.
-/// Values above [`HIST_MAX_TRACKED`] (~36 min in nanoseconds) share one
+/// Values above `HIST_MAX_TRACKED` (~36 min in nanoseconds) share one
 /// overflow bucket. Quantiles report a bucket's *upper* bound, so they
 /// never understate a latency.
 #[derive(Clone)]
@@ -525,6 +525,74 @@ impl Histogram {
     }
 }
 
+// ---- server / wire-protocol counters ------------------------------------
+
+/// Cumulative wire-protocol counters, filled in by `ordb::net`'s server
+/// loop. One instance lives inside each [`MetricsRegistry`], so the
+/// `serve` bench and the shell's `\metrics` view see server traffic next
+/// to engine counters.
+#[derive(Debug, Default)]
+pub struct NetCounters {
+    /// Connections accepted over the lifetime of the registry.
+    pub connections: AtomicU64,
+    /// Request frames fully decoded.
+    pub frames_in: AtomicU64,
+    /// Response frames written.
+    pub frames_out: AtomicU64,
+    /// Payload bytes received (frame bodies, excluding the length prefix).
+    pub bytes_in: AtomicU64,
+    /// Payload bytes sent (frame bodies, excluding the length prefix).
+    pub bytes_out: AtomicU64,
+    /// Malformed frames rejected (bad magic, oversized length, garbage
+    /// tags…). Each increments once, even when the connection is dropped.
+    pub protocol_errors: AtomicU64,
+}
+
+impl NetCounters {
+    /// Copy the current counter values.
+    pub fn snapshot(&self) -> NetSnapshot {
+        NetSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            frames_out: self.frames_out.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`NetCounters`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NetSnapshot {
+    /// See [`NetCounters::connections`].
+    pub connections: u64,
+    /// See [`NetCounters::frames_in`].
+    pub frames_in: u64,
+    /// See [`NetCounters::frames_out`].
+    pub frames_out: u64,
+    /// See [`NetCounters::bytes_in`].
+    pub bytes_in: u64,
+    /// See [`NetCounters::bytes_out`].
+    pub bytes_out: u64,
+    /// See [`NetCounters::protocol_errors`].
+    pub protocol_errors: u64,
+}
+
+impl NetSnapshot {
+    /// Counter growth since `earlier` (saturating).
+    pub fn since(&self, earlier: &NetSnapshot) -> NetSnapshot {
+        NetSnapshot {
+            connections: self.connections.saturating_sub(earlier.connections),
+            frames_in: self.frames_in.saturating_sub(earlier.frames_in),
+            frames_out: self.frames_out.saturating_sub(earlier.frames_out),
+            bytes_in: self.bytes_in.saturating_sub(earlier.bytes_in),
+            bytes_out: self.bytes_out.saturating_sub(earlier.bytes_out),
+            protocol_errors: self.protocol_errors.saturating_sub(earlier.protocol_errors),
+        }
+    }
+}
+
 // ---- the metrics registry -----------------------------------------------
 
 /// One registry per [`Database`](crate::db::Database): unifies the
@@ -538,6 +606,7 @@ impl Histogram {
 pub struct MetricsRegistry {
     latency: parking_lot::Mutex<Histogram>,
     queries: AtomicU64,
+    net: NetCounters,
 }
 
 impl MetricsRegistry {
@@ -561,6 +630,11 @@ impl MetricsRegistry {
     pub fn latency(&self) -> Histogram {
         self.latency.lock().clone()
     }
+
+    /// The wire-protocol counters, for `ordb::net` to increment.
+    pub fn net(&self) -> &NetCounters {
+        &self.net
+    }
 }
 
 /// A point-in-time capture of every metric surface the engine exposes.
@@ -578,6 +652,8 @@ pub struct RegistrySnapshot {
     pub wal: WalStats,
     /// Process-wide engine counters (see [`EngineCounters`]).
     pub engine: EngineSnapshot,
+    /// Wire-protocol counters (all-zero unless a server is attached).
+    pub net: NetSnapshot,
     /// Spill temp files on disk at capture time (a gauge, not a counter:
     /// `since` keeps the later value).
     pub spill_files_live: u64,
@@ -593,6 +669,7 @@ impl RegistrySnapshot {
             pool: self.pool.since(&earlier.pool),
             wal: self.wal.since(&earlier.wal),
             engine: self.engine.since(&earlier.engine),
+            net: self.net.since(&earlier.net),
             spill_files_live: self.spill_files_live,
         }
     }
@@ -623,6 +700,13 @@ impl RegistrySnapshot {
         push_kv(&mut s, "agg_spills", self.engine.agg_spills);
         push_kv(&mut s, "unnest_calls", self.engine.unnest_calls);
         s.push_str(&format!("\"unnest_bytes\":{}}},", self.engine.unnest_bytes));
+        s.push_str("\"net\":{");
+        push_kv(&mut s, "connections", self.net.connections);
+        push_kv(&mut s, "frames_in", self.net.frames_in);
+        push_kv(&mut s, "frames_out", self.net.frames_out);
+        push_kv(&mut s, "bytes_in", self.net.bytes_in);
+        push_kv(&mut s, "bytes_out", self.net.bytes_out);
+        s.push_str(&format!("\"protocol_errors\":{}}},", self.net.protocol_errors));
         s.push_str(&format!("\"spill_files_live\":{}", self.spill_files_live));
         s.push('}');
         s
@@ -1121,6 +1205,7 @@ mod tests {
             pool: PoolStats { hits: 10, misses: 5, writebacks: 1, evictions: 0 },
             wal: WalStats { appends: 3, bytes: 100, fsyncs: 1, checkpoints: 0 },
             engine: EngineSnapshot { index_probes: 7, ..Default::default() },
+            net: NetSnapshot::default(),
             spill_files_live: 0,
         };
         reg.record_query(Duration::from_millis(5));
@@ -1130,6 +1215,7 @@ mod tests {
             pool: PoolStats { hits: 30, misses: 6, writebacks: 1, evictions: 0 },
             wal: WalStats { appends: 3, bytes: 100, fsyncs: 1, checkpoints: 0 },
             engine: EngineSnapshot { index_probes: 9, ..Default::default() },
+            net: NetSnapshot { connections: 2, frames_in: 40, ..Default::default() },
             spill_files_live: 2,
         };
         let d = after.since(&before);
@@ -1148,6 +1234,7 @@ mod tests {
             "\"p999\":",
             "\"pool\":{\"fetches\":36",
             "\"engine\":{\"index_probes\":9",
+            "\"net\":{\"connections\":2,\"frames_in\":40",
             "\"spill_files_live\":2",
         ] {
             assert!(j.contains(needle), "missing {needle} in {j}");

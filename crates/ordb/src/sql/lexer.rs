@@ -10,8 +10,10 @@ pub enum Token {
     Ident(String),
     /// `'single-quoted'` string literal (with `''` escape).
     Str(String),
-    /// Integer literal.
-    Num(i64),
+    /// Integer literal magnitude. Unsigned so that `9223372036854775808`
+    /// survives lexing: the parser folds a unary minus into the value,
+    /// which makes `-9223372036854775808` (`i64::MIN`) representable.
+    Num(u64),
     /// Punctuation / operator.
     Sym(Sym),
 }
@@ -89,23 +91,37 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                 while i < bytes.len() && bytes[i].is_ascii_digit() {
                     i += 1;
                 }
-                let n: i64 = input[start..i]
+                let n: u64 = input[start..i]
                     .parse()
                     .map_err(|_| DbError::Parse(format!("bad number {:?}", &input[start..i])))?;
                 out.push(Token::Num(n));
             }
             b'"' => {
-                // Quoted identifier.
+                // Quoted identifier, with the SQL-standard `""` escape for
+                // an embedded double quote.
                 i += 1;
-                let start = i;
-                while i < bytes.len() && bytes[i] != b'"' {
-                    i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        Some(b'"') if bytes.get(i + 1) == Some(&b'"') => {
+                            s.push('"');
+                            i += 2;
+                        }
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            let ch_len = utf8_len(bytes[i]);
+                            s.push_str(&input[i..i + ch_len]);
+                            i += ch_len;
+                        }
+                        None => {
+                            return Err(DbError::Parse("unterminated quoted identifier".into()))
+                        }
+                    }
                 }
-                if i >= bytes.len() {
-                    return Err(DbError::Parse("unterminated quoted identifier".into()));
-                }
-                out.push(Token::Ident(input[start..i].to_string()));
-                i += 1;
+                out.push(Token::Ident(s));
             }
             _ if b.is_ascii_alphabetic() || b == b'_' => {
                 let start = i;
@@ -216,6 +232,46 @@ mod tests {
     fn quoted_identifiers() {
         let toks = lex("\"weird name\"").unwrap();
         assert_eq!(toks, vec![Token::Ident("weird name".into())]);
+    }
+
+    #[test]
+    fn quoted_identifier_doubled_quote_escape() {
+        // `"a""b"` is ONE identifier `a"b`, not identifier `a` + garbage.
+        let toks = lex("\"a\"\"b\"").unwrap();
+        assert_eq!(toks, vec![Token::Ident("a\"b".into())]);
+        // Escape at start, end, and doubled-doubled.
+        assert_eq!(lex("\"\"\"x\"").unwrap(), vec![Token::Ident("\"x".into())]);
+        assert_eq!(lex("\"x\"\"\"").unwrap(), vec![Token::Ident("x\"".into())]);
+        assert_eq!(lex("\"a\"\"\"\"b\"").unwrap(), vec![Token::Ident("a\"\"b".into())]);
+        // Two adjacent quoted identifiers are still two tokens.
+        assert_eq!(
+            lex("\"a\" \"b\"").unwrap(),
+            vec![Token::Ident("a".into()), Token::Ident("b".into())]
+        );
+    }
+
+    #[test]
+    fn rejects_unterminated_quoted_identifier() {
+        assert!(lex("\"oops").is_err());
+        // A trailing `""` escape with no closing quote is unterminated too.
+        assert!(lex("\"a\"\"").is_err());
+    }
+
+    #[test]
+    fn lexes_full_u64_magnitudes() {
+        // i64::MAX, i64::MIN magnitude, and u64::MAX all lex (sign folding
+        // and range checking happen in the parser).
+        let toks = lex("9223372036854775807 9223372036854775808 18446744073709551615").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Num(9223372036854775807),
+                Token::Num(9223372036854775808),
+                Token::Num(u64::MAX),
+            ]
+        );
+        // Beyond u64 is a lex error, not a panic.
+        assert!(lex("18446744073709551616").is_err());
     }
 
     #[test]

@@ -257,7 +257,7 @@ impl Parser {
         }
         if self.eat_kw("limit") {
             match self.next() {
-                Some(Token::Num(n)) if *n >= 0 => q.limit = Some(*n as u64),
+                Some(Token::Num(n)) => q.limit = Some(*n),
                 _ => return Err(self.err("expected row count after LIMIT")),
             }
         }
@@ -460,18 +460,39 @@ impl Parser {
         }
     }
 
+    /// Fold a lexed magnitude into an `i64`, applying an optional unary
+    /// minus. The magnitude is unsigned precisely so that
+    /// `-9223372036854775808` (`i64::MIN`, whose absolute value does not
+    /// fit a positive `i64`) round-trips.
+    fn fold_num(&self, magnitude: u64, negated: bool) -> Result<i64> {
+        if negated {
+            if magnitude <= i64::MAX as u64 {
+                Ok(-(magnitude as i64))
+            } else if magnitude == i64::MIN.unsigned_abs() {
+                Ok(i64::MIN)
+            } else {
+                Err(self.err(&format!("number -{magnitude} out of range for INTEGER")))
+            }
+        } else if magnitude <= i64::MAX as u64 {
+            Ok(magnitude as i64)
+        } else {
+            Err(self.err(&format!("number {magnitude} out of range for INTEGER")))
+        }
+    }
+
     fn primary(&mut self) -> Result<AstExpr> {
         match self.peek().cloned() {
             Some(Token::Num(n)) => {
                 self.pos += 1;
-                Ok(AstExpr::Num(n))
+                Ok(AstExpr::Num(self.fold_num(n, false)?))
             }
             Some(Token::Sym(Sym::Minus)) => {
                 self.pos += 1;
-                match self.next() {
-                    Some(Token::Num(n)) => Ok(AstExpr::Num(-n)),
-                    _ => Err(self.err("expected number after unary minus")),
-                }
+                let n = match self.next() {
+                    Some(Token::Num(n)) => *n,
+                    _ => return Err(self.err("expected number after unary minus")),
+                };
+                Ok(AstExpr::Num(self.fold_num(n, true)?))
             }
             Some(Token::Str(s)) => {
                 self.pos += 1;
@@ -654,6 +675,27 @@ mod tests {
                 assert_eq!(rows.len(), 2);
                 assert_eq!(rows[1][1], AstExpr::Null);
             }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn i64_extremes_parse() {
+        // i64::MIN used to fail with "bad number" because the magnitude
+        // was parsed as a positive i64 before the sign was applied.
+        let q = parse_select("SELECT a FROM t WHERE a = -9223372036854775808").unwrap();
+        let cj = q.where_clause.unwrap().conjuncts();
+        assert!(matches!(&cj[0], AstExpr::Cmp { rhs, .. } if **rhs == AstExpr::Num(i64::MIN)));
+        let q = parse_select("SELECT a FROM t WHERE a = 9223372036854775807").unwrap();
+        let cj = q.where_clause.unwrap().conjuncts();
+        assert!(matches!(&cj[0], AstExpr::Cmp { rhs, .. } if **rhs == AstExpr::Num(i64::MAX)));
+        // One past either end is a clean parse error.
+        assert!(parse_select("SELECT a FROM t WHERE a = 9223372036854775808").is_err());
+        assert!(parse_select("SELECT a FROM t WHERE a = -9223372036854775809").is_err());
+        // INSERT literals go through the same fold.
+        let s = parse_statement("INSERT INTO t VALUES (-9223372036854775808)").unwrap();
+        match s {
+            Statement::Insert { rows, .. } => assert_eq!(rows[0][0], AstExpr::Num(i64::MIN)),
             other => panic!("unexpected {other:?}"),
         }
     }

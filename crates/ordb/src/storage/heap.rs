@@ -51,6 +51,16 @@ impl Rid {
     }
 }
 
+/// Checked conversion of a page-local slot index into the `u16` a [`Rid`]
+/// carries. A plain `as u16` cast would silently truncate a slot ≥ 65536
+/// into a *wrong but valid-looking* `Rid` — today's 8 KiB pages cannot
+/// hold that many slots, but the record format must not depend on the
+/// page size staying small.
+fn rid_slot(slot: usize) -> Result<u16> {
+    u16::try_from(slot)
+        .map_err(|_| DbError::Exec(format!("slot index {slot} exceeds the Rid slot range")))
+}
+
 /// A heap file handle. Cheap to clone.
 pub struct HeapFile {
     file: FileId,
@@ -101,7 +111,7 @@ impl HeapFile {
             .ok_or_else(|| DbError::Exec("record does not fit in an empty page".into()))?;
         frame.mark_dirty();
         *self.insert_hint.lock() = Some(pid);
-        Ok(Rid { page: pid, slot: slot as u16 })
+        Ok(Rid { page: pid, slot: rid_slot(slot)? })
     }
 
     fn try_insert_into(&self, pid: u32, record: &[u8]) -> Result<Option<Rid>> {
@@ -113,7 +123,7 @@ impl HeapFile {
         match page.insert(record) {
             Some(slot) => {
                 frame.mark_dirty();
-                Ok(Some(Rid { page: pid, slot: slot as u16 }))
+                Ok(Some(Rid { page: pid, slot: rid_slot(slot)? }))
             }
             None => Ok(None),
         }
@@ -152,7 +162,7 @@ impl HeapFile {
         let slot = page.insert(&stub).expect("stub fits in an empty page");
         frame.mark_dirty();
         *self.insert_hint.lock() = Some(pid);
-        Ok(Rid { page: pid, slot: slot as u16 })
+        Ok(Rid { page: pid, slot: rid_slot(slot)? })
     }
 
     /// Delete the record at `rid`. Overflow chains are left as garbage
@@ -435,5 +445,42 @@ mod tests {
     fn rid_u64_roundtrip() {
         let rid = Rid { page: 123_456, slot: 789 };
         assert_eq!(Rid::from_u64(rid.to_u64()), rid);
+    }
+
+    #[test]
+    fn rid_u64_roundtrip_full_range() {
+        use rand::{Rng, SeedableRng};
+        // Corners of the (page, slot) space, then a random sample of the
+        // full u32 x u16 range.
+        let corners = [0u32, 1, u32::MAX - 1, u32::MAX];
+        let slot_corners = [0u16, 1, u16::MAX - 1, u16::MAX];
+        for &page in &corners {
+            for &slot in &slot_corners {
+                let rid = Rid { page, slot };
+                assert_eq!(Rid::from_u64(rid.to_u64()), rid, "corner {rid:?}");
+            }
+        }
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0xB0A7);
+        for _ in 0..10_000 {
+            let bits = rng.next_u64();
+            let rid = Rid { page: (bits >> 32) as u32, slot: bits as u16 };
+            let packed = rid.to_u64();
+            assert_eq!(Rid::from_u64(packed), rid, "random {rid:?}");
+            // Packing is injective: page and slot occupy disjoint bit ranges.
+            assert_eq!((packed >> 16) as u32, rid.page);
+            assert_eq!((packed & 0xFFFF) as u16, rid.slot);
+        }
+    }
+
+    #[test]
+    fn rid_slot_rejects_out_of_range() {
+        assert_eq!(rid_slot(0).unwrap(), 0);
+        assert_eq!(rid_slot(u16::MAX as usize).unwrap(), u16::MAX);
+        for bad in [u16::MAX as usize + 1, 70_000, usize::MAX] {
+            match rid_slot(bad) {
+                Err(DbError::Exec(msg)) => assert!(msg.contains("slot index"), "{msg}"),
+                other => panic!("expected Exec error for slot {bad}, got {other:?}"),
+            }
+        }
     }
 }

@@ -1,0 +1,234 @@
+//! End-to-end tests for the wire protocol: a real `Server` on an
+//! ephemeral port, real `Client`s over loopback TCP.
+//!
+//! The load-bearing property is *transparency*: a remote query returns
+//! byte-identical results to the same query on the embedded handle
+//! (same `QueryResult`, and the rows re-encode to the same
+//! `encode_row` bytes the server framed them with). The rest is
+//! robustness: malformed frames and rude disconnects must never take
+//! the server down.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use ordb::net::{self, Client, Server};
+use ordb::tuple::encode_row;
+use ordb::{Database, DbError, Value};
+
+fn served_db(tag: &str) -> (Arc<Database>, net::ServerHandle) {
+    let dir = std::env::temp_dir().join(format!("ordb-net-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let db = Arc::new(Database::open(&dir).unwrap());
+    db.execute("CREATE TABLE item (id INTEGER, name VARCHAR, doc XADT)").unwrap();
+    db.execute("CREATE TABLE grp (gid INTEGER, title VARCHAR)").unwrap();
+    db.execute("CREATE INDEX item_id ON item (id)").unwrap();
+    for i in 0..50 {
+        db.execute(&format!(
+            "INSERT INTO item VALUES ({i}, 'name-{i}', '<DOC><N>{}</N></DOC>')",
+            i % 7
+        ))
+        .unwrap();
+    }
+    db.execute("INSERT INTO grp VALUES (0, 'alpha'), (1, 'beta'), (2, 'gamma')").unwrap();
+    let server = Server::bind(db.clone(), "127.0.0.1:0").unwrap();
+    let handle = server.spawn();
+    (db, handle)
+}
+
+#[test]
+fn remote_results_are_byte_identical_to_embedded() {
+    let (db, handle) = served_db("ident");
+    let queries = [
+        "SELECT id, name FROM item WHERE id < 5",
+        "SELECT COUNT(*) FROM item",
+        "SELECT g.title, COUNT(*) FROM item i, grp g WHERE i.id % 3 = g.gid GROUP BY g.title",
+        "SELECT doc FROM item WHERE id = 3",
+        "SELECT id FROM item WHERE id = 9999",
+    ];
+    let mut client = Client::connect(handle.addr()).unwrap();
+    for sql in queries {
+        let remote = client.query(sql).unwrap();
+        let local = db.query(sql).unwrap();
+        assert_eq!(remote, local, "{sql}");
+        // Byte-level: both row sets re-encode identically.
+        let enc = |r: &ordb::QueryResult| {
+            let mut out = Vec::new();
+            for row in &r.rows {
+                encode_row(row, &mut out);
+            }
+            out
+        };
+        assert_eq!(enc(&remote), enc(&local), "{sql}");
+    }
+    client.close().unwrap();
+    handle.stop();
+}
+
+#[test]
+fn multi_client_concurrent_queries_match_embedded() {
+    let (db, handle) = served_db("multi");
+    let addr = handle.addr();
+    std::thread::scope(|s| {
+        for t in 0..4 {
+            let db = &db;
+            s.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for round in 0..25 {
+                    let id = (t * 25 + round) % 50;
+                    let sql = format!("SELECT id, name, doc FROM item WHERE id = {id}");
+                    let remote = client.query(&sql).unwrap();
+                    let local = db.query(&sql).unwrap();
+                    assert_eq!(remote, local, "client {t} round {round}");
+                }
+                client.close().unwrap();
+            });
+        }
+    });
+    let snap = db.metrics_snapshot();
+    assert!(snap.net.connections >= 4, "{:?}", snap.net);
+    assert!(snap.net.frames_in >= 100, "{:?}", snap.net);
+    assert_eq!(snap.net.protocol_errors, 0, "{:?}", snap.net);
+    handle.stop();
+}
+
+#[test]
+fn ddl_dml_commit_and_ping_over_the_wire() {
+    let (db, handle) = served_db("ddl");
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.ping().unwrap();
+    assert_eq!(client.execute("CREATE TABLE wire_t (a INTEGER, b VARCHAR)").unwrap(), 0);
+    assert_eq!(client.execute("INSERT INTO wire_t VALUES (1, 'x'), (2, 'y')").unwrap(), 2);
+    client.commit().unwrap();
+    let r = client.query("SELECT a, b FROM wire_t WHERE a = 2").unwrap();
+    assert_eq!(r.rows, vec![vec![Value::Int(2), Value::Str("y".into())]]);
+    // The embedded handle sees the same table (same database object).
+    assert_eq!(db.query("SELECT COUNT(*) FROM wire_t").unwrap().scalar(), Some(&Value::Int(2)));
+    // i64::MIN travels the wire (regression pairing with the parser fix).
+    client.execute(&format!("INSERT INTO wire_t VALUES ({}, 'min')", i64::MIN)).unwrap();
+    let r = client.query(&format!("SELECT a FROM wire_t WHERE a = {}", i64::MIN)).unwrap();
+    assert_eq!(r.rows, vec![vec![Value::Int(i64::MIN)]]);
+    client.close().unwrap();
+    handle.stop();
+}
+
+#[test]
+fn statement_errors_keep_the_connection_alive() {
+    let (_db, handle) = served_db("errs");
+    let mut client = Client::connect(handle.addr()).unwrap();
+    // Parse error comes back as Parse, not a dead socket.
+    match client.query("SELEKT 1") {
+        Err(DbError::Parse(_)) | Err(DbError::Plan(_)) => {}
+        other => panic!("{other:?}"),
+    }
+    // Unknown table -> Plan/Catalog error.
+    assert!(client.query("SELECT x FROM no_such_table").is_err());
+    // The same connection still works afterwards.
+    let r = client.query("SELECT COUNT(*) FROM item").unwrap();
+    assert_eq!(r.scalar(), Some(&Value::Int(50)));
+    client.close().unwrap();
+    handle.stop();
+}
+
+#[test]
+fn session_set_changes_explain_per_connection() {
+    let (db, handle) = served_db("sess");
+    let join_sql = "SELECT i.name, g.title FROM item i, grp g WHERE i.id = g.gid";
+    let mut forced = Client::connect(handle.addr()).unwrap();
+    let mut plain = Client::connect(handle.addr()).unwrap();
+    forced.set("force_join", "nested").unwrap();
+    let forced_plan = forced.explain(join_sql).unwrap().join("\n");
+    let plain_plan = plain.explain(join_sql).unwrap().join("\n");
+    assert!(forced_plan.contains("forced"), "{forced_plan}");
+    assert_ne!(forced_plan, plain_plan, "session forcing must not leak across connections");
+    // The unforced session matches the embedded default plan.
+    assert_eq!(plain_plan, db.explain(join_sql).unwrap().join("\n"));
+    // Same rows either way (order-insensitive).
+    let mut a = forced.query(join_sql).unwrap().rows;
+    let mut b = plain.query(join_sql).unwrap().rows;
+    a.sort();
+    b.sort();
+    assert_eq!(a, b);
+    // Bad option values error but keep the session.
+    assert!(forced.set("force_join", "quantum").is_err());
+    forced.ping().unwrap();
+    forced.close().unwrap();
+    plain.close().unwrap();
+    handle.stop();
+}
+
+/// Raw-socket abuse: every malformed byte stream must be answered (or
+/// dropped) without panicking the server, and the server must keep
+/// accepting afterwards.
+#[test]
+fn malformed_frames_never_kill_the_server() {
+    let (db, handle) = served_db("malformed");
+    let addr = handle.addr();
+
+    let hello: Vec<u8> = {
+        let mut h = net::MAGIC.to_vec();
+        h.push(net::VERSION);
+        h
+    };
+
+    // 1. Wrong magic: connection is refused after the handshake read.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+        let mut buf = Vec::new();
+        let _ = s.read_to_end(&mut buf); // server closes without echo
+        assert!(buf.is_empty());
+    }
+
+    // 2. Oversized frame length: server answers with a protocol error
+    //    frame, then closes.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(&hello).unwrap();
+        let mut echo = [0u8; 5];
+        s.read_exact(&mut echo).unwrap();
+        s.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        let mut buf = Vec::new();
+        let _ = s.read_to_end(&mut buf);
+        // Best-effort error frame: length prefix + RESP_ERROR body.
+        assert!(buf.len() > 4, "expected an error frame, got {buf:02x?}");
+    }
+
+    // 3. Garbage request tag inside a well-formed frame: error frame,
+    //    connection stays serviceable.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(&hello).unwrap();
+        let mut echo = [0u8; 5];
+        s.read_exact(&mut echo).unwrap();
+        net::write_frame(&mut s, &[0xEE, 1, 2, 3]).unwrap();
+        let body = net::read_frame(&mut s).unwrap().expect("an error response");
+        match net::Response::decode(&body).unwrap() {
+            net::Response::Error { code, .. } => assert_eq!(code, 8, "protocol error code"),
+            other => panic!("{other:?}"),
+        }
+        // Same socket still answers a valid request.
+        net::write_frame(&mut s, &net::Request::Ping.encode()).unwrap();
+        let body = net::read_frame(&mut s).unwrap().unwrap();
+        assert_eq!(net::Response::decode(&body).unwrap(), net::Response::Pong);
+    }
+
+    // 4. Disconnect mid-frame: claim 100 bytes, send 3, hang up.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(&hello).unwrap();
+        let mut echo = [0u8; 5];
+        s.read_exact(&mut echo).unwrap();
+        s.write_all(&100u32.to_le_bytes()).unwrap();
+        s.write_all(&[1, 2, 3]).unwrap();
+        drop(s);
+    }
+
+    // The server survived all of it: a fresh client works end to end.
+    let mut client = Client::connect(addr).unwrap();
+    assert_eq!(client.query("SELECT COUNT(*) FROM item").unwrap().scalar(), Some(&Value::Int(50)));
+    client.close().unwrap();
+    let snap = db.metrics_snapshot();
+    assert!(snap.net.protocol_errors >= 3, "{:?}", snap.net);
+    handle.stop();
+}
