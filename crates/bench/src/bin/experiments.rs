@@ -2,7 +2,7 @@
 //! evaluation section (§4).
 //!
 //! ```text
-//! experiments [table1|table2|fig11|fig13|fig14|examples|throughput|durability|spill|all]
+//! experiments [table1|table2|fig11|fig13|fig14|examples|throughput|durability|spill|txn|all]
 //!             [--full] [--scales 1,2,4,8] [--reps 5] [--threads 1,2,4,8]
 //!             [--budget BYTES]
 //! experiments trajectory [--quick] [--out PATH]
@@ -11,7 +11,7 @@
 //! ```
 //!
 //! `trajectory` runs the pinned perf-trajectory set (fig11/fig13 queries,
-//! loads, throughput mix) and writes `BENCH_PR6.json`; `compare` diffs two
+//! loads, throughput mix) and writes `BENCH_PR8.json`; `compare` diffs two
 //! BENCH files on deterministic counters and exits non-zero on a >15 %
 //! regression. See `xorator_bench::trajectory`.
 //!
@@ -171,6 +171,9 @@ fn main() {
     }
     if run("spill") {
         spill_figure(&args, &mut mlog);
+    }
+    if run("txn") {
+        txn_figure(&args, &mut mlog);
     }
     if let Some(path) = mlog.write().expect("write metrics.json") {
         println!("\n(per-query metrics written to {})", path.display());
@@ -634,7 +637,7 @@ fn spill_figure(args: &Args, mlog: &mut MetricsLog) {
 /// The perf-trajectory run (ROADMAP item 3): fig11 + fig13 queries and
 /// loads plus a throughput mix, under a configuration pinned hard enough
 /// that the counter columns are bit-identical run to run. Writes
-/// `BENCH_PR6.json` (or `--out`). `--quick` runs the DSx1 subset for CI;
+/// `BENCH_PR8.json` (or `--out`). `--quick` runs the DSx1 subset for CI;
 /// its entry ids are a subset of the full file's, so the comparator still
 /// gates on the intersection.
 fn trajectory_command(args: &Args) {
@@ -674,8 +677,8 @@ fn trajectory_command(args: &Args) {
         scales.iter().map(usize::to_string).collect::<Vec<_>>().join(","),
     );
     config.insert("pool_frames".to_string(), xorator_bench::EXPERIMENT_POOL_FRAMES.to_string());
-    let file = BenchFile { schema_version: SCHEMA_VERSION, pr: 6, config, entries };
-    let out = args.out.clone().unwrap_or_else(|| "BENCH_PR6.json".to_string());
+    let file = BenchFile { schema_version: SCHEMA_VERSION, pr: 8, config, entries };
+    let out = args.out.clone().unwrap_or_else(|| "BENCH_PR8.json".to_string());
     std::fs::write(&out, file.to_json()).expect("write BENCH file");
     println!("\nwrote {out} ({} entries, schema v{SCHEMA_VERSION})", file.entries.len());
 }
@@ -926,6 +929,177 @@ fn serve_command(args: &Args) {
     );
     assert_eq!(d.net.protocol_errors, 0, "a clean saturation run sends no malformed frames");
     assert!(total > 0, "the burst must complete at least one query");
+
+    // Writer phase: the same client count, now doing explicit
+    // BEGIN/INSERT/COMMIT transactions. Every COMMIT asks for a durable
+    // fsync; group commit lets concurrent committers share the leader's
+    // flush, so the run must end with fewer fsyncs than commits.
+    db.execute("CREATE TABLE serve_writes (k INTEGER, v VARCHAR)").expect("writer table");
+    let wbefore = db.metrics_snapshot();
+    let wdeadline = Duration::from_secs_f64((args.secs / 2.0).max(0.5));
+    let mut commits = 0u64;
+    std::thread::scope(|s| {
+        let workers: Vec<_> = (0..clients.max(4))
+            .map(|ci| {
+                s.spawn(move || {
+                    let mut c = Client::connect(addr).expect("writer connect");
+                    let start = Instant::now();
+                    let mut i = 0u64;
+                    while start.elapsed() < wdeadline {
+                        let k = ci as u64 * 1_000_000 + i;
+                        c.execute("BEGIN").expect("begin");
+                        c.execute(&format!("INSERT INTO serve_writes VALUES ({k}, 'c{ci}')"))
+                            .expect("insert");
+                        c.execute("COMMIT").expect("commit");
+                        i += 1;
+                    }
+                    let _ = c.close();
+                    i
+                })
+            })
+            .collect();
+        for w in workers {
+            commits += w.join().expect("writer thread");
+        }
+    });
+    let wd = db.metrics_snapshot().since(&wbefore);
+    println!(
+        "writers: {commits} commits, {} commit records, {} fsyncs ({} group commits, {} saved)",
+        wd.wal.commit_records, wd.wal.fsyncs, wd.wal.group_commits, wd.wal.fsyncs_saved
+    );
+    assert!(
+        wd.wal.fsyncs < wd.wal.commit_records,
+        "group commit must batch: {} fsyncs for {} commit records",
+        wd.wal.fsyncs,
+        wd.wal.commit_records
+    );
+    handle.stop();
+}
+
+/// Group-commit figure: `--clients` (≥4 by default) remote writer
+/// connections each loop `BEGIN; INSERT; COMMIT` for `--secs`, while two
+/// readers run snapshot point counts. Every explicit COMMIT requests a
+/// durable fsync, but concurrent committers share the leader's flush —
+/// the figure's claim is `fsyncs < commits`, with the saved calls showing
+/// up in `fsyncs_saved`. A deliberate write-write conflict pair at the
+/// end exercises the first-updater-wins path.
+fn txn_figure(args: &Args, mlog: &mut MetricsLog) {
+    use ordb::net::{Client, Server};
+    use std::time::Instant;
+
+    let dir = scratch_dir("txn");
+    let _ = std::fs::remove_dir_all(&dir);
+    let db = ordb::Database::open(&dir).expect("open txn scratch db");
+    db.execute("CREATE TABLE ledger (k INTEGER, v VARCHAR)").expect("create");
+    db.execute("CREATE INDEX ledger_k ON ledger (k)").expect("index");
+    db.execute("INSERT INTO ledger VALUES (0, 'seed')").expect("seed row");
+
+    let db = std::sync::Arc::new(db);
+    let server = Server::bind(db.clone(), "127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+    let writers = args.clients.max(4);
+    let readers = 2usize;
+    println!("\n## Transactions — group commit under {writers} writer clients\n");
+
+    let before = db.metrics_snapshot();
+    let deadline = Duration::from_secs_f64(args.secs);
+    let t0 = Instant::now();
+    let mut commits = 0u64;
+    std::thread::scope(|s| {
+        let mut workers = Vec::new();
+        for ci in 0..writers {
+            workers.push(s.spawn(move || {
+                let mut c = Client::connect(addr).expect("writer connect");
+                let start = Instant::now();
+                let mut i = 0u64;
+                while start.elapsed() < deadline {
+                    let k = (ci as u64 + 1) * 1_000_000 + i;
+                    c.execute("BEGIN").expect("begin");
+                    c.execute(&format!("INSERT INTO ledger VALUES ({k}, 'w{ci}')"))
+                        .expect("insert");
+                    c.execute("COMMIT").expect("commit");
+                    i += 1;
+                }
+                let _ = c.close();
+                i
+            }));
+        }
+        for _ in 0..readers {
+            s.spawn(move || {
+                let mut c = Client::connect(addr).expect("reader connect");
+                let start = Instant::now();
+                while start.elapsed() < deadline {
+                    let r = c.query("SELECT COUNT(*) FROM ledger WHERE k = 0").expect("read");
+                    assert_eq!(r.rows[0][0], ordb::Value::Int(1), "seed row always visible");
+                }
+                let _ = c.close();
+            });
+        }
+        for w in workers {
+            commits += w.join().expect("writer thread");
+        }
+    });
+    let elapsed = t0.elapsed();
+    let d = db.metrics_snapshot().since(&before);
+
+    println!(
+        "| writers | commits | wall (s) | commit records | fsyncs | group commits | fsyncs saved |"
+    );
+    println!("|---|---|---|---|---|---|---|");
+    println!(
+        "| {writers} | {commits} | {:.2} | {} | {} | {} | {} |",
+        elapsed.as_secs_f64(),
+        d.wal.commit_records,
+        d.wal.fsyncs,
+        d.wal.group_commits,
+        d.wal.fsyncs_saved
+    );
+    println!(
+        "txns: {} begun, {} committed, {} aborted, {} conflicts",
+        d.txn.begun, d.txn.committed, d.txn.aborted, d.txn.conflicts
+    );
+    assert_eq!(d.txn.committed, commits, "every wire COMMIT lands in the counter");
+    assert!(
+        d.wal.fsyncs < d.wal.commit_records,
+        "group commit must batch: {} fsyncs for {} commits",
+        d.wal.fsyncs,
+        d.wal.commit_records
+    );
+    let visible = db.query("SELECT COUNT(*) FROM ledger").expect("count").rows[0][0]
+        .as_int()
+        .unwrap_or(0) as u64;
+    assert_eq!(visible, commits + 1, "committed rows all visible");
+
+    // First-updater-wins demonstration on the embedded handle.
+    let (mut s1, mut s2) = (None, None);
+    db.execute_txn("BEGIN", &mut s1).expect("begin t1");
+    db.execute_txn("BEGIN", &mut s2).expect("begin t2");
+    db.execute_txn("DELETE FROM ledger WHERE k = 0", &mut s1).expect("t1 claims");
+    let conflict = db.execute_txn("DELETE FROM ledger WHERE k = 0", &mut s2);
+    assert!(
+        matches!(conflict, Err(ordb::DbError::TxnConflict(_))),
+        "second updater must fail fast, got {conflict:?}"
+    );
+    db.execute_txn("ROLLBACK", &mut s1).expect("t1 rollback");
+    let dc = db.metrics_snapshot().since(&before);
+    println!(
+        "conflict demo: {} write-write conflict(s), loser rolled back automatically",
+        dc.txn.conflicts
+    );
+    assert!(dc.txn.conflicts >= 1);
+
+    mlog.push_raw(format!(
+        "{{\"figure\":\"txn\",\"writers\":{writers},\"secs\":{:.3},\"commits\":{commits},\
+         \"commit_records\":{},\"fsyncs\":{},\"group_commits\":{},\"fsyncs_saved\":{},\
+         \"conflicts\":{}}}",
+        elapsed.as_secs_f64(),
+        d.wal.commit_records,
+        d.wal.fsyncs,
+        d.wal.group_commits,
+        d.wal.fsyncs_saved,
+        dc.txn.conflicts
+    ));
     handle.stop();
 }
 

@@ -72,15 +72,15 @@ fn compare_binary_gates_on_pool_fetch_regression() {
 }
 
 #[test]
-fn committed_bench_pr6_parses_and_gates_itself() {
+fn committed_bench_pr8_parses_and_gates_itself() {
     // The committed trajectory baseline must stay parseable and
     // self-consistent (comparing a file to itself can never regress).
     let repo_root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let committed = repo_root.join("BENCH_PR6.json");
-    let text = std::fs::read_to_string(&committed).expect("committed BENCH_PR6.json");
+    let committed = repo_root.join("BENCH_PR8.json");
+    let text = std::fs::read_to_string(&committed).expect("committed BENCH_PR8.json");
     let file = BenchFile::from_json(&text).expect("committed file parses");
     assert_eq!(file.schema_version, SCHEMA_VERSION);
-    assert_eq!(file.pr, 6);
+    assert_eq!(file.pr, 8);
     assert!(
         file.entries.iter().any(|e| e.kind == "query")
             && file.entries.iter().any(|e| e.kind == "load")

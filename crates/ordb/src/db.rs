@@ -23,11 +23,12 @@ use crate::sql::parser::parse_statement;
 use crate::stats::{StatsBuilder, TableStats};
 use crate::storage::buffer::{BufferPool, PoolStats, DEFAULT_POOL_FRAMES};
 use crate::storage::fault::FaultInjector;
-use crate::storage::heap::HeapFile;
+use crate::storage::heap::{ClaimOutcome, HeapCursor, HeapFile};
 use crate::storage::spill::{SpillConfig, SpillManager};
 use crate::storage::wal::{Wal, WalStats};
 use crate::trace::{TraceEvent, TraceSink};
 use crate::tuple::{encode_row, encoded_len};
+use crate::txn::{TxnId, TxnManager, TxnStats, UndoRecord};
 use crate::types::{DataType, Row, Value};
 
 /// Tuning knobs for [`Database::open_with`].
@@ -103,6 +104,9 @@ pub struct Database {
     /// Per-database query count + wall-latency histogram; unified with
     /// pool/WAL/engine counters by [`Database::metrics_snapshot`].
     registry: crate::metrics::MetricsRegistry,
+    /// Transaction ids, snapshots, undo lists, and the commit
+    /// watermark the checkpoint persists to `txn.meta`.
+    txns: TxnManager,
     /// Set by `close`/`abandon`; makes `Drop` a no-op.
     closed: AtomicBool,
 }
@@ -172,6 +176,10 @@ impl fmt::Display for QueryResult {
     }
 }
 
+/// One table's DML access set: definition, heap, and each index's
+/// key-column positions + tree (what `Database::table_access` returns).
+type TableAccess = (TableDef, Arc<HeapFile>, Vec<(Vec<usize>, Arc<BTree>)>);
+
 impl Database {
     /// Open (or create) the database at `dir` with default options.
     pub fn open(dir: impl AsRef<Path>) -> Result<Database> {
@@ -188,15 +196,31 @@ impl Database {
         std::fs::create_dir_all(&dir)?;
         let recovery = crate::recovery::recover(&dir)?;
         let catalog = Catalog::load(&dir)?;
+        // Undo pass: with a WAL present, redo has restored the pages the
+        // log covered, but versions written by transactions that never
+        // logged a commit record must be stamped dead (and orphaned
+        // delete claims cleared) before anything reads them. This must
+        // run while the commit records are still in the log — i.e.
+        // before the checkpoint-truncate below.
+        let heap_files: Vec<u32> = catalog.tables().map(|t| t.file).collect();
+        let undo = match recovery {
+            Some(_) => Some(crate::recovery::undo_uncommitted(&dir, &heap_files)?),
+            None => None,
+        };
+        let (_, meta_next) = crate::txn::read_txn_meta(&dir);
+        let next = meta_next.max(undo.map_or(0, |u| u.max_txid + 1)).max(crate::txn::TXID_FIRST);
+        let txns = TxnManager::new(next);
+        // After the undo pass every surviving on-disk version is
+        // committed, so the new watermark is simply `next`.
+        crate::txn::write_txn_meta(&dir, next, next)?;
         let pool = Arc::new(BufferPool::with_fault(opts.pool_frames, opts.fault.clone()));
-        if opts.durability {
+        let wal = if opts.durability {
             let wal = Arc::new(Wal::open(&dir, opts.fault.clone())?);
-            // Everything the log held is on disk now (recovery fsync'd
-            // it), so reset to a checkpoint record that carries the LSN
-            // cursor forward.
-            wal.checkpoint_truncate()?;
-            pool.set_wal(Some(wal));
-        }
+            pool.set_wal(Some(wal.clone()));
+            Some(wal)
+        } else {
+            None
+        };
         let mut heaps = HashMap::new();
         let mut indexes = HashMap::new();
         for t in catalog.tables() {
@@ -208,6 +232,37 @@ impl Database {
             pool.register_file(i.file, file_path(&dir, i.file))?;
             indexes
                 .insert(i.name.to_ascii_lowercase(), Arc::new(BTree::open(pool.clone(), i.file)?));
+        }
+        // After a dirty shutdown an index page can be durable while the
+        // heap page holding its target slot was lost — the stale entry
+        // would alias whatever future insert lands on that slot index.
+        // Purge entries whose heap slot no longer exists (or whose
+        // version the undo pass stamped dead) before serving queries.
+        let dirty =
+            recovery.as_ref().is_some_and(|r| r.replayed_pages > 0 || r.torn_tail_bytes > 0)
+                || undo.is_some_and(|u| {
+                    u.versions_stamped_dead > 0 || u.xmax_cleared > 0 || u.committed_txns > 0
+                });
+        if dirty {
+            for idef in catalog.indexes() {
+                let Some(heap) = heaps.get(&idef.table.to_ascii_lowercase()) else { continue };
+                let tree = indexes.get(&idef.name.to_ascii_lowercase()).expect("tree");
+                for (key, rid) in tree.scan_range(None, None, true)? {
+                    if heap.get_versioned(rid)?.is_none() {
+                        tree.delete(&key, rid)?;
+                    }
+                }
+            }
+        }
+        if let Some(wal) = wal {
+            // Make the sweep's page edits durable in the data files,
+            // then reset the log to a checkpoint record that carries
+            // the LSN cursor forward (everything redo restored was
+            // already fsync'd by the recovery pass).
+            pool.log_dirty_frames()?;
+            wal.sync()?;
+            pool.flush_all()?;
+            wal.checkpoint_truncate()?;
         }
         let spill = SpillConfig {
             budget: opts.mem_budget,
@@ -223,6 +278,7 @@ impl Database {
             spill,
             forcing: RwLock::new(opts.forcing),
             registry: crate::metrics::MetricsRegistry::new(),
+            txns,
             closed: AtomicBool::new(false),
         })
     }
@@ -311,23 +367,24 @@ impl Database {
             columns,
             file,
         })?;
-        // Backfill.
+        // Backfill every non-dead version — including ones with an xmax
+        // claim, since a snapshot older than the deleter must still find
+        // them through this index.
         let heap = inner.heaps.get(&tdef.name.to_ascii_lowercase()).expect("heap").clone();
-        let mut cursor = crate::storage::heap::HeapCursor::new(heap);
-        while let Some((rid, bytes)) = cursor.next()? {
-            let row = crate::tuple::decode_row(&bytes, tdef.columns.len())?;
+        let mut cursor = HeapCursor::new(heap);
+        while let Some(v) = cursor.next()? {
+            let row = crate::tuple::decode_row(&v.body, tdef.columns.len())?;
             let key_vals: Vec<Value> = key_cols.iter().map(|&i| row[i].clone()).collect();
-            tree.insert(&encode_key(&key_vals), rid)?;
+            tree.insert(&encode_key(&key_vals), v.rid)?;
         }
         inner.indexes.insert(name.to_ascii_lowercase(), tree);
         inner.catalog.save(&self.dir)?;
         Ok(())
     }
 
-    /// Insert rows programmatically (the bulk-load path). Values are
-    /// type-checked; `Str` values are coerced into XADT columns as plain
-    /// fragments.
-    pub fn insert_rows(&self, table: &str, rows: Vec<Row>) -> Result<u64> {
+    /// One table's heap, its indexes (key-column positions + trees),
+    /// and its definition — the access set every DML statement needs.
+    fn table_access(&self, table: &str) -> Result<TableAccess> {
         let inner = self.inner.read();
         let tdef = inner
             .catalog
@@ -335,7 +392,6 @@ impl Database {
             .ok_or_else(|| DbError::Catalog(format!("unknown table {table:?}")))?
             .clone();
         let heap = inner.heaps.get(&tdef.name.to_ascii_lowercase()).expect("heap").clone();
-        // Collect the indexes once.
         let idx_defs: Vec<(Vec<usize>, Arc<BTree>)> = inner
             .catalog
             .indexes_of(&tdef.name)
@@ -351,7 +407,32 @@ impl Database {
             })
             .collect();
         drop(inner);
+        Ok((tdef, heap, idx_defs))
+    }
 
+    /// Insert rows programmatically (the bulk-load path). Values are
+    /// type-checked; `Str` values are coerced into XADT columns as plain
+    /// fragments. Runs as one autocommit transaction: on any error the
+    /// rows inserted so far are rolled back.
+    pub fn insert_rows(&self, table: &str, rows: Vec<Row>) -> Result<u64> {
+        let txn = self.txns.begin();
+        match self.insert_rows_in(table, rows, txn) {
+            Ok(n) => {
+                self.commit_txn_inner(txn, false)?;
+                Ok(n)
+            }
+            Err(e) => {
+                let _ = self.rollback_txn(txn);
+                Err(e)
+            }
+        }
+    }
+
+    /// Insert rows inside transaction `txn`: each version is stamped
+    /// with `txn`'s id as `xmin` and an undo record is kept so rollback
+    /// can remove it (and its index entries) physically.
+    pub fn insert_rows_in(&self, table: &str, rows: Vec<Row>, txn: TxnId) -> Result<u64> {
+        let (tdef, heap, idx_defs) = self.table_access(table)?;
         let mut buf = Vec::new();
         let mut n = 0u64;
         for mut row in rows {
@@ -367,7 +448,11 @@ impl Database {
             }
             buf.clear();
             encode_row(&row, &mut buf);
-            let rid = heap.insert(&buf)?;
+            let rid = heap.insert(&buf, txn.0)?;
+            self.txns.record_undo(
+                txn,
+                UndoRecord::Insert { table: tdef.name.clone(), rid, row: row.clone() },
+            )?;
             for (cols, tree) in &idx_defs {
                 let key_vals: Vec<Value> = cols.iter().map(|&i| row[i].clone()).collect();
                 tree.insert(&encode_key(&key_vals), rid)?;
@@ -392,7 +477,24 @@ impl Database {
         sql: &str,
         forcing: Option<PlanForcing>,
     ) -> Result<QueryResult> {
+        self.query_in(sql, forcing, None)
+    }
+
+    /// [`Database::query_with_forcing`] inside an optional explicit
+    /// transaction: with `Some(txn)` the statement reads through the
+    /// snapshot captured at `BEGIN`; with `None` it reads through a
+    /// fresh autocommit snapshot (everything committed so far).
+    pub fn query_in(
+        &self,
+        sql: &str,
+        forcing: Option<PlanForcing>,
+        txn: Option<TxnId>,
+    ) -> Result<QueryResult> {
         let forcing = forcing.unwrap_or_else(|| *self.forcing.read());
+        let snapshot = match txn {
+            Some(t) => self.txns.snapshot_of(t)?,
+            None => self.txns.read_snapshot(),
+        };
         let wall = Instant::now();
         let _query_span = crate::trace::span("query");
         self.emit(|| TraceEvent::QueryStart { sql: sql.to_string() });
@@ -414,6 +516,7 @@ impl Database {
                         functions: &self.functions,
                         spill: &self.spill,
                         forcing,
+                        snapshot: snapshot.clone(),
                     };
                     let plan = plan_select(&ctx, &q)?;
                     Ok(QueryResult {
@@ -433,6 +536,7 @@ impl Database {
                     functions: &self.functions,
                     spill: &self.spill,
                     forcing,
+                    snapshot,
                 };
                 // With span tracing on, plan with a recording profiler so
                 // the span tree gets one operator span per plan node (the
@@ -499,6 +603,7 @@ impl Database {
             functions: &self.functions,
             spill: &self.spill,
             forcing: *self.forcing.read(),
+            snapshot: self.txns.read_snapshot(),
         };
         let mut prof = Profiler::enabled();
         let t = Instant::now();
@@ -562,6 +667,7 @@ impl Database {
                     functions: &self.functions,
                     spill: &self.spill,
                     forcing: forcing.unwrap_or_else(|| *self.forcing.read()),
+                    snapshot: self.txns.read_snapshot(),
                 };
                 Ok(plan_select(&ctx, &q)?.explain)
             }
@@ -569,9 +675,94 @@ impl Database {
         }
     }
 
-    /// Execute DDL / DML; returns affected-row count.
+    /// Execute DDL / DML with autocommit; returns affected-row count.
+    ///
+    /// `BEGIN`/`COMMIT`/`ROLLBACK` are rejected here: transaction scope
+    /// is per connection, so explicit transactions run through
+    /// [`Database::execute_txn`] (which the wire server drives with its
+    /// per-session transaction slot).
     pub fn execute(&self, sql: &str) -> Result<u64> {
+        self.execute_stmt(parse_statement(sql)?)
+    }
+
+    /// Run one statement against a per-connection transaction slot:
+    /// `BEGIN` opens a transaction into `current`, `COMMIT`/`ROLLBACK`
+    /// close it, and DML joins the open transaction (or autocommits
+    /// when none is open). A failed DML statement inside an explicit
+    /// transaction aborts the whole transaction (first-updater-wins
+    /// conflicts never leave a half-applied statement behind).
+    pub fn execute_txn(&self, sql: &str, current: &mut Option<TxnId>) -> Result<u64> {
         match parse_statement(sql)? {
+            Statement::Begin => {
+                if current.is_some() {
+                    return Err(DbError::Exec("transaction already open".into()));
+                }
+                *current = Some(self.begin_txn());
+                Ok(0)
+            }
+            Statement::Commit => match current.take() {
+                Some(t) => {
+                    self.commit_txn(t)?;
+                    Ok(0)
+                }
+                None => Err(DbError::Exec("COMMIT with no open transaction".into())),
+            },
+            Statement::Rollback => match current.take() {
+                Some(t) => {
+                    self.rollback_txn(t)?;
+                    Ok(0)
+                }
+                None => Err(DbError::Exec("ROLLBACK with no open transaction".into())),
+            },
+            Statement::Insert { table, rows } => {
+                let values = literal_rows(rows)?;
+                self.dml_in(current, |t| self.insert_rows_in(&table, values, t))
+            }
+            Statement::Delete { table, predicate } => {
+                self.dml_in(current, |t| self.delete_rows_in(&table, predicate, t))
+            }
+            other => self.execute_stmt(other),
+        }
+    }
+
+    /// Join `current` (or autocommit) for one DML statement. On error
+    /// inside an explicit transaction the whole transaction is rolled
+    /// back and the slot cleared; the original error (e.g.
+    /// [`DbError::TxnConflict`]) is returned unchanged so wire clients
+    /// see a stable error code.
+    fn dml_in(
+        &self,
+        current: &mut Option<TxnId>,
+        f: impl FnOnce(TxnId) -> Result<u64>,
+    ) -> Result<u64> {
+        match *current {
+            Some(t) => match f(t) {
+                Ok(n) => Ok(n),
+                Err(e) => {
+                    let _ = self.rollback_txn(t);
+                    *current = None;
+                    Err(e)
+                }
+            },
+            None => {
+                let t = self.txns.begin();
+                match f(t) {
+                    Ok(n) => {
+                        self.commit_txn_inner(t, false)?;
+                        Ok(n)
+                    }
+                    Err(e) => {
+                        let _ = self.rollback_txn(t);
+                        Err(e)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Autocommit execution of a parsed statement.
+    fn execute_stmt(&self, stmt: Statement) -> Result<u64> {
+        match stmt {
             Statement::CreateTable { name, columns } => {
                 let cols = columns.into_iter().map(|(n, t)| ColumnDef::new(n, t)).collect();
                 self.create_table(&name, cols)?;
@@ -581,26 +772,7 @@ impl Database {
                 self.create_index(&name, &table, columns)?;
                 Ok(0)
             }
-            Statement::Insert { table, rows } => {
-                let mut values = Vec::with_capacity(rows.len());
-                for row in rows {
-                    let mut out = Vec::with_capacity(row.len());
-                    for e in row {
-                        out.push(match e {
-                            AstExpr::Str(s) => Value::Str(s),
-                            AstExpr::Num(n) => Value::Int(n),
-                            AstExpr::Null => Value::Null,
-                            other => {
-                                return Err(DbError::Exec(format!(
-                                    "INSERT values must be literals, got {other:?}"
-                                )))
-                            }
-                        });
-                    }
-                    values.push(out);
-                }
-                self.insert_rows(&table, values)
-            }
+            Statement::Insert { table, rows } => self.insert_rows(&table, literal_rows(rows)?),
             Statement::Delete { table, predicate } => self.delete_rows(&table, predicate),
             Statement::Drop { index: true, name } => {
                 let mut inner = self.inner.write();
@@ -630,63 +802,153 @@ impl Database {
             Statement::Select(_) => {
                 Err(DbError::Plan("execute() expects DDL/DML; use query()".into()))
             }
+            Statement::Begin | Statement::Commit | Statement::Rollback => Err(DbError::Exec(
+                "transaction control is per connection; use execute_txn() or a wire session".into(),
+            )),
         }
     }
 
-    /// `DELETE FROM table [WHERE …]`: scans, evaluates the predicate
-    /// against each row, removes matches from the heap and every index.
+    /// `DELETE FROM table [WHERE …]` as one autocommit transaction.
     fn delete_rows(&self, table: &str, predicate: Option<AstExpr>) -> Result<u64> {
-        let inner = self.inner.read();
-        let tdef = inner
-            .catalog
-            .table(table)
-            .ok_or_else(|| DbError::Catalog(format!("unknown table {table:?}")))?
-            .clone();
-        let heap = inner.heaps.get(&tdef.name.to_ascii_lowercase()).expect("heap").clone();
-        let idx_defs: Vec<(Vec<usize>, Arc<BTree>)> = inner
-            .catalog
-            .indexes_of(&tdef.name)
-            .into_iter()
-            .map(|d| {
-                let cols = d
-                    .columns
-                    .iter()
-                    .map(|c| tdef.column_index(c).expect("index column exists"))
-                    .collect::<Vec<_>>();
-                let tree = inner.indexes.get(&d.name.to_ascii_lowercase()).expect("tree").clone();
-                (cols, tree)
-            })
-            .collect();
-        drop(inner);
+        let txn = self.txns.begin();
+        match self.delete_rows_in(table, predicate, txn) {
+            Ok(n) => {
+                self.commit_txn_inner(txn, false)?;
+                Ok(n)
+            }
+            Err(e) => {
+                let _ = self.rollback_txn(txn);
+                Err(e)
+            }
+        }
+    }
+
+    /// MVCC delete inside `txn`: scan the versions visible to `txn`'s
+    /// snapshot, evaluate the predicate, and claim each match's `xmax`
+    /// (first-updater-wins — a live claim by another transaction fails
+    /// the statement with [`DbError::TxnConflict`] immediately, so
+    /// there is no lock waiting and no deadlock). Heap slots and index
+    /// entries stay in place: older snapshots must still see the row,
+    /// and readers filter on visibility.
+    pub fn delete_rows_in(
+        &self,
+        table: &str,
+        predicate: Option<AstExpr>,
+        txn: TxnId,
+    ) -> Result<u64> {
+        let snapshot = self.txns.snapshot_of(txn)?;
+        let (tdef, heap, _idx_defs) = self.table_access(table)?;
 
         // Compile the predicate against the table's own schema.
         let compiled = match predicate {
             Some(ast) => Some(self.compile_table_predicate(&tdef, ast)?),
             None => None,
         };
-        let mut cursor = crate::storage::heap::HeapCursor::new(heap.clone());
+        let mut cursor = HeapCursor::new(heap.clone());
         let mut victims = Vec::new();
-        while let Some((rid, bytes)) = cursor.next()? {
-            let row = crate::tuple::decode_row(&bytes, tdef.columns.len())?;
+        while let Some(v) = cursor.next()? {
+            if !snapshot.visible(v.xmin, v.xmax) {
+                continue;
+            }
+            let row = crate::tuple::decode_row(&v.body, tdef.columns.len())?;
             let keep = match &compiled {
                 Some(p) => !p.eval(&row)?.is_true(),
                 None => false,
             };
             if !keep {
-                victims.push((rid, row));
+                victims.push(v.rid);
             }
         }
         let mut n = 0;
-        for (rid, row) in victims {
-            if heap.delete(rid)? {
-                for (cols, tree) in &idx_defs {
-                    let key_vals: Vec<Value> = cols.iter().map(|&i| row[i].clone()).collect();
-                    tree.delete(&encode_key(&key_vals), rid)?;
+        for rid in victims {
+            match heap.try_claim_xmax(rid, txn.0)? {
+                ClaimOutcome::Claimed => {
+                    self.txns
+                        .record_undo(txn, UndoRecord::Delete { table: tdef.name.clone(), rid })?;
+                    n += 1;
                 }
-                n += 1;
+                ClaimOutcome::OwnedBySelf | ClaimOutcome::Gone => {}
+                ClaimOutcome::Conflict(holder) => {
+                    self.txns.note_conflict();
+                    return Err(DbError::TxnConflict(format!(
+                        "row in {:?} already deleted by concurrent transaction {holder}",
+                        tdef.name
+                    )));
+                }
             }
         }
         Ok(n)
+    }
+
+    /// Open an explicit transaction; pair with [`Database::commit_txn`]
+    /// or [`Database::rollback_txn`].
+    pub fn begin_txn(&self) -> TxnId {
+        self.txns.begin()
+    }
+
+    /// Durably commit `txn`: flush dirty page images to the WAL, append
+    /// its commit record, and group-fsync — concurrent committers share
+    /// one `fsync` (the group-commit leader flushes the whole buffer,
+    /// so followers find their record already durable). Read-only
+    /// transactions skip the log entirely.
+    pub fn commit_txn(&self, txn: TxnId) -> Result<()> {
+        self.commit_txn_inner(txn, true)
+    }
+
+    /// Commit `txn`. `durable` selects the explicit-COMMIT path (page
+    /// images + commit record + group fsync); autocommit statements pass
+    /// `false` and only buffer the commit record, keeping the legacy
+    /// contract that bulk loads become durable at [`Database::commit`].
+    fn commit_txn_inner(&self, txn: TxnId, durable: bool) -> Result<()> {
+        let wrote = self.txns.wrote(txn)?;
+        if wrote {
+            if let Some(wal) = self.pool.wal() {
+                if durable {
+                    self.pool.log_dirty_frames()?;
+                    let lsn = wal.log_commit(txn.0);
+                    wal.sync_group(lsn)?;
+                } else {
+                    wal.log_commit(txn.0);
+                }
+            }
+        }
+        self.txns.take_undo(txn)?;
+        self.txns.finish_commit(txn)
+    }
+
+    /// Abort `txn`: apply its undo list in reverse — inserts are
+    /// removed physically (heap slot and index entries), delete claims
+    /// are cleared — then drop it from the active set.
+    pub fn rollback_txn(&self, txn: TxnId) -> Result<()> {
+        let undo = self.txns.take_undo(txn)?;
+        for rec in undo.into_iter().rev() {
+            match rec {
+                UndoRecord::Insert { table, rid, row } => {
+                    // The table may have been dropped after the insert
+                    // (DDL is not transactional); nothing left to undo.
+                    let Ok((_, heap, idx_defs)) = self.table_access(&table) else { continue };
+                    if heap.delete(rid)? {
+                        for (cols, tree) in &idx_defs {
+                            let key_vals: Vec<Value> =
+                                cols.iter().map(|&i| row[i].clone()).collect();
+                            tree.delete(&encode_key(&key_vals), rid)?;
+                        }
+                    }
+                }
+                UndoRecord::Delete { table, rid } => {
+                    let Ok((_, heap, _)) = self.table_access(&table) else { continue };
+                    heap.clear_xmax(rid)?;
+                }
+            }
+        }
+        self.txns.finish_abort(txn);
+        Ok(())
+    }
+
+    /// Lifetime transaction counters (begun / committed / aborted /
+    /// write-write conflicts).
+    pub fn txn_stats(&self) -> TxnStats {
+        self.txns.stats()
     }
 
     /// Compile a WHERE expression against one table's columns (for DELETE).
@@ -705,10 +967,14 @@ impl Database {
             let key = tdef.name.to_ascii_lowercase();
             (inner.heaps.get(&key).expect("heap").clone(), tdef.columns.len(), key)
         };
+        let snapshot = self.txns.read_snapshot();
         let mut builder = StatsBuilder::new(arity);
-        let mut cursor = crate::storage::heap::HeapCursor::new(heap);
-        while let Some((_, bytes)) = cursor.next()? {
-            let row = crate::tuple::decode_row(&bytes, arity)?;
+        let mut cursor = HeapCursor::new(heap);
+        while let Some(v) = cursor.next()? {
+            if !snapshot.visible(v.xmin, v.xmax) {
+                continue;
+            }
+            let row = crate::tuple::decode_row(&v.body, arity)?;
             builder.add(&row, encoded_len(&row));
         }
         let stats = builder.finish();
@@ -769,14 +1035,27 @@ impl Database {
         Ok(total)
     }
 
-    /// Row count of one table (scans).
+    /// Row count of one table: scans, counting versions visible to a
+    /// fresh snapshot (so uncommitted inserts and committed deletes are
+    /// excluded).
     pub fn row_count(&self, table: &str) -> Result<u64> {
-        let inner = self.inner.read();
-        let heap = inner
-            .heaps
-            .get(&table.to_ascii_lowercase())
-            .ok_or_else(|| DbError::Catalog(format!("unknown table {table:?}")))?;
-        heap.count()
+        let heap = {
+            let inner = self.inner.read();
+            inner
+                .heaps
+                .get(&table.to_ascii_lowercase())
+                .ok_or_else(|| DbError::Catalog(format!("unknown table {table:?}")))?
+                .clone()
+        };
+        let snapshot = self.txns.read_snapshot();
+        let mut n = 0u64;
+        heap.scan(|v| {
+            if snapshot.visible(v.xmin, v.xmax) {
+                n += 1;
+            }
+            Ok(true)
+        })?;
+        Ok(n)
     }
 
     /// Flush everything to disk.
@@ -807,8 +1086,15 @@ impl Database {
     pub fn checkpoint(&self) -> Result<()> {
         self.commit()?;
         self.pool.flush_all()?;
+        // Persist the transaction watermark *before* truncating: if we
+        // crash in between, the old log (with its commit records) is
+        // still intact, and `decided = below-watermark ∪ logged-commits`
+        // stays correct either way. Commits above the watermark (some
+        // transaction still running) are re-logged into the fresh WAL.
+        let (watermark, next, relog) = self.txns.checkpoint_info();
+        crate::txn::write_txn_meta(&self.dir, watermark, next)?;
         if let Some(wal) = self.pool.wal() {
-            wal.checkpoint_truncate()?;
+            wal.checkpoint_truncate_with(&relog)?;
         }
         Ok(())
     }
@@ -824,6 +1110,12 @@ impl Database {
     fn close_inner(&self) -> Result<()> {
         if self.closed.swap(true, Ordering::SeqCst) {
             return Ok(());
+        }
+        // Abort stragglers (a dropped connection mid-transaction) so
+        // the checkpoint's watermark covers every id ever handed out
+        // and the fresh WAL needs no re-logged commit records.
+        for id in self.txns.active_ids() {
+            let _ = self.rollback_txn(TxnId(id));
         }
         self.checkpoint()
     }
@@ -855,6 +1147,7 @@ impl Database {
             wal: self.wal_stats().unwrap_or_default(),
             engine: ENGINE.snapshot(),
             net: self.registry.net().snapshot(),
+            txn: self.txns.stats(),
             spill_files_live: self.spill_files_live() as u64,
         }
     }
@@ -930,6 +1223,28 @@ impl Drop for Database {
             let _ = self.close_inner();
         }
     }
+}
+
+/// Convert parsed `INSERT … VALUES` literal rows into [`Value`] rows.
+fn literal_rows(rows: Vec<Vec<AstExpr>>) -> Result<Vec<Row>> {
+    let mut values = Vec::with_capacity(rows.len());
+    for row in rows {
+        let mut out = Vec::with_capacity(row.len());
+        for e in row {
+            out.push(match e {
+                AstExpr::Str(s) => Value::Str(s),
+                AstExpr::Num(n) => Value::Int(n),
+                AstExpr::Null => Value::Null,
+                other => {
+                    return Err(DbError::Exec(format!(
+                        "INSERT values must be literals, got {other:?}"
+                    )))
+                }
+            });
+        }
+        values.push(out);
+    }
+    Ok(values)
 }
 
 fn file_path(dir: &Path, file: u32) -> PathBuf {

@@ -22,6 +22,11 @@ pub enum DbError {
     /// A wire-protocol frame was malformed (bad magic, oversized length,
     /// truncated body, unknown tag…). Raised by `ordb::net` on both ends.
     Protocol(String),
+    /// A write-write conflict under snapshot isolation: this transaction
+    /// tried to update/delete a row version another transaction already
+    /// claimed (first-updater-wins). The losing transaction is rolled
+    /// back; the client should retry it.
+    TxnConflict(String),
 }
 
 impl fmt::Display for DbError {
@@ -35,6 +40,7 @@ impl fmt::Display for DbError {
             DbError::Corrupt(m) => write!(f, "corrupt data: {m}"),
             DbError::Fragment(e) => write!(f, "{e}"),
             DbError::Protocol(m) => write!(f, "protocol error: {m}"),
+            DbError::TxnConflict(m) => write!(f, "transaction conflict: {m}"),
         }
     }
 }

@@ -20,6 +20,7 @@ use crate::storage::spill::{
     partition_of, SpillConfig, SpillFile, SpillWriter, MAX_SPILL_DEPTH, SPILL_FANOUT,
 };
 use crate::tuple::{decode_row, encoded_len};
+use crate::txn::Snapshot;
 use crate::types::{Row, Value};
 
 /// Inner join with the inner side materialized; optional predicate applied
@@ -93,6 +94,8 @@ pub struct IndexNestedLoopJoin {
     outer_keys: Vec<Expr>,
     /// Residual predicate over the concatenated row.
     residual: Option<Expr>,
+    /// MVCC snapshot filtering the fetched inner versions.
+    snapshot: Snapshot,
     current_outer: Option<Row>,
     pending: std::vec::IntoIter<Row>,
 }
@@ -106,6 +109,7 @@ impl IndexNestedLoopJoin {
         inner_arity: usize,
         outer_keys: Vec<Expr>,
         residual: Option<Expr>,
+        snapshot: Snapshot,
     ) -> IndexNestedLoopJoin {
         IndexNestedLoopJoin {
             outer,
@@ -114,6 +118,7 @@ impl IndexNestedLoopJoin {
             inner_arity,
             outer_keys,
             residual,
+            snapshot,
             current_outer: None,
             pending: Vec::new().into_iter(),
         }
@@ -153,8 +158,15 @@ impl Operator for IndexNestedLoopJoin {
             let rids = self.inner_index.scan_prefix(&prefix)?;
             let mut rows = Vec::with_capacity(rids.len());
             for rid in rids {
-                let bytes = self.inner_heap.get(rid)?;
-                rows.push(decode_row(&bytes, self.inner_arity)?);
+                // Skip dangling entries (rolled-back inserts) and
+                // versions invisible to this snapshot.
+                let Some(v) = self.inner_heap.get_versioned(rid)? else {
+                    continue;
+                };
+                if !self.snapshot.visible(v.xmin, v.xmax) {
+                    continue;
+                }
+                rows.push(decode_row(&v.body, self.inner_arity)?);
             }
             self.current_outer = Some(outer);
             self.pending = rows.into_iter();

@@ -1,4 +1,10 @@
 //! Table access: sequential scans and index scans.
+//!
+//! Both operators filter tuple versions through an MVCC
+//! [`Snapshot`]: versions invisible to the reading transaction are
+//! skipped, and index entries pointing at missing slots (left dangling
+//! by a rolled-back insert) are skipped rather than treated as
+//! corruption.
 
 use std::sync::Arc;
 
@@ -7,27 +13,33 @@ use crate::exec::Operator;
 use crate::index::btree::BTree;
 use crate::storage::heap::{HeapCursor, HeapFile, Rid};
 use crate::tuple::decode_row;
+use crate::txn::Snapshot;
 use crate::types::Row;
 
 /// Full-file scan of a heap in physical order.
 pub struct SeqScan {
     cursor: HeapCursor,
     arity: usize,
+    snapshot: Snapshot,
 }
 
 impl SeqScan {
-    /// Scan `heap`, decoding rows of `arity` columns.
-    pub fn new(heap: Arc<HeapFile>, arity: usize) -> SeqScan {
-        SeqScan { cursor: HeapCursor::new(heap), arity }
+    /// Scan `heap`, decoding rows of `arity` columns visible to
+    /// `snapshot`.
+    pub fn new(heap: Arc<HeapFile>, arity: usize, snapshot: Snapshot) -> SeqScan {
+        SeqScan { cursor: HeapCursor::new(heap), arity, snapshot }
     }
 }
 
 impl Operator for SeqScan {
     fn next(&mut self) -> Result<Option<Row>> {
-        match self.cursor.next()? {
-            Some((_rid, bytes)) => Ok(Some(decode_row(&bytes, self.arity)?)),
-            None => Ok(None),
+        while let Some(v) = self.cursor.next()? {
+            if !self.snapshot.visible(v.xmin, v.xmax) {
+                continue;
+            }
+            return Ok(Some(decode_row(&v.body, self.arity)?));
         }
+        Ok(None)
     }
 
     fn name(&self) -> &'static str {
@@ -43,6 +55,7 @@ impl Operator for SeqScan {
 pub struct IndexScan {
     heap: Arc<HeapFile>,
     arity: usize,
+    snapshot: Snapshot,
     /// Deferred probe; taken and resolved on first `next()`.
     probe: Option<IndexProbe>,
     rids: std::vec::IntoIter<Rid>,
@@ -66,9 +79,10 @@ impl IndexScan {
         index: Arc<BTree>,
         prefix: &[u8],
         arity: usize,
+        snapshot: Snapshot,
     ) -> IndexScan {
         let probe = IndexProbe { index, kind: ProbeKind::Prefix(prefix.to_vec()) };
-        IndexScan { heap, arity, probe: Some(probe), rids: Vec::new().into_iter() }
+        IndexScan { heap, arity, snapshot, probe: Some(probe), rids: Vec::new().into_iter() }
     }
 
     /// Scan `index` for keys in `[lo, hi]` (see [`BTree::scan_range`]).
@@ -79,6 +93,7 @@ impl IndexScan {
         hi: Option<&[u8]>,
         hi_inclusive: bool,
         arity: usize,
+        snapshot: Snapshot,
     ) -> IndexScan {
         let kind = ProbeKind::Range {
             lo: lo.map(<[u8]>::to_vec),
@@ -88,6 +103,7 @@ impl IndexScan {
         IndexScan {
             heap,
             arity,
+            snapshot,
             probe: Some(IndexProbe { index, kind }),
             rids: Vec::new().into_iter(),
         }
@@ -107,13 +123,16 @@ impl Operator for IndexScan {
             };
             self.rids = rids.into_iter();
         }
-        match self.rids.next() {
-            Some(rid) => {
-                let bytes = self.heap.get(rid)?;
-                Ok(Some(decode_row(&bytes, self.arity)?))
+        for rid in self.rids.by_ref() {
+            let Some(v) = self.heap.get_versioned(rid)? else {
+                continue; // dangling entry from a rolled-back insert
+            };
+            if !self.snapshot.visible(v.xmin, v.xmax) {
+                continue;
             }
-            None => Ok(None),
+            return Ok(Some(decode_row(&v.body, self.arity)?));
         }
+        Ok(None)
     }
 
     fn name(&self) -> &'static str {

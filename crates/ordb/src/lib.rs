@@ -24,11 +24,12 @@
 //!   control for experiments;
 //! * a TCP serving layer ([`net`]): a hand-rolled length-prefixed wire
 //!   protocol, a thread-per-connection [`Server`], and a blocking
-//!   [`Client`] — the `xord-server` / `xord-client` binaries.
-//!
-//! Intentionally out of scope (documented in DESIGN.md): multi-statement
-//! transactions with rollback, and MVCC — the paper's experiments are
-//! load-then-query workloads, so durability is commit-grained.
+//!   [`Client`] — the `xord-server` / `xord-client` binaries;
+//! * MVCC snapshot-isolation transactions ([`txn`]): `BEGIN` / `COMMIT`
+//!   / `ROLLBACK`, per-tuple `xmin`/`xmax` version headers, snapshot
+//!   reads threaded through every scan, first-updater-wins write-write
+//!   conflicts ([`DbError::TxnConflict`]), and group commit batching
+//!   concurrent fsyncs into one.
 
 #![warn(missing_docs)]
 
@@ -48,6 +49,7 @@ pub mod stats;
 pub mod storage;
 pub mod trace;
 pub mod tuple;
+pub mod txn;
 pub mod types;
 
 pub use catalog::{ColumnDef, IndexDef, TableDef};
@@ -60,4 +62,5 @@ pub use recovery::RecoveryReport;
 pub use storage::fault::{CrashMode, FaultInjector, FaultPlan, FaultScope};
 pub use storage::wal::WalStats;
 pub use trace::{MemorySink, TraceEvent, TraceSink};
+pub use txn::{Snapshot, TxnId, TxnStats};
 pub use types::{DataType, Row, Value};

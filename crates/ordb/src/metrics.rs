@@ -654,6 +654,8 @@ pub struct RegistrySnapshot {
     pub engine: EngineSnapshot,
     /// Wire-protocol counters (all-zero unless a server is attached).
     pub net: NetSnapshot,
+    /// Transaction counters (begun / committed / aborted / conflicts).
+    pub txn: crate::txn::TxnStats,
     /// Spill temp files on disk at capture time (a gauge, not a counter:
     /// `since` keeps the later value).
     pub spill_files_live: u64,
@@ -670,6 +672,7 @@ impl RegistrySnapshot {
             wal: self.wal.since(&earlier.wal),
             engine: self.engine.since(&earlier.engine),
             net: self.net.since(&earlier.net),
+            txn: self.txn.since(&earlier.txn),
             spill_files_live: self.spill_files_live,
         }
     }
@@ -690,7 +693,10 @@ impl RegistrySnapshot {
         push_kv(&mut s, "appends", self.wal.appends);
         push_kv(&mut s, "bytes", self.wal.bytes);
         push_kv(&mut s, "fsyncs", self.wal.fsyncs);
-        s.push_str(&format!("\"checkpoints\":{}}},", self.wal.checkpoints));
+        push_kv(&mut s, "checkpoints", self.wal.checkpoints);
+        push_kv(&mut s, "commit_records", self.wal.commit_records);
+        push_kv(&mut s, "group_commits", self.wal.group_commits);
+        s.push_str(&format!("\"fsyncs_saved\":{}}},", self.wal.fsyncs_saved));
         s.push_str("\"engine\":{");
         push_kv(&mut s, "index_probes", self.engine.index_probes);
         push_kv(&mut s, "sort_rows", self.engine.sort_rows);
@@ -707,6 +713,11 @@ impl RegistrySnapshot {
         push_kv(&mut s, "bytes_in", self.net.bytes_in);
         push_kv(&mut s, "bytes_out", self.net.bytes_out);
         s.push_str(&format!("\"protocol_errors\":{}}},", self.net.protocol_errors));
+        s.push_str("\"txn\":{");
+        push_kv(&mut s, "begun", self.txn.begun);
+        push_kv(&mut s, "committed", self.txn.committed);
+        push_kv(&mut s, "aborted", self.txn.aborted);
+        s.push_str(&format!("\"conflicts\":{}}},", self.txn.conflicts));
         s.push_str(&format!("\"spill_files_live\":{}", self.spill_files_live));
         s.push('}');
         s
@@ -1000,7 +1011,13 @@ mod tests {
             wall: Duration::from_millis(2),
             rows: 3,
             pool: PoolStats { hits: 8, misses: 2, writebacks: 0, evictions: 0 },
-            wal: WalStats { appends: 2, bytes: 16448, fsyncs: 1, checkpoints: 0 },
+            wal: WalStats {
+                appends: 2,
+                bytes: 16448,
+                fsyncs: 1,
+                checkpoints: 0,
+                ..Default::default()
+            },
             engine: EngineSnapshot {
                 index_probes: 1,
                 sort_spills: 2,
@@ -1203,9 +1220,16 @@ mod tests {
             queries: reg.queries(),
             latency: reg.latency(),
             pool: PoolStats { hits: 10, misses: 5, writebacks: 1, evictions: 0 },
-            wal: WalStats { appends: 3, bytes: 100, fsyncs: 1, checkpoints: 0 },
+            wal: WalStats {
+                appends: 3,
+                bytes: 100,
+                fsyncs: 1,
+                checkpoints: 0,
+                ..Default::default()
+            },
             engine: EngineSnapshot { index_probes: 7, ..Default::default() },
             net: NetSnapshot::default(),
+            txn: crate::txn::TxnStats::default(),
             spill_files_live: 0,
         };
         reg.record_query(Duration::from_millis(5));
@@ -1213,9 +1237,16 @@ mod tests {
             queries: reg.queries(),
             latency: reg.latency(),
             pool: PoolStats { hits: 30, misses: 6, writebacks: 1, evictions: 0 },
-            wal: WalStats { appends: 3, bytes: 100, fsyncs: 1, checkpoints: 0 },
+            wal: WalStats {
+                appends: 3,
+                bytes: 100,
+                fsyncs: 1,
+                checkpoints: 0,
+                ..Default::default()
+            },
             engine: EngineSnapshot { index_probes: 9, ..Default::default() },
             net: NetSnapshot { connections: 2, frames_in: 40, ..Default::default() },
+            txn: crate::txn::TxnStats { begun: 4, committed: 3, aborted: 1, conflicts: 1 },
             spill_files_live: 2,
         };
         let d = after.since(&before);

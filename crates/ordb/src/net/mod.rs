@@ -270,6 +270,7 @@ pub fn error_code(e: &DbError) -> u8 {
         DbError::Corrupt(_) => 6,
         DbError::Fragment(_) => 7,
         DbError::Protocol(_) => 8,
+        DbError::TxnConflict(_) => 9,
     }
 }
 
@@ -287,6 +288,7 @@ pub fn decode_error(code: u8, message: &str) -> DbError {
         6 => DbError::Corrupt(message.to_string()),
         7 => DbError::Exec(format!("remote fragment error: {message}")),
         8 => DbError::Protocol(message.to_string()),
+        9 => DbError::TxnConflict(message.to_string()),
         other => DbError::Protocol(format!("unknown error code {other}: {message}")),
     }
 }
@@ -302,6 +304,10 @@ pub fn decode_error(code: u8, message: &str) -> DbError {
 pub struct Session {
     forcing: Option<PlanForcing>,
     options: BTreeMap<String, String>,
+    /// The connection's open explicit transaction, if a `BEGIN` ran.
+    /// The server auto-aborts it when the connection ends (cleanly or
+    /// not) so a dropped client can never wedge the watermark.
+    txn: Option<crate::txn::TxnId>,
 }
 
 impl Session {
@@ -319,6 +325,17 @@ impl Session {
     /// Raw key→value options set so far (most recent value wins).
     pub fn options(&self) -> &BTreeMap<String, String> {
         &self.options
+    }
+
+    /// The open explicit transaction, if any.
+    pub fn txn(&self) -> Option<crate::txn::TxnId> {
+        self.txn
+    }
+
+    /// Mutable access to the transaction slot (the server threads it
+    /// through [`Database::execute_txn`](crate::db::Database::execute_txn)).
+    pub fn txn_mut(&mut self) -> &mut Option<crate::txn::TxnId> {
+        &mut self.txn
     }
 
     /// Apply one `SET key value`. Supported keys:

@@ -118,8 +118,25 @@ fn serve_connection(db: &Database, mut stream: TcpStream) -> Result<()> {
         return Err(e);
     }
     let mut session = Session::new();
+    let result = statement_loop(db, &mut stream, &mut session, net);
+    // Whatever ended the connection — clean Close, client vanishing
+    // mid-transaction, or a broken frame layer — an open explicit
+    // transaction is aborted here so it can neither leak uncommitted
+    // versions nor pin the checkpoint watermark forever.
+    if let Some(txn) = session.txn_mut().take() {
+        let _ = db.rollback_txn(txn);
+    }
+    result
+}
+
+fn statement_loop(
+    db: &Database,
+    stream: &mut TcpStream,
+    session: &mut Session,
+    net: &crate::metrics::NetCounters,
+) -> Result<()> {
     loop {
-        let body = match read_frame(&mut stream) {
+        let body = match read_frame(stream) {
             Ok(Some(b)) => b,
             // Clean EOF between frames: the client just went away.
             Ok(None) => return Ok(()),
@@ -128,7 +145,7 @@ fn serve_connection(db: &Database, mut stream: TcpStream) -> Result<()> {
                 // answer best-effort, then drop the connection — the
                 // stream position is no longer trustworthy.
                 net.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                let _ = send(&mut stream, db, &Response::from_error(&e));
+                let _ = send(stream, db, &Response::from_error(&e));
                 return Err(e);
             }
         };
@@ -140,13 +157,13 @@ fn serve_connection(db: &Database, mut stream: TcpStream) -> Result<()> {
                 // The frame boundary held, only the body was garbage:
                 // report and keep serving.
                 net.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                send(&mut stream, db, &Response::from_error(&e))?;
+                send(stream, db, &Response::from_error(&e))?;
                 continue;
             }
         };
         let closing = matches!(req, Request::Close);
-        let resp = handle(db, &mut session, req);
-        send(&mut stream, db, &resp)?;
+        let resp = handle(db, session, req);
+        send(stream, db, &resp)?;
         if closing {
             return Ok(());
         }
@@ -156,11 +173,13 @@ fn serve_connection(db: &Database, mut stream: TcpStream) -> Result<()> {
 fn handle(db: &Database, session: &mut Session, req: Request) -> Response {
     let result: Result<Response> = match req {
         Request::Ping => Ok(Response::Pong),
-        Request::Query(sql) => db.query_with_forcing(&sql, session.forcing()).map(Response::Rows),
+        Request::Query(sql) => {
+            db.query_in(&sql, session.forcing(), session.txn()).map(Response::Rows)
+        }
         Request::Explain(sql) => {
             db.explain_with_forcing(&sql, session.forcing()).map(Response::Plan)
         }
-        Request::Execute(sql) => db.execute(&sql).map(Response::Affected),
+        Request::Execute(sql) => db.execute_txn(&sql, session.txn_mut()).map(Response::Affected),
         Request::Commit => db.commit().map(Response::Affected),
         Request::Set { key, value } => session.set(&key, &value).map(|()| Response::Ok),
         Request::Close => Ok(Response::Bye),

@@ -35,6 +35,7 @@ use crate::sql::ast::{AstExpr, FromItem, Select, SelectItem};
 use crate::stats::TableStats;
 use crate::storage::heap::HeapFile;
 use crate::storage::spill::SpillConfig;
+use crate::txn::Snapshot;
 use crate::types::{DataType, Value};
 
 /// Join algorithm pinned by a [`PlanForcing`].
@@ -116,6 +117,8 @@ pub struct PlanContext<'a> {
     pub spill: &'a SpillConfig,
     /// Plan-space forcing knobs (default: cost-based planning).
     pub forcing: PlanForcing,
+    /// MVCC snapshot every scan filters versions through.
+    pub snapshot: Snapshot,
 }
 
 /// A compiled physical plan.
@@ -484,6 +487,7 @@ pub fn plan_select_profiled(
                     inner_base.arity,
                     vec![outer_key],
                     residual,
+                    ctx.snapshot.clone(),
                 )),
                 format!("IndexNestedLoopJoin {}", inner_base.alias),
                 vec![root_id],
@@ -832,19 +836,25 @@ fn build_scan(
     let (op, desc): (BoxOp, String) = match chosen {
         Some((tree, value, cmp)) => {
             let key = encode_key(std::slice::from_ref(&value));
+            let snap = ctx.snapshot.clone();
             let scan = match cmp {
-                CmpOp::Eq => IndexScan::prefix(heap, tree, &key, base.arity),
-                CmpOp::Lt => IndexScan::range(heap, tree, None, Some(&key), false, base.arity),
-                CmpOp::Le => IndexScan::range(heap, tree, None, Some(&key), true, base.arity),
+                CmpOp::Eq => IndexScan::prefix(heap, tree, &key, base.arity, snap),
+                CmpOp::Lt => {
+                    IndexScan::range(heap, tree, None, Some(&key), false, base.arity, snap)
+                }
+                CmpOp::Le => IndexScan::range(heap, tree, None, Some(&key), true, base.arity, snap),
                 CmpOp::Gt | CmpOp::Ge => {
                     // Gt: skip equal keys via the residual filter below.
-                    IndexScan::range(heap, tree, Some(&key), None, true, base.arity)
+                    IndexScan::range(heap, tree, Some(&key), None, true, base.arity, snap)
                 }
                 CmpOp::Ne => unreachable!("filtered above"),
             };
             (Box::new(scan), format!("IndexScan({cmp})"))
         }
-        None => (Box::new(SeqScan::new(heap, base.arity)) as BoxOp, "SeqScan".into()),
+        None => (
+            Box::new(SeqScan::new(heap, base.arity, ctx.snapshot.clone())) as BoxOp,
+            "SeqScan".into(),
+        ),
     };
     let (mut op, mut op_id) = prof.wrap(op, format!("{desc} {}", base.alias), vec![]);
 

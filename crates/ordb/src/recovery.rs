@@ -1,6 +1,6 @@
-//! Crash recovery: the redo pass run by [`Database::open`].
+//! Crash recovery: the redo + undo passes run by [`Database::open`].
 //!
-//! Recovery is pure physical redo over the write-ahead log
+//! **Redo** is pure physical replay over the write-ahead log
 //! ([`crate::storage::wal`]): scan every valid record front to back,
 //! keep the *last* image logged for each `(file, page)`, and write those
 //! images over the data files. A page is skipped when its on-disk image
@@ -9,20 +9,30 @@
 //! the next open redoes less). A torn or checksum-failed on-disk page
 //! never survives: its logged image overwrites it unconditionally.
 //!
-//! The pass uses plain `std::fs` I/O rather than the pool/fault stack:
-//! recovery models the clean restart *after* the crash, when the disk is
-//! healthy again.
+//! **Undo** ([`undo_uncommitted`]) runs after redo, once the catalog is
+//! loaded: it collects the committed-transaction set from the log's
+//! `TXNC` records, then sweeps every heap page stamping dead
+//! (`xmin := 0`) versions created by transactions that never committed
+//! and clearing `xmax` claims they left behind. Transaction ids below
+//! the `txn.meta` watermark were decided before the last checkpoint and
+//! are trusted without commit records. The sweep is logical-state
+//! repair, not log replay — it edits slot headers in place and restamps
+//! the page checksum without touching the LSN.
+//!
+//! Both passes use plain `std::fs` I/O rather than the pool/fault
+//! stack: recovery models the clean restart *after* the crash, when the
+//! disk is healthy again.
 //!
 //! [`Database::open`]: crate::db::Database::open
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fs::OpenOptions;
 use std::os::unix::fs::FileExt;
 use std::path::Path;
 
 use crate::error::Result;
-use crate::storage::page::{verify_checksum, PAGE_SIZE};
-use crate::storage::wal::{WalReader, REC_PAGE_IMAGE, WAL_FILE};
+use crate::storage::page::{verify_checksum, Page, PAGE_SIZE};
+use crate::storage::wal::{WalReader, REC_PAGE_IMAGE, REC_TXN_COMMIT, WAL_FILE};
 
 /// What one recovery pass did. Returned by
 /// [`Database::recovery_report`](crate::db::Database::recovery_report)
@@ -105,6 +115,103 @@ pub fn recover(dir: &Path) -> Result<Option<RecoveryReport>> {
 
 fn page_lsn(bytes: &[u8; PAGE_SIZE]) -> u64 {
     u64::from_le_bytes(bytes[PAGE_SIZE - 12..PAGE_SIZE - 4].try_into().unwrap())
+}
+
+/// What the undo pass did. Folded into open-time bookkeeping: the
+/// transaction manager resumes its id cursor past `max_txid`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UndoReport {
+    /// Distinct committed transaction ids found in the log.
+    pub committed_txns: u64,
+    /// Versions stamped dead (`xmin := 0`) — inserts by transactions
+    /// that never committed.
+    pub versions_stamped_dead: u64,
+    /// Delete claims cleared (`xmax := 0`) — claims by transactions
+    /// that never committed.
+    pub xmax_cleared: u64,
+    /// Highest transaction id seen anywhere (headers, commit records,
+    /// `txn.meta`).
+    pub max_txid: u64,
+}
+
+/// Undo pass: sweep the heap files named by `heap_file_ids`, stamping
+/// dead every version whose creator is neither below the `txn.meta`
+/// watermark nor in the log's committed set, and clearing `xmax` claims
+/// under the same rule. Must run after [`recover`] (so slot headers are
+/// as the log left them) and before the WAL is checkpoint-truncated
+/// (which discards the commit records).
+pub fn undo_uncommitted(dir: &Path, heap_file_ids: &[u32]) -> Result<UndoReport> {
+    let (watermark, meta_next) = crate::txn::read_txn_meta(dir);
+    let mut committed: HashSet<u64> = HashSet::new();
+    let wal_path = dir.join(WAL_FILE);
+    if wal_path.exists() {
+        let mut reader = WalReader::open(&wal_path)?;
+        while let Some(rec) = reader.next_record() {
+            if rec.kind == REC_TXN_COMMIT && rec.payload.len() == 8 {
+                committed.insert(u64::from_le_bytes(rec.payload[..8].try_into().unwrap()));
+            }
+        }
+    }
+    let mut report = UndoReport {
+        committed_txns: committed.len() as u64,
+        max_txid: meta_next.saturating_sub(1).max(committed.iter().copied().max().unwrap_or(0)),
+        ..UndoReport::default()
+    };
+    let decided = |t: u64| t < watermark || committed.contains(&t);
+    for &fid in heap_file_ids {
+        let path = data_file_path(dir, fid);
+        let Ok(f) = OpenOptions::new().read(true).write(true).open(&path) else {
+            continue; // heap file never materialized
+        };
+        let pages = f.metadata()?.len() / PAGE_SIZE as u64;
+        let mut touched_file = false;
+        for pid in 0..pages {
+            let off = pid * PAGE_SIZE as u64;
+            let mut raw = [0u8; PAGE_SIZE];
+            if f.read_exact_at(&mut raw, off).is_err() {
+                continue; // short tail: never a full page
+            }
+            // Leave non-verifying pages for the pool's corruption
+            // detection — restamping them would bless garbage.
+            if !verify_checksum(&raw) {
+                continue;
+            }
+            let mut page = Page::from_bytes(raw);
+            if page.special0() != 1 {
+                continue; // overflow or fresh page: no slot headers
+            }
+            let mut touched = false;
+            for slot in 0..page.slot_count() {
+                let Some(rec) = page.get_mut(slot) else { continue };
+                if rec.len() < 16 {
+                    continue;
+                }
+                let xmin = u64::from_le_bytes(rec[0..8].try_into().unwrap());
+                let xmax = u64::from_le_bytes(rec[8..16].try_into().unwrap());
+                report.max_txid = report.max_txid.max(xmin).max(xmax);
+                if xmin != 0 && !decided(xmin) {
+                    rec[0..8].copy_from_slice(&0u64.to_le_bytes());
+                    report.versions_stamped_dead += 1;
+                    touched = true;
+                } else if xmax != 0 && !decided(xmax) {
+                    rec[8..16].copy_from_slice(&0u64.to_le_bytes());
+                    report.xmax_cleared += 1;
+                    touched = true;
+                }
+            }
+            if touched {
+                // Keep the LSN (redo ordering is untouched); refresh the
+                // trailer over the edited headers.
+                page.stamp_checksum();
+                f.write_all_at(page.bytes(), off)?;
+                touched_file = true;
+            }
+        }
+        if touched_file {
+            f.sync_data()?;
+        }
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -214,6 +321,92 @@ mod tests {
         assert_eq!(report.skipped_pages, 1);
         let raw = std::fs::read(data_file_path(&dir, 1)).unwrap();
         assert_eq!(&raw[..PAGE_SIZE], &newer.bytes()[..]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn undo_stamps_uncommitted_and_clears_claims() {
+        let dir = tmp_dir("undo");
+        // The log carries commit evidence for txn 5 only; txn 7 crashed
+        // mid-flight. No txn.meta: the watermark defaults to 2, so both
+        // ids are judged by the committed set.
+        let wal = Wal::open(&dir, None).unwrap();
+        wal.log_commit(5);
+        wal.sync().unwrap();
+        drop(wal);
+        let rec = |xmin: u64, xmax: u64, body: &[u8]| {
+            let mut r = Vec::new();
+            r.extend_from_slice(&xmin.to_le_bytes());
+            r.extend_from_slice(&xmax.to_le_bytes());
+            r.extend_from_slice(body);
+            r
+        };
+        let mut p = Page::new();
+        p.set_special0(1); // data page
+        p.insert(&rec(5, 0, b"keep")).unwrap();
+        p.insert(&rec(7, 0, b"uncommitted insert")).unwrap();
+        p.insert(&rec(5, 7, b"uncommitted delete claim")).unwrap();
+        p.stamp_checksum();
+        std::fs::write(data_file_path(&dir, 1), p.bytes()).unwrap();
+
+        let report = undo_uncommitted(&dir, &[1]).unwrap();
+        assert_eq!(report.committed_txns, 1);
+        assert_eq!(report.versions_stamped_dead, 1);
+        assert_eq!(report.xmax_cleared, 1);
+        assert_eq!(report.max_txid, 7);
+
+        let raw: [u8; PAGE_SIZE] =
+            std::fs::read(data_file_path(&dir, 1)).unwrap().try_into().unwrap();
+        assert!(verify_checksum(&raw), "sweep must restamp the trailer");
+        let q = Page::from_bytes(raw);
+        let hdr = |slot: usize| {
+            let r = q.get(slot).unwrap();
+            (
+                u64::from_le_bytes(r[0..8].try_into().unwrap()),
+                u64::from_le_bytes(r[8..16].try_into().unwrap()),
+            )
+        };
+        assert_eq!(hdr(0), (5, 0), "committed row untouched");
+        assert_eq!(hdr(1), (0, 0), "uncommitted insert stamped dead");
+        assert_eq!(hdr(2), (5, 0), "uncommitted claim cleared");
+
+        // Idempotent: a second sweep changes nothing.
+        let again = undo_uncommitted(&dir, &[1]).unwrap();
+        assert_eq!(again.versions_stamped_dead, 0);
+        assert_eq!(again.xmax_cleared, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn undo_trusts_ids_below_the_watermark() {
+        let dir = tmp_dir("undowm");
+        // Empty log (no commit records at all) but a watermark of 10:
+        // ids below 10 were decided before the last checkpoint.
+        let wal = Wal::open(&dir, None).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        crate::txn::write_txn_meta(&dir, 10, 12).unwrap();
+        let rec = |xmin: u64, xmax: u64| {
+            let mut r = Vec::new();
+            r.extend_from_slice(&xmin.to_le_bytes());
+            r.extend_from_slice(&xmax.to_le_bytes());
+            r.extend_from_slice(b"x");
+            r
+        };
+        let mut p = Page::new();
+        p.set_special0(1);
+        p.insert(&rec(9, 0)).unwrap(); // below watermark: keep
+        p.insert(&rec(11, 0)).unwrap(); // above, no commit record: dead
+        p.stamp_checksum();
+        std::fs::write(data_file_path(&dir, 1), p.bytes()).unwrap();
+        let report = undo_uncommitted(&dir, &[1]).unwrap();
+        assert_eq!(report.versions_stamped_dead, 1);
+        assert_eq!(report.max_txid, 11);
+        let raw: [u8; PAGE_SIZE] =
+            std::fs::read(data_file_path(&dir, 1)).unwrap().try_into().unwrap();
+        let q = Page::from_bytes(raw);
+        assert_eq!(u64::from_le_bytes(q.get(0).unwrap()[0..8].try_into().unwrap()), 9);
+        assert_eq!(u64::from_le_bytes(q.get(1).unwrap()[0..8].try_into().unwrap()), 0);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -46,6 +46,12 @@ pub enum Statement {
     },
     /// `EXPLAIN <select>` — returns the planner's decision log.
     Explain(Box<Statement>),
+    /// `BEGIN [TRANSACTION | WORK]` — open an explicit transaction.
+    Begin,
+    /// `COMMIT [TRANSACTION | WORK]` — commit the open transaction.
+    Commit,
+    /// `ROLLBACK [TRANSACTION | WORK]` — abort the open transaction.
+    Rollback,
 }
 
 /// A SELECT query.

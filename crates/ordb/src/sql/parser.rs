@@ -1,7 +1,9 @@
 //! Recursive-descent SQL parser for the subset the workloads use:
 //! `SELECT` (with DISTINCT, joins, lateral `TABLE(fn(...))`, WHERE,
-//! GROUP BY, ORDER BY, LIMIT), `CREATE TABLE`, `CREATE INDEX`, and
-//! `INSERT … VALUES`.
+//! GROUP BY, ORDER BY, LIMIT), `CREATE TABLE`, `CREATE INDEX`,
+//! `INSERT … VALUES`, `DELETE`, `DROP`, and the transaction-control
+//! statements `BEGIN` / `COMMIT` / `ROLLBACK` (optionally followed by
+//! the `TRANSACTION` / `WORK` noise word).
 
 use crate::error::{DbError, Result};
 use crate::expr::CmpOp;
@@ -135,7 +137,27 @@ impl Parser {
             let inner = self.statement()?;
             return Ok(Statement::Explain(Box::new(inner)));
         }
-        Err(self.err("expected SELECT, CREATE, INSERT, DELETE, DROP, or EXPLAIN"))
+        if self.eat_kw("begin") {
+            self.eat_txn_noise();
+            return Ok(Statement::Begin);
+        }
+        if self.eat_kw("commit") {
+            self.eat_txn_noise();
+            return Ok(Statement::Commit);
+        }
+        if self.eat_kw("rollback") {
+            self.eat_txn_noise();
+            return Ok(Statement::Rollback);
+        }
+        Err(self.err(
+            "expected SELECT, CREATE, INSERT, DELETE, DROP, EXPLAIN, BEGIN, COMMIT, or ROLLBACK",
+        ))
+    }
+
+    /// The optional `TRANSACTION` / `WORK` noise word after
+    /// BEGIN/COMMIT/ROLLBACK.
+    fn eat_txn_noise(&mut self) {
+        let _ = self.eat_kw("transaction") || self.eat_kw("work");
     }
 
     fn create_table(&mut self) -> Result<Statement> {
@@ -578,6 +600,19 @@ fn is_clause_kw(s: &str) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parses_transaction_statements() {
+        assert_eq!(parse_statement("BEGIN").unwrap(), Statement::Begin);
+        assert_eq!(parse_statement("begin transaction").unwrap(), Statement::Begin);
+        assert_eq!(parse_statement("BEGIN WORK").unwrap(), Statement::Begin);
+        assert_eq!(parse_statement("COMMIT").unwrap(), Statement::Commit);
+        assert_eq!(parse_statement("commit work").unwrap(), Statement::Commit);
+        assert_eq!(parse_statement("ROLLBACK").unwrap(), Statement::Rollback);
+        assert_eq!(parse_statement("ROLLBACK TRANSACTION").unwrap(), Statement::Rollback);
+        // Trailing garbage is still rejected.
+        assert!(parse_statement("BEGIN EXTRA").is_err());
+    }
 
     #[test]
     fn parses_simple_select() {

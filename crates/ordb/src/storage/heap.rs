@@ -1,9 +1,21 @@
-//! Heap files: unordered record storage with big-record overflow chains.
+//! Heap files: unordered record storage with big-record overflow chains
+//! and per-record MVCC version headers.
 //!
-//! Records that fit in a page are stored in slotted pages directly. A
-//! record larger than [`OVERFLOW_THRESHOLD`] is written to a chain of
-//! dedicated overflow pages and represented in the slot by a small stub —
-//! XADT fragments (whole XML subtrees, paper §3.3) routinely exceed a page.
+//! Every slot record begins with a 16-byte version header —
+//! `xmin: u64 LE` (creating transaction) followed by `xmax: u64 LE`
+//! (deleting transaction, 0 = live). The header always lives inline in
+//! the slot, never in an overflow chain, so visibility checks and
+//! `xmax` claims touch exactly one page under its latch.
+//!
+//! Bodies that fit in a page are stored in slotted pages directly. A
+//! body larger than [`OVERFLOW_THRESHOLD`] is written to a chain of
+//! dedicated overflow pages and represented after the header by a small
+//! stub — XADT fragments (whole XML subtrees, paper §3.3) routinely
+//! exceed a page.
+//!
+//! Slots are append-only: [`crate::storage::page::Page::insert`] never
+//! reuses a dead slot, so a dangling index entry (left by a rolled-back
+//! insert) can never alias a newer record.
 
 use std::sync::Arc;
 
@@ -13,8 +25,12 @@ use crate::error::{DbError, Result};
 use crate::storage::buffer::{BufferPool, FileId};
 use crate::storage::page::{Page, PAGE_SIZE, PAGE_TRAILER};
 
-/// Records above this size go to an overflow chain.
+/// Record bodies above this size go to an overflow chain.
 pub const OVERFLOW_THRESHOLD: usize = PAGE_SIZE / 2;
+
+/// Bytes of version header (`xmin` + `xmax`) at the start of every slot
+/// record.
+pub const VERSION_HEADER: usize = 16;
 
 /// Stub marker byte. Tuple encodings start with a field tag (0..=4), so a
 /// leading `0xFF` unambiguously identifies a stub.
@@ -51,6 +67,34 @@ impl Rid {
     }
 }
 
+/// One materialized record version: where it lives, who wrote and
+/// deleted it, and its body bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Version {
+    /// Slot address.
+    pub rid: Rid,
+    /// Creating transaction id.
+    pub xmin: u64,
+    /// Deleting transaction id (0 = live).
+    pub xmax: u64,
+    /// The record body (overflow chains resolved).
+    pub body: Vec<u8>,
+}
+
+/// Outcome of [`HeapFile::try_claim_xmax`] (first-updater-wins).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClaimOutcome {
+    /// `xmax` was unset; it now carries the caller's transaction id.
+    Claimed,
+    /// The caller had already claimed this version.
+    OwnedBySelf,
+    /// Another transaction holds the claim — write-write conflict.
+    Conflict(u64),
+    /// The slot is missing or stamped dead (e.g. a concurrent rollback
+    /// physically removed it).
+    Gone,
+}
+
 /// Checked conversion of a page-local slot index into the `u16` a [`Rid`]
 /// carries. A plain `as u16` cast would silently truncate a slot ≥ 65536
 /// into a *wrong but valid-looking* `Rid` — today's 8 KiB pages cannot
@@ -59,6 +103,29 @@ impl Rid {
 fn rid_slot(slot: usize) -> Result<u16> {
     u16::try_from(slot)
         .map_err(|_| DbError::Exec(format!("slot index {slot} exceeds the Rid slot range")))
+}
+
+/// Split a raw slot record into `(xmin, xmax, payload)`.
+fn split_version(raw: &[u8]) -> Result<(u64, u64, &[u8])> {
+    if raw.len() < VERSION_HEADER {
+        return Err(DbError::Corrupt(format!(
+            "slot record of {} bytes is shorter than the version header",
+            raw.len()
+        )));
+    }
+    let xmin = u64::from_le_bytes(raw[0..8].try_into().unwrap());
+    let xmax = u64::from_le_bytes(raw[8..16].try_into().unwrap());
+    Ok((xmin, xmax, &raw[VERSION_HEADER..]))
+}
+
+fn is_stub(payload: &[u8]) -> bool {
+    payload.first() == Some(&STUB_MARK) && payload.len() == STUB_LEN
+}
+
+fn stub_target(payload: &[u8]) -> (u32, usize) {
+    let first = u32::from_le_bytes(payload[1..5].try_into().unwrap());
+    let total = u32::from_le_bytes(payload[5..9].try_into().unwrap()) as usize;
+    (first, total)
 }
 
 /// A heap file handle. Cheap to clone.
@@ -90,11 +157,21 @@ impl HeapFile {
         self.pool.file_size(self.file)
     }
 
-    /// Insert a record, returning its [`Rid`].
-    pub fn insert(&self, record: &[u8]) -> Result<Rid> {
-        if record.len() > OVERFLOW_THRESHOLD {
-            return self.insert_overflow(record);
+    /// Insert a record body stamped with creating transaction `xmin`
+    /// (`xmax` starts unset), returning its [`Rid`].
+    pub fn insert(&self, body: &[u8], xmin: u64) -> Result<Rid> {
+        if body.len() > OVERFLOW_THRESHOLD {
+            return self.insert_overflow(body, xmin);
         }
+        let mut record = Vec::with_capacity(VERSION_HEADER + body.len());
+        record.extend_from_slice(&xmin.to_le_bytes());
+        record.extend_from_slice(&0u64.to_le_bytes());
+        record.extend_from_slice(body);
+        self.insert_slot(&record)
+    }
+
+    /// Place a fully-formed `[xmin][xmax][payload]` record in a slot.
+    fn insert_slot(&self, record: &[u8]) -> Result<Rid> {
         // Try the hinted page first.
         let hint = *self.insert_hint.lock();
         if let Some(pid) = hint {
@@ -129,10 +206,10 @@ impl HeapFile {
         }
     }
 
-    fn insert_overflow(&self, record: &[u8]) -> Result<Rid> {
+    fn insert_overflow(&self, body: &[u8], xmin: u64) -> Result<Rid> {
         // Write the chain back-to-front so each page knows its successor.
         let mut next = OVF_END;
-        let chunks: Vec<&[u8]> = record.chunks(OVF_CAPACITY).collect();
+        let chunks: Vec<&[u8]> = body.chunks(OVF_CAPACITY).collect();
         for chunk in chunks.iter().rev() {
             let (pid, frame) = self.pool.allocate(self.file)?;
             let mut page = frame.page.lock();
@@ -144,31 +221,25 @@ impl HeapFile {
             frame.mark_dirty();
             next = pid;
         }
-        let mut stub = [0u8; STUB_LEN];
-        stub[0] = STUB_MARK;
-        stub[1..5].copy_from_slice(&next.to_le_bytes());
-        stub[5..9].copy_from_slice(&(record.len() as u32).to_le_bytes());
-
-        // Store the stub like a normal small record.
-        let hint = *self.insert_hint.lock();
-        if let Some(pid) = hint {
-            if let Some(rid) = self.try_insert_into(pid, &stub)? {
-                return Ok(rid);
-            }
-        }
-        let (pid, frame) = self.pool.allocate(self.file)?;
-        let mut page = frame.page.lock();
-        mark_data_page(&mut page);
-        let slot = page.insert(&stub).expect("stub fits in an empty page");
-        frame.mark_dirty();
-        *self.insert_hint.lock() = Some(pid);
-        Ok(Rid { page: pid, slot: rid_slot(slot)? })
+        let mut record = [0u8; VERSION_HEADER + STUB_LEN];
+        record[0..8].copy_from_slice(&xmin.to_le_bytes());
+        // xmax stays zero.
+        record[VERSION_HEADER] = STUB_MARK;
+        record[VERSION_HEADER + 1..VERSION_HEADER + 5].copy_from_slice(&next.to_le_bytes());
+        record[VERSION_HEADER + 5..VERSION_HEADER + 9]
+            .copy_from_slice(&(body.len() as u32).to_le_bytes());
+        self.insert_slot(&record)
     }
 
-    /// Delete the record at `rid`. Overflow chains are left as garbage
-    /// (no free-space map; the workloads are insert-dominated) but the
-    /// record disappears from scans and `get`.
+    /// Physically delete the record at `rid` (rollback of an insert —
+    /// MVCC deletes go through [`HeapFile::try_claim_xmax`] instead).
+    /// Overflow chains are left as garbage (no free-space map; the
+    /// workloads are insert-dominated) but the record disappears from
+    /// scans and `get`.
     pub fn delete(&self, rid: Rid) -> Result<bool> {
+        if rid.page >= self.page_count()? {
+            return Ok(false);
+        }
         let frame = self.pool.fetch(self.file, rid.page)?;
         let mut page = frame.page.lock();
         if page.get(rid.slot as usize).is_none() {
@@ -179,21 +250,93 @@ impl HeapFile {
         Ok(true)
     }
 
-    /// Read the record at `rid`, resolving overflow chains.
+    /// Read the record body at `rid`, resolving overflow chains.
+    /// Errors if the slot is missing — callers that must tolerate
+    /// concurrent rollback use [`HeapFile::get_versioned`].
     pub fn get(&self, rid: Rid) -> Result<Vec<u8>> {
+        match self.get_versioned(rid)? {
+            Some(v) => Ok(v.body),
+            None => Err(DbError::Corrupt(format!("no record at {rid:?}"))),
+        }
+    }
+
+    /// Read the full version at `rid`: `None` if the slot is missing,
+    /// dead, or stamped dead by recovery (`xmin == 0`).
+    pub fn get_versioned(&self, rid: Rid) -> Result<Option<Version>> {
+        if rid.page >= self.page_count()? {
+            return Ok(None);
+        }
         let frame = self.pool.fetch(self.file, rid.page)?;
         let page = frame.page.lock();
-        let raw = page
-            .get(rid.slot as usize)
-            .ok_or_else(|| DbError::Corrupt(format!("no record at {rid:?}")))?;
-        if raw.first() == Some(&STUB_MARK) && raw.len() == STUB_LEN {
-            let first = u32::from_le_bytes(raw[1..5].try_into().unwrap());
-            let total = u32::from_le_bytes(raw[5..9].try_into().unwrap()) as usize;
-            drop(page);
-            self.read_overflow(first, total)
-        } else {
-            Ok(raw.to_vec())
+        if !is_data_page(&page) {
+            return Ok(None);
         }
+        let Some(raw) = page.get(rid.slot as usize) else {
+            return Ok(None);
+        };
+        let (xmin, xmax, payload) = split_version(raw)?;
+        if xmin == 0 {
+            return Ok(None);
+        }
+        if is_stub(payload) {
+            let (first, total) = stub_target(payload);
+            drop(page);
+            let body = self.read_overflow(first, total)?;
+            Ok(Some(Version { rid, xmin, xmax, body }))
+        } else {
+            Ok(Some(Version { rid, xmin, xmax, body: payload.to_vec() }))
+        }
+    }
+
+    /// Try to claim the `xmax` of the version at `rid` for transaction
+    /// `txid` — the first-updater-wins write-write conflict check, done
+    /// atomically under the page latch.
+    pub fn try_claim_xmax(&self, rid: Rid, txid: u64) -> Result<ClaimOutcome> {
+        if rid.page >= self.page_count()? {
+            return Ok(ClaimOutcome::Gone);
+        }
+        let frame = self.pool.fetch(self.file, rid.page)?;
+        let mut page = frame.page.lock();
+        let Some(raw) = page.get_mut(rid.slot as usize) else {
+            return Ok(ClaimOutcome::Gone);
+        };
+        if raw.len() < VERSION_HEADER {
+            return Err(DbError::Corrupt(format!("slot record at {rid:?} has no version header")));
+        }
+        let xmin = u64::from_le_bytes(raw[0..8].try_into().unwrap());
+        if xmin == 0 {
+            return Ok(ClaimOutcome::Gone);
+        }
+        let xmax = u64::from_le_bytes(raw[8..16].try_into().unwrap());
+        if xmax == 0 {
+            raw[8..16].copy_from_slice(&txid.to_le_bytes());
+            frame.mark_dirty();
+            Ok(ClaimOutcome::Claimed)
+        } else if xmax == txid {
+            Ok(ClaimOutcome::OwnedBySelf)
+        } else {
+            Ok(ClaimOutcome::Conflict(xmax))
+        }
+    }
+
+    /// Clear the `xmax` of the version at `rid` (rollback of a delete
+    /// claim). A missing slot is fine — the row may have been inserted
+    /// and rolled back by the same transaction.
+    pub fn clear_xmax(&self, rid: Rid) -> Result<()> {
+        if rid.page >= self.page_count()? {
+            return Ok(());
+        }
+        let frame = self.pool.fetch(self.file, rid.page)?;
+        let mut page = frame.page.lock();
+        let Some(raw) = page.get_mut(rid.slot as usize) else {
+            return Ok(());
+        };
+        if raw.len() < VERSION_HEADER {
+            return Err(DbError::Corrupt(format!("slot record at {rid:?} has no version header")));
+        }
+        raw[8..16].copy_from_slice(&0u64.to_le_bytes());
+        frame.mark_dirty();
+        Ok(())
     }
 
     fn read_overflow(&self, first: u32, total: usize) -> Result<Vec<u8>> {
@@ -220,8 +363,9 @@ impl HeapFile {
         Ok(out)
     }
 
-    /// Visit every record in file order: `f(rid, bytes)`.
-    pub fn scan(&self, mut f: impl FnMut(Rid, Vec<u8>) -> Result<bool>) -> Result<()> {
+    /// Visit every non-dead version in file order: `f(version)`.
+    /// Versions stamped dead by recovery (`xmin == 0`) are skipped.
+    pub fn scan(&self, mut f: impl FnMut(Version) -> Result<bool>) -> Result<()> {
         let pages = self.page_count()?;
         for pid in 0..pages {
             let frame = self.pool.fetch(self.file, pid)?;
@@ -236,25 +380,28 @@ impl HeapFile {
                 Direct(Vec<u8>),
                 Overflow { first: u32, total: usize },
             }
-            let mut pending: Vec<(u16, Pending)> = Vec::new();
+            let mut pending: Vec<(u16, u64, u64, Pending)> = Vec::new();
             for slot in 0..n {
                 if let Some(raw) = page.get(slot) {
-                    if raw.first() == Some(&STUB_MARK) && raw.len() == STUB_LEN {
-                        let first = u32::from_le_bytes(raw[1..5].try_into().unwrap());
-                        let total = u32::from_le_bytes(raw[5..9].try_into().unwrap()) as usize;
-                        pending.push((slot as u16, Pending::Overflow { first, total }));
+                    let (xmin, xmax, payload) = split_version(raw)?;
+                    if xmin == 0 {
+                        continue;
+                    }
+                    if is_stub(payload) {
+                        let (first, total) = stub_target(payload);
+                        pending.push((slot as u16, xmin, xmax, Pending::Overflow { first, total }));
                     } else {
-                        pending.push((slot as u16, Pending::Direct(raw.to_vec())));
+                        pending.push((slot as u16, xmin, xmax, Pending::Direct(payload.to_vec())));
                     }
                 }
             }
             drop(page);
-            for (slot, rec) in pending {
-                let bytes = match rec {
+            for (slot, xmin, xmax, rec) in pending {
+                let body = match rec {
                     Pending::Direct(b) => b,
                     Pending::Overflow { first, total } => self.read_overflow(first, total)?,
                 };
-                if !f(Rid { page: pid, slot }, bytes)? {
+                if !f(Version { rid: Rid { page: pid, slot }, xmin, xmax, body })? {
                     return Ok(());
                 }
             }
@@ -262,10 +409,11 @@ impl HeapFile {
         Ok(())
     }
 
-    /// Total records (scans the file).
+    /// Total non-dead versions (scans the file; includes versions with a
+    /// pending or committed delete claim).
     pub fn count(&self) -> Result<u64> {
         let mut n = 0;
-        self.scan(|_, _| {
+        self.scan(|_| {
             n += 1;
             Ok(true)
         })?;
@@ -273,8 +421,9 @@ impl HeapFile {
     }
 }
 
-/// Pull-style cursor over a heap file. Resolves overflow stubs. Owns its
-/// heap handle so operators can store it without self-references.
+/// Pull-style cursor over a heap file yielding non-dead versions.
+/// Resolves overflow stubs. Owns its heap handle so operators can store
+/// it without self-references.
 pub struct HeapCursor {
     heap: Arc<HeapFile>,
     page: u32,
@@ -289,9 +438,9 @@ impl HeapCursor {
         HeapCursor { heap, page: 0, slot: 0, page_kind_known: false, is_data: false }
     }
 
-    /// Next record, or `None` at end of file.
+    /// Next version, or `None` at end of file.
     #[allow(clippy::should_implement_trait)] // fallible iterator
-    pub fn next(&mut self) -> Result<Option<(Rid, Vec<u8>)>> {
+    pub fn next(&mut self) -> Result<Option<Version>> {
         loop {
             let pages = self.heap.page_count()?;
             if self.page >= pages {
@@ -313,14 +462,18 @@ impl HeapCursor {
             let slot = self.slot;
             self.slot += 1;
             let Some(raw) = page.get(slot) else { continue };
-            let rid = Rid { page: self.page, slot: slot as u16 };
-            if raw.first() == Some(&STUB_MARK) && raw.len() == STUB_LEN {
-                let first = u32::from_le_bytes(raw[1..5].try_into().unwrap());
-                let total = u32::from_le_bytes(raw[5..9].try_into().unwrap()) as usize;
-                drop(page);
-                return Ok(Some((rid, self.heap.read_overflow(first, total)?)));
+            let (xmin, xmax, payload) = split_version(raw)?;
+            if xmin == 0 {
+                continue;
             }
-            return Ok(Some((rid, raw.to_vec())));
+            let rid = Rid { page: self.page, slot: slot as u16 };
+            if is_stub(payload) {
+                let (first, total) = stub_target(payload);
+                drop(page);
+                let body = self.heap.read_overflow(first, total)?;
+                return Ok(Some(Version { rid, xmin, xmax, body }));
+            }
+            return Ok(Some(Version { rid, xmin, xmax, body: payload.to_vec() }));
         }
     }
 }
@@ -357,6 +510,9 @@ fn overflow_body_mut(p: &mut Page) -> &mut [u8] {
 mod tests {
     use super::*;
 
+    /// Transaction id used by tests that don't exercise versioning.
+    const XMIN: u64 = 2;
+
     fn heap(tag: &str) -> HeapFile {
         let dir = std::env::temp_dir().join(format!("ordb-heap-{tag}-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -370,17 +526,19 @@ mod tests {
     #[test]
     fn insert_get_roundtrip() {
         let h = heap("basic");
-        let r1 = h.insert(b"alpha").unwrap();
-        let r2 = h.insert(b"beta").unwrap();
+        let r1 = h.insert(b"alpha", XMIN).unwrap();
+        let r2 = h.insert(b"beta", XMIN).unwrap();
         assert_eq!(h.get(r1).unwrap(), b"alpha");
         assert_eq!(h.get(r2).unwrap(), b"beta");
+        let v = h.get_versioned(r1).unwrap().unwrap();
+        assert_eq!((v.xmin, v.xmax), (XMIN, 0));
     }
 
     #[test]
     fn many_records_spill_to_new_pages() {
         let h = heap("spill");
         let rec = vec![9u8; 500];
-        let rids: Vec<Rid> = (0..100).map(|_| h.insert(&rec).unwrap()).collect();
+        let rids: Vec<Rid> = (0..100).map(|_| h.insert(&rec, XMIN).unwrap()).collect();
         assert!(h.page_count().unwrap() > 5);
         for rid in &rids {
             assert_eq!(h.get(*rid).unwrap(), rec);
@@ -392,14 +550,18 @@ mod tests {
     fn overflow_round_trip() {
         let h = heap("ovf");
         let big: Vec<u8> = (0..40_000u32).map(|i| (i % 251) as u8).collect();
-        let rid = h.insert(&big).unwrap();
+        let rid = h.insert(&big, XMIN).unwrap();
         assert_eq!(h.get(rid).unwrap(), big);
         // Interleave small records and another big one.
-        let small = h.insert(b"small").unwrap();
+        let small = h.insert(b"small", XMIN).unwrap();
         let big2 = vec![1u8; PAGE_SIZE + 17];
-        let rid2 = h.insert(&big2).unwrap();
+        let rid2 = h.insert(&big2, XMIN).unwrap();
         assert_eq!(h.get(small).unwrap(), b"small");
         assert_eq!(h.get(rid2).unwrap(), big2);
+        // The version header of an overflow record stays inline.
+        let v = h.get_versioned(rid).unwrap().unwrap();
+        assert_eq!((v.xmin, v.xmax), (XMIN, 0));
+        assert_eq!(v.body, big);
     }
 
     #[test]
@@ -408,16 +570,16 @@ mod tests {
         let mut expected = Vec::new();
         for i in 0..50u32 {
             let rec = i.to_le_bytes().to_vec();
-            h.insert(&rec).unwrap();
+            h.insert(&rec, XMIN).unwrap();
             expected.push(rec);
         }
         // One overflow record in the middle of the file.
         let big = vec![7u8; 20_000];
-        h.insert(&big).unwrap();
+        h.insert(&big, XMIN).unwrap();
         expected.push(big);
         let mut seen = Vec::new();
-        h.scan(|_, b| {
-            seen.push(b);
+        h.scan(|v| {
+            seen.push(v.body);
             Ok(true)
         })
         .unwrap();
@@ -430,15 +592,43 @@ mod tests {
     fn scan_early_exit() {
         let h = heap("exit");
         for i in 0..10u32 {
-            h.insert(&i.to_le_bytes()).unwrap();
+            h.insert(&i.to_le_bytes(), XMIN).unwrap();
         }
         let mut n = 0;
-        h.scan(|_, _| {
+        h.scan(|_| {
             n += 1;
             Ok(n < 3)
         })
         .unwrap();
         assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn claim_xmax_first_updater_wins() {
+        let h = heap("claim");
+        let rid = h.insert(b"row", 2).unwrap();
+        assert_eq!(h.try_claim_xmax(rid, 5).unwrap(), ClaimOutcome::Claimed);
+        assert_eq!(h.try_claim_xmax(rid, 5).unwrap(), ClaimOutcome::OwnedBySelf);
+        assert_eq!(h.try_claim_xmax(rid, 6).unwrap(), ClaimOutcome::Conflict(5));
+        let v = h.get_versioned(rid).unwrap().unwrap();
+        assert_eq!(v.xmax, 5);
+        // Rollback of the claim re-opens the version.
+        h.clear_xmax(rid).unwrap();
+        assert_eq!(h.try_claim_xmax(rid, 6).unwrap(), ClaimOutcome::Claimed);
+    }
+
+    #[test]
+    fn deleted_and_missing_slots_read_as_gone() {
+        let h = heap("gone");
+        let rid = h.insert(b"row", 2).unwrap();
+        assert!(h.delete(rid).unwrap());
+        assert!(h.get_versioned(rid).unwrap().is_none());
+        assert_eq!(h.try_claim_xmax(rid, 5).unwrap(), ClaimOutcome::Gone);
+        // A rid past the end of the file (never inserted) is also Gone.
+        let bogus = Rid { page: 999, slot: 0 };
+        assert!(h.get_versioned(bogus).unwrap().is_none());
+        assert_eq!(h.try_claim_xmax(bogus, 5).unwrap(), ClaimOutcome::Gone);
+        assert!(!h.delete(bogus).unwrap());
     }
 
     #[test]

@@ -229,6 +229,20 @@ impl Page {
         Some(&self.data[off..off + len as usize])
     }
 
+    /// Mutable view of the record in slot `idx` for in-place rewrites
+    /// that keep the length (the heap uses this to stamp `xmin`/`xmax`
+    /// version headers under the page latch).
+    pub fn get_mut(&mut self, idx: usize) -> Option<&mut [u8]> {
+        if idx >= self.slot_count() {
+            return None;
+        }
+        let (off, len) = self.slot(idx);
+        if len == DEAD {
+            return None;
+        }
+        Some(&mut self.data[off..off + len as usize])
+    }
+
     /// Mark slot `idx` dead. The record bytes become reclaimable garbage
     /// removed by the next [`Page::compact`].
     pub fn delete(&mut self, idx: usize) {

@@ -57,6 +57,11 @@ pub const WAL_MAGIC: u32 = 0x5741_4C52;
 pub const REC_PAGE_IMAGE: u8 = 1;
 /// Record kind: checkpoint (log reset marker carrying the LSN cursor).
 pub const REC_CHECKPOINT: u8 = 2;
+/// Record kind: transaction commit (payload = 8-byte LE transaction id).
+/// Recovery treats a transaction as committed iff its commit record is
+/// in the valid log prefix (or its id is below the `txn.meta`
+/// watermark); versions of any other transaction are stamped dead.
+pub const REC_TXN_COMMIT: u8 = 3;
 /// Fixed record header size in bytes.
 pub const REC_HEADER: usize = 28;
 /// File name of the log inside a database directory.
@@ -82,6 +87,13 @@ pub struct WalStats {
     pub fsyncs: u64,
     /// Checkpoints taken (log truncations).
     pub checkpoints: u64,
+    /// Transaction commit records appended.
+    pub commit_records: u64,
+    /// Group-commit flushes performed by a leader on behalf of a batch.
+    pub group_commits: u64,
+    /// [`Wal::sync_group`] calls satisfied without their own fsync
+    /// (piggybacked on a concurrent leader's flush).
+    pub fsyncs_saved: u64,
 }
 
 impl WalStats {
@@ -92,6 +104,9 @@ impl WalStats {
             bytes: self.bytes - earlier.bytes,
             fsyncs: self.fsyncs - earlier.fsyncs,
             checkpoints: self.checkpoints - earlier.checkpoints,
+            commit_records: self.commit_records - earlier.commit_records,
+            group_commits: self.group_commits - earlier.group_commits,
+            fsyncs_saved: self.fsyncs_saved - earlier.fsyncs_saved,
         }
     }
 }
@@ -119,6 +134,14 @@ pub struct Wal {
     bytes: AtomicU64,
     fsyncs: AtomicU64,
     checkpoints: AtomicU64,
+    commit_records: AtomicU64,
+    group_commits: AtomicU64,
+    fsyncs_saved: AtomicU64,
+    /// Group-commit leader election (separate from `inner` so followers
+    /// can wait without blocking appends). `std::sync` because the
+    /// parking_lot shim has no condvar.
+    group: std::sync::Mutex<bool>,
+    group_cv: std::sync::Condvar,
 }
 
 fn encode_header(kind: u8, lsn: u64, file_id: u32, pid: u32, payload: &[u8]) -> [u8; REC_HEADER] {
@@ -199,6 +222,11 @@ impl Wal {
             bytes: AtomicU64::new(0),
             fsyncs: AtomicU64::new(0),
             checkpoints: AtomicU64::new(0),
+            commit_records: AtomicU64::new(0),
+            group_commits: AtomicU64::new(0),
+            fsyncs_saved: AtomicU64::new(0),
+            group: std::sync::Mutex::new(false),
+            group_cv: std::sync::Condvar::new(),
         })
     }
 
@@ -219,6 +247,9 @@ impl Wal {
             bytes: self.bytes.load(Ordering::Relaxed),
             fsyncs: self.fsyncs.load(Ordering::Relaxed),
             checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            commit_records: self.commit_records.load(Ordering::Relaxed),
+            group_commits: self.group_commits.load(Ordering::Relaxed),
+            fsyncs_saved: self.fsyncs_saved.load(Ordering::Relaxed),
         }
     }
 
@@ -237,6 +268,58 @@ impl Wal {
         self.appends.fetch_add(1, Ordering::Relaxed);
         self.bytes.fetch_add(record_size(PAGE_SIZE) as u64, Ordering::Relaxed);
         lsn
+    }
+
+    /// Append a commit record for transaction `txid` and return its
+    /// LSN. Buffered only — pair with [`Wal::sync_group`] (durable
+    /// commit) or leave it to ride along with the next flush (lazy
+    /// autocommit, durable at the next `Database::commit`).
+    pub fn log_commit(&self, txid: u64) -> u64 {
+        let mut inner = self.inner.lock();
+        let lsn = self.next_lsn.fetch_add(1, Ordering::SeqCst);
+        let payload = txid.to_le_bytes();
+        append_record(&mut inner.buf, REC_TXN_COMMIT, lsn, 0, 0, &payload);
+        inner.len += record_size(payload.len()) as u64;
+        self.commit_records.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(record_size(payload.len()) as u64, Ordering::Relaxed);
+        lsn
+    }
+
+    /// Group commit: make the record at `lsn` durable, batching
+    /// concurrent callers into one fsync. The first caller to find no
+    /// flush in progress becomes the leader and flushes the whole
+    /// buffer (covering every record appended so far, including the
+    /// followers' commit records); the rest wait on a condvar and
+    /// usually wake already durable.
+    pub fn sync_group(&self, lsn: u64) -> Result<()> {
+        loop {
+            if self.durable_lsn.load(Ordering::SeqCst) >= lsn {
+                self.fsyncs_saved.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+            let mut flushing = self.group.lock().expect("group commit lock");
+            if self.durable_lsn.load(Ordering::SeqCst) >= lsn {
+                drop(flushing);
+                self.fsyncs_saved.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+            if !*flushing {
+                *flushing = true;
+                drop(flushing);
+                let r = self.sync();
+                let mut flushing = self.group.lock().expect("group commit lock");
+                *flushing = false;
+                self.group_cv.notify_all();
+                drop(flushing);
+                self.group_commits.fetch_add(1, Ordering::Relaxed);
+                return r;
+            }
+            // A leader is flushing: wait for its result, then re-check.
+            // (A spurious wakeup just loops; if the leader's flush
+            // failed, the next iteration elects a new leader which
+            // surfaces the error to its own caller.)
+            let _g = self.group_cv.wait(flushing).expect("group commit wait");
+        }
     }
 
     fn flush_locked(&self, inner: &mut WalInner) -> Result<()> {
@@ -277,6 +360,15 @@ impl Wal {
     /// have flushed and fsync'd every data page first — otherwise redo
     /// information is lost.
     pub fn checkpoint_truncate(&self) -> Result<()> {
+        self.checkpoint_truncate_with(&[])
+    }
+
+    /// [`Wal::checkpoint_truncate`] that additionally re-appends commit
+    /// records for `commits` — committed transaction ids at or above
+    /// the `txn.meta` watermark, whose commit evidence must survive the
+    /// truncation because an older transaction was still in flight when
+    /// the checkpoint ran.
+    pub fn checkpoint_truncate_with(&self, commits: &[u64]) -> Result<()> {
         let mut inner = self.inner.lock();
         if let Some(f) = &self.fault {
             if f.crashed() {
@@ -297,6 +389,11 @@ impl Wal {
         std::fs::rename(&tmp, dir.join(WAL_META))?;
         let mut rec = Vec::new();
         append_record(&mut rec, REC_CHECKPOINT, lsn, 0, 0, &[]);
+        for &txid in commits {
+            let clsn = self.next_lsn.fetch_add(1, Ordering::SeqCst);
+            append_record(&mut rec, REC_TXN_COMMIT, clsn, 0, 0, &txid.to_le_bytes());
+            self.commit_records.fetch_add(1, Ordering::Relaxed);
+        }
         inner.file.set_len(0)?;
         faulted_write_at(&inner.file, self.fault.as_deref(), IoKind::Wal, &rec, 0)
             .map_err(DbError::from)?;
@@ -305,7 +402,7 @@ impl Wal {
         inner.durable_len = inner.len;
         self.fsyncs.fetch_add(1, Ordering::Relaxed);
         self.checkpoints.fetch_add(1, Ordering::Relaxed);
-        self.durable_lsn.store(lsn - 1, Ordering::SeqCst);
+        self.durable_lsn.store(self.next_lsn.load(Ordering::SeqCst) - 1, Ordering::SeqCst);
         Ok(())
     }
 }
@@ -406,16 +503,22 @@ pub fn dump(path: &Path) -> Result<String> {
         let kind = match rec.kind {
             REC_PAGE_IMAGE => "PAGE",
             REC_CHECKPOINT => "CKPT",
+            REC_TXN_COMMIT => "TXNC",
             _ => "????",
         };
-        let _ = writeln!(
-            out,
-            "{n:6} {kind} lsn={} file={} pid={} len={}",
-            rec.lsn,
-            rec.file_id,
-            rec.pid,
-            rec.payload.len()
-        );
+        if rec.kind == REC_TXN_COMMIT && rec.payload.len() == 8 {
+            let txid = u64::from_le_bytes(rec.payload[..8].try_into().unwrap());
+            let _ = writeln!(out, "{n:6} {kind} lsn={} txid={txid}", rec.lsn);
+        } else {
+            let _ = writeln!(
+                out,
+                "{n:6} {kind} lsn={} file={} pid={} len={}",
+                rec.lsn,
+                rec.file_id,
+                rec.pid,
+                rec.payload.len()
+            );
+        }
         n += 1;
     }
     if reader.remaining() > 0 {
@@ -567,6 +670,73 @@ mod tests {
         let rec = reader.next_record().unwrap();
         assert_eq!(rec.kind, REC_CHECKPOINT);
         assert!(reader.next_record().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn commit_records_round_trip_and_survive_checkpoint_relog() {
+        let dir = tmp_dir("txnc");
+        let wal = Wal::open(&dir, None).unwrap();
+        let lsn = wal.log_commit(42);
+        wal.log_commit(43);
+        wal.sync_group(lsn).unwrap();
+        let mut reader = WalReader::open(wal.path()).unwrap();
+        let rec = reader.next_record().unwrap();
+        assert_eq!(rec.kind, REC_TXN_COMMIT);
+        assert_eq!(u64::from_le_bytes(rec.payload[..8].try_into().unwrap()), 42);
+        assert_eq!(reader.next_record().unwrap().kind, REC_TXN_COMMIT);
+        // Checkpoint with a re-log list keeps the commit evidence.
+        wal.checkpoint_truncate_with(&[42, 43]).unwrap();
+        let mut reader = WalReader::open(wal.path()).unwrap();
+        assert_eq!(reader.next_record().unwrap().kind, REC_CHECKPOINT);
+        let mut relogged = Vec::new();
+        while let Some(rec) = reader.next_record() {
+            assert_eq!(rec.kind, REC_TXN_COMMIT);
+            relogged.push(u64::from_le_bytes(rec.payload[..8].try_into().unwrap()));
+        }
+        assert_eq!(relogged, vec![42, 43]);
+        // An empty re-log list truncates to exactly one record.
+        wal.checkpoint_truncate_with(&[]).unwrap();
+        assert_eq!(wal.len_bytes(), record_size(0) as u64);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn group_commit_batches_concurrent_fsyncs() {
+        let dir = tmp_dir("group");
+        let wal = std::sync::Arc::new(Wal::open(&dir, None).unwrap());
+        let n_threads = 8;
+        let n_commits = 25;
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(n_threads));
+        let mut handles = Vec::new();
+        for t in 0..n_threads {
+            let wal = wal.clone();
+            let barrier = barrier.clone();
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..n_commits {
+                    let lsn = wal.log_commit((t * n_commits + i) as u64 + 2);
+                    wal.sync_group(lsn).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = wal.stats();
+        let total = (n_threads * n_commits) as u64;
+        assert_eq!(stats.commit_records, total);
+        // Every record durable.
+        let mut reader = WalReader::open(wal.path()).unwrap();
+        let mut seen = 0;
+        while let Some(rec) = reader.next_record() {
+            assert_eq!(rec.kind, REC_TXN_COMMIT);
+            seen += 1;
+        }
+        assert_eq!(seen, total);
+        // Accounting holds: each sync_group either led a flush or was
+        // saved one.
+        assert_eq!(stats.group_commits + stats.fsyncs_saved, total);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

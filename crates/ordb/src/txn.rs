@@ -1,0 +1,433 @@
+//! Transaction manager: MVCC snapshot isolation.
+//!
+//! Every tuple in a heap file carries a 16-byte version header
+//! (`xmin`/`xmax`, see [`crate::storage::heap`]). This module owns the
+//! transaction-id space and hands out [`Snapshot`]s that decide which
+//! versions a statement can see:
+//!
+//! - a version is **visible** to a snapshot iff its `xmin` is the
+//!   snapshot's own transaction or a transaction that committed before
+//!   the snapshot was taken, *and* its `xmax` is unset or set by a
+//!   transaction the snapshot does not see as committed;
+//! - `xmin == 0` ([`TXID_INVALID`]) marks a version stamped dead by
+//!   rollback recovery — it is invisible to everyone.
+//!
+//! "Committed before" is decided without a commit log: transaction ids
+//! are handed out under the same lock that maintains the active set, so
+//! any id below the snapshot's `horizon` that was not active when the
+//! snapshot was taken must have finished — and aborted transactions
+//! physically undo their effects (or are stamped dead by crash
+//! recovery) *before* leaving the active set, so "finished" implies
+//! "committed" for every version still reachable.
+//!
+//! Write-write conflicts are first-updater-wins: deleting a row claims
+//! its `xmax` under the page latch; a second claimant gets
+//! [`crate::DbError::TxnConflict`] immediately (no lock waiting, hence
+//! no deadlocks).
+//!
+//! Durability bookkeeping lives here too: the manager tracks a
+//! *watermark* (oldest transaction id that could still be undecided on
+//! disk) and the set of recently committed ids at or above it. The
+//! checkpoint path persists both to a `txn.meta` sidecar and re-logs
+//! the committed ids into the fresh WAL so crash recovery can always
+//! classify every version it finds.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::sync::Mutex;
+
+use crate::error::{DbError, Result};
+use crate::storage::heap::Rid;
+use crate::types::Row;
+
+/// The reserved "no transaction" id. An `xmin` of zero marks a version
+/// stamped dead by recovery; an `xmax` of zero means "not deleted".
+pub const TXID_INVALID: u64 = 0;
+
+/// The first transaction id ever handed out (0 is invalid, 1 is
+/// reserved as the pre-MVCC bootstrap id).
+pub const TXID_FIRST: u64 = 2;
+
+/// Name of the sidecar file holding `watermark next_txid`.
+pub const TXN_META: &str = "txn.meta";
+
+/// Opaque handle for an open transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TxnId(pub u64);
+
+impl std::fmt::Display for TxnId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "txn {}", self.0)
+    }
+}
+
+/// An immutable view of the transaction state at one instant, used to
+/// filter tuple versions during scans.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// The observing transaction's own id (its writes are visible to
+    /// itself).
+    pub txid: u64,
+    /// One past the newest transaction id that existed when the
+    /// snapshot was taken; ids at or above it are invisible.
+    pub horizon: u64,
+    /// Transactions that were in flight when the snapshot was taken
+    /// (excluding `txid` itself); their writes are invisible.
+    pub active: Arc<HashSet<u64>>,
+}
+
+impl Snapshot {
+    /// A snapshot that sees every committed version and belongs to no
+    /// transaction — used by internal maintenance paths (stats,
+    /// backfill checks) once all writers are known to be finished.
+    pub fn all_committed() -> Snapshot {
+        Snapshot { txid: TXID_INVALID, horizon: u64::MAX, active: Arc::new(HashSet::new()) }
+    }
+
+    /// Does this snapshot consider transaction `t` committed-or-self?
+    fn sees(&self, t: u64) -> bool {
+        t != TXID_INVALID && (t == self.txid || (t < self.horizon && !self.active.contains(&t)))
+    }
+
+    /// Is a version with this `xmin`/`xmax` pair visible?
+    pub fn visible(&self, xmin: u64, xmax: u64) -> bool {
+        if !self.sees(xmin) {
+            return false;
+        }
+        xmax == TXID_INVALID || !self.sees(xmax)
+    }
+}
+
+/// One entry in a transaction's in-memory undo list. Applied in
+/// reverse order on rollback.
+#[derive(Debug)]
+pub enum UndoRecord {
+    /// The transaction inserted this row: rollback physically deletes
+    /// the slot and removes the index entries recomputed from `row`.
+    Insert {
+        /// Lower-cased table name.
+        table: String,
+        /// Slot the row went into.
+        rid: Rid,
+        /// The coerced row values (for recomputing index keys).
+        row: Row,
+    },
+    /// The transaction claimed this row's `xmax`: rollback clears it.
+    Delete {
+        /// Lower-cased table name.
+        table: String,
+        /// Slot of the claimed version.
+        rid: Rid,
+    },
+}
+
+struct TxnState {
+    snapshot: Snapshot,
+    undo: Vec<UndoRecord>,
+    wrote: bool,
+}
+
+struct Tables {
+    active: HashMap<u64, TxnState>,
+    /// Committed ids >= `watermark` (everything below it is decided).
+    committed_recent: BTreeSet<u64>,
+    watermark: u64,
+}
+
+/// Counters the metrics registry samples from the manager.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TxnStats {
+    /// Transactions begun (including per-statement autocommit ones).
+    pub begun: u64,
+    /// Transactions committed.
+    pub committed: u64,
+    /// Transactions rolled back (explicitly or by auto-abort).
+    pub aborted: u64,
+    /// Write-write conflicts raised (first-updater-wins losers).
+    pub conflicts: u64,
+}
+
+impl TxnStats {
+    /// Delta between two snapshots of the counters.
+    pub fn since(&self, base: &TxnStats) -> TxnStats {
+        TxnStats {
+            begun: self.begun.wrapping_sub(base.begun),
+            committed: self.committed.wrapping_sub(base.committed),
+            aborted: self.aborted.wrapping_sub(base.aborted),
+            conflicts: self.conflicts.wrapping_sub(base.conflicts),
+        }
+    }
+}
+
+/// Hands out transaction ids and snapshots; tracks active transactions,
+/// their undo lists, and the recently-committed set the checkpoint
+/// needs.
+pub struct TxnManager {
+    next: AtomicU64,
+    tables: Mutex<Tables>,
+    begun: AtomicU64,
+    committed: AtomicU64,
+    aborted: AtomicU64,
+    conflicts: AtomicU64,
+}
+
+impl TxnManager {
+    /// Create a manager whose next transaction id is `next` (at least
+    /// [`TXID_FIRST`]). Everything below `next` is treated as decided.
+    pub fn new(next: u64) -> TxnManager {
+        let next = next.max(TXID_FIRST);
+        TxnManager {
+            next: AtomicU64::new(next),
+            tables: Mutex::new(Tables {
+                active: HashMap::new(),
+                committed_recent: BTreeSet::new(),
+                watermark: next,
+            }),
+            begun: AtomicU64::new(0),
+            committed: AtomicU64::new(0),
+            aborted: AtomicU64::new(0),
+            conflicts: AtomicU64::new(0),
+        }
+    }
+
+    /// Start a transaction: allocate an id and capture its snapshot.
+    /// Allocation and registration happen under one lock so a snapshot's
+    /// `horizon`/`active` pair is always consistent.
+    pub fn begin(&self) -> TxnId {
+        let mut t = self.tables.lock().expect("txn tables poisoned");
+        let txid = self.next.fetch_add(1, Ordering::SeqCst);
+        let active: HashSet<u64> = t.active.keys().copied().collect();
+        let snapshot = Snapshot { txid, horizon: txid + 1, active: Arc::new(active) };
+        t.active
+            .insert(txid, TxnState { snapshot: snapshot.clone(), undo: Vec::new(), wrote: false });
+        self.begun.fetch_add(1, Ordering::Relaxed);
+        TxnId(txid)
+    }
+
+    /// A fresh read-only snapshot for an autocommit statement: sees
+    /// everything committed so far, nothing in flight, and is not
+    /// itself registered as a transaction (so it costs one lock
+    /// acquisition and never blocks the watermark).
+    pub fn read_snapshot(&self) -> Snapshot {
+        let t = self.tables.lock().expect("txn tables poisoned");
+        let horizon = self.next.load(Ordering::SeqCst);
+        let active: HashSet<u64> = t.active.keys().copied().collect();
+        Snapshot { txid: TXID_INVALID, horizon, active: Arc::new(active) }
+    }
+
+    /// The snapshot captured when `txn` began.
+    pub fn snapshot_of(&self, txn: TxnId) -> Result<Snapshot> {
+        let t = self.tables.lock().expect("txn tables poisoned");
+        t.active
+            .get(&txn.0)
+            .map(|s| s.snapshot.clone())
+            .ok_or_else(|| DbError::Exec(format!("no active transaction {}", txn.0)))
+    }
+
+    /// Is `txn` still active?
+    pub fn is_active(&self, txn: TxnId) -> bool {
+        self.tables.lock().expect("txn tables poisoned").active.contains_key(&txn.0)
+    }
+
+    /// Append an undo record to `txn`'s list and mark it as a writer.
+    pub fn record_undo(&self, txn: TxnId, rec: UndoRecord) -> Result<()> {
+        let mut t = self.tables.lock().expect("txn tables poisoned");
+        let st = t
+            .active
+            .get_mut(&txn.0)
+            .ok_or_else(|| DbError::Exec(format!("no active transaction {}", txn.0)))?;
+        st.undo.push(rec);
+        st.wrote = true;
+        Ok(())
+    }
+
+    /// Did `txn` write anything?
+    pub fn wrote(&self, txn: TxnId) -> Result<bool> {
+        let t = self.tables.lock().expect("txn tables poisoned");
+        t.active
+            .get(&txn.0)
+            .map(|s| s.wrote)
+            .ok_or_else(|| DbError::Exec(format!("no active transaction {}", txn.0)))
+    }
+
+    /// Take `txn`'s undo list for rollback. The transaction stays in
+    /// the active set until [`TxnManager::finish_abort`] so no
+    /// concurrent snapshot mistakes it for committed mid-undo.
+    pub fn take_undo(&self, txn: TxnId) -> Result<Vec<UndoRecord>> {
+        let mut t = self.tables.lock().expect("txn tables poisoned");
+        let st = t
+            .active
+            .get_mut(&txn.0)
+            .ok_or_else(|| DbError::Exec(format!("no active transaction {}", txn.0)))?;
+        Ok(std::mem::take(&mut st.undo))
+    }
+
+    /// Mark `txn` committed: remove it from the active set and remember
+    /// its id for the next checkpoint's re-log.
+    pub fn finish_commit(&self, txn: TxnId) -> Result<()> {
+        let mut t = self.tables.lock().expect("txn tables poisoned");
+        if t.active.remove(&txn.0).is_none() {
+            return Err(DbError::Exec(format!("no active transaction {}", txn.0)));
+        }
+        t.committed_recent.insert(txn.0);
+        self.committed.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Remove an aborted `txn` from the active set (after its undo list
+    /// has been applied).
+    pub fn finish_abort(&self, txn: TxnId) {
+        let mut t = self.tables.lock().expect("txn tables poisoned");
+        if t.active.remove(&txn.0).is_some() {
+            self.aborted.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Count a write-write conflict.
+    pub fn note_conflict(&self) {
+        self.conflicts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Checkpoint bookkeeping: advance the watermark to the oldest
+    /// still-active id (or `next` if idle), prune the committed set
+    /// below it, and return `(watermark, next, committed ids to re-log
+    /// into the fresh WAL)`. With no transactions in flight the re-log
+    /// list is empty and the WAL stays minimal.
+    pub fn checkpoint_info(&self) -> (u64, u64, Vec<u64>) {
+        let mut t = self.tables.lock().expect("txn tables poisoned");
+        let next = self.next.load(Ordering::SeqCst);
+        let watermark = t.active.keys().copied().min().unwrap_or(next);
+        t.watermark = watermark;
+        t.committed_recent = t.committed_recent.split_off(&watermark);
+        let relog: Vec<u64> = t.committed_recent.iter().copied().collect();
+        (watermark, next, relog)
+    }
+
+    /// Ids of all currently active transactions (used by close to
+    /// auto-abort stragglers).
+    pub fn active_ids(&self) -> Vec<u64> {
+        let t = self.tables.lock().expect("txn tables poisoned");
+        t.active.keys().copied().collect()
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> TxnStats {
+        TxnStats {
+            begun: self.begun.load(Ordering::Relaxed),
+            committed: self.committed.load(Ordering::Relaxed),
+            aborted: self.aborted.load(Ordering::Relaxed),
+            conflicts: self.conflicts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Persist `watermark next` to the `txn.meta` sidecar (atomic
+/// temp+rename, like `wal.meta`).
+pub fn write_txn_meta(dir: &Path, watermark: u64, next: u64) -> Result<()> {
+    let tmp = dir.join("txn.meta.tmp");
+    let fin = dir.join(TXN_META);
+    let mut f = std::fs::File::create(&tmp)?;
+    writeln!(f, "{watermark} {next}")?;
+    f.sync_data()?;
+    std::fs::rename(&tmp, &fin)?;
+    Ok(())
+}
+
+/// Read the `txn.meta` sidecar. Returns `(watermark, next)`; both
+/// default to [`TXID_FIRST`] when the file is missing or malformed
+/// (pre-MVCC database or first boot) — the conservative choice that
+/// makes every stored transaction id subject to the commit-record
+/// check.
+pub fn read_txn_meta(dir: &Path) -> (u64, u64) {
+    let raw = match std::fs::read_to_string(dir.join(TXN_META)) {
+        Ok(s) => s,
+        Err(_) => return (TXID_FIRST, TXID_FIRST),
+    };
+    let mut it = raw.split_whitespace();
+    let wm = it.next().and_then(|s| s.parse::<u64>().ok());
+    let next = it.next().and_then(|s| s.parse::<u64>().ok());
+    match (wm, next) {
+        (Some(w), Some(n)) if w >= 1 && n >= w => (w.max(TXID_FIRST), n.max(TXID_FIRST)),
+        _ => (TXID_FIRST, TXID_FIRST),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn own_writes_visible_concurrent_invisible() {
+        let m = TxnManager::new(TXID_FIRST);
+        let a = m.begin();
+        let b = m.begin();
+        let sa = m.snapshot_of(a).unwrap();
+        let sb = m.snapshot_of(b).unwrap();
+        // Each sees its own insert, not the other's.
+        assert!(sa.visible(a.0, 0));
+        assert!(!sa.visible(b.0, 0));
+        assert!(sb.visible(b.0, 0));
+        assert!(!sb.visible(a.0, 0));
+        // A row deleted by self is invisible to self.
+        assert!(!sa.visible(a.0, a.0));
+        // Dead versions are invisible to everyone.
+        assert!(!sa.visible(TXID_INVALID, 0));
+    }
+
+    #[test]
+    fn committed_before_snapshot_is_visible() {
+        let m = TxnManager::new(TXID_FIRST);
+        let a = m.begin();
+        m.finish_commit(a).unwrap();
+        let b = m.begin();
+        let sb = m.snapshot_of(b).unwrap();
+        assert!(sb.visible(a.0, 0));
+        // A delete committed by `a` hides the row from `b`.
+        assert!(!sb.visible(a.0, a.0.max(TXID_FIRST)));
+    }
+
+    #[test]
+    fn commit_after_snapshot_stays_invisible() {
+        let m = TxnManager::new(TXID_FIRST);
+        let a = m.begin();
+        let b = m.begin();
+        let sb = m.snapshot_of(b).unwrap();
+        m.finish_commit(a).unwrap();
+        // `b`'s snapshot predates `a`'s commit.
+        assert!(!sb.visible(a.0, 0));
+        // A later transaction sees it.
+        let c = m.begin();
+        assert!(m.snapshot_of(c).unwrap().visible(a.0, 0));
+    }
+
+    #[test]
+    fn checkpoint_watermark_advances_when_idle() {
+        let m = TxnManager::new(10);
+        // An older active txn pins the watermark, so a younger commit
+        // stays above it and must be kept in the re-log set.
+        let b = m.begin();
+        let a = m.begin();
+        m.finish_commit(a).unwrap();
+        let (wm, _, relog) = m.checkpoint_info();
+        assert_eq!(wm, b.0);
+        assert!(relog.contains(&a.0));
+        m.finish_abort(b);
+        // Idle: watermark catches up and the re-log set drains.
+        let (wm, next, relog) = m.checkpoint_info();
+        assert_eq!(wm, next);
+        assert!(relog.is_empty());
+    }
+
+    #[test]
+    fn txn_meta_round_trip() {
+        let dir = std::env::temp_dir().join(format!("txnmeta-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(read_txn_meta(&dir), (TXID_FIRST, TXID_FIRST));
+        write_txn_meta(&dir, 7, 42).unwrap();
+        assert_eq!(read_txn_meta(&dir), (7, 42));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -232,3 +232,88 @@ fn malformed_frames_never_kill_the_server() {
     assert!(snap.net.protocol_errors >= 3, "{:?}", snap.net);
     handle.stop();
 }
+
+#[test]
+fn explicit_txn_is_invisible_across_connections_until_commit() {
+    let (db, handle) = served_db("txnvis");
+    let mut writer = Client::connect(handle.addr()).unwrap();
+    let mut reader = Client::connect(handle.addr()).unwrap();
+
+    writer.execute("BEGIN").unwrap();
+    writer.execute("INSERT INTO grp VALUES (77, 'phantom')").unwrap();
+    // The writer reads its own uncommitted row…
+    let own = writer.query("SELECT title FROM grp WHERE gid = 77").unwrap();
+    assert_eq!(own.rows, vec![vec![Value::Str("phantom".into())]]);
+    // …but no other connection does.
+    assert!(reader.query("SELECT title FROM grp WHERE gid = 77").unwrap().is_empty());
+
+    writer.execute("ROLLBACK").unwrap();
+    assert!(writer.query("SELECT title FROM grp WHERE gid = 77").unwrap().is_empty());
+
+    // A committed transaction becomes visible everywhere.
+    writer.execute("BEGIN").unwrap();
+    writer.execute("INSERT INTO grp VALUES (88, 'durable')").unwrap();
+    writer.execute("COMMIT").unwrap();
+    let seen = reader.query("SELECT title FROM grp WHERE gid = 88").unwrap();
+    assert_eq!(seen.rows, vec![vec![Value::Str("durable".into())]]);
+
+    writer.close().unwrap();
+    reader.close().unwrap();
+    handle.stop();
+    drop(db);
+}
+
+#[test]
+fn write_write_conflict_round_trips_with_stable_code() {
+    let (db, handle) = served_db("txnconflict");
+    let mut a = Client::connect(handle.addr()).unwrap();
+    let mut b = Client::connect(handle.addr()).unwrap();
+
+    a.execute("BEGIN").unwrap();
+    assert_eq!(a.execute("DELETE FROM item WHERE id = 7").unwrap(), 1);
+
+    // First-updater-wins: B's delete of the same row fails immediately
+    // with the dedicated conflict variant (wire error code 9), and B's
+    // whole transaction is rolled back server-side.
+    b.execute("BEGIN").unwrap();
+    b.execute("INSERT INTO grp VALUES (99, 'doomed')").unwrap();
+    let err = b.execute("DELETE FROM item WHERE id = 7").unwrap_err();
+    assert!(matches!(err, DbError::TxnConflict(_)), "got {err:?}");
+    assert_eq!(net::error_code(&err), 9);
+    // B's earlier insert died with the transaction.
+    let mut c = Client::connect(handle.addr()).unwrap();
+    assert!(c.query("SELECT * FROM grp WHERE gid = 99").unwrap().is_empty());
+    // B's slot was cleared: a fresh BEGIN works.
+    b.execute("BEGIN").unwrap();
+    b.execute("ROLLBACK").unwrap();
+
+    a.execute("COMMIT").unwrap();
+    assert!(c.query("SELECT id FROM item WHERE id = 7").unwrap().is_empty());
+
+    a.close().unwrap();
+    b.close().unwrap();
+    c.close().unwrap();
+    handle.stop();
+    drop(db);
+}
+
+#[test]
+fn connection_drop_mid_txn_auto_aborts() {
+    let (db, handle) = served_db("txndrop");
+    let aborted_before = db.txn_stats().aborted;
+    {
+        let mut doomed = Client::connect(handle.addr()).unwrap();
+        doomed.execute("BEGIN").unwrap();
+        doomed.execute("INSERT INTO grp VALUES (55, 'orphan')").unwrap();
+        // Dropped without Close: the server sees EOF mid-transaction.
+    }
+    // The connection thread runs detached; poll until it aborts.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while db.txn_stats().aborted == aborted_before {
+        assert!(std::time::Instant::now() < deadline, "auto-abort never happened");
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    // The orphaned insert was physically undone.
+    assert!(db.query("SELECT * FROM grp WHERE gid = 55").unwrap().is_empty());
+    handle.stop();
+}

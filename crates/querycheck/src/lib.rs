@@ -21,3 +21,4 @@ pub mod gen;
 pub mod oracle;
 pub mod runner;
 pub mod shrink;
+pub mod txn;

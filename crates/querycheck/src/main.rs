@@ -2,7 +2,12 @@
 //!
 //! ```text
 //! cargo run -p querycheck --release -- --seed 1 [--queries 40] [--minutes 5] [--corpus shakespeare|sigmod|all]
+//! cargo run -p querycheck --release -- --seed 1 --txn [--txn-steps 600]
 //! ```
+//!
+//! `--txn` runs the transaction-aware mode instead ([`querycheck::txn`]):
+//! two interleaved writers over conflicting keys, checked step-by-step
+//! against an in-memory serializability oracle.
 //!
 //! For each corpus × mapping algorithm, generates `--queries` random
 //! queries (stopping early at the `--minutes` wall-clock budget) and runs
@@ -24,10 +29,13 @@ struct Args {
     queries: usize,
     minutes: Option<u64>,
     corpus: Option<Corpus>,
+    txn: bool,
+    txn_steps: usize,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { seed: 1, queries: 40, minutes: None, corpus: None };
+    let mut args =
+        Args { seed: 1, queries: 40, minutes: None, corpus: None, txn: false, txn_steps: 600 };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         let mut val =
@@ -44,10 +52,12 @@ fn parse_args() -> Args {
                     other => die(&format!("unknown corpus {other:?}")),
                 }
             }
+            "--txn" => args.txn = true,
+            "--txn-steps" => args.txn_steps = parse(&val("--txn-steps")),
             "--help" | "-h" => {
                 println!(
                     "usage: querycheck [--seed N] [--queries K] [--minutes M] \
-                     [--corpus shakespeare|sigmod|all]"
+                     [--corpus shakespeare|sigmod|all] [--txn [--txn-steps N]]"
                 );
                 std::process::exit(0);
             }
@@ -68,6 +78,28 @@ fn die(msg: &str) -> ! {
 
 fn main() {
     let args = parse_args();
+    if args.txn {
+        match querycheck::txn::run(args.seed, args.txn_steps) {
+            Ok(r) => {
+                println!(
+                    "querycheck --txn: seed {} — {} steps, {} begins, {} commits, \
+                     {} rollbacks, {} conflicts, {} state reads checked, 0 mismatches",
+                    args.seed,
+                    r.steps,
+                    r.begins,
+                    r.commits,
+                    r.rollbacks,
+                    r.conflicts,
+                    r.reads_checked,
+                );
+                std::process::exit(0);
+            }
+            Err(detail) => {
+                eprintln!("querycheck --txn MISMATCH: {detail}");
+                std::process::exit(1);
+            }
+        }
+    }
     let deadline = args.minutes.map(|m| Instant::now() + Duration::from_secs(m * 60));
     let corpora: Vec<Corpus> = match args.corpus {
         Some(c) => vec![c],
