@@ -2,7 +2,7 @@
 //! evaluation section (§4).
 //!
 //! ```text
-//! experiments [table1|table2|fig11|fig13|fig14|examples|throughput|durability|spill|txn|all]
+//! experiments [table1|table2|fig11|fig13|fig14|examples|throughput|durability|spill|txn|vacuum|all]
 //!             [--full] [--scales 1,2,4,8] [--reps 5] [--threads 1,2,4,8]
 //!             [--budget BYTES]
 //! experiments trajectory [--quick] [--out PATH]
@@ -174,6 +174,9 @@ fn main() {
     }
     if run("txn") {
         txn_figure(&args, &mut mlog);
+    }
+    if run("vacuum") {
+        vacuum_figure(&args, &mut mlog);
     }
     if let Some(path) = mlog.write().expect("write metrics.json") {
         println!("\n(per-query metrics written to {})", path.display());
@@ -1101,6 +1104,158 @@ fn txn_figure(args: &Args, mlog: &mut MetricsLog) {
         dc.txn.conflicts
     ));
     handle.stop();
+}
+
+/// The vacuum figure: identical delete/insert churn against two
+/// databases — one vacuumed every round, one never — showing the heap
+/// stays at its steady-state page count with vacuum and grows
+/// monotonically without it. Ends with a crash injected mid-vacuum and
+/// the recovery equivalence check (heap == index == oracle on reopen).
+fn vacuum_figure(args: &Args, mlog: &mut MetricsLog) {
+    use ordb::storage::page::PAGE_SIZE;
+
+    let rounds = if args.full { 10 } else { 6 };
+    let rows: i64 = if args.full { 512 } else { 192 };
+    println!("\n## Vacuum — steady-state page count under delete/insert churn\n");
+
+    let open = |tag: &str| {
+        let dir = scratch_dir(&format!("vacuum-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Auto-vacuum off: the figure drives the passes explicitly so
+        // the no-vacuum arm really never reclaims.
+        let opts = ordb::DbOptions { auto_vacuum: false, ..xorator_bench::experiment_opts() };
+        let db = ordb::Database::open_with(&dir, opts).expect("open vacuum scratch db");
+        db.execute("CREATE TABLE churn (id INTEGER, body VARCHAR)").expect("create");
+        db.execute("CREATE INDEX churn_id ON churn (id)").expect("index");
+        db
+    };
+    // Every 8th row is a ~6 KB body, so the churn exercises overflow
+    // chains as well as in-page slots.
+    let fill = |db: &ordb::Database, round: i64| {
+        let batch: Vec<Vec<ordb::Value>> = (0..rows)
+            .map(|i| {
+                let body =
+                    if i % 8 == 0 { "x".repeat(6000) } else { format!("body-{round}-{i:05}") };
+                vec![ordb::Value::Int(i), ordb::Value::str(&body)]
+            })
+            .collect();
+        db.insert_rows("churn", batch).expect("fill churn");
+    };
+    let pages = |db: &ordb::Database| db.data_size_bytes().expect("size") as usize / PAGE_SIZE;
+
+    let vdb = open("on");
+    let ndb = open("off");
+    fill(&vdb, 0);
+    fill(&ndb, 0);
+
+    println!("| round | pages (vacuum) | pages (no vacuum) | versions reclaimed |");
+    println!("|---|---|---|---|");
+    let mut v_pages = Vec::new();
+    let mut n_pages = Vec::new();
+    let mut reclaimed_total = 0u64;
+    for round in 1..=rounds {
+        vdb.execute("DELETE FROM churn").expect("delete (vacuum arm)");
+        ndb.execute("DELETE FROM churn").expect("delete (leak arm)");
+        let report = vdb.vacuum().expect("vacuum");
+        reclaimed_total += report.vacuumed_versions;
+        fill(&vdb, round);
+        fill(&ndb, round);
+        v_pages.push(pages(&vdb));
+        n_pages.push(pages(&ndb));
+        println!(
+            "| {round} | {} | {} | {} |",
+            v_pages[v_pages.len() - 1],
+            n_pages[n_pages.len() - 1],
+            report.vacuumed_versions
+        );
+    }
+    assert_eq!(
+        v_pages.last(),
+        v_pages.first(),
+        "vacuum + free-space reuse must hold the page count flat: {v_pages:?}"
+    );
+    assert!(n_pages.windows(2).all(|w| w[0] <= w[1]), "leak arm never shrinks: {n_pages:?}");
+    assert!(
+        n_pages.last() > v_pages.last(),
+        "without vacuum the heap must outgrow the vacuumed arm: {n_pages:?} vs {v_pages:?}"
+    );
+    println!(
+        "\nsteady state: {} pages with vacuum vs {} without ({} versions reclaimed)",
+        v_pages[v_pages.len() - 1],
+        n_pages[n_pages.len() - 1],
+        reclaimed_total
+    );
+
+    // Crash mid-vacuum, then reopen: the heap, the index, and the
+    // oracle (live ids tracked outside the database) must agree.
+    let dir = scratch_dir("vacuum-crash");
+    let _ = std::fs::remove_dir_all(&dir);
+    let inj = ordb::FaultInjector::new();
+    let opts = ordb::DbOptions {
+        fault: Some(inj.clone()),
+        auto_vacuum: false,
+        ..xorator_bench::experiment_opts()
+    };
+    let db = ordb::Database::open_with(&dir, opts).expect("open crash db");
+    db.execute("CREATE TABLE churn (id INTEGER, body VARCHAR)").expect("create");
+    db.execute("CREATE INDEX churn_id ON churn (id)").expect("index");
+    fill(&db, 0);
+    db.execute("DELETE FROM churn WHERE id < 96").expect("kill half");
+    let live: i64 = rows - 96.min(rows);
+    // Make the pre-vacuum state durable (autocommit statements alone
+    // are not — their page images reach the WAL lazily), so the torn
+    // write below holds *only* the vacuum storm.
+    db.checkpoint().expect("durable base");
+    // The pass's mutations all reach disk in one buffered WAL write at
+    // its closing sync, so crash on the *first* write and tear it: a
+    // random strict prefix of the vacuum's page images survives —
+    // exactly a process death partway through the reclamation storm.
+    inj.arm(ordb::FaultPlan {
+        crash_after: 0,
+        mode: ordb::CrashMode::Tear,
+        scope: ordb::FaultScope::Wal,
+        seed: 0xC0FFEE,
+    });
+    let crashed = db.vacuum().is_err() && inj.crashed();
+    db.abandon();
+    inj.disarm();
+    let db = ordb::Database::open_with(
+        &dir,
+        ordb::DbOptions { auto_vacuum: false, ..xorator_bench::experiment_opts() },
+    )
+    .expect("reopen after mid-vacuum crash");
+    let canon = |access: ordb::ForcedAccess| -> Vec<String> {
+        let forcing = ordb::PlanForcing { access: Some(access), ..Default::default() };
+        let mut ids: Vec<String> = db
+            .query_with_forcing("SELECT id FROM churn WHERE id >= 0", Some(forcing))
+            .expect("recovered query")
+            .rows
+            .iter()
+            .map(|r| format!("{r:?}"))
+            .collect();
+        ids.sort();
+        ids
+    };
+    let seq = canon(ordb::ForcedAccess::SeqScan);
+    let via_index = canon(ordb::ForcedAccess::IndexScan);
+    assert_eq!(seq.len() as i64, live, "heap must match the oracle after recovery");
+    assert_eq!(seq, via_index, "index must match the heap after recovery");
+    // A clean pass after recovery converges whatever the crash left.
+    let post = db.vacuum().expect("post-recovery vacuum");
+    assert_eq!(canon(ordb::ForcedAccess::SeqScan).len() as i64, live);
+    println!(
+        "crash mid-vacuum: injected={crashed}, reopen sees {live} live rows \
+         (heap == index == oracle), post-recovery pass reclaimed {}",
+        post.vacuumed_versions
+    );
+
+    mlog.push_raw(format!(
+        "{{\"figure\":\"vacuum\",\"rounds\":{rounds},\"rows\":{rows},\
+         \"pages_vacuum\":{},\"pages_no_vacuum\":{},\"reclaimed\":{reclaimed_total},\
+         \"crash_injected\":{crashed},\"live_after_recovery\":{live}}}",
+        v_pages[v_pages.len() - 1],
+        n_pages[n_pages.len() - 1],
+    ));
 }
 
 /// A serving-style read-only mix over tables both mappings share: point

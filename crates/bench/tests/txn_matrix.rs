@@ -194,6 +194,128 @@ fn txn_matrix_crash_points_never_leak_uncommitted_versions() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The vacuum crash matrix: every round commits a batch durably,
+/// deletes half of it durably, then kills the process inside the vacuum
+/// pass's WAL storm — the whole reclamation reaches disk in one
+/// buffered write, so `crash_after: 0` with a randomized mode (drop /
+/// tear / bit-flip, tear point seeded per round) replays an arbitrary
+/// prefix of the pass on reopen. The recovery contract: the heap, the
+/// index, and an oracle maintained outside the database agree exactly,
+/// and a clean pass afterwards converges whatever the crash left.
+#[test]
+fn vacuum_crash_matrix_recovers_heap_index_equivalence() {
+    let seed = env_u64("CRASH_SEED", 1);
+    let default_points = if cfg!(debug_assertions) { 4 } else { 12 };
+    let rounds = env_u64("CRASH_POINTS", default_points);
+
+    let dir = scratch_dir(&format!("vacuum-matrix-{seed}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let inj = FaultInjector::new();
+    // Auto-vacuum off: the matrix arms the injector around explicit
+    // passes, and a checkpoint-triggered pass would reclaim the round's
+    // garbage before the armed one gets to crash on it.
+    let opts = DbOptions { fault: Some(inj.clone()), auto_vacuum: false, ..Default::default() };
+    let mut db = Database::open_with(&dir, opts.clone()).expect("open vacuum-matrix db");
+    db.execute("CREATE TABLE vlog (id INTEGER, body VARCHAR)").expect("create");
+    db.execute("CREATE INDEX vlog_id ON vlog (id)").expect("index");
+
+    let mut rng = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(seed);
+    let mut oracle: std::collections::BTreeSet<i64> = std::collections::BTreeSet::new();
+    let mut crashes = 0u64;
+    for round in 0..rounds {
+        // Durably committed batch (explicit COMMIT = group-commit
+        // fsync); every 4th row overflows into a chain so the crashing
+        // pass has chain pages in flight, not just slots.
+        let base = round as i64 * BATCH;
+        let mut w = None;
+        db.execute_txn("BEGIN", &mut w).expect("begin insert");
+        for i in 0..BATCH {
+            let id = base + i;
+            let body = if i % 4 == 0 { "y".repeat(6000) } else { format!("row-{id}") };
+            db.execute_txn(&format!("INSERT INTO vlog VALUES ({id}, '{body}')"), &mut w)
+                .expect("insert");
+            oracle.insert(id);
+        }
+        db.execute_txn("COMMIT", &mut w).expect("durable insert commit");
+        // Durably delete the even half — the armed pass's victims.
+        db.execute_txn("BEGIN", &mut w).expect("begin delete");
+        for i in 0..BATCH {
+            if i % 2 == 0 {
+                let id = base + i;
+                db.execute_txn(&format!("DELETE FROM vlog WHERE id = {id}"), &mut w)
+                    .expect("delete");
+                oracle.remove(&id);
+            }
+        }
+        db.execute_txn("COMMIT", &mut w).expect("durable delete commit");
+
+        let plan = FaultPlan {
+            crash_after: 0,
+            mode: match xorshift(&mut rng) % 3 {
+                0 => CrashMode::Drop,
+                1 => CrashMode::Tear,
+                _ => CrashMode::BitFlip,
+            },
+            scope: FaultScope::Wal,
+            seed: xorshift(&mut rng),
+        };
+        let ctx = format!("seed={seed} round={round} plan={plan:?}");
+        inj.arm(plan);
+        let result = db.vacuum();
+        if inj.crashed() {
+            crashes += 1;
+            assert!(result.is_err(), "vacuum must report the crash [{ctx}]");
+        }
+        db.abandon();
+        inj.disarm();
+
+        let dump = ordb::storage::wal::dump(&dir.join("wal.log")).unwrap_or_default();
+        db = Database::open_with(&dir, opts.clone()).expect("reopen after vacuum crash");
+
+        let canon = |db: &Database, access: ForcedAccess| -> Vec<i64> {
+            let forcing = PlanForcing { access: Some(access), ..Default::default() };
+            let mut ids: Vec<i64> = db
+                .query_with_forcing("SELECT id FROM vlog WHERE id >= 0", Some(forcing))
+                .expect("recovered query")
+                .rows
+                .iter()
+                .map(|r| r[0].as_int().expect("id"))
+                .collect();
+            ids.sort_unstable();
+            ids
+        };
+        let want: Vec<i64> = oracle.iter().copied().collect();
+        for (label, got) in [
+            ("seq", canon(&db, ForcedAccess::SeqScan)),
+            ("index", canon(&db, ForcedAccess::IndexScan)),
+        ] {
+            if got != want {
+                fail_with_waldump(
+                    seed,
+                    round,
+                    &ctx,
+                    &dump,
+                    format!(
+                        "{label} path diverged from oracle after mid-vacuum crash: \
+                         {} rows vs {} expected",
+                        got.len(),
+                        want.len()
+                    ),
+                );
+            }
+        }
+        // A clean pass converges the half-reclaimed state.
+        db.vacuum().expect("post-recovery vacuum");
+        if canon(&db, ForcedAccess::SeqScan) != want {
+            fail_with_waldump(seed, round, &ctx, &dump, "post-recovery vacuum lost rows".into());
+        }
+    }
+    assert_eq!(crashes, rounds, "crash_after=0 must kill every armed pass");
+
+    let _ = db.close();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Commit-then-crash durability through the explicit transaction path:
 /// a durable COMMIT survives an immediate process death with *no*
 /// checkpoint in between, and an open transaction at death vanishes.

@@ -1,0 +1,88 @@
+//! Release-mode churn smoke for the vacuum + free-space subsystem:
+//! sustained delete/insert rounds with a vacuum pass per round must
+//! hold the heap at its steady-state size — the MVCC space leak this
+//! subsystem exists to fix would show up here as monotonic growth.
+
+use ordb::{Database, DbOptions, Value};
+use xorator_bench::scratch_dir;
+
+fn fill(db: &Database, rows: i64, round: i64) {
+    let batch: Vec<Vec<Value>> = (0..rows)
+        .map(|i| {
+            // Every 8th row overflows into a chain, so page reuse is
+            // exercised for both in-page slots and whole overflow pages.
+            let body = if i % 8 == 0 { "x".repeat(6000) } else { format!("body-{round}-{i:05}") };
+            vec![Value::Int(i), Value::str(&body)]
+        })
+        .collect();
+    db.insert_rows("churn", batch).expect("fill churn");
+}
+
+#[test]
+fn churn_with_vacuum_holds_steady_state_size() {
+    let rounds = if cfg!(debug_assertions) { 4 } else { 12 };
+    let rows: i64 = if cfg!(debug_assertions) { 128 } else { 384 };
+    let dir = scratch_dir("vacuum-churn-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    // Auto-vacuum off: the test drives every pass explicitly.
+    let opts = DbOptions { auto_vacuum: false, ..Default::default() };
+    let db = Database::open_with(&dir, opts).expect("open churn db");
+    db.execute("CREATE TABLE churn (id INTEGER, body VARCHAR)").expect("create");
+    db.execute("CREATE INDEX churn_id ON churn (id)").expect("index");
+
+    let before = db.metrics_snapshot();
+    // One full cycle to reach steady state, then the size must pin.
+    fill(&db, rows, 0);
+    db.execute("DELETE FROM churn").expect("delete");
+    db.vacuum().expect("vacuum");
+    fill(&db, rows, 1);
+    let steady = db.data_size_bytes().expect("size");
+    for round in 2..=rounds {
+        db.execute("DELETE FROM churn").expect("delete");
+        let report = db.vacuum().expect("vacuum");
+        assert!(
+            report.vacuumed_versions >= rows as u64,
+            "round {round}: pass must reclaim the whole dead generation, got {report:?}"
+        );
+        fill(&db, rows, round);
+        assert_eq!(
+            db.data_size_bytes().expect("size"),
+            steady,
+            "round {round}: steady-state heap size must not drift"
+        );
+    }
+    let delta = db.metrics_snapshot().since(&before);
+    assert!(
+        delta.engine.vacuumed_versions >= (rounds - 1) as u64 * rows as u64,
+        "vacuumed_versions counter tracks the passes: {}",
+        delta.engine.vacuumed_versions
+    );
+    assert!(delta.engine.freed_pages > 0, "emptied and chain pages return to the free list");
+    assert!(delta.engine.reused_slots > 0, "inserts revive reclaimed space");
+
+    // Survivors are intact and both access paths agree after the churn.
+    assert_eq!(db.row_count("churn").expect("count"), rows as u64);
+    let hit = db.query("SELECT body FROM churn WHERE id = 9").expect("probe");
+    assert_eq!(hit.len(), 1);
+    db.close().expect("close");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn auto_vacuum_reclaims_at_checkpoint() {
+    let dir = scratch_dir("vacuum-churn-auto");
+    let _ = std::fs::remove_dir_all(&dir);
+    let db = Database::open(&dir).expect("open auto db");
+    db.execute("CREATE TABLE churn (id INTEGER, body VARCHAR)").expect("create");
+    fill(&db, 64, 0);
+    db.execute("DELETE FROM churn WHERE id < 32").expect("delete");
+    db.checkpoint().expect("checkpoint runs the auto pass");
+    let report = db.vacuum().expect("manual follow-up");
+    assert_eq!(
+        report.vacuumed_versions, 0,
+        "the checkpoint's auto-vacuum already reclaimed everything: {report:?}"
+    );
+    assert_eq!(db.row_count("churn").expect("count"), 32);
+    db.close().expect("close");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -54,6 +54,10 @@ pub struct DbOptions {
     /// [`Database::set_forcing`] — the differential-testing harness pins
     /// one query to every plan shape this way.
     pub forcing: PlanForcing,
+    /// Run [`Database::vacuum`] automatically on checkpoint when deletes
+    /// have accumulated since the last pass (default on). Insert-only
+    /// workloads never trigger it.
+    pub auto_vacuum: bool,
 }
 
 impl fmt::Debug for DbOptions {
@@ -64,6 +68,7 @@ impl fmt::Debug for DbOptions {
             .field("fault", &self.fault.is_some())
             .field("mem_budget", &self.mem_budget)
             .field("forcing", &self.forcing)
+            .field("auto_vacuum", &self.auto_vacuum)
             .finish()
     }
 }
@@ -76,6 +81,7 @@ impl Default for DbOptions {
             fault: None,
             mem_budget: None,
             forcing: PlanForcing::default(),
+            auto_vacuum: true,
         }
     }
 }
@@ -107,6 +113,15 @@ pub struct Database {
     /// Transaction ids, snapshots, undo lists, and the commit
     /// watermark the checkpoint persists to `txn.meta`.
     txns: TxnManager,
+    /// Serializes vacuum passes (concurrent DML keeps running; a second
+    /// caller waits rather than double-reclaiming).
+    vacuum_serial: parking_lot::Mutex<()>,
+    /// Delete claims since the last vacuum pass — the auto-vacuum hook
+    /// on checkpoint skips the pass entirely while this is zero, so
+    /// insert-only workloads stay byte-for-byte unaffected.
+    reclaim_hint: AtomicU64,
+    /// See [`DbOptions::auto_vacuum`].
+    auto_vacuum: bool,
     /// Set by `close`/`abandon`; makes `Drop` a no-op.
     closed: AtomicBool,
 }
@@ -180,6 +195,21 @@ impl fmt::Display for QueryResult {
 /// key-column positions + tree (what `Database::table_access` returns).
 type TableAccess = (TableDef, Arc<HeapFile>, Vec<(Vec<usize>, Arc<BTree>)>);
 
+/// What one [`Database::vacuum`] pass reclaimed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VacuumReport {
+    /// The snapshot boundary the pass ran under: versions whose
+    /// committed `xmax` lies below it are invisible to every current
+    /// and future snapshot.
+    pub watermark: u64,
+    /// Dead versions physically removed (slot, index entries, and any
+    /// overflow chain).
+    pub vacuumed_versions: u64,
+    /// Heap pages (overflow-chain pages and fully-emptied data pages)
+    /// returned to the free-space map during the pass.
+    pub freed_pages: u64,
+}
+
 impl Database {
     /// Open (or create) the database at `dir` with default options.
     pub fn open(dir: impl AsRef<Path>) -> Result<Database> {
@@ -238,12 +268,27 @@ impl Database {
         // would alias whatever future insert lands on that slot index.
         // Purge entries whose heap slot no longer exists (or whose
         // version the undo pass stamped dead) before serving queries.
-        let dirty =
-            recovery.as_ref().is_some_and(|r| r.replayed_pages > 0 || r.torn_tail_bytes > 0)
-                || undo.is_some_and(|u| {
-                    u.versions_stamped_dead > 0 || u.xmax_cleared > 0 || u.committed_txns > 0
-                });
+        // `skipped_pages` counts too: a clean shutdown truncates the log
+        // to a bare checkpoint record, so *any* page image in the WAL —
+        // even one the data file already has — means the last process
+        // died mid-flight (e.g. mid-vacuum with some frames evicted and
+        // others lost) and an index page may be stale relative to its
+        // heap page.
+        let dirty = recovery
+            .as_ref()
+            .is_some_and(|r| r.replayed_pages > 0 || r.skipped_pages > 0 || r.torn_tail_bytes > 0)
+            || undo.is_some_and(|u| {
+                u.versions_stamped_dead > 0 || u.xmax_cleared > 0 || u.committed_txns > 0
+            });
         if dirty {
+            // A WAL torn mid-vacuum can leave stubs whose chains were
+            // already reclaimed and overflow pages nothing references:
+            // digest both before the index sweep below, so its
+            // `get_versioned` probes see a consistent heap and drop
+            // the purged stubs' index entries.
+            for heap in heaps.values() {
+                heap.scavenge_after_recovery()?;
+            }
             for idef in catalog.indexes() {
                 let Some(heap) = heaps.get(&idef.table.to_ascii_lowercase()) else { continue };
                 let tree = indexes.get(&idef.name.to_ascii_lowercase()).expect("tree");
@@ -279,6 +324,9 @@ impl Database {
             forcing: RwLock::new(opts.forcing),
             registry: crate::metrics::MetricsRegistry::new(),
             txns,
+            vacuum_serial: parking_lot::Mutex::new(()),
+            reclaim_hint: AtomicU64::new(0),
+            auto_vacuum: opts.auto_vacuum,
             closed: AtomicBool::new(false),
         })
     }
@@ -798,6 +846,10 @@ impl Database {
                 inner.catalog.save(&self.dir)?;
                 Ok(0)
             }
+            Statement::Vacuum => {
+                let report = self.vacuum()?;
+                Ok(report.vacuumed_versions)
+            }
             Statement::Explain(_) => Err(DbError::Plan("EXPLAIN returns rows; use query()".into())),
             Statement::Select(_) => {
                 Err(DbError::Plan("execute() expects DDL/DML; use query()".into()))
@@ -865,6 +917,9 @@ impl Database {
                 ClaimOutcome::Claimed => {
                     self.txns
                         .record_undo(txn, UndoRecord::Delete { table: tdef.name.clone(), rid })?;
+                    // Feed the auto-vacuum hook: if this claim commits,
+                    // the version eventually becomes reclaimable.
+                    self.reclaim_hint.fetch_add(1, Ordering::Relaxed);
                     n += 1;
                 }
                 ClaimOutcome::OwnedBySelf | ClaimOutcome::Gone => {}
@@ -927,13 +982,15 @@ impl Database {
                     // The table may have been dropped after the insert
                     // (DDL is not transactional); nothing left to undo.
                     let Ok((_, heap, idx_defs)) = self.table_access(&table) else { continue };
-                    if heap.delete(rid)? {
-                        for (cols, tree) in &idx_defs {
-                            let key_vals: Vec<Value> =
-                                cols.iter().map(|&i| row[i].clone()).collect();
-                            tree.delete(&encode_key(&key_vals), rid)?;
-                        }
+                    // Index entries go first: `heap.delete` makes the
+                    // slot immediately reusable, and a concurrent
+                    // insert reviving it with an equal key must not
+                    // have its fresh index entry swept up by ours.
+                    for (cols, tree) in &idx_defs {
+                        let key_vals: Vec<Value> = cols.iter().map(|&i| row[i].clone()).collect();
+                        tree.delete(&encode_key(&key_vals), rid)?;
                     }
+                    heap.delete(rid)?;
                 }
                 UndoRecord::Delete { table, rid } => {
                     let Ok((_, heap, _)) = self.table_access(&table) else { continue };
@@ -1080,10 +1137,95 @@ impl Database {
         Ok(logged)
     }
 
+    /// Physically reclaim every dead version no current or future
+    /// snapshot can see: versions whose committed `xmax` lies below
+    /// [`TxnManager::vacuum_watermark`], plus versions stamped dead by
+    /// crash recovery (`xmin == 0`). For each victim the pass deletes
+    /// its index entries *first*, then frees the heap slot and walks
+    /// its overflow chain back to the free-space map — that ordering
+    /// means a revived slot can never alias a stale index entry, even
+    /// if the pass crashes halfway (redo replays the logged prefix; the
+    /// open-time sweep and a re-run converge the rest).
+    ///
+    /// Runs under the catalog read lock (concurrent queries and DML
+    /// proceed; DDL waits) and a pass-serialization mutex. Finishes
+    /// with a [`Database::commit`] so the reclamation is durable.
+    pub fn vacuum(&self) -> Result<VacuumReport> {
+        let _span = crate::trace::span("vacuum");
+        let _serial = self.vacuum_serial.lock();
+        // Reset the hint up front: deletes racing with this pass are
+        // counted toward the *next* one.
+        self.reclaim_hint.store(0, Ordering::Relaxed);
+        let engine0 = ENGINE.snapshot();
+        let watermark = self.txns.vacuum_watermark();
+        let mut vacuumed = 0u64;
+        let inner = self.inner.read();
+        let tables: Vec<TableDef> = inner.catalog.tables().cloned().collect();
+        for tdef in &tables {
+            let heap = inner.heaps.get(&tdef.name.to_ascii_lowercase()).expect("heap").clone();
+            let idx_defs: Vec<(Vec<usize>, Arc<BTree>)> = inner
+                .catalog
+                .indexes_of(&tdef.name)
+                .into_iter()
+                .map(|d| {
+                    let cols: Vec<usize> = d
+                        .columns
+                        .iter()
+                        .map(|c| tdef.column_index(c).expect("index column"))
+                        .collect();
+                    (cols, inner.indexes.get(&d.name.to_ascii_lowercase()).expect("tree").clone())
+                })
+                .collect();
+            // Committed-dead versions below the watermark. A nonzero
+            // `xmax` below the watermark is necessarily committed: an
+            // active claimant's own id bounds the watermark from above,
+            // and aborted claims are cleared before the claimant leaves
+            // the active set. Bodies are resolved by the scan *before*
+            // any freeing, because the index keys must be recomputed
+            // from them.
+            let mut victims: Vec<(crate::storage::heap::Rid, Row)> = Vec::new();
+            heap.scan(|v| {
+                if v.xmax != crate::txn::TXID_INVALID && v.xmax < watermark {
+                    victims.push((v.rid, crate::tuple::decode_row(&v.body, tdef.columns.len())?));
+                }
+                Ok(true)
+            })?;
+            for (rid, row) in victims {
+                for (cols, tree) in &idx_defs {
+                    let key_vals: Vec<Value> = cols.iter().map(|&i| row[i].clone()).collect();
+                    tree.delete(&encode_key(&key_vals), rid)?;
+                }
+                if heap.delete(rid)? {
+                    vacuumed += 1;
+                }
+            }
+            // Recovery-stamped corpses (`xmin == 0`) carry no index
+            // entries — the open-time sweep already purged them.
+            for rid in heap.stamped_dead_rids()? {
+                if heap.delete(rid)? {
+                    vacuumed += 1;
+                }
+            }
+        }
+        drop(inner);
+        ENGINE.vacuumed_versions.fetch_add(vacuumed, Ordering::Relaxed);
+        // Durability point: log every page the pass touched and fsync,
+        // so a crash from here on replays the whole reclamation.
+        self.commit()?;
+        let freed = ENGINE.snapshot().since(&engine0).freed_pages;
+        Ok(VacuumReport { watermark, vacuumed_versions: vacuumed, freed_pages: freed })
+    }
+
     /// Checkpoint: commit, write every dirty page to its data file,
     /// fsync the data files, then truncate the WAL to a single
     /// checkpoint record. Bounds both recovery time and log size.
+    /// When [`DbOptions::auto_vacuum`] is on and deletes have
+    /// accumulated since the last pass, a [`Database::vacuum`] runs
+    /// first so the checkpointed state is also compact.
     pub fn checkpoint(&self) -> Result<()> {
+        if self.auto_vacuum && self.reclaim_hint.load(Ordering::Relaxed) > 0 {
+            self.vacuum()?;
+        }
         self.commit()?;
         self.pool.flush_all()?;
         // Persist the transaction watermark *before* truncating: if we
@@ -2044,5 +2186,132 @@ mod tests {
         assert!(delta.pool.fetches() > 0, "queries touch the buffer pool");
         let json = delta.to_json();
         assert!(json.contains("\"queries\":3"), "snapshot JSON: {json}");
+    }
+
+    fn setup_churn(db: &Database, rows: usize) {
+        db.execute("CREATE TABLE churn (id INTEGER, payload VARCHAR)").unwrap();
+        db.execute("CREATE INDEX churn_id ON churn (id)").unwrap();
+        fill_churn(db, rows);
+    }
+
+    fn fill_churn(db: &Database, rows: usize) {
+        let batch: Vec<Row> = (0..rows)
+            .map(|i| {
+                vec![Value::Int(i as i64), Value::str(format!("payload-{i:04}-{}", "x".repeat(80)))]
+            })
+            .collect();
+        db.insert_rows("churn", batch).unwrap();
+    }
+
+    #[test]
+    fn vacuum_reclaims_deleted_versions_and_footprint_stays_flat() {
+        let db = db("vacuum-churn");
+        setup_churn(&db, 200);
+        // One full cycle first so the file reaches its steady-state size.
+        db.execute("DELETE FROM churn").unwrap();
+        let report = db.vacuum().unwrap();
+        assert!(report.vacuumed_versions >= 200, "first pass reclaims: {report:?}");
+        fill_churn(&db, 200);
+        let steady = db.data_size_bytes().unwrap();
+        for _ in 0..4 {
+            db.execute("DELETE FROM churn").unwrap();
+            let r = db.vacuum().unwrap();
+            assert!(r.vacuumed_versions >= 200, "each pass reclaims the churn: {r:?}");
+            fill_churn(&db, 200);
+        }
+        assert_eq!(
+            db.data_size_bytes().unwrap(),
+            steady,
+            "vacuum + free-space reuse keeps the heap footprint flat under churn"
+        );
+        // The surviving data is intact and the index still agrees.
+        assert_eq!(db.row_count("churn").unwrap(), 200);
+        let r = db.query("SELECT payload FROM churn WHERE id = 7").unwrap();
+        assert_eq!(r.len(), 1);
+        // A second pass with nothing dead reclaims nothing.
+        assert_eq!(db.vacuum().unwrap().vacuumed_versions, 0);
+    }
+
+    #[test]
+    fn vacuum_sql_statement_reports_reclaimed_count() {
+        let db = db("vacuum-sql");
+        setup_speech(&db);
+        db.execute("DELETE FROM speech WHERE speech_parentID = 1").unwrap();
+        let reclaimed = db.execute("VACUUM").unwrap();
+        assert_eq!(reclaimed, 2, "both deleted speeches are reclaimed");
+        assert_eq!(db.execute("VACUUM").unwrap(), 0, "second pass finds nothing");
+        assert_eq!(db.query("SELECT speechID FROM speech").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn open_transaction_pins_vacuum_watermark() {
+        let db = db("vacuum-pin");
+        setup_speech(&db);
+        let t = db.begin_txn();
+        db.execute("DELETE FROM speech").unwrap();
+        let report = db.vacuum().unwrap();
+        assert_eq!(
+            report.vacuumed_versions, 0,
+            "versions visible to the open snapshot survive: {report:?}"
+        );
+        let r = db.query_in("SELECT speechID FROM speech", None, Some(t)).unwrap();
+        assert_eq!(r.len(), 3, "the pinned snapshot still reads the pre-delete rows");
+        db.commit_txn(t).unwrap();
+        assert_eq!(db.vacuum().unwrap().vacuumed_versions, 3, "releasing the pin unblocks reclaim");
+    }
+
+    #[test]
+    fn auto_vacuum_runs_on_checkpoint_after_deletes() {
+        let db = db("vacuum-auto");
+        setup_speech(&db);
+        db.execute("DELETE FROM speech").unwrap();
+        db.checkpoint().unwrap();
+        assert_eq!(
+            db.vacuum().unwrap().vacuumed_versions,
+            0,
+            "checkpoint's auto-vacuum already reclaimed the deletes"
+        );
+    }
+
+    #[test]
+    fn auto_vacuum_off_leaves_dead_versions_for_manual_pass() {
+        let dir =
+            std::env::temp_dir().join(format!("ordb-db-vacuum-manual-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = DbOptions { auto_vacuum: false, ..DbOptions::default() };
+        let db = Database::open_with(&dir, opts).unwrap();
+        setup_speech(&db);
+        db.execute("DELETE FROM speech").unwrap();
+        db.checkpoint().unwrap();
+        assert_eq!(
+            db.vacuum().unwrap().vacuumed_versions,
+            3,
+            "with auto_vacuum off the dead versions wait for a manual pass"
+        );
+    }
+
+    #[test]
+    fn vacuum_frees_overflow_chains_and_survives_reopen() {
+        let dir =
+            std::env::temp_dir().join(format!("ordb-db-vacuum-reopen-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let db = Database::open(&dir).unwrap();
+        db.execute("CREATE TABLE blobs (id INTEGER, body VARCHAR)").unwrap();
+        let big: Vec<Row> =
+            (0..8).map(|i| vec![Value::Int(i), Value::str("y".repeat(6000))]).collect();
+        db.insert_rows("blobs", big).unwrap();
+        db.execute("DELETE FROM blobs WHERE id < 6").unwrap();
+        let report = db.vacuum().unwrap();
+        assert_eq!(report.vacuumed_versions, 6);
+        assert!(report.freed_pages > 0, "overflow chains return whole pages: {report:?}");
+        db.close().unwrap();
+        let db = Database::open(&dir).unwrap();
+        assert_eq!(db.row_count("blobs").unwrap(), 2);
+        let r = db.query("SELECT id FROM blobs").unwrap();
+        assert_eq!(r.len(), 2);
+        // Freed overflow pages are reused by fresh inserts after reopen.
+        let before = db.data_size_bytes().unwrap();
+        db.insert_rows("blobs", vec![vec![Value::Int(100), Value::str("z".repeat(6000))]]).unwrap();
+        assert_eq!(db.data_size_bytes().unwrap(), before, "reopen rebuilds the free-space map");
     }
 }

@@ -112,6 +112,19 @@ impl BTree {
         Ok(self.len()? == 0)
     }
 
+    /// Physical entry count: walks every leaf and counts slots instead
+    /// of trusting the cached metadata counter behind [`BTree::len`].
+    /// Vacuum's equivalence checks use this as ground truth that the
+    /// index shrank in step with the heap.
+    pub fn entry_count(&self) -> Result<u64> {
+        let mut n = 0u64;
+        self.scan_from(&[], |_, _| {
+            n += 1;
+            Ok(true)
+        })?;
+        Ok(n)
+    }
+
     fn root(&self) -> Result<u32> {
         let meta = self.pool.fetch(self.file, 0)?;
         let pid = meta.page.lock().special1();

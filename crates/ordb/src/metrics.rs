@@ -217,6 +217,15 @@ pub struct EngineCounters {
     /// Bytes of XADT fragment content fed through `unnest` (the table-UDF
     /// analogue of scalar-UDF marshalling bytes).
     pub unnest_bytes: AtomicU64,
+    /// Dead versions physically reclaimed by vacuum (slot freed, index
+    /// entries removed, overflow chain released).
+    pub vacuumed_versions: AtomicU64,
+    /// Heap pages (overflow-chain pages and fully-emptied data pages)
+    /// returned to the free-space map for reuse.
+    pub freed_pages: AtomicU64,
+    /// Inserts that landed in a reclaimed slot or reused a freed page
+    /// instead of growing the file.
+    pub reused_slots: AtomicU64,
 }
 
 /// The global counter instance.
@@ -229,6 +238,9 @@ pub static ENGINE: EngineCounters = EngineCounters {
     agg_spills: AtomicU64::new(0),
     unnest_calls: AtomicU64::new(0),
     unnest_bytes: AtomicU64::new(0),
+    vacuumed_versions: AtomicU64::new(0),
+    freed_pages: AtomicU64::new(0),
+    reused_slots: AtomicU64::new(0),
 };
 
 /// A point-in-time copy of [`EngineCounters`].
@@ -250,6 +262,12 @@ pub struct EngineSnapshot {
     pub unnest_calls: u64,
     /// See [`EngineCounters::unnest_bytes`].
     pub unnest_bytes: u64,
+    /// See [`EngineCounters::vacuumed_versions`].
+    pub vacuumed_versions: u64,
+    /// See [`EngineCounters::freed_pages`].
+    pub freed_pages: u64,
+    /// See [`EngineCounters::reused_slots`].
+    pub reused_slots: u64,
 }
 
 impl EngineCounters {
@@ -264,6 +282,9 @@ impl EngineCounters {
             agg_spills: self.agg_spills.load(Ordering::Relaxed),
             unnest_calls: self.unnest_calls.load(Ordering::Relaxed),
             unnest_bytes: self.unnest_bytes.load(Ordering::Relaxed),
+            vacuumed_versions: self.vacuumed_versions.load(Ordering::Relaxed),
+            freed_pages: self.freed_pages.load(Ordering::Relaxed),
+            reused_slots: self.reused_slots.load(Ordering::Relaxed),
         }
     }
 }
@@ -280,6 +301,9 @@ impl EngineSnapshot {
             agg_spills: self.agg_spills.saturating_sub(earlier.agg_spills),
             unnest_calls: self.unnest_calls.saturating_sub(earlier.unnest_calls),
             unnest_bytes: self.unnest_bytes.saturating_sub(earlier.unnest_bytes),
+            vacuumed_versions: self.vacuumed_versions.saturating_sub(earlier.vacuumed_versions),
+            freed_pages: self.freed_pages.saturating_sub(earlier.freed_pages),
+            reused_slots: self.reused_slots.saturating_sub(earlier.reused_slots),
         }
     }
 }
@@ -705,7 +729,10 @@ impl RegistrySnapshot {
         push_kv(&mut s, "join_partitions", self.engine.join_partitions);
         push_kv(&mut s, "agg_spills", self.engine.agg_spills);
         push_kv(&mut s, "unnest_calls", self.engine.unnest_calls);
-        s.push_str(&format!("\"unnest_bytes\":{}}},", self.engine.unnest_bytes));
+        push_kv(&mut s, "unnest_bytes", self.engine.unnest_bytes);
+        push_kv(&mut s, "vacuumed_versions", self.engine.vacuumed_versions);
+        push_kv(&mut s, "freed_pages", self.engine.freed_pages);
+        s.push_str(&format!("\"reused_slots\":{}}},", self.engine.reused_slots));
         s.push_str("\"net\":{");
         push_kv(&mut s, "connections", self.net.connections);
         push_kv(&mut s, "frames_in", self.net.frames_in);
@@ -828,6 +855,15 @@ impl QueryMetrics {
                 self.engine.spill_bytes, self.engine.join_partitions, self.engine.agg_spills,
             ));
         }
+        if self.engine.vacuumed_versions > 0
+            || self.engine.freed_pages > 0
+            || self.engine.reused_slots > 0
+        {
+            out.push_str(&format!(
+                "vacuum: {} versions reclaimed · {} pages freed · {} slots reused\n",
+                self.engine.vacuumed_versions, self.engine.freed_pages, self.engine.reused_slots,
+            ));
+        }
         for u in &self.udfs {
             out.push_str(&format!(
                 "udf {}: {} calls, {} B marshalled\n",
@@ -866,6 +902,9 @@ impl QueryMetrics {
         push_kv(&mut s, "agg_spills", self.engine.agg_spills);
         push_kv(&mut s, "unnest_calls", self.engine.unnest_calls);
         push_kv(&mut s, "unnest_bytes", self.engine.unnest_bytes);
+        push_kv(&mut s, "vacuumed_versions", self.engine.vacuumed_versions);
+        push_kv(&mut s, "freed_pages", self.engine.freed_pages);
+        push_kv(&mut s, "reused_slots", self.engine.reused_slots);
         s.push_str("\"udfs\":[");
         for (i, u) in self.udfs.iter().enumerate() {
             if i > 0 {

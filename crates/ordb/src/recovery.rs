@@ -19,9 +19,22 @@
 //! repair, not log replay — it edits slot headers in place and restamps
 //! the page checksum without touching the LSN.
 //!
+//! **Vacuum interaction.** A crash mid-[`vacuum`] needs no special
+//! handling here. Vacuum is WAL-logged like any other mutation: redo
+//! replays whatever prefix of the pass reached the log (index deletes,
+//! freed slots, pages reinitialised to the free kind, `special0 == 3`),
+//! and the undo sweep skips free and overflow pages entirely — it only
+//! inspects `special0 == 1` data pages, so a half-reclaimed chain can
+//! never be misread as slot headers. Versions the crashed pass did not
+//! get to are still dead-below-the-watermark on reopen and the next
+//! pass reclaims them; versions it stamped `xmin == 0` are swept up by
+//! [`vacuum`]'s stamped-dead scan.
+//!
 //! Both passes use plain `std::fs` I/O rather than the pool/fault
 //! stack: recovery models the clean restart *after* the crash, when the
 //! disk is healthy again.
+//!
+//! [`vacuum`]: crate::db::Database::vacuum
 //!
 //! [`Database::open`]: crate::db::Database::open
 
@@ -178,7 +191,7 @@ pub fn undo_uncommitted(dir: &Path, heap_file_ids: &[u32]) -> Result<UndoReport>
             }
             let mut page = Page::from_bytes(raw);
             if page.special0() != 1 {
-                continue; // overflow or fresh page: no slot headers
+                continue; // overflow, vacuumed-free, or fresh page: no slot headers
             }
             let mut touched = false;
             for slot in 0..page.slot_count() {

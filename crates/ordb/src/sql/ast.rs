@@ -52,6 +52,8 @@ pub enum Statement {
     Commit,
     /// `ROLLBACK [TRANSACTION | WORK]` — abort the open transaction.
     Rollback,
+    /// `VACUUM` — reclaim versions invisible below the oldest snapshot.
+    Vacuum,
 }
 
 /// A SELECT query.

@@ -3,7 +3,8 @@
 //! GROUP BY, ORDER BY, LIMIT), `CREATE TABLE`, `CREATE INDEX`,
 //! `INSERT … VALUES`, `DELETE`, `DROP`, and the transaction-control
 //! statements `BEGIN` / `COMMIT` / `ROLLBACK` (optionally followed by
-//! the `TRANSACTION` / `WORK` noise word).
+//! the `TRANSACTION` / `WORK` noise word), plus `VACUUM` to reclaim
+//! dead row versions.
 
 use crate::error::{DbError, Result};
 use crate::expr::CmpOp;
@@ -149,8 +150,12 @@ impl Parser {
             self.eat_txn_noise();
             return Ok(Statement::Rollback);
         }
+        if self.eat_kw("vacuum") {
+            return Ok(Statement::Vacuum);
+        }
         Err(self.err(
-            "expected SELECT, CREATE, INSERT, DELETE, DROP, EXPLAIN, BEGIN, COMMIT, or ROLLBACK",
+            "expected SELECT, CREATE, INSERT, DELETE, DROP, EXPLAIN, BEGIN, COMMIT, ROLLBACK, or \
+             VACUUM",
         ))
     }
 
@@ -612,6 +617,13 @@ mod tests {
         assert_eq!(parse_statement("ROLLBACK TRANSACTION").unwrap(), Statement::Rollback);
         // Trailing garbage is still rejected.
         assert!(parse_statement("BEGIN EXTRA").is_err());
+    }
+
+    #[test]
+    fn parses_vacuum_statement() {
+        assert_eq!(parse_statement("VACUUM").unwrap(), Statement::Vacuum);
+        assert_eq!(parse_statement("vacuum").unwrap(), Statement::Vacuum);
+        assert!(parse_statement("VACUUM t").is_err());
     }
 
     #[test]

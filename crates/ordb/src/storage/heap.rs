@@ -13,16 +13,25 @@
 //! stub — XADT fragments (whole XML subtrees, paper §3.3) routinely
 //! exceed a page.
 //!
-//! Slots are append-only: [`crate::storage::page::Page::insert`] never
-//! reuses a dead slot, so a dangling index entry (left by a rolled-back
-//! insert) can never alias a newer record.
+//! Dead slots and emptied pages are tracked in an in-memory free-space
+//! map (`Fsm`) and reused by later inserts, so steady-state churn does
+//! not grow the file. A dead slot only becomes reusable after every
+//! index entry pointing at it has been deleted — vacuum and rollback
+//! both remove index entries before killing the slot — so a revived
+//! slot can never alias a stale index entry. Freed pages keep their LSN
+//! trailer across [`Page::reinit`] so WAL redo ordering still applies
+//! when they are recycled.
 
+use std::collections::BTreeSet;
+use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::metrics::ENGINE;
+
 use crate::error::{DbError, Result};
-use crate::storage::buffer::{BufferPool, FileId};
+use crate::storage::buffer::{BufferPool, FileId, FrameRef};
 use crate::storage::page::{Page, PAGE_SIZE, PAGE_TRAILER};
 
 /// Record bodies above this size go to an overflow chain.
@@ -128,18 +137,38 @@ fn stub_target(payload: &[u8]) -> (u32, usize) {
     (first, total)
 }
 
+/// In-memory free-space map of one heap file. Rebuilt lazily: the first
+/// insert that misses its page hint scans the file's page kinds once, so
+/// append-only workloads never pay for it. Deletes and vacuum feed it
+/// incrementally afterwards.
+struct Fsm {
+    /// Whether the one-time page-kind scan has run.
+    scanned: bool,
+    /// Data pages known to carry at least one dead (reusable) slot.
+    data: BTreeSet<u32>,
+    /// Fully-freed pages (kind 3), reusable as data or overflow pages.
+    free: BTreeSet<u32>,
+}
+
 /// A heap file handle. Cheap to clone.
 pub struct HeapFile {
     file: FileId,
     pool: Arc<BufferPool>,
     /// Page we last inserted into; inserts try it before allocating.
     insert_hint: Mutex<Option<u32>>,
+    /// Free-space map; see [`Fsm`].
+    fsm: Mutex<Fsm>,
 }
 
 impl HeapFile {
     /// Wrap an already-registered page file.
     pub fn new(pool: Arc<BufferPool>, file: FileId) -> HeapFile {
-        HeapFile { file, pool, insert_hint: Mutex::new(None) }
+        HeapFile {
+            file,
+            pool,
+            insert_hint: Mutex::new(None),
+            fsm: Mutex::new(Fsm { scanned: false, data: BTreeSet::new(), free: BTreeSet::new() }),
+        }
     }
 
     /// The underlying file id.
@@ -170,7 +199,9 @@ impl HeapFile {
         self.insert_slot(&record)
     }
 
-    /// Place a fully-formed `[xmin][xmax][payload]` record in a slot.
+    /// Place a fully-formed `[xmin][xmax][payload]` record in a slot:
+    /// hinted page first, then data pages with reclaimed slots, then
+    /// fully-freed pages, and only then a fresh allocation.
     fn insert_slot(&self, record: &[u8]) -> Result<Rid> {
         // Try the hinted page first.
         let hint = *self.insert_hint.lock();
@@ -178,6 +209,32 @@ impl HeapFile {
             if let Some(rid) = self.try_insert_into(pid, record)? {
                 return Ok(rid);
             }
+        }
+        self.ensure_fsm_scanned()?;
+        // Data pages with dead slots. A popped page that turns out too
+        // full for this record leaves the map; the next slot death on it
+        // re-registers it.
+        loop {
+            let candidate = self.fsm.lock().data.pop_first();
+            let Some(pid) = candidate else { break };
+            if let Some(rid) = self.try_insert_into(pid, record)? {
+                *self.insert_hint.lock() = Some(pid);
+                return Ok(rid);
+            }
+        }
+        // Recycle a fully-freed page as a data page.
+        if let Some(pid) = self.fsm.lock().free.pop_first() {
+            let frame = self.pool.fetch(self.file, pid)?;
+            let mut page = frame.page.lock();
+            page.reinit();
+            mark_data_page(&mut page);
+            let slot = page
+                .insert(record)
+                .ok_or_else(|| DbError::Exec("record does not fit in an empty page".into()))?;
+            frame.mark_dirty();
+            ENGINE.reused_slots.fetch_add(1, Relaxed);
+            *self.insert_hint.lock() = Some(pid);
+            return Ok(Rid { page: pid, slot: rid_slot(slot)? });
         }
         // Allocate a new data page.
         let (pid, frame) = self.pool.allocate(self.file)?;
@@ -197,13 +254,55 @@ impl HeapFile {
         if !is_data_page(&page) {
             return Ok(None);
         }
-        match page.insert(record) {
-            Some(slot) => {
+        match page.insert_reusing(record) {
+            Some((slot, reused)) => {
                 frame.mark_dirty();
+                if reused {
+                    ENGINE.reused_slots.fetch_add(1, Relaxed);
+                }
                 Ok(Some(Rid { page: pid, slot: rid_slot(slot)? }))
             }
             None => Ok(None),
         }
+    }
+
+    /// One-time lazy rebuild of the free-space map from on-disk page
+    /// kinds. Runs at most once per handle; incremental updates keep it
+    /// current afterwards.
+    fn ensure_fsm_scanned(&self) -> Result<()> {
+        if self.fsm.lock().scanned {
+            return Ok(());
+        }
+        let pages = self.page_count()?;
+        let mut data = Vec::new();
+        let mut free = Vec::new();
+        for pid in 0..pages {
+            let frame = self.pool.fetch(self.file, pid)?;
+            let page = frame.page.lock();
+            if is_free_page(&page) {
+                free.push(pid);
+            } else if is_data_page(&page) && page.first_dead_slot().is_some() {
+                data.push(pid);
+            }
+        }
+        let mut fsm = self.fsm.lock();
+        fsm.scanned = true;
+        fsm.data.extend(data);
+        fsm.free.extend(free);
+        Ok(())
+    }
+
+    /// A page for a new overflow chunk: a recycled free page when one is
+    /// available, otherwise a fresh allocation.
+    fn alloc_overflow_page(&self) -> Result<(u32, FrameRef)> {
+        self.ensure_fsm_scanned()?;
+        if let Some(pid) = self.fsm.lock().free.pop_first() {
+            let frame = self.pool.fetch(self.file, pid)?;
+            frame.page.lock().reinit();
+            ENGINE.reused_slots.fetch_add(1, Relaxed);
+            return Ok((pid, frame));
+        }
+        self.pool.allocate(self.file)
     }
 
     fn insert_overflow(&self, body: &[u8], xmin: u64) -> Result<Rid> {
@@ -211,7 +310,7 @@ impl HeapFile {
         let mut next = OVF_END;
         let chunks: Vec<&[u8]> = body.chunks(OVF_CAPACITY).collect();
         for chunk in chunks.iter().rev() {
-            let (pid, frame) = self.pool.allocate(self.file)?;
+            let (pid, frame) = self.alloc_overflow_page()?;
             let mut page = frame.page.lock();
             mark_overflow_page(&mut page);
             let raw = overflow_body_mut(&mut page);
@@ -231,23 +330,251 @@ impl HeapFile {
         self.insert_slot(&record)
     }
 
-    /// Physically delete the record at `rid` (rollback of an insert —
-    /// MVCC deletes go through [`HeapFile::try_claim_xmax`] instead).
-    /// Overflow chains are left as garbage (no free-space map; the
-    /// workloads are insert-dominated) but the record disappears from
-    /// scans and `get`.
+    /// Physically delete the record at `rid` (rollback of an insert and
+    /// vacuum reclamation — MVCC deletes go through
+    /// [`HeapFile::try_claim_xmax`] instead). The overflow chain, if
+    /// any, is walked and returned to the free-space map; a data page
+    /// whose last live slot dies is freed whole. Callers must have
+    /// removed every index entry pointing at `rid` first — the slot is
+    /// immediately reusable.
     pub fn delete(&self, rid: Rid) -> Result<bool> {
         if rid.page >= self.page_count()? {
             return Ok(false);
         }
         let frame = self.pool.fetch(self.file, rid.page)?;
         let mut page = frame.page.lock();
-        if page.get(rid.slot as usize).is_none() {
+        let Some(raw) = page.get(rid.slot as usize) else {
             return Ok(false);
-        }
+        };
+        // Capture the chain head before the stub disappears. A record
+        // too short for a version header is still deletable.
+        let chain = match split_version(raw) {
+            Ok((_, _, payload)) if is_stub(payload) => Some(stub_target(payload)),
+            _ => None,
+        };
         page.delete(rid.slot as usize);
+        let emptied = page.live_slots() == 0;
+        if emptied {
+            page.reinit();
+            mark_free_page(&mut page);
+        }
         frame.mark_dirty();
+        drop(page);
+        if emptied {
+            self.fsm.lock().free.insert(rid.page);
+            ENGINE.freed_pages.fetch_add(1, Relaxed);
+        } else {
+            self.fsm.lock().data.insert(rid.page);
+        }
+        if let Some((first, total)) = chain {
+            self.free_chain(first, total)?;
+        }
         Ok(true)
+    }
+
+    /// Walk the overflow chain starting at `first` and return every page
+    /// to the free-space map. Bounded by the page count implied by
+    /// `total`, like `HeapFile::read_overflow`, so a corrupt cycle
+    /// cannot loop forever. Returns the number of pages freed.
+    pub fn free_chain(&self, first: u32, total: usize) -> Result<u32> {
+        let max_hops = total.div_ceil(OVF_CAPACITY).max(1);
+        let mut pid = first;
+        let mut freed = 0u32;
+        while pid != OVF_END {
+            if freed as usize >= max_hops {
+                return Err(DbError::Corrupt(format!(
+                    "overflow chain from page {first} exceeds the {max_hops} pages implied by \
+                     length {total}"
+                )));
+            }
+            if pid >= self.page_count()? {
+                return Err(DbError::Corrupt(format!(
+                    "overflow chain points past the end of the file at page {pid}"
+                )));
+            }
+            let frame = self.pool.fetch(self.file, pid)?;
+            let mut page = frame.page.lock();
+            if !is_overflow_page(&page) {
+                return Err(DbError::Corrupt(format!(
+                    "page {pid} in an overflow chain is not an overflow page"
+                )));
+            }
+            let next = u32::from_le_bytes(overflow_body(&page)[0..4].try_into().unwrap());
+            page.reinit();
+            mark_free_page(&mut page);
+            frame.mark_dirty();
+            drop(page);
+            self.fsm.lock().free.insert(pid);
+            freed += 1;
+            pid = next;
+        }
+        ENGINE.freed_pages.fetch_add(u64::from(freed), Relaxed);
+        Ok(freed)
+    }
+
+    /// Rids of versions stamped dead by recovery (`xmin == 0`): invisible
+    /// to every snapshot and skipped by [`HeapFile::scan`], they are
+    /// reclaimed by vacuum without index bookkeeping (the open-time sweep
+    /// already removed their index entries).
+    pub fn stamped_dead_rids(&self) -> Result<Vec<Rid>> {
+        let pages = self.page_count()?;
+        let mut out = Vec::new();
+        for pid in 0..pages {
+            let frame = self.pool.fetch(self.file, pid)?;
+            let page = frame.page.lock();
+            if !is_data_page(&page) {
+                continue;
+            }
+            for slot in 0..page.slot_count() {
+                if let Some(raw) = page.get(slot) {
+                    if raw.len() >= VERSION_HEADER
+                        && u64::from_le_bytes(raw[0..8].try_into().unwrap()) == 0
+                    {
+                        out.push(Rid { page: pid, slot: rid_slot(slot)? });
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Post-crash convergence pass, run by `Database::open` after a
+    /// dirty shutdown. A WAL torn partway through a vacuum storm can
+    /// replay an arbitrary subset of the pass's page images, leaving
+    /// two kinds of debris this heap file must digest before serving
+    /// queries:
+    ///
+    /// * **torn stubs** — a stub slot survived (its slot-delete image
+    ///   fell past the tear) but its overflow chain was already
+    ///   reclaimed. The version was dead — vacuum only frees chains of
+    ///   dead versions — so the slot is purged; the caller's index
+    ///   sweep then drops any entries still pointing at it.
+    /// * **orphan overflow pages** — the chain-free images fell past
+    ///   the tear for *some* pages of a chain whose head was freed, so
+    ///   they are unreachable from every surviving stub. They are
+    ///   reinitialised back to the free list (a mark-sweep over the
+    ///   file: reachable = union of every valid stub chain).
+    ///
+    /// Returns `(purged_stubs, freed_pages)`. Idempotent: a clean file
+    /// reports `(0, 0)` and is untouched.
+    pub fn scavenge_after_recovery(&self) -> Result<(u64, u64)> {
+        let pages = self.page_count()?;
+        // Collect every stub first, latches released, because a corrupt
+        // chain could point back into the data page we are scanning.
+        let mut stubs: Vec<(Rid, u32, usize)> = Vec::new();
+        for pid in 0..pages {
+            let frame = self.pool.fetch(self.file, pid)?;
+            let page = frame.page.lock();
+            if !is_data_page(&page) {
+                continue;
+            }
+            for slot in 0..page.slot_count() {
+                let Some(raw) = page.get(slot) else { continue };
+                let Ok((_, _, payload)) = split_version(raw) else { continue };
+                if is_stub(payload) {
+                    let (first, total) = stub_target(payload);
+                    stubs.push((Rid { page: pid, slot: rid_slot(slot)? }, first, total));
+                }
+            }
+        }
+        let mut reachable: BTreeSet<u32> = BTreeSet::new();
+        let mut purged = 0u64;
+        for (rid, first, total) in stubs {
+            match self.chain_pages(first, total) {
+                Ok(pids) => reachable.extend(pids),
+                Err(DbError::Corrupt(_)) => {
+                    let frame = self.pool.fetch(self.file, rid.page)?;
+                    let mut page = frame.page.lock();
+                    if page.get(rid.slot as usize).is_none() {
+                        continue;
+                    }
+                    page.delete(rid.slot as usize);
+                    let emptied = page.live_slots() == 0;
+                    if emptied {
+                        page.reinit();
+                        mark_free_page(&mut page);
+                    }
+                    frame.mark_dirty();
+                    drop(page);
+                    if emptied {
+                        self.fsm.lock().free.insert(rid.page);
+                        ENGINE.freed_pages.fetch_add(1, Relaxed);
+                    } else {
+                        self.fsm.lock().data.insert(rid.page);
+                    }
+                    purged += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let mut freed = 0u64;
+        for pid in 0..pages {
+            if reachable.contains(&pid) {
+                continue;
+            }
+            let frame = self.pool.fetch(self.file, pid)?;
+            let mut page = frame.page.lock();
+            if !is_overflow_page(&page) {
+                continue;
+            }
+            page.reinit();
+            mark_free_page(&mut page);
+            frame.mark_dirty();
+            drop(page);
+            self.fsm.lock().free.insert(pid);
+            freed += 1;
+        }
+        ENGINE.freed_pages.fetch_add(freed, Relaxed);
+        Ok((purged, freed))
+    }
+
+    /// Walk the chain from `first`, validating the same structure
+    /// [`HeapFile::read_overflow`] checks but without copying bodies,
+    /// and return the pages it traverses.
+    fn chain_pages(&self, first: u32, total: usize) -> Result<Vec<u32>> {
+        let pages = self.page_count()?;
+        if total > (pages as usize).saturating_mul(OVF_CAPACITY) {
+            return Err(DbError::Corrupt(format!(
+                "overflow length {total} exceeds what {pages} pages can hold"
+            )));
+        }
+        let max_hops = total.div_ceil(OVF_CAPACITY).max(1);
+        let mut out = Vec::new();
+        let mut covered = 0usize;
+        let mut pid = first;
+        while pid != OVF_END {
+            if out.len() >= max_hops {
+                return Err(DbError::Corrupt(format!(
+                    "overflow chain from page {first} exceeds the {max_hops} pages implied by \
+                     length {total} (cycle?)"
+                )));
+            }
+            if pid >= pages {
+                return Err(DbError::Corrupt(format!("overflow page {pid} is past the file end")));
+            }
+            let frame = self.pool.fetch(self.file, pid)?;
+            let page = frame.page.lock();
+            if !is_overflow_page(&page) {
+                return Err(DbError::Corrupt(format!("page {pid} is not an overflow page")));
+            }
+            let raw = overflow_body(&page);
+            let next = u32::from_le_bytes(raw[0..4].try_into().unwrap());
+            let len = u16::from_le_bytes(raw[4..6].try_into().unwrap()) as usize;
+            if len > raw.len() - OVF_HEADER || covered + len > total {
+                return Err(DbError::Corrupt(format!(
+                    "overflow page {pid} breaks the chain's recorded {total} bytes"
+                )));
+            }
+            covered += len;
+            out.push(pid);
+            pid = next;
+        }
+        if covered != total {
+            return Err(DbError::Corrupt(format!(
+                "overflow chain length {covered} != recorded {total}"
+            )));
+        }
+        Ok(out)
     }
 
     /// Read the record body at `rid`, resolving overflow chains.
@@ -281,8 +608,10 @@ impl HeapFile {
         if is_stub(payload) {
             let (first, total) = stub_target(payload);
             drop(page);
-            let body = self.read_overflow(first, total)?;
-            Ok(Some(Version { rid, xmin, xmax, body }))
+            match self.resolve_stub(rid, first, total)? {
+                Some(body) => Ok(Some(Version { rid, xmin, xmax, body })),
+                None => Ok(None),
+            }
         } else {
             Ok(Some(Version { rid, xmin, xmax, body: payload.to_vec() }))
         }
@@ -340,9 +669,28 @@ impl HeapFile {
     }
 
     fn read_overflow(&self, first: u32, total: usize) -> Result<Vec<u8>> {
+        // `total` comes off disk: validate it against the file size
+        // before trusting it for allocation, and bound the chain walk by
+        // the page count it implies so a corrupt `next` pointer forming
+        // a cycle terminates as an error instead of reading forever.
+        let pages = self.page_count()? as usize;
+        if total > pages.saturating_mul(OVF_CAPACITY) {
+            return Err(DbError::Corrupt(format!(
+                "overflow length {total} exceeds what {pages} pages can hold"
+            )));
+        }
+        let max_hops = total.div_ceil(OVF_CAPACITY).max(1);
         let mut out = Vec::with_capacity(total);
         let mut pid = first;
+        let mut hops = 0usize;
         while pid != OVF_END {
+            hops += 1;
+            if hops > max_hops {
+                return Err(DbError::Corrupt(format!(
+                    "overflow chain from page {first} exceeds the {max_hops} pages implied by \
+                     length {total} (cycle?)"
+                )));
+            }
             let frame = self.pool.fetch(self.file, pid)?;
             let page = frame.page.lock();
             if !is_overflow_page(&page) {
@@ -351,6 +699,17 @@ impl HeapFile {
             let raw = overflow_body(&page);
             let next = u32::from_le_bytes(raw[0..4].try_into().unwrap());
             let len = u16::from_le_bytes(raw[4..6].try_into().unwrap()) as usize;
+            if len > raw.len() - OVF_HEADER {
+                return Err(DbError::Corrupt(format!(
+                    "overflow page {pid} claims {len} payload bytes, body holds {}",
+                    raw.len() - OVF_HEADER
+                )));
+            }
+            if out.len() + len > total {
+                return Err(DbError::Corrupt(format!(
+                    "overflow chain from page {first} is longer than its recorded {total} bytes"
+                )));
+            }
             out.extend_from_slice(&raw[OVF_HEADER..OVF_HEADER + len]);
             pid = next;
         }
@@ -361,6 +720,44 @@ impl HeapFile {
             )));
         }
         Ok(out)
+    }
+
+    /// Resolve the overflow body behind the stub at `rid`, tolerating a
+    /// concurrent rollback freeing the chain mid-read: after the chain
+    /// read completes (or fails as corrupt), the stub is re-checked
+    /// under its page latch. If it no longer points at `(first, total)`
+    /// the version was physically removed while we read — report it as
+    /// gone (`None`) rather than serving garbage or a spurious
+    /// corruption error.
+    fn resolve_stub(&self, rid: Rid, first: u32, total: usize) -> Result<Option<Vec<u8>>> {
+        let read = self.read_overflow(first, total);
+        let intact = self.stub_matches(rid, first, total)?;
+        match read {
+            Ok(body) if intact => Ok(Some(body)),
+            Err(e @ DbError::Corrupt(_)) if intact => Err(e),
+            Ok(_) | Err(DbError::Corrupt(_)) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Whether the slot at `rid` still holds a live stub pointing at
+    /// `(first, total)`.
+    fn stub_matches(&self, rid: Rid, first: u32, total: usize) -> Result<bool> {
+        if rid.page >= self.page_count()? {
+            return Ok(false);
+        }
+        let frame = self.pool.fetch(self.file, rid.page)?;
+        let page = frame.page.lock();
+        if !is_data_page(&page) {
+            return Ok(false);
+        }
+        let Some(raw) = page.get(rid.slot as usize) else {
+            return Ok(false);
+        };
+        let Ok((xmin, _, payload)) = split_version(raw) else {
+            return Ok(false);
+        };
+        Ok(xmin != 0 && is_stub(payload) && stub_target(payload) == (first, total))
     }
 
     /// Visit every non-dead version in file order: `f(version)`.
@@ -397,11 +794,18 @@ impl HeapFile {
             }
             drop(page);
             for (slot, xmin, xmax, rec) in pending {
+                let rid = Rid { page: pid, slot };
                 let body = match rec {
                     Pending::Direct(b) => b,
-                    Pending::Overflow { first, total } => self.read_overflow(first, total)?,
+                    Pending::Overflow { first, total } => {
+                        match self.resolve_stub(rid, first, total)? {
+                            Some(b) => b,
+                            // Physically removed while we read; skip it.
+                            None => continue,
+                        }
+                    }
                 };
-                if !f(Version { rid: Rid { page: pid, slot }, xmin, xmax, body })? {
+                if !f(Version { rid, xmin, xmax, body })? {
                     return Ok(());
                 }
             }
@@ -470,15 +874,19 @@ impl HeapCursor {
             if is_stub(payload) {
                 let (first, total) = stub_target(payload);
                 drop(page);
-                let body = self.heap.read_overflow(first, total)?;
-                return Ok(Some(Version { rid, xmin, xmax, body }));
+                match self.heap.resolve_stub(rid, first, total)? {
+                    Some(body) => return Ok(Some(Version { rid, xmin, xmax, body })),
+                    // Physically removed while we read; move on.
+                    None => continue,
+                }
             }
             return Ok(Some(Version { rid, xmin, xmax, body: payload.to_vec() }));
         }
     }
 }
 
-// Page-kind markers via special0: 0 = fresh/unknown, 1 = data, 2 = overflow.
+// Page-kind markers via special0: 0 = fresh/unknown, 1 = data,
+// 2 = overflow, 3 = freed (reclaimed by vacuum/rollback, awaiting reuse).
 fn mark_data_page(p: &mut Page) {
     p.set_special0(1);
 }
@@ -487,12 +895,20 @@ fn mark_overflow_page(p: &mut Page) {
     p.set_special0(2);
 }
 
+fn mark_free_page(p: &mut Page) {
+    p.set_special0(3);
+}
+
 fn is_data_page(p: &Page) -> bool {
     p.special0() == 1
 }
 
 fn is_overflow_page(p: &Page) -> bool {
     p.special0() == 2
+}
+
+fn is_free_page(p: &Page) -> bool {
+    p.special0() == 3
 }
 
 /// Overflow pages store raw bytes after the 16-byte page header and before
@@ -629,6 +1045,162 @@ mod tests {
         assert!(h.get_versioned(bogus).unwrap().is_none());
         assert_eq!(h.try_claim_xmax(bogus, 5).unwrap(), ClaimOutcome::Gone);
         assert!(!h.delete(bogus).unwrap());
+    }
+
+    /// Parse the stub in the slot at `rid` (panics if not a stub).
+    fn stub_of(h: &HeapFile, rid: Rid) -> (u32, usize) {
+        let frame = h.pool.fetch(h.file, rid.page).unwrap();
+        let page = frame.page.lock();
+        let raw = page.get(rid.slot as usize).unwrap();
+        let (_, _, payload) = split_version(raw).unwrap();
+        assert!(is_stub(payload), "slot does not hold a stub");
+        stub_target(payload)
+    }
+
+    #[test]
+    fn cyclic_overflow_chain_is_corrupt_not_hang() {
+        let h = heap("cycle");
+        let big = vec![4u8; 2 * OVF_CAPACITY];
+        let rid = h.insert(&big, XMIN).unwrap();
+        let (first, _) = stub_of(&h, rid);
+        // Point the first chain page back at itself: a cycle that the
+        // unbounded walk would follow forever.
+        {
+            let frame = h.pool.fetch(h.file, first).unwrap();
+            let mut page = frame.page.lock();
+            page.bytes_mut()[16..20].copy_from_slice(&first.to_le_bytes());
+            frame.mark_dirty();
+        }
+        match h.get(rid) {
+            Err(DbError::Corrupt(msg)) => {
+                assert!(msg.contains("cycle") || msg.contains("exceeds"), "{msg}")
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_overflow_len_is_corrupt() {
+        let h = heap("ovlen");
+        let big = vec![5u8; OVF_CAPACITY + 10];
+        let rid = h.insert(&big, XMIN).unwrap();
+        let (first, _) = stub_of(&h, rid);
+        // An on-page `len` larger than the page body used to drive an
+        // out-of-bounds slice (panic); it must be a checked error.
+        {
+            let frame = h.pool.fetch(h.file, first).unwrap();
+            let mut page = frame.page.lock();
+            page.bytes_mut()[20..22].copy_from_slice(&u16::MAX.to_le_bytes());
+            frame.mark_dirty();
+        }
+        match h.get(rid) {
+            Err(DbError::Corrupt(msg)) => assert!(msg.contains("payload bytes"), "{msg}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lying_stub_total_is_corrupt() {
+        let h = heap("ovtotal");
+        let big = vec![6u8; 2 * OVF_CAPACITY];
+        let rid = h.insert(&big, XMIN).unwrap();
+        let set_total = |total: u32| {
+            let frame = h.pool.fetch(h.file, rid.page).unwrap();
+            let mut page = frame.page.lock();
+            let raw = page.get_mut(rid.slot as usize).unwrap();
+            raw[VERSION_HEADER + 5..VERSION_HEADER + 9].copy_from_slice(&total.to_le_bytes());
+            frame.mark_dirty();
+        };
+        // A huge `total` must be rejected before it sizes an allocation.
+        set_total(u32::MAX);
+        match h.get(rid) {
+            Err(DbError::Corrupt(msg)) => assert!(msg.contains("exceeds what"), "{msg}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        // A `total` shorter than the chain is also corrupt, not a
+        // silently-truncated read.
+        set_total(OVF_CAPACITY as u32);
+        match h.get(rid) {
+            Err(DbError::Corrupt(_)) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn churn_reuses_slots_and_pages() {
+        let h = heap("churn");
+        let rec = vec![8u8; 500];
+        let mut rids: Vec<Rid> = (0..64).map(|_| h.insert(&rec, XMIN).unwrap()).collect();
+        let pages = h.page_count().unwrap();
+        for round in 0..5 {
+            for rid in &rids {
+                assert!(h.delete(*rid).unwrap());
+            }
+            rids = (0..64).map(|_| h.insert(&rec, XMIN).unwrap()).collect();
+            assert_eq!(h.page_count().unwrap(), pages, "file grew on churn round {round}");
+        }
+        assert_eq!(h.count().unwrap(), 64);
+        for rid in &rids {
+            assert_eq!(h.get(*rid).unwrap(), rec);
+        }
+    }
+
+    #[test]
+    fn delete_frees_overflow_chain_for_reuse() {
+        let h = heap("ovf-free");
+        let big = vec![3u8; 3 * OVF_CAPACITY + 10];
+        let rid = h.insert(&big, XMIN).unwrap();
+        let pages = h.page_count().unwrap();
+        assert!(h.delete(rid).unwrap());
+        // The whole footprint (chain pages + the emptied data page) is
+        // recycled by an identical insert.
+        let rid2 = h.insert(&big, XMIN).unwrap();
+        assert_eq!(h.page_count().unwrap(), pages, "freed chain pages were not reused");
+        assert_eq!(h.get(rid2).unwrap(), big);
+    }
+
+    #[test]
+    fn fsm_rebuilds_from_disk_after_reopen() {
+        let dir = std::env::temp_dir().join(format!("ordb-heap-fsmscan-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("h.db");
+        let _ = std::fs::remove_file(&path);
+        let pool = Arc::new(BufferPool::new(16));
+        pool.register_file(1, path).unwrap();
+        let rec = vec![7u8; 600];
+        let h = HeapFile::new(pool.clone(), 1);
+        let rids: Vec<Rid> = (0..32).map(|_| h.insert(&rec, XMIN).unwrap()).collect();
+        let pages = h.page_count().unwrap();
+        for rid in &rids {
+            assert!(h.delete(*rid).unwrap());
+        }
+        drop(h);
+        // A fresh handle (as after reopen) finds the freed pages by
+        // scanning page kinds lazily.
+        let h2 = HeapFile::new(pool, 1);
+        for _ in 0..32 {
+            h2.insert(&rec, XMIN).unwrap();
+        }
+        assert_eq!(h2.page_count().unwrap(), pages);
+    }
+
+    #[test]
+    fn stamped_dead_rids_found_and_reclaimable() {
+        let h = heap("stamped");
+        let a = h.insert(b"a", XMIN).unwrap();
+        let b = h.insert(b"b", XMIN).unwrap();
+        {
+            let frame = h.pool.fetch(h.file, a.page).unwrap();
+            let mut page = frame.page.lock();
+            let raw = page.get_mut(a.slot as usize).unwrap();
+            raw[0..8].copy_from_slice(&0u64.to_le_bytes());
+            frame.mark_dirty();
+        }
+        assert_eq!(h.stamped_dead_rids().unwrap(), vec![a]);
+        assert_eq!(h.count().unwrap(), 1, "scan must skip stamped-dead versions");
+        assert!(h.delete(a).unwrap());
+        assert!(h.stamped_dead_rids().unwrap().is_empty());
+        assert_eq!(h.get(b).unwrap(), b"b");
     }
 
     #[test]

@@ -193,6 +193,63 @@ impl Page {
         self.insert_at(idx, record)
     }
 
+    /// Index of the first dead slot, if any.
+    pub fn first_dead_slot(&self) -> Option<usize> {
+        (0..self.slot_count()).find(|&i| {
+            let (_, len) = self.slot(i);
+            len == DEAD
+        })
+    }
+
+    /// Number of live (non-dead) slots.
+    pub fn live_slots(&self) -> usize {
+        (0..self.slot_count())
+            .filter(|&i| {
+                let (_, len) = self.slot(i);
+                len != DEAD
+            })
+            .count()
+    }
+
+    /// Insert a record, re-targeting a dead slot when one exists so the
+    /// slot array does not grow without bound under churn. Returns
+    /// `(slot, reused)` where `reused` is true when a dead slot was
+    /// revived, or `None` if the record does not fit even after
+    /// compaction. Callers are responsible for the aliasing hazard: a
+    /// dead slot must only be revived once no index entry can still
+    /// point at it (vacuum and rollback both delete index entries
+    /// before the slot dies).
+    pub fn insert_reusing(&mut self, record: &[u8]) -> Option<(usize, bool)> {
+        if record.len() > u16::MAX as usize - 1 {
+            return None;
+        }
+        let Some(idx) = self.first_dead_slot() else {
+            return self.insert(record).map(|i| (i, false));
+        };
+        // A revived slot needs no new slot-array entry, only record bytes.
+        let slots_end = HEADER + self.slot_count() * SLOT_SIZE;
+        if self.free_off().saturating_sub(slots_end) < record.len() {
+            self.compact();
+        }
+        if self.free_off().saturating_sub(slots_end) < record.len() {
+            return None;
+        }
+        let new_off = self.free_off() - record.len();
+        self.data[new_off..new_off + record.len()].copy_from_slice(record);
+        self.set_free_off(new_off as u16);
+        self.set_slot(idx, new_off, record.len() as u16);
+        Some((idx, true))
+    }
+
+    /// Reset to an empty slotted page (no slots, full record area, zeroed
+    /// special words), preserving the durability trailer: the page LSN
+    /// must survive so WAL redo ordering still applies when a reclaimed
+    /// page is reused for new data.
+    pub fn reinit(&mut self) {
+        self.data[..LSN_OFF].fill(0);
+        self.set_free_off((PAGE_SIZE - PAGE_TRAILER) as u16);
+    }
+
     /// Insert a record so that it occupies slot index `idx`, shifting later
     /// slots up by one. Used by the B+Tree to keep entries sorted.
     pub fn insert_at(&mut self, idx: usize, record: &[u8]) -> Option<usize> {
@@ -479,6 +536,62 @@ mod tests {
         // IEEE CRC32 of "123456789" is 0xCBF43926.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn insert_reusing_revives_dead_slots() {
+        let mut p = Page::new();
+        let a = p.insert(&[1u8; 200]).unwrap();
+        let b = p.insert(&[2u8; 200]).unwrap();
+        p.delete(a);
+        assert_eq!(p.first_dead_slot(), Some(a));
+        assert_eq!(p.live_slots(), 1);
+        let (idx, reused) = p.insert_reusing(&[9u8; 150]).unwrap();
+        assert!(reused);
+        assert_eq!(idx, a, "dead slot revived in place");
+        assert_eq!(p.slot_count(), 2, "slot array did not grow");
+        assert_eq!(p.get(a), Some(&[9u8; 150][..]));
+        assert_eq!(p.get(b), Some(&[2u8; 200][..]));
+        // With no dead slot left, it falls back to appending.
+        let (idx2, reused2) = p.insert_reusing(b"tail").unwrap();
+        assert!(!reused2);
+        assert_eq!(idx2, 2);
+    }
+
+    #[test]
+    fn insert_reusing_compacts_to_fit() {
+        let mut p = Page::new();
+        // Fill the page, then kill every other record: plenty of total
+        // space but little contiguous space until compaction runs.
+        let mut slots = Vec::new();
+        while let Some(i) = p.insert(&[5u8; 256]) {
+            slots.push(i);
+        }
+        for &i in slots.iter().step_by(2) {
+            p.delete(i);
+        }
+        let (idx, reused) = p.insert_reusing(&[6u8; 256]).unwrap();
+        assert!(reused);
+        assert_eq!(p.get(idx), Some(&[6u8; 256][..]));
+        // Untouched survivors are intact after the internal compaction.
+        assert_eq!(p.get(slots[1]), Some(&[5u8; 256][..]));
+    }
+
+    #[test]
+    fn reinit_clears_body_preserves_lsn() {
+        let mut p = Page::new();
+        p.insert(b"doomed").unwrap();
+        p.set_special0(2);
+        p.set_special1(77);
+        p.set_lsn(0xABCD);
+        p.reinit();
+        assert_eq!(p.slot_count(), 0);
+        assert_eq!(p.special0(), 0);
+        assert_eq!(p.special1(), 0);
+        assert_eq!(p.lsn(), 0xABCD, "LSN trailer must survive reinit");
+        assert_eq!(p.free_space(), Page::max_record_len());
+        let i = p.insert(b"fresh").unwrap();
+        assert_eq!(p.get(i), Some(b"fresh" as &[u8]));
     }
 
     #[test]

@@ -37,6 +37,22 @@
 //! Recovery ([`crate::recovery`]) scans the log front to back, stops at
 //! the first corrupt or torn record (the torn tail), and replays images
 //! whose LSN is newer than the on-disk page.
+//!
+//! ## Vacuum ordering
+//!
+//! Vacuum needs no record kind of its own: every page it mutates —
+//! index leaves losing entries, data pages losing slots, overflow pages
+//! reinitialised to the free kind — is logged as an ordinary page
+//! image when the pass's closing [`Database::commit`] runs
+//! `log_dirty_frames` + [`Wal::sync`]. A crash before that sync replays
+//! none-to-some prefix of the pass (whatever `ensure_durable` already
+//! forced out); because vacuum deletes index entries *before* freeing
+//! the heap slot they point at, any replayed prefix is consistent: a
+//! surviving slot may have lost its index entry (re-reclaimed by the
+//! next pass), but no index entry ever points at a freed or reused
+//! slot.
+//!
+//! [`Database::commit`]: crate::db::Database::commit
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom};

@@ -64,6 +64,28 @@ impl std::fmt::Display for TxnId {
     }
 }
 
+/// Registered read-snapshot visibility boundaries, keyed by a
+/// registration id. Shared between the manager and the RAII pins held
+/// by live snapshots.
+type Readers = Arc<Mutex<HashMap<u64, u64>>>;
+
+/// RAII registration of a read snapshot. While any clone of the owning
+/// [`Snapshot`] is alive, [`TxnManager::vacuum_watermark`] stays at or
+/// below the snapshot's visibility boundary, so vacuum cannot reclaim a
+/// version the snapshot can still see. Dropping the last clone
+/// deregisters.
+#[derive(Debug)]
+struct ReaderPin {
+    readers: Readers,
+    id: u64,
+}
+
+impl Drop for ReaderPin {
+    fn drop(&mut self) {
+        self.readers.lock().expect("reader registry poisoned").remove(&self.id);
+    }
+}
+
 /// An immutable view of the transaction state at one instant, used to
 /// filter tuple versions during scans.
 #[derive(Debug, Clone)]
@@ -77,6 +99,26 @@ pub struct Snapshot {
     /// Transactions that were in flight when the snapshot was taken
     /// (excluding `txid` itself); their writes are invisible.
     pub active: Arc<HashSet<u64>>,
+    /// Watermark registration shared by all clones; `None` for snapshots
+    /// whose lifetime is covered some other way (active transactions pin
+    /// the watermark through the active set; maintenance snapshots run
+    /// under locks that exclude vacuum).
+    pin: Option<Arc<ReaderPin>>,
+}
+
+/// The oldest transaction id whose effects `s` might *not* see as
+/// decided: anything below it is visible-if-committed to `s`, so a
+/// version whose committed `xmax` is below every live boundary is
+/// invisible to every current and future snapshot.
+fn snapshot_boundary(s: &Snapshot) -> u64 {
+    let mut b = s.horizon;
+    if s.txid != TXID_INVALID {
+        b = b.min(s.txid);
+    }
+    for &a in s.active.iter() {
+        b = b.min(a);
+    }
+    b
 }
 
 impl Snapshot {
@@ -84,7 +126,12 @@ impl Snapshot {
     /// transaction — used by internal maintenance paths (stats,
     /// backfill checks) once all writers are known to be finished.
     pub fn all_committed() -> Snapshot {
-        Snapshot { txid: TXID_INVALID, horizon: u64::MAX, active: Arc::new(HashSet::new()) }
+        Snapshot {
+            txid: TXID_INVALID,
+            horizon: u64::MAX,
+            active: Arc::new(HashSet::new()),
+            pin: None,
+        }
     }
 
     /// Does this snapshot consider transaction `t` committed-or-self?
@@ -168,6 +215,10 @@ impl TxnStats {
 pub struct TxnManager {
     next: AtomicU64,
     tables: Mutex<Tables>,
+    /// Live read-snapshot boundaries (see [`ReaderPin`]). Lock order:
+    /// `tables` before `readers`.
+    readers: Readers,
+    next_reader: AtomicU64,
     begun: AtomicU64,
     committed: AtomicU64,
     aborted: AtomicU64,
@@ -186,6 +237,8 @@ impl TxnManager {
                 committed_recent: BTreeSet::new(),
                 watermark: next,
             }),
+            readers: Arc::new(Mutex::new(HashMap::new())),
+            next_reader: AtomicU64::new(0),
             begun: AtomicU64::new(0),
             committed: AtomicU64::new(0),
             aborted: AtomicU64::new(0),
@@ -200,7 +253,7 @@ impl TxnManager {
         let mut t = self.tables.lock().expect("txn tables poisoned");
         let txid = self.next.fetch_add(1, Ordering::SeqCst);
         let active: HashSet<u64> = t.active.keys().copied().collect();
-        let snapshot = Snapshot { txid, horizon: txid + 1, active: Arc::new(active) };
+        let snapshot = Snapshot { txid, horizon: txid + 1, active: Arc::new(active), pin: None };
         t.active
             .insert(txid, TxnState { snapshot: snapshot.clone(), undo: Vec::new(), wrote: false });
         self.begun.fetch_add(1, Ordering::Relaxed);
@@ -209,13 +262,40 @@ impl TxnManager {
 
     /// A fresh read-only snapshot for an autocommit statement: sees
     /// everything committed so far, nothing in flight, and is not
-    /// itself registered as a transaction (so it costs one lock
-    /// acquisition and never blocks the watermark).
+    /// itself registered as a transaction. It *is* registered as a
+    /// reader (via an RAII pin shared by all clones) so
+    /// [`TxnManager::vacuum_watermark`] cannot pass it while it lives;
+    /// registration happens under the tables lock, before any vacuum
+    /// pass can observe a watermark above this snapshot's boundary.
     pub fn read_snapshot(&self) -> Snapshot {
         let t = self.tables.lock().expect("txn tables poisoned");
         let horizon = self.next.load(Ordering::SeqCst);
         let active: HashSet<u64> = t.active.keys().copied().collect();
-        Snapshot { txid: TXID_INVALID, horizon, active: Arc::new(active) }
+        let mut snap =
+            Snapshot { txid: TXID_INVALID, horizon, active: Arc::new(active), pin: None };
+        let boundary = snapshot_boundary(&snap);
+        let id = self.next_reader.fetch_add(1, Ordering::Relaxed);
+        self.readers.lock().expect("reader registry poisoned").insert(id, boundary);
+        snap.pin = Some(Arc::new(ReaderPin { readers: Arc::clone(&self.readers), id }));
+        snap
+    }
+
+    /// The oldest visibility boundary any live snapshot could use: the
+    /// minimum over active transactions' snapshots and registered
+    /// readers, or `next` when fully idle. A version whose committed
+    /// `xmax` (or recovery-stamped `xmin == 0`) lies below this value is
+    /// invisible to every current and future snapshot and safe for
+    /// vacuum to reclaim physically.
+    pub fn vacuum_watermark(&self) -> u64 {
+        let t = self.tables.lock().expect("txn tables poisoned");
+        let mut wm = self.next.load(Ordering::SeqCst);
+        for st in t.active.values() {
+            wm = wm.min(snapshot_boundary(&st.snapshot));
+        }
+        for &b in self.readers.lock().expect("reader registry poisoned").values() {
+            wm = wm.min(b);
+        }
+        wm
     }
 
     /// The snapshot captured when `txn` began.
@@ -419,6 +499,48 @@ mod tests {
         let (wm, next, relog) = m.checkpoint_info();
         assert_eq!(wm, next);
         assert!(relog.is_empty());
+    }
+
+    #[test]
+    fn vacuum_watermark_tracks_readers_and_txns() {
+        let m = TxnManager::new(10);
+        assert_eq!(m.vacuum_watermark(), 10, "idle manager reports next");
+        let snap = m.read_snapshot();
+        assert_eq!(m.vacuum_watermark(), 10);
+        let a = m.begin(); // id 10, next now 11
+        assert_eq!(m.vacuum_watermark(), 10, "active txn pins its own id");
+        m.finish_commit(a).unwrap();
+        // The reader's snapshot predates nothing here, but its boundary
+        // (10) still holds the watermark down until it drops.
+        assert_eq!(m.vacuum_watermark(), 10);
+        drop(snap);
+        assert_eq!(m.vacuum_watermark(), 11);
+    }
+
+    #[test]
+    fn snapshot_clone_shares_reader_pin() {
+        let m = TxnManager::new(5);
+        let s1 = m.read_snapshot(); // boundary 5
+        let a = m.begin(); // id 5, next 6
+        m.finish_commit(a).unwrap();
+        let s2 = s1.clone();
+        drop(s1);
+        assert_eq!(m.vacuum_watermark(), 5, "surviving clone keeps the pin");
+        drop(s2);
+        assert_eq!(m.vacuum_watermark(), 6, "last clone releases the pin");
+    }
+
+    #[test]
+    fn older_snapshot_of_active_txn_pins_watermark() {
+        let m = TxnManager::new(TXID_FIRST);
+        let a = m.begin(); // 2
+        let b = m.begin(); // 3, snapshot active = {2}
+        m.finish_commit(a).unwrap();
+        // b's snapshot predates a's commit: versions deleted by a are
+        // still visible to b and must not be reclaimed.
+        assert_eq!(m.vacuum_watermark(), a.0);
+        m.finish_abort(b);
+        assert_eq!(m.vacuum_watermark(), 4);
     }
 
     #[test]
