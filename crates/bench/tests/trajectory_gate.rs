@@ -72,21 +72,40 @@ fn compare_binary_gates_on_pool_fetch_regression() {
 }
 
 #[test]
-fn committed_bench_pr8_parses_and_gates_itself() {
+fn committed_bench_pr10_parses_and_gates_itself() {
     // The committed trajectory baseline must stay parseable and
     // self-consistent (comparing a file to itself can never regress).
     let repo_root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let committed = repo_root.join("BENCH_PR8.json");
-    let text = std::fs::read_to_string(&committed).expect("committed BENCH_PR8.json");
+    let committed = repo_root.join("BENCH_PR10.json");
+    let text = std::fs::read_to_string(&committed).expect("committed BENCH_PR10.json");
     let file = BenchFile::from_json(&text).expect("committed file parses");
     assert_eq!(file.schema_version, SCHEMA_VERSION);
-    assert_eq!(file.pr, 8);
+    assert_eq!(file.pr, 10);
     assert!(
         file.entries.iter().any(|e| e.kind == "query")
             && file.entries.iter().any(|e| e.kind == "load")
             && file.entries.iter().any(|e| e.kind == "throughput"),
         "trajectory covers queries, loads, and throughput"
     );
+    assert!(
+        file.entries
+            .iter()
+            .any(|e| e.id.ends_with("/batch") && e.counters.get("batches").is_some_and(|&b| b > 0)),
+        "trajectory pins the vectorized executor's batch counters"
+    );
     let out = run_compare(&committed, &committed);
     assert!(out.status.success(), "self-compare must pass: {out:?}");
+}
+
+#[test]
+fn committed_bench_pr10_does_not_regress_pr8() {
+    // The ISSUE 10 acceptance gate, checked forever after: the new
+    // baseline's shared (Volcano) ids must stay within threshold of the
+    // PR8 baseline — the batch executor rides alongside, it does not
+    // tax the row path.
+    let repo_root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let old = repo_root.join("BENCH_PR8.json");
+    let new = repo_root.join("BENCH_PR10.json");
+    let out = run_compare(&old, &new);
+    assert!(out.status.success(), "BENCH_PR10 must gate against BENCH_PR8: {out:?}");
 }

@@ -171,16 +171,23 @@ fn txn_matrix_crash_points_never_leak_uncommitted_versions() {
             access: Some(ForcedAccess::IndexScan),
             ..Default::default()
         }));
-        if seq != via_index {
+        let via_batch = canon(Some(PlanForcing {
+            access: Some(ForcedAccess::SeqScan),
+            executor: ordb::Executor::Batch,
+            ..Default::default()
+        }));
+        if seq != via_index || seq != via_batch {
             fail_with_waldump(
                 seed,
                 round,
                 &ctx,
                 &dump,
                 format!(
-                    "index/seq divergence after recovery: {} seq rows vs {} index rows",
+                    "executor divergence after recovery: {} seq rows vs {} index rows \
+                     vs {} batch rows",
                     seq.len(),
-                    via_index.len()
+                    via_index.len(),
+                    via_batch.len()
                 ),
             );
         }

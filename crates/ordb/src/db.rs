@@ -1929,6 +1929,33 @@ mod tests {
     }
 
     #[test]
+    fn explain_batch_plan_performs_zero_pool_fetches() {
+        // Regression: BatchSeqScan and BatchHashJoin must defer all I/O
+        // to first next() just like their row counterparts, or EXPLAIN
+        // under the batch executor would scan the heap to print a plan.
+        let db = db("explainbatchnofetch");
+        setup_speech(&db);
+        db.flush().unwrap();
+        db.drop_cache().unwrap();
+        let batch =
+            PlanForcing { executor: crate::plan::Executor::Batch, ..PlanForcing::default() };
+        db.take_io_stats();
+        for sql in [
+            "SELECT speechID FROM speech WHERE speech_parentID = 1",
+            "SELECT s.speechID, a.act_title FROM speech s, act a \
+             WHERE s.speech_parentID = a.actID",
+        ] {
+            let plan = db.explain_with_forcing(sql, Some(batch)).unwrap();
+            assert!(
+                plan.iter().any(|l| l.contains("BatchSeqScan")),
+                "forcing must vectorize the scan: {plan:?}"
+            );
+        }
+        let window = db.take_io_stats();
+        assert_eq!(window.fetches(), 0, "batch EXPLAIN must touch zero pages: {window:?}");
+    }
+
+    #[test]
     fn commit_then_crash_recovers_everything() {
         // Load + commit, then "crash" (abandon the handle so nothing
         // flushes): the data files never saw the committed pages. Reopen
@@ -2258,6 +2285,73 @@ mod tests {
         assert_eq!(r.len(), 3, "the pinned snapshot still reads the pre-delete rows");
         db.commit_txn(t).unwrap();
         assert_eq!(db.vacuum().unwrap().vacuumed_versions, 3, "releasing the pin unblocks reclaim");
+    }
+
+    #[test]
+    fn batch_scan_respects_open_snapshot() {
+        // The vectorized scan collects whole pages at a time, so its
+        // MVCC filtering must match the row cursor exactly: uncommitted
+        // writes and post-snapshot commits stay invisible under a
+        // pinned snapshot, and only the uncommitted ones under a fresh
+        // autocommit snapshot.
+        let db = db("batch-snapshot");
+        setup_speech(&db);
+        let batch =
+            PlanForcing { executor: crate::plan::Executor::Batch, ..PlanForcing::default() };
+        let t = db.begin_txn();
+        // Another connection inserts but never commits...
+        let mut other = None;
+        db.execute_txn("BEGIN", &mut other).unwrap();
+        db.execute_txn(
+            "INSERT INTO speech VALUES (13, 2, 'ACT', \
+             '<SPEAKER>GHOST</SPEAKER>', '<LINE>mark me</LINE>')",
+            &mut other,
+        )
+        .unwrap();
+        // ...and an autocommit insert lands after the pinned snapshot.
+        db.execute(
+            "INSERT INTO speech VALUES (14, 2, 'ACT', \
+             '<SPEAKER>MARCELLUS</SPEAKER>', '<LINE>peace, break thee off</LINE>')",
+        )
+        .unwrap();
+        let check = |txn: Option<TxnId>, want: usize, label: &str| {
+            let sql = "SELECT speechID, speech_speaker FROM speech";
+            let row = db.query_in(sql, None, txn).unwrap();
+            let bat = db.query_in(sql, Some(batch), txn).unwrap();
+            assert_eq!(row.rows, bat.rows, "{label}: batch scan diverged from row scan");
+            assert_eq!(row.len(), want, "{label}");
+        };
+        check(Some(t), 3, "pinned snapshot hides uncommitted and post-BEGIN rows");
+        check(None, 4, "fresh snapshot hides only the uncommitted insert");
+        db.execute_txn("ROLLBACK", &mut other).unwrap();
+        db.commit_txn(t).unwrap();
+        check(None, 4, "rollback leaves the aborted insert invisible to both executors");
+    }
+
+    #[test]
+    fn batch_scan_hides_vacuumed_versions_like_row_path() {
+        // Deleted-but-pinned versions must survive for the batch scan
+        // exactly as for the row cursor, and once vacuum reclaims them
+        // both executors agree the pages are empty.
+        let db = db("batch-vacuum");
+        setup_speech(&db);
+        let batch =
+            PlanForcing { executor: crate::plan::Executor::Batch, ..PlanForcing::default() };
+        let check = |txn: Option<TxnId>, want: usize, label: &str| {
+            let sql = "SELECT speechID, speech_line FROM speech";
+            let row = db.query_in(sql, None, txn).unwrap();
+            let bat = db.query_in(sql, Some(batch), txn).unwrap();
+            assert_eq!(row.rows, bat.rows, "{label}: batch scan diverged from row scan");
+            assert_eq!(row.len(), want, "{label}");
+        };
+        let t = db.begin_txn();
+        db.execute("DELETE FROM speech").unwrap();
+        assert_eq!(db.vacuum().unwrap().vacuumed_versions, 0, "open snapshot blocks reclaim");
+        check(Some(t), 3, "pinned snapshot still reads the deleted versions");
+        check(None, 0, "fresh snapshot sees the delete");
+        db.commit_txn(t).unwrap();
+        assert_eq!(db.vacuum().unwrap().vacuumed_versions, 3, "commit releases the pin");
+        check(None, 0, "post-vacuum both executors agree the heap is empty");
     }
 
     #[test]
